@@ -1,0 +1,74 @@
+// Benchmarks: one per table and figure of the paper's evaluation. Each
+// benchmark executes the corresponding experiment from internal/exp at a
+// reduced scale (64 ToRs, short duration, trimmed sweeps) so the whole
+// suite regenerates every result's shape in minutes; the negotiator-exp
+// CLI runs the same experiments at paper scale.
+//
+//	go test -bench=. -benchmem
+//	go run ./cmd/negotiator-exp -exp all            # paper scale
+package negotiator_test
+
+import (
+	"io"
+	"testing"
+
+	"negotiator/internal/exp"
+	"negotiator/internal/sim"
+)
+
+// benchOptions are the reduced-scale settings shared by all experiment
+// benchmarks.
+func benchOptions() exp.Options {
+	return exp.Options{
+		Duration: 1500 * sim.Microsecond,
+		ToRs:     64,
+		Quick:    true,
+	}
+}
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, ok := exp.ByID(id)
+	if !ok {
+		b.Fatalf("unknown experiment %q", id)
+	}
+	o := benchOptions()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		o.Seed = int64(i)
+		if err := e.Run(o, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable2(b *testing.B) { benchExperiment(b, "table2") } // PB/PQ ablation
+func BenchmarkFig6(b *testing.B)   { benchExperiment(b, "fig6") }   // mice FCT CDF
+func BenchmarkFig7a(b *testing.B)  { benchExperiment(b, "fig7a") }  // incast finish time
+func BenchmarkFig7b(b *testing.B)  { benchExperiment(b, "fig7b") }  // all-to-all goodput
+func BenchmarkFig8(b *testing.B)   { benchExperiment(b, "fig8") }   // reconfiguration delays
+func BenchmarkFig9(b *testing.B)   { benchExperiment(b, "fig9") }   // main result
+func BenchmarkFig10(b *testing.B)  { benchExperiment(b, "fig10") }  // fault tolerance
+func BenchmarkFig11(b *testing.B)  { benchExperiment(b, "fig11") }  // no speedup
+func BenchmarkFig12a(b *testing.B) { benchExperiment(b, "fig12a") } // predefined slot sweep
+func BenchmarkFig12b(b *testing.B) { benchExperiment(b, "fig12b") } // scheduled phase sweep
+func BenchmarkFig13a(b *testing.B) { benchExperiment(b, "fig13a") } // Hadoop + incasts
+func BenchmarkFig13b(b *testing.B) { benchExperiment(b, "fig13b") } // web search
+func BenchmarkFig13c(b *testing.B) { benchExperiment(b, "fig13c") } // Google
+func BenchmarkFig14(b *testing.B)  { benchExperiment(b, "fig14") }  // match ratio
+func BenchmarkFig15(b *testing.B)  { benchExperiment(b, "fig15") }  // iterative matching
+func BenchmarkTable3(b *testing.B) { benchExperiment(b, "table3") } // selective relay
+func BenchmarkTable4(b *testing.B) { benchExperiment(b, "table4") } // informative requests
+func BenchmarkTable5(b *testing.B) { benchExperiment(b, "table5") } // stateful scheduling
+func BenchmarkTable6(b *testing.B) { benchExperiment(b, "table6") } // ProjecToR-style
+func BenchmarkFig17(b *testing.B)  { benchExperiment(b, "fig17") }  // incast receiver bw
+func BenchmarkFig18(b *testing.B)  { benchExperiment(b, "fig18") }  // all-to-all receiver bw
+func BenchmarkFig19(b *testing.B)  { benchExperiment(b, "fig19") }  // failure micro-observation
+
+func BenchmarkExtArbiters(b *testing.B)  { benchExperiment(b, "ext-arbiters") }  // extension: arbiter study
+func BenchmarkExtThreshold(b *testing.B) { benchExperiment(b, "ext-threshold") } // extension: request threshold
+
+func BenchmarkExtBuffers(b *testing.B) { benchExperiment(b, "ext-buffers") } // extension: receiver buffering
+
+func BenchmarkExtSync(b *testing.B) { benchExperiment(b, "ext-sync") } // extension: clock sync margins

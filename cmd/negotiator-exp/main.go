@@ -1,0 +1,84 @@
+// Command negotiator-exp regenerates the tables and figures of the
+// NegotiaToR paper's evaluation (SIGCOMM 2024, §4 and appendices).
+//
+// Usage:
+//
+//	negotiator-exp -list
+//	negotiator-exp -exp fig9
+//	negotiator-exp -exp all -quick
+//	negotiator-exp -exp table2 -duration 30ms   # the paper's full duration
+//
+// Absolute numbers differ from the paper (purpose-built simulator, shorter
+// default duration); EXPERIMENTS.md records the shape claims each
+// experiment reproduces and the measured values.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"negotiator/internal/exp"
+	"negotiator/internal/sim"
+)
+
+func main() {
+	var (
+		id       = flag.String("exp", "", "experiment id (see -list), or 'all'")
+		list     = flag.Bool("list", false, "list experiments")
+		quick    = flag.Bool("quick", false, "trim sweep points and duration for a smoke run")
+		duration = flag.Duration("duration", 0, "simulated duration per run (e.g. 30ms; default 6ms, paper uses 30ms)")
+		tors     = flag.Int("tors", 0, "override network size (default 128 ToRs)")
+		seed     = flag.Int64("seed", 0, "seed offset")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range exp.All() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+	if *id == "" {
+		fmt.Fprintln(os.Stderr, "negotiator-exp: pass -exp <id> or -list")
+		os.Exit(2)
+	}
+
+	o := exp.Options{
+		Duration: sim.Duration(duration.Nanoseconds()),
+		ToRs:     *tors,
+		Quick:    *quick,
+		Seed:     *seed,
+	}
+	if *quick && o.Duration == 0 {
+		o.Duration = 2 * sim.Millisecond
+		if o.ToRs == 0 {
+			o.ToRs = 64
+		}
+	}
+
+	var todo []exp.Experiment
+	if strings.EqualFold(*id, "all") {
+		todo = exp.All()
+	} else {
+		for _, one := range strings.Split(*id, ",") {
+			e, ok := exp.ByID(strings.TrimSpace(one))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "negotiator-exp: unknown experiment %q (see -list)\n", one)
+				os.Exit(2)
+			}
+			todo = append(todo, e)
+		}
+	}
+	for _, e := range todo {
+		fmt.Printf("== %s: %s ==\n", e.ID, e.Title)
+		start := time.Now()
+		if err := e.Run(o, os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "negotiator-exp: %s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		fmt.Printf("(%s wall time)\n\n", time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,130 @@
+// Command negotiator-sim runs one fabric simulation with explicit
+// parameters and prints its summary — the general-purpose entry point for
+// exploring configurations outside the paper's experiment matrix.
+//
+// Examples:
+//
+//	negotiator-sim -topology thin-clos -load 0.75 -duration 10ms
+//	negotiator-sim -oblivious -trace websearch -load 0.5
+//	negotiator-sim -scheduler stateful -tors 64 -no-pq
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	negotiator "negotiator"
+	"negotiator/internal/sim"
+)
+
+func main() {
+	var (
+		tors      = flag.Int("tors", 128, "number of ToRs")
+		ports     = flag.Int("ports", 8, "uplink ports per ToR")
+		awgr      = flag.Int("awgr", 16, "thin-clos AWGR port count W (ToRs must equal ports*W)")
+		topology  = flag.String("topology", "parallel", "parallel | thin-clos")
+		oblivious = flag.Bool("oblivious", false, "run the traffic-oblivious baseline instead of NegotiaToR")
+		scheduler = flag.String("scheduler", "matching", "matching | iterative1 | iterative3 | iterative5 | data-size | hol-delay | stateful | projector")
+		trace     = flag.String("trace", "hadoop", "hadoop | websearch | google")
+		load      = flag.Float64("load", 0.5, "network load L = F/(R*N*tau)")
+		duration  = flag.Duration("duration", 6*time.Millisecond, "simulated duration")
+		linkGbps  = flag.Int64("link-gbps", 100, "per-port line rate (Gbps)")
+		hostGbps  = flag.Int64("host-gbps", 400, "per-ToR host aggregate (Gbps)")
+		reconfig  = flag.Duration("reconfig", 10*time.Nanosecond, "reconfiguration delay / guardband")
+		schedLen  = flag.Int("sched-slots", 30, "scheduled phase length in timeslots")
+		noPB      = flag.Bool("no-pb", false, "disable data piggybacking")
+		noPQ      = flag.Bool("no-pq", false, "disable priority queues")
+		relay     = flag.Bool("relay", false, "enable traffic-aware selective relay (thin-clos)")
+		seed      = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	spec := negotiator.DefaultSpec()
+	spec.ToRs, spec.Ports, spec.AWGRPorts = *tors, *ports, *awgr
+	spec.Oblivious = *oblivious
+	spec.LinkRate = negotiator.Gbps(*linkGbps)
+	spec.HostRate = negotiator.Gbps(*hostGbps)
+	spec.ReconfigDelay = sim.Duration(reconfig.Nanoseconds())
+	spec.ScheduledSlots = *schedLen
+	spec.Piggyback = !*noPB
+	spec.PriorityQueues = !*noPQ
+	spec.SelectiveRelay = *relay
+	spec.Seed = *seed
+
+	switch strings.ToLower(*topology) {
+	case "parallel":
+		spec.Topology = negotiator.ParallelNetwork
+	case "thin-clos", "thinclos", "tc":
+		spec.Topology = negotiator.ThinClos
+	default:
+		fatalf("unknown topology %q", *topology)
+	}
+
+	switch strings.ToLower(*scheduler) {
+	case "matching", "":
+		spec.Scheduler = negotiator.Matching
+	case "iterative1":
+		spec.Scheduler = negotiator.Iterative1
+	case "iterative3":
+		spec.Scheduler = negotiator.Iterative3
+	case "iterative5":
+		spec.Scheduler = negotiator.Iterative5
+	case "data-size":
+		spec.Scheduler = negotiator.DataSizePriority
+	case "hol-delay":
+		spec.Scheduler = negotiator.HoLDelayPriority
+	case "stateful":
+		spec.Scheduler = negotiator.Stateful
+	case "projector":
+		spec.Scheduler = negotiator.ProjecToRStyle
+	default:
+		fatalf("unknown scheduler %q", *scheduler)
+	}
+
+	var tr negotiator.Trace
+	switch strings.ToLower(*trace) {
+	case "hadoop":
+		tr = negotiator.Hadoop
+	case "websearch":
+		tr = negotiator.WebSearch
+	case "google":
+		tr = negotiator.Google
+	default:
+		fatalf("unknown trace %q", *trace)
+	}
+
+	fab, err := spec.Build()
+	if err != nil {
+		fatalf("%v", err)
+	}
+	fab.SetWorkload(negotiator.PoissonWorkload(spec, tr, *load, *seed+6))
+	start := time.Now()
+	fab.Run(sim.Duration(duration.Nanoseconds()))
+	sum := fab.Summary()
+
+	sys := "NegotiaToR"
+	if *oblivious {
+		sys = "traffic-oblivious"
+	}
+	fmt.Printf("%s on %s: %d ToRs x %d ports, trace=%s load=%.0f%%, %v simulated (%v wall)\n",
+		sys, spec.Topology, spec.ToRs, spec.Ports, tr, *load*100, sum.Duration, time.Since(start).Round(time.Millisecond))
+	fmt.Printf("  flows completed:   %d (%d mice)\n", sum.Flows, sum.MiceFlows)
+	fmt.Printf("  mice FCT 99p/mean: %v / %v\n", sum.Mice99p, sum.MiceMean)
+	fmt.Printf("  all-flow FCT 99p:  %v\n", sum.All99p)
+	fmt.Printf("  goodput:           %.3f (normalized to %d Gbps hosts)\n", sum.GoodputNormalized, *hostGbps)
+	if !*oblivious {
+		fmt.Printf("  match ratio:       %.3f\n", sum.MatchRatio)
+		fmt.Printf("  epoch length:      %v\n", sum.EpochLen)
+	} else {
+		fmt.Printf("  round-robin cycle: %v\n", sum.EpochLen)
+	}
+	fmt.Printf("  bytes delivered:   %d of %d injected\n", sum.Delivered, sum.Injected)
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "negotiator-sim: "+format+"\n", args...)
+	os.Exit(1)
+}

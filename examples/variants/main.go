@@ -1,0 +1,77 @@
+// Design-choice exploration: a miniature of the paper's §3.5 study. The
+// paper argues that NegotiaToR's minimalist choices — binary requests, no
+// iteration, stateless scheduling — are enough, and that added complexity
+// does not buy proportionate performance. This example runs the base
+// matching against every variant from Appendix A.2 on the same workload.
+//
+//	go run ./examples/variants
+package main
+
+import (
+	"fmt"
+	"log"
+
+	negotiator "negotiator"
+)
+
+func main() {
+	variants := []struct {
+		name      string
+		scheduler negotiator.Scheduler
+		noSpeedup bool
+		note      string
+	}{
+		{"base (2x speedup)", negotiator.Matching, false, "the paper's design"},
+		{"iterative-3, no speedup", negotiator.Iterative3, true, "A.2.1: iteration adds 3 epochs/round of delay"},
+		{"iterative-5, no speedup", negotiator.Iterative5, true, "A.2.1"},
+		{"data-size priority", negotiator.DataSizePriority, false, "A.2.3: goodput-oriented informative requests"},
+		{"hol-delay priority", negotiator.HoLDelayPriority, false, "A.2.3: FCT-oriented informative requests"},
+		{"stateful", negotiator.Stateful, false, "A.2.4: destination traffic matrices"},
+		{"projector-style", negotiator.ProjecToRStyle, false, "A.2.5: per-port requests, delay priority"},
+	}
+
+	const load = 0.9
+	fmt.Printf("Hadoop workload at %.0f%% load, 16-ToR parallel network:\n\n", load*100)
+	fmt.Printf("%-26s %-12s %-12s %-9s\n", "scheduler", "mice 99p", "mice mean", "goodput")
+	for _, v := range variants {
+		spec := negotiator.SmallSpec()
+		spec.Topology = negotiator.ParallelNetwork
+		spec.Scheduler = v.scheduler
+		if v.noSpeedup {
+			spec.LinkRate = negotiator.Gbps(int64(spec.HostRate) / int64(spec.Ports))
+		}
+		fab, err := spec.Build()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fab.SetWorkload(negotiator.PoissonWorkload(spec, negotiator.Hadoop, load, 23))
+		fab.Run(3 * negotiator.Millisecond)
+		s := fab.Summary()
+		fmt.Printf("%-26s %-12v %-12v %-9.3f  %s\n",
+			v.name, s.Mice99p, s.MiceMean, s.GoodputNormalized, v.note)
+	}
+
+	// The thin-clos-only selective relay variant (A.2.2).
+	for _, relay := range []bool{false, true} {
+		spec := negotiator.SmallSpec()
+		spec.Topology = negotiator.ThinClos
+		spec.SelectiveRelay = relay
+		fab, err := spec.Build()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fab.SetWorkload(negotiator.PoissonWorkload(spec, negotiator.Hadoop, load, 23))
+		fab.Run(3 * negotiator.Millisecond)
+		s := fab.Summary()
+		name := "thin-clos base"
+		if relay {
+			name = "thin-clos + selective relay"
+		}
+		fmt.Printf("%-26s %-12v %-12v %-9.3f  %s\n",
+			name, s.Mice99p, s.MiceMean, s.GoodputNormalized, "A.2.2")
+	}
+
+	fmt.Println("\nExpected shape (§3.5): iteration trades FCT for little or negative")
+	fmt.Println("goodput; informative requests, stateful scheduling and relaying move")
+	fmt.Println("the needle marginally — the minimalist design is sufficient.")
+}

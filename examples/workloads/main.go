@@ -1,0 +1,48 @@
+// Workloads: run NegotiaToR under the paper's three trace-derived
+// workloads (§4.1, §4.4) at the same load and compare — the heavier the
+// flow-size mix, the more the scheduled phase matters; the lighter the mix,
+// the more traffic rides the piggyback path entirely.
+//
+//	go run ./examples/workloads
+package main
+
+import (
+	"fmt"
+	"log"
+
+	negotiator "negotiator"
+)
+
+func main() {
+	traces := []negotiator.Trace{negotiator.Hadoop, negotiator.WebSearch, negotiator.Google}
+
+	fmt.Println("trace characteristics:")
+	for _, tr := range traces {
+		fmt.Printf("  %-10s mean flow %8.0f B\n", tr, tr.MeanFlowBytes())
+	}
+	fmt.Println()
+
+	const load = 0.75
+	fmt.Printf("NegotiaToR, thin-clos, load %.0f%%:\n", load*100)
+	fmt.Printf("%-10s %-8s %-12s %-12s %-9s %-9s\n",
+		"trace", "flows", "mice 99p", "mice mean", "goodput", "match")
+	for _, tr := range traces {
+		spec := negotiator.SmallSpec()
+		spec.Topology = negotiator.ThinClos
+		fab, err := spec.Build()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fab.SetWorkload(negotiator.PoissonWorkload(spec, tr, load, 17))
+		fab.Run(3 * negotiator.Millisecond)
+		s := fab.Summary()
+		fmt.Printf("%-10s %-8d %-12v %-12v %-9.3f %-9.3f\n",
+			tr, s.Flows, s.Mice99p, s.MiceMean, s.GoodputNormalized, s.MatchRatio)
+	}
+
+	fmt.Println("\nThe Google mix (>80% of flows under 1KB) rides the predefined-phase")
+	fmt.Println("piggyback path almost entirely; web search (>80% of flows over 10KB)")
+	fmt.Println("exercises the scheduled phase and the matching algorithm hardest.")
+	fmt.Println("NegotiaToR keeps mice tail FCT in the tens of microseconds on all")
+	fmt.Println("three without retuning epoch parameters (paper Figure 13).")
+}

@@ -1,0 +1,178 @@
+// Package clocksync models the time-synchronisation layer of paper §3.6.3:
+// ToRs synchronise their clocks to a primary over the predefined phase's
+// round-robin connections once per epoch, then drift freely until the next
+// synchronisation. The paper argues that "a guardband of several
+// nanoseconds is adequate to absorb the drift till the next
+// synchronization in the next predefined phase"; this package makes that
+// claim checkable for concrete drift rates, sync errors and epoch lengths.
+//
+// The model is deliberately simple — per-ToR residual offset after each
+// sync plus a bounded linear drift rate that wanders epoch to epoch — but
+// it captures the only quantity the fabric cares about: the worst pairwise
+// clock misalignment at any point within an epoch, which the guardband
+// (minus the laser tuning time) must absorb for slots to stay
+// collision-free.
+package clocksync
+
+import (
+	"fmt"
+
+	"negotiator/internal/sim"
+)
+
+// Config describes the synchronisation environment.
+type Config struct {
+	// N is the number of ToRs.
+	N int
+	// DriftPPM bounds each ToR's oscillator drift rate in parts per
+	// million. Commodity oscillators sit in the 1-100 ppm range; the
+	// paper's citations use the low end.
+	DriftPPM float64
+	// SyncError bounds the residual per-ToR offset right after a
+	// synchronisation. Sirius reports picosecond-level errors over the
+	// round-robin connections; conventional DCN sync reaches tens of
+	// nanoseconds.
+	SyncError sim.Duration
+	// Interval is the time between synchronisations: one epoch, since
+	// every predefined phase resynchronises (§3.6.3).
+	Interval sim.Duration
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.N < 2 {
+		return fmt.Errorf("clocksync: need at least 2 ToRs, got %d", c.N)
+	}
+	if c.DriftPPM < 0 || c.SyncError < 0 || c.Interval <= 0 {
+		return fmt.Errorf("clocksync: negative drift/error or non-positive interval")
+	}
+	return nil
+}
+
+// Model tracks each ToR's clock state across sync intervals.
+type Model struct {
+	cfg Config
+	rng *sim.RNG
+
+	offset []float64 // ns, residual offset right after the last sync
+	drift  []float64 // ns per ns of real time (dimensionless)
+}
+
+// New builds a model with randomised initial offsets and drift rates.
+func New(cfg Config, seed int64) (*Model, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	m := &Model{
+		cfg:    cfg,
+		rng:    sim.NewRNG(seed),
+		offset: make([]float64, cfg.N),
+		drift:  make([]float64, cfg.N),
+	}
+	for i := range m.offset {
+		m.offset[i] = m.randOffset()
+		m.drift[i] = m.randDrift()
+	}
+	return m, nil
+}
+
+func (m *Model) randOffset() float64 {
+	return (2*m.rng.Float64() - 1) * float64(m.cfg.SyncError)
+}
+
+func (m *Model) randDrift() float64 {
+	return (2*m.rng.Float64() - 1) * m.cfg.DriftPPM * 1e-6
+}
+
+// Resync models one synchronisation: every ToR's offset collapses to a
+// fresh residual error and its drift rate takes a bounded random walk
+// (oscillators wander with temperature).
+func (m *Model) Resync() {
+	for i := range m.offset {
+		m.offset[i] = m.randOffset()
+		// Wander by up to 10% of the bound per interval, staying bounded.
+		d := m.drift[i] + 0.1*(2*m.rng.Float64()-1)*m.cfg.DriftPPM*1e-6
+		limit := m.cfg.DriftPPM * 1e-6
+		if d > limit {
+			d = limit
+		}
+		if d < -limit {
+			d = -limit
+		}
+		m.drift[i] = d
+	}
+}
+
+// OffsetAt returns ToR i's clock error (ns) at elapsed time t since the
+// last synchronisation.
+func (m *Model) OffsetAt(i int, t sim.Duration) float64 {
+	return m.offset[i] + m.drift[i]*float64(t)
+}
+
+// Misalignment returns the clock disagreement between two ToRs at elapsed
+// time t since the last synchronisation, in nanoseconds (always >= 0).
+func (m *Model) Misalignment(i, j int, t sim.Duration) float64 {
+	d := m.OffsetAt(i, t) - m.OffsetAt(j, t)
+	if d < 0 {
+		d = -d
+	}
+	return d
+}
+
+// MaxMisalignment returns the worst pairwise disagreement at the end of
+// the interval — the moment just before the next sync, where drift has
+// accumulated longest. Because every offset evolves linearly, the maximum
+// over the interval is at an endpoint, and checking the extremes of the
+// per-ToR offsets suffices.
+func (m *Model) MaxMisalignment() float64 {
+	worst := 0.0
+	for _, t := range []sim.Duration{0, m.cfg.Interval} {
+		lo, hi := m.OffsetAt(0, t), m.OffsetAt(0, t)
+		for i := 1; i < m.cfg.N; i++ {
+			o := m.OffsetAt(i, t)
+			if o < lo {
+				lo = o
+			}
+			if o > hi {
+				hi = o
+			}
+		}
+		if d := hi - lo; d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+// Bound returns the analytic worst case: twice the sync error plus twice
+// the drift accumulated over a full interval (two ToRs at opposite
+// extremes).
+func (m *Model) Bound() float64 {
+	return 2*float64(m.cfg.SyncError) + 2*m.cfg.DriftPPM*1e-6*float64(m.cfg.Interval)
+}
+
+// GuardbandOK reports whether a guardband absorbs both the laser tuning
+// time and the worst clock misalignment of this interval: bits never leak
+// into a neighbouring slot.
+func (m *Model) GuardbandOK(guard, tuning sim.Duration) bool {
+	return float64(guard-tuning) >= m.MaxMisalignment()
+}
+
+// Margin returns the slack (ns) between the guardband (after tuning time)
+// and the worst misalignment; negative means collisions are possible.
+func (m *Model) Margin(guard, tuning sim.Duration) float64 {
+	return float64(guard-tuning) - m.MaxMisalignment()
+}
+
+// WorstOverEpochs runs the model for the given number of sync intervals
+// and returns the largest misalignment seen.
+func (m *Model) WorstOverEpochs(epochs int) float64 {
+	worst := 0.0
+	for e := 0; e < epochs; e++ {
+		if d := m.MaxMisalignment(); d > worst {
+			worst = d
+		}
+		m.Resync()
+	}
+	return worst
+}

@@ -1,0 +1,156 @@
+package clocksync
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"negotiator/internal/sim"
+)
+
+func testConfig() Config {
+	return Config{
+		N:         128,
+		DriftPPM:  10,
+		SyncError: 1, // 1 ns residual after sync
+		Interval:  3660,
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := testConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := testConfig()
+	bad.N = 1
+	if bad.Validate() == nil {
+		t.Error("N=1 accepted")
+	}
+	bad = testConfig()
+	bad.Interval = 0
+	if bad.Validate() == nil {
+		t.Error("zero interval accepted")
+	}
+	bad = testConfig()
+	bad.DriftPPM = -1
+	if bad.Validate() == nil {
+		t.Error("negative drift accepted")
+	}
+	if _, err := New(bad, 1); err == nil {
+		t.Error("New accepted invalid config")
+	}
+}
+
+func TestMisalignmentWithinBound(t *testing.T) {
+	m, err := New(testConfig(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound := m.Bound()
+	for e := 0; e < 200; e++ {
+		if got := m.MaxMisalignment(); got > bound {
+			t.Fatalf("epoch %d: misalignment %.3f ns exceeds bound %.3f ns", e, got, bound)
+		}
+		m.Resync()
+	}
+}
+
+func TestPaperGuardbandAbsorbsDrift(t *testing.T) {
+	// §3.6.3: with per-epoch resync over the predefined phase, even a
+	// pessimistic 100 ppm oscillator drifts only ~0.37 ns over a 3.66 µs
+	// epoch; with Sirius-grade sub-ns sync error the 10 ns guardband
+	// absorbs it with room for a few ns of tuning delay.
+	cfg := testConfig()
+	cfg.DriftPPM = 100
+	m, _ := New(cfg, 3)
+	worst := m.WorstOverEpochs(500)
+	if worst > m.Bound() {
+		t.Fatalf("worst %.3f beyond analytic bound %.3f", worst, m.Bound())
+	}
+	m2, _ := New(cfg, 3)
+	if !m2.GuardbandOK(10, 5) {
+		t.Errorf("10 ns guardband with 5 ns tuning should absorb misalignment %.3f ns",
+			m2.MaxMisalignment())
+	}
+	if m2.Margin(10, 5) <= 0 {
+		t.Error("margin should be positive")
+	}
+}
+
+func TestConventionalSyncNeedsBiggerGuardband(t *testing.T) {
+	// With conventional packet-network sync (tens of ns error), a 10 ns
+	// guardband cannot absorb the misalignment — the quantitative reason
+	// the paper leans on round-robin-based synchronisation.
+	cfg := testConfig()
+	cfg.SyncError = 25 // ns
+	m, _ := New(cfg, 5)
+	// Worst misalignment can approach 2*25 ns; over many epochs it will
+	// exceed 10-5=5 ns with overwhelming probability.
+	failed := false
+	for e := 0; e < 50; e++ {
+		if !m.GuardbandOK(10, 5) {
+			failed = true
+			break
+		}
+		m.Resync()
+	}
+	if !failed {
+		t.Error("25 ns sync error never violated a 10 ns guardband — model too optimistic")
+	}
+	// A 100 ns guardband restores safety.
+	m2, _ := New(cfg, 5)
+	for e := 0; e < 50; e++ {
+		if !m2.GuardbandOK(100, 5) {
+			t.Fatal("100 ns guardband should absorb 25 ns sync error")
+		}
+		m2.Resync()
+	}
+}
+
+func TestOffsetLinearInTime(t *testing.T) {
+	m, _ := New(testConfig(), 9)
+	o0 := m.OffsetAt(3, 0)
+	o1 := m.OffsetAt(3, 1000)
+	o2 := m.OffsetAt(3, 2000)
+	if math.Abs((o2-o1)-(o1-o0)) > 1e-12 {
+		t.Error("offset not linear in elapsed time")
+	}
+}
+
+func TestMisalignmentSymmetricNonNegative(t *testing.T) {
+	m, _ := New(testConfig(), 11)
+	f := func(a, b uint8, tt uint16) bool {
+		i, j := int(a)%128, int(b)%128
+		d := m.Misalignment(i, j, sim.Duration(tt))
+		return d >= 0 && d == m.Misalignment(j, i, sim.Duration(tt))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDriftStaysBounded(t *testing.T) {
+	cfg := testConfig()
+	m, _ := New(cfg, 13)
+	limit := cfg.DriftPPM * 1e-6
+	for e := 0; e < 500; e++ {
+		m.Resync()
+		for i, d := range m.drift {
+			if math.Abs(d) > limit+1e-15 {
+				t.Fatalf("epoch %d: tor %d drift %e beyond +-%e", e, i, d, limit)
+			}
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a, _ := New(testConfig(), 42)
+	b, _ := New(testConfig(), 42)
+	for e := 0; e < 20; e++ {
+		if a.MaxMisalignment() != b.MaxMisalignment() {
+			t.Fatal("same-seed models diverged")
+		}
+		a.Resync()
+		b.Resync()
+	}
+}

@@ -1,0 +1,145 @@
+// Package exp is the evaluation harness: one registered experiment per
+// table and figure in the paper's evaluation (§4 and appendices), shared by
+// the negotiator-exp CLI and the benchmark suite. Each experiment rebuilds
+// the paper's workload and parameters, runs the relevant fabrics, and
+// prints the same rows or series the paper reports.
+//
+// Absolute numbers are expected to differ from the paper (different
+// substrate, shorter default duration); EXPERIMENTS.md records measured
+// values next to the paper's and the shape claims each experiment must
+// reproduce.
+package exp
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	negotiator "negotiator"
+	"negotiator/internal/sim"
+)
+
+// Options control experiment scale.
+type Options struct {
+	// Duration is the simulated time per run; zero means 6 ms (the paper
+	// uses 30 ms; pass -full in the CLI for that).
+	Duration sim.Duration
+	// ToRs overrides the network size; zero means the paper's 128. Ports
+	// and AWGR width scale with it (ToRs/16 ports, W=16 when possible).
+	ToRs int
+	// Quick trims sweep points for smoke runs.
+	Quick bool
+	// Seed offsets all run seeds.
+	Seed int64
+}
+
+func (o Options) duration() sim.Duration {
+	if o.Duration > 0 {
+		return o.Duration
+	}
+	return 6 * sim.Millisecond
+}
+
+// baseSpec returns the paper's §4.1 spec scaled to the options.
+func (o Options) baseSpec() negotiator.Spec {
+	s := negotiator.DefaultSpec()
+	s.Seed = 1 + o.Seed
+	if o.ToRs == 0 || o.ToRs == 128 {
+		return s
+	}
+	s.ToRs = o.ToRs
+	switch {
+	case o.ToRs%16 == 0 && o.ToRs >= 64:
+		s.Ports, s.AWGRPorts = o.ToRs/16, 16
+	case o.ToRs%8 == 0 && o.ToRs >= 32:
+		s.Ports, s.AWGRPorts = o.ToRs/8, 8
+	default:
+		s.Ports, s.AWGRPorts = 4, o.ToRs/4
+	}
+	// Keep the 2x speedup: host rate = ports * link rate / 2.
+	s.HostRate = sim.Gbps(int64(s.Ports) * 100 / 2)
+	return s
+}
+
+// Experiment regenerates one table or figure.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(o Options, w io.Writer) error
+}
+
+var registry []Experiment
+
+func register(e Experiment) { registry = append(registry, e) }
+
+// All returns every experiment in paper order.
+func All() []Experiment {
+	out := make([]Experiment, len(registry))
+	copy(out, registry)
+	sort.SliceStable(out, func(i, j int) bool { return order(out[i].ID) < order(out[j].ID) })
+	return out
+}
+
+func order(id string) int {
+	for i, k := range []string{
+		"table2", "fig6", "fig7a", "fig7b", "fig8", "fig9", "fig10",
+		"fig11", "fig12a", "fig12b", "fig13a", "fig13b", "fig13c",
+		"fig14", "fig15", "table3", "table4", "table5", "table6",
+		"fig17", "fig18", "fig19", "ext-arbiters", "ext-threshold", "ext-buffers", "ext-sync",
+	} {
+		if k == id {
+			return i
+		}
+	}
+	return 1 << 30
+}
+
+// ByID looks an experiment up.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// run builds a fabric from the spec, attaches the workload, runs it for d
+// and returns the summary.
+func run(spec negotiator.Spec, w negotiator.Workload, d sim.Duration) (negotiator.Summary, error) {
+	fab, err := spec.Build()
+	if err != nil {
+		return negotiator.Summary{}, err
+	}
+	fab.SetWorkload(w)
+	fab.Run(d)
+	return fab.Summary(), nil
+}
+
+// loads returns the load sweep (paper: 10-100%).
+func (o Options) loads() []float64 {
+	if o.Quick {
+		return []float64{0.25, 1.0}
+	}
+	return []float64{0.10, 0.25, 0.50, 0.75, 1.00}
+}
+
+// fmtFCT renders an FCT the way the paper's figures do (ms with enough
+// precision for the 10µs..10ms range).
+func fmtFCT(d sim.Duration) string {
+	return fmt.Sprintf("%8.4f", d.Millis())
+}
+
+func fmtUs(d sim.Duration) string {
+	return fmt.Sprintf("%7.1f", d.Micros())
+}
+
+// header prints a table header line followed by a rule.
+func header(w io.Writer, format string, args ...interface{}) {
+	s := fmt.Sprintf(format, args...)
+	fmt.Fprintln(w, s)
+	for range s {
+		fmt.Fprint(w, "-")
+	}
+	fmt.Fprintln(w)
+}

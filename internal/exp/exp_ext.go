@@ -1,0 +1,103 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+
+	negotiator "negotiator"
+)
+
+// Extension experiments: ablations beyond the paper's own evaluation,
+// exercising design dimensions the paper discusses but does not measure.
+
+func init() {
+	register(Experiment{ID: "ext-arbiters", Title: "Extension: arbiter disciplines (RRM vs PIM vs iSLIP vs NegotiaToR Matching)", Run: runExtArbiters})
+	register(Experiment{ID: "ext-threshold", Title: "Extension: request-threshold sensitivity (§3.4.1)", Run: runExtThreshold})
+	register(Experiment{ID: "ext-buffers", Title: "Extension: peak receiver-side ToR-to-host buffering (§3.6.5)", Run: runExtBuffers})
+}
+
+// runExtArbiters compares NegotiaToR Matching against the classic crossbar
+// schedulers the paper cites (§5): PIM (random) and iSLIP (desynchronising
+// pointers), both transplanted to ToR matching with 3 iterations and no
+// speedup, against the paper's 2x-speedup non-iterative design. The
+// expected outcome mirrors §3.5: higher matching efficiency cannot offset
+// the iteration-added scheduling delay in a long-RTT fabric.
+func runExtArbiters(o Options, w io.Writer) error {
+	variantHeader(o, w)
+	if err := variantRow(o, w, "base-2x", func(s *negotiator.Spec) {}); err != nil {
+		return err
+	}
+	rows := []struct {
+		name string
+		sch  negotiator.Scheduler
+	}{
+		{"RRM-3", negotiator.Iterative3},
+		{"PIM-3", negotiator.PIMStyle},
+		{"iSLIP-3", negotiator.ISLIPStyle},
+	}
+	if o.Quick {
+		rows = rows[2:]
+	}
+	for _, row := range rows {
+		err := variantRow(o, w, row.name, func(s *negotiator.Spec) {
+			s.Scheduler = row.sch
+			s.LinkRate = negotiator.Gbps(int64(s.HostRate) / int64(s.Ports))
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runExtBuffers measures the receiver-side buffering the 2x speedup
+// induces (§3.6.5: data "may arrive synchronously at the ToR through
+// multiple ports" faster than hosts drain): peak ToR-to-host backlog
+// across loads, with and without speedup.
+func runExtBuffers(o Options, w io.Writer) error {
+	d := o.duration()
+	header(w, "%-8s | %-22s | %-22s", "load(%)", "peak rx buffer 2x (KB)", "peak rx buffer 1x (KB)")
+	for _, load := range o.loads() {
+		var cells []string
+		for _, speedup := range []bool{true, false} {
+			spec := o.baseSpec()
+			spec.Topology = negotiator.ParallelNetwork
+			spec.TrackReceiverBuffers = true
+			if !speedup {
+				spec.LinkRate = negotiator.Gbps(int64(spec.HostRate) / int64(spec.Ports))
+			}
+			sum, err := run(spec, negotiator.PoissonWorkload(spec, negotiator.Hadoop, load, 7+o.Seed), d)
+			if err != nil {
+				return err
+			}
+			cells = append(cells, fmt.Sprintf("%22.1f", float64(sum.PeakReceiverBuffer)/1024))
+		}
+		fmt.Fprintf(w, "%-8.0f | %s | %s\n", load*100, cells[0], cells[1])
+	}
+	return nil
+}
+
+// runExtThreshold sweeps the request threshold of §3.4.1 (the paper fixes
+// it at 3 piggyback packets): lower thresholds over-schedule pairs whose
+// queue will drain via piggybacking anyway; higher thresholds delay
+// elephants' first scheduled epoch.
+func runExtThreshold(o Options, w io.Writer) error {
+	d := o.duration()
+	thresholds := []int{1, 2, 3, 5, 8}
+	if o.Quick {
+		thresholds = []int{1, 3, 8}
+	}
+	header(w, "%-10s | %-12s | %-12s | %-8s", "threshold", "99p FCT (ms)", "mean FCT(µs)", "goodput")
+	for _, thr := range thresholds {
+		spec := o.baseSpec()
+		spec.Topology = negotiator.ParallelNetwork
+		spec.RequestThresholdPkts = thr
+		sum, err := run(spec, negotiator.PoissonWorkload(spec, negotiator.Hadoop, 1.0, 7+o.Seed), d)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%-10d | %s | %12.1f | %8.3f\n",
+			thr, fmtFCT(sum.Mice99p), sum.MiceMean.Micros(), sum.GoodputNormalized)
+	}
+	return nil
+}

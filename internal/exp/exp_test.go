@@ -1,0 +1,124 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+
+	"negotiator/internal/sim"
+)
+
+// tinyOptions keep experiment smoke tests fast.
+func tinyOptions() Options {
+	return Options{Duration: 300 * sim.Microsecond, ToRs: 16, Quick: true}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	// Every table and figure of the evaluation must be registered.
+	want := []string{
+		"table2", "fig6", "fig7a", "fig7b", "fig8", "fig9", "fig10",
+		"fig11", "fig12a", "fig12b", "fig13a", "fig13b", "fig13c",
+		"fig14", "fig15", "table3", "table4", "table5", "table6",
+		"fig17", "fig18", "fig19", "ext-arbiters", "ext-threshold", "ext-buffers", "ext-sync",
+	}
+	all := All()
+	if len(all) != len(want) {
+		t.Fatalf("registry has %d experiments, want %d", len(all), len(want))
+	}
+	for i, id := range want {
+		if all[i].ID != id {
+			t.Errorf("experiment %d = %s, want %s (paper order)", i, all[i].ID, id)
+		}
+		if _, ok := ByID(id); !ok {
+			t.Errorf("ByID(%q) missing", id)
+		}
+	}
+	if _, ok := ByID("nonsense"); ok {
+		t.Error("ByID accepted unknown id")
+	}
+}
+
+func TestEveryExperimentRuns(t *testing.T) {
+	// Each experiment must complete at tiny scale and produce a table.
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			t.Parallel()
+			var sb strings.Builder
+			if err := e.Run(tinyOptions(), &sb); err != nil {
+				t.Fatalf("%s failed: %v", e.ID, err)
+			}
+			out := sb.String()
+			if len(out) < 40 {
+				t.Fatalf("%s produced no meaningful output: %q", e.ID, out)
+			}
+			if !strings.Contains(out, "|") {
+				t.Errorf("%s output has no table structure:\n%s", e.ID, out)
+			}
+		})
+	}
+}
+
+func TestOptionsScaling(t *testing.T) {
+	for _, tc := range []struct {
+		tors, wantPorts, wantW int
+	}{
+		{0, 8, 16},
+		{128, 8, 16},
+		{64, 4, 16},
+		{16, 4, 4},
+	} {
+		o := Options{ToRs: tc.tors}
+		s := o.baseSpec()
+		if s.Ports != tc.wantPorts || s.AWGRPorts != tc.wantW {
+			t.Errorf("ToRs=%d: ports=%d W=%d, want %d/%d",
+				tc.tors, s.Ports, s.AWGRPorts, tc.wantPorts, tc.wantW)
+		}
+		if s.ToRs != tc.tors && tc.tors != 0 {
+			t.Errorf("ToRs not applied")
+		}
+		// Thin-clos constraint must hold for the scaled spec.
+		if s.ToRs != 0 && s.Ports*s.AWGRPorts != max(s.ToRs, 128) && tc.tors != 0 {
+			if s.Ports*s.AWGRPorts != s.ToRs {
+				t.Errorf("ToRs=%d: ports*W=%d != ToRs", tc.tors, s.Ports*s.AWGRPorts)
+			}
+		}
+	}
+}
+
+func TestTheoreticalMatchRatio(t *testing.T) {
+	// 1-(1-1/n)^n: 0.75 for n=2, ->1-1/e for large n.
+	if got := theoreticalMatchRatio(2); got != 0.75 {
+		t.Errorf("n=2: %v, want 0.75", got)
+	}
+	if got := theoreticalMatchRatio(128); got < 0.632 || got > 0.637 {
+		t.Errorf("n=128: %v, want ~0.634", got)
+	}
+	if got := theoreticalMatchRatio(16); got < 0.64 || got > 0.65 {
+		t.Errorf("n=16: %v, want ~0.644", got)
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func TestDefaultDuration(t *testing.T) {
+	if d := (Options{}).duration(); d != 6*sim.Millisecond {
+		t.Errorf("default duration = %v", d)
+	}
+	if d := (Options{Duration: 123}).duration(); d != 123 {
+		t.Errorf("override duration = %v", d)
+	}
+}
+
+func TestLoadsSweep(t *testing.T) {
+	if got := (Options{}).loads(); len(got) != 5 {
+		t.Errorf("full sweep = %v", got)
+	}
+	if got := (Options{Quick: true}).loads(); len(got) != 2 {
+		t.Errorf("quick sweep = %v", got)
+	}
+}

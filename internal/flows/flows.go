@@ -1,0 +1,106 @@
+// Package flows defines flow records and their lifecycle accounting.
+//
+// A flow is a unidirectional ToR-to-ToR transfer of a known size. Following
+// the paper's evaluation methodology (§4.1), ToRs are the network endpoints:
+// a flow starts when its bytes are enqueued at the source ToR and completes
+// when its last byte arrives at the destination ToR, so FCT includes
+// queueing, scheduling and propagation delay but not host-side effects.
+package flows
+
+import (
+	"fmt"
+
+	"negotiator/internal/sim"
+)
+
+// Flow is one ToR-to-ToR transfer.
+type Flow struct {
+	ID      int64
+	Src     int      // source ToR
+	Dst     int      // destination ToR
+	Size    int64    // bytes
+	Arrival sim.Time // enqueue time at the source ToR
+
+	sent      int64    // bytes that have left the source
+	delivered int64    // bytes that have arrived at the destination
+	completed sim.Time // delivery time of the last byte (valid once Done)
+	done      bool
+}
+
+// Sent reports how many bytes have left the source ToR.
+func (f *Flow) Sent() int64 { return f.sent }
+
+// Delivered reports how many bytes have arrived at the destination ToR.
+func (f *Flow) Delivered() int64 { return f.delivered }
+
+// Done reports whether the flow has fully arrived.
+func (f *Flow) Done() bool { return f.done }
+
+// FCT returns the flow completion time. It panics if the flow is not done.
+func (f *Flow) FCT() sim.Duration {
+	if !f.done {
+		panic(fmt.Sprintf("flows: FCT of incomplete flow %d", f.ID))
+	}
+	return f.completed.Sub(f.Arrival)
+}
+
+// Completed returns the delivery time of the last byte.
+func (f *Flow) Completed() sim.Time { return f.completed }
+
+// NoteSent records n bytes leaving the source. It panics on overshoot,
+// which would indicate a queue-accounting bug.
+func (f *Flow) NoteSent(n int64) {
+	f.sent += n
+	if f.sent > f.Size {
+		panic(fmt.Sprintf("flows: flow %d sent %d of %d bytes", f.ID, f.sent, f.Size))
+	}
+}
+
+// Unsend returns n bytes to the unsent state. It models source-side
+// requeueing after a link failure destroyed bytes in flight (the paper
+// delegates recovery to upper-layer retransmission, §3.6.1).
+func (f *Flow) Unsend(n int64) {
+	f.sent -= n
+	if f.sent < f.delivered {
+		panic(fmt.Sprintf("flows: flow %d unsent below delivered", f.ID))
+	}
+}
+
+// Deliver records n bytes arriving at the destination at time t and returns
+// true when this delivery completes the flow.
+func (f *Flow) Deliver(n int64, t sim.Time) bool {
+	f.delivered += n
+	if f.delivered > f.Size {
+		panic(fmt.Sprintf("flows: flow %d delivered %d of %d bytes", f.ID, f.delivered, f.Size))
+	}
+	if f.delivered == f.Size && !f.done {
+		f.done = true
+		f.completed = t
+		return true
+	}
+	return false
+}
+
+// Ledger tracks byte conservation across an entire fabric: every injected
+// byte must be delivered, queued, in flight, or (transiently) lost to a
+// failure awaiting requeue. Engines feed the ledger and tests assert
+// Balanced at epoch boundaries.
+type Ledger struct {
+	Injected  int64
+	Delivered int64
+	Lost      int64 // destroyed by link failures, before source requeue
+}
+
+// Queued returns the bytes the ledger implies are still inside the fabric
+// (source queues, relay queues, or propagation flight).
+func (l *Ledger) Queued() int64 { return l.Injected - l.Delivered - l.Lost }
+
+// Check returns an error if the fabric-reported in-flight byte count does
+// not match the ledger.
+func (l *Ledger) Check(inFabric int64) error {
+	if q := l.Queued(); q != inFabric {
+		return fmt.Errorf("flows: conservation violated: ledger says %d bytes in fabric, engine says %d (injected=%d delivered=%d lost=%d)",
+			q, inFabric, l.Injected, l.Delivered, l.Lost)
+	}
+	return nil
+}

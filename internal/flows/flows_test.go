@@ -1,0 +1,117 @@
+package flows
+
+import (
+	"testing"
+	"testing/quick"
+
+	"negotiator/internal/sim"
+)
+
+func TestFlowLifecycle(t *testing.T) {
+	f := &Flow{ID: 1, Src: 0, Dst: 5, Size: 1000, Arrival: 100}
+	if f.Done() {
+		t.Fatal("new flow should not be done")
+	}
+	f.NoteSent(600)
+	if f.Sent() != 600 {
+		t.Errorf("Sent = %d, want 600", f.Sent())
+	}
+	if f.Deliver(600, 2100) {
+		t.Error("partial delivery should not complete flow")
+	}
+	f.NoteSent(400)
+	if !f.Deliver(400, 3100) {
+		t.Error("final delivery should complete flow")
+	}
+	if !f.Done() || f.Completed() != 3100 {
+		t.Errorf("completed at %v, want 3100", f.Completed())
+	}
+	if got := f.FCT(); got != 3000 {
+		t.Errorf("FCT = %v, want 3000", got)
+	}
+}
+
+func TestFlowOvershootPanics(t *testing.T) {
+	f := &Flow{ID: 1, Size: 100}
+	defer func() {
+		if recover() == nil {
+			t.Error("overshoot NoteSent should panic")
+		}
+	}()
+	f.NoteSent(101)
+}
+
+func TestFlowDeliverOvershootPanics(t *testing.T) {
+	f := &Flow{ID: 1, Size: 100}
+	f.NoteSent(100)
+	defer func() {
+		if recover() == nil {
+			t.Error("overshoot Deliver should panic")
+		}
+	}()
+	f.Deliver(101, 0)
+}
+
+func TestFCTOfIncompletePanics(t *testing.T) {
+	f := &Flow{ID: 1, Size: 100}
+	defer func() {
+		if recover() == nil {
+			t.Error("FCT of incomplete flow should panic")
+		}
+	}()
+	f.FCT()
+}
+
+func TestUnsend(t *testing.T) {
+	f := &Flow{ID: 1, Size: 1000}
+	f.NoteSent(500)
+	f.Deliver(200, 50)
+	f.Unsend(300) // 300 bytes were lost on a failed link
+	if f.Sent() != 200 {
+		t.Errorf("Sent after Unsend = %d, want 200", f.Sent())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Unsend below delivered should panic")
+		}
+	}()
+	f.Unsend(1)
+}
+
+func TestLedger(t *testing.T) {
+	l := &Ledger{}
+	l.Injected = 1000
+	l.Delivered = 600
+	l.Lost = 100
+	if q := l.Queued(); q != 300 {
+		t.Errorf("Queued = %d, want 300", q)
+	}
+	if err := l.Check(300); err != nil {
+		t.Errorf("balanced ledger flagged: %v", err)
+	}
+	if err := l.Check(299); err == nil {
+		t.Error("imbalanced ledger not flagged")
+	}
+}
+
+func TestLedgerProperty(t *testing.T) {
+	f := func(inj, del uint16) bool {
+		if del > inj {
+			inj, del = del, inj
+		}
+		l := &Ledger{Injected: int64(inj), Delivered: int64(del)}
+		return l.Check(int64(inj)-int64(del)) == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFCTTimeArithmetic(t *testing.T) {
+	f := &Flow{ID: 2, Size: 1, Arrival: sim.Time(10 * sim.Microsecond)}
+	f.NoteSent(1)
+	f.Deliver(1, sim.Time(16*sim.Microsecond))
+	if got := f.FCT(); got != 6*sim.Microsecond {
+		t.Errorf("FCT = %v, want 6µs", got)
+	}
+}

@@ -1,0 +1,100 @@
+package match
+
+import "math/bits"
+
+// BitArbiter is a word-parallel programmable priority encoder: the
+// hardware-style implementation of a round-robin arbiter (paper §3.6.2,
+// after Gupta & McKeown's fast crossbar schedulers). Candidates are given
+// as a bitmask and the winner is the first set bit at or after the
+// pointer, found with find-first-set over 64-bit words — the same
+// structure switch ASICs build from thermometer masks and priority
+// encoders, and also the fastest software path for the large grant-ring
+// domains of the parallel network.
+//
+// BitArbiter and Ring implement the same arbitration discipline; the
+// property tests in arbiter_test.go assert they pick identical winners
+// from identical states.
+type BitArbiter struct {
+	n     int
+	ptr   int
+	words []uint64
+}
+
+// NewBitArbiter returns an arbiter over n participants with the pointer at
+// start.
+func NewBitArbiter(n, start int) *BitArbiter {
+	if n <= 0 {
+		return &BitArbiter{}
+	}
+	return &BitArbiter{n: n, ptr: start % n, words: make([]uint64, (n+63)/64)}
+}
+
+// Size returns the number of participants.
+func (a *BitArbiter) Size() int { return a.n }
+
+// Pointer returns the highest-priority position.
+func (a *BitArbiter) Pointer() int { return a.ptr }
+
+// Reset clears the candidate mask.
+func (a *BitArbiter) Reset() {
+	for i := range a.words {
+		a.words[i] = 0
+	}
+}
+
+// Set marks position pos as a candidate.
+func (a *BitArbiter) Set(pos int) {
+	a.words[pos>>6] |= 1 << (pos & 63)
+}
+
+// Clear unmarks position pos.
+func (a *BitArbiter) Clear(pos int) {
+	a.words[pos>>6] &^= 1 << (pos & 63)
+}
+
+// IsSet reports whether pos is a candidate.
+func (a *BitArbiter) IsSet(pos int) bool {
+	return a.words[pos>>6]&(1<<(pos&63)) != 0
+}
+
+// Pick returns the first candidate at or after the pointer (cyclically),
+// or -1 when the mask is empty. Like Ring.Pick it does not move the
+// pointer.
+func (a *BitArbiter) Pick() int {
+	if a.n == 0 {
+		return -1
+	}
+	// Upper segment: bits at or after ptr. Positions >= n are never set.
+	w := a.ptr >> 6
+	for i := w; i < len(a.words); i++ {
+		mask := a.words[i]
+		if i == w {
+			mask &^= (1 << (a.ptr & 63)) - 1
+		}
+		if mask != 0 {
+			return i<<6 + bits.TrailingZeros64(mask)
+		}
+	}
+	// Wrap-around segment: bits before ptr.
+	for i := 0; i <= w && i < len(a.words); i++ {
+		mask := a.words[i]
+		if i == w {
+			mask &= (1 << (a.ptr & 63)) - 1
+		}
+		if mask != 0 {
+			return i<<6 + bits.TrailingZeros64(mask)
+		}
+	}
+	return -1
+}
+
+// Advance moves the pointer to the position after winner.
+func (a *BitArbiter) Advance(winner int) {
+	if a.n == 0 {
+		return
+	}
+	a.ptr = winner + 1
+	if a.ptr >= a.n {
+		a.ptr = 0
+	}
+}

@@ -1,0 +1,153 @@
+package match
+
+import (
+	"testing"
+	"testing/quick"
+
+	"negotiator/internal/sim"
+)
+
+func TestBitArbiterBasics(t *testing.T) {
+	a := NewBitArbiter(10, 0)
+	if a.Size() != 10 || a.Pointer() != 0 {
+		t.Fatalf("init: size=%d ptr=%d", a.Size(), a.Pointer())
+	}
+	if a.Pick() != -1 {
+		t.Fatal("empty mask should pick -1")
+	}
+	a.Set(7)
+	if !a.IsSet(7) || a.IsSet(6) {
+		t.Fatal("Set/IsSet broken")
+	}
+	if got := a.Pick(); got != 7 {
+		t.Fatalf("Pick = %d, want 7", got)
+	}
+	a.Advance(7)
+	if a.Pointer() != 8 {
+		t.Fatalf("pointer = %d, want 8", a.Pointer())
+	}
+	// Wrap-around: candidate 3 is before the pointer.
+	a.Clear(7)
+	a.Set(3)
+	if got := a.Pick(); got != 3 {
+		t.Fatalf("wrap Pick = %d, want 3", got)
+	}
+	a.Advance(9)
+	if a.Pointer() != 0 {
+		t.Fatalf("Advance wrap: ptr = %d", a.Pointer())
+	}
+	a.Reset()
+	if a.Pick() != -1 {
+		t.Fatal("Reset did not clear")
+	}
+}
+
+func TestBitArbiterMultiWord(t *testing.T) {
+	// Domains larger than 64 exercise the word-crossing paths (the
+	// parallel network's grant ring at paper scale has 128 positions).
+	a := NewBitArbiter(128, 100)
+	a.Set(5)
+	a.Set(99)
+	a.Set(127)
+	if got := a.Pick(); got != 127 {
+		t.Fatalf("Pick = %d, want 127 (first at/after 100)", got)
+	}
+	a.Advance(127)
+	if got := a.Pick(); got != 5 {
+		t.Fatalf("Pick after wrap = %d, want 5", got)
+	}
+	a.Clear(5)
+	a.Clear(127)
+	if got := a.Pick(); got != 99 {
+		t.Fatalf("Pick = %d, want 99", got)
+	}
+}
+
+func TestBitArbiterZeroSize(t *testing.T) {
+	a := NewBitArbiter(0, 0)
+	if a.Pick() != -1 {
+		t.Error("zero arbiter should pick -1")
+	}
+	a.Advance(0) // must not panic
+}
+
+// TestBitArbiterEquivalentToRing is the hardware/reference equivalence
+// property: for any candidate set and pointer position, BitArbiter.Pick
+// must return exactly what Ring.Pick returns.
+func TestBitArbiterEquivalentToRing(t *testing.T) {
+	f := func(seed int64, nRaw uint8, rounds uint8) bool {
+		n := int(nRaw%130) + 1
+		rng := sim.NewRNG(seed)
+		ring := NewRing(n, nil)
+		arb := NewBitArbiter(n, 0)
+		members := make([]bool, n)
+		for r := 0; r < int(rounds%50)+1; r++ {
+			// Random mask mutation.
+			pos := rng.Intn(n)
+			if members[pos] {
+				members[pos] = false
+				arb.Clear(pos)
+			} else {
+				members[pos] = true
+				arb.Set(pos)
+			}
+			want := ring.Pick(func(p int) bool { return members[p] })
+			got := arb.Pick()
+			if got != want {
+				return false
+			}
+			if got >= 0 {
+				ring.Advance(got)
+				arb.Advance(got)
+			}
+			if ring.Pointer() != arb.Pointer() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBitArbiterFairness(t *testing.T) {
+	// With all candidates always set, winners rotate round-robin.
+	a := NewBitArbiter(5, 2)
+	for i := 0; i < 5; i++ {
+		a.Set(i)
+	}
+	want := []int{2, 3, 4, 0, 1, 2}
+	for i, w := range want {
+		got := a.Pick()
+		if got != w {
+			t.Fatalf("round %d: Pick = %d, want %d", i, got, w)
+		}
+		a.Advance(got)
+	}
+}
+
+func BenchmarkRingPick128(b *testing.B) {
+	ring := NewRing(128, nil)
+	members := make([]bool, 128)
+	for i := 0; i < 128; i += 17 {
+		members[i] = true
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		w := ring.Pick(func(p int) bool { return members[p] })
+		ring.Advance(w)
+	}
+}
+
+func BenchmarkBitArbiterPick128(b *testing.B) {
+	arb := NewBitArbiter(128, 0)
+	for i := 0; i < 128; i += 17 {
+		arb.Set(i)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		w := arb.Pick()
+		arb.Advance(w)
+	}
+}

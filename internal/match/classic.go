@@ -1,0 +1,242 @@
+package match
+
+import (
+	"fmt"
+
+	"negotiator/internal/sim"
+	"negotiator/internal/topo"
+)
+
+// ArbiterKind selects the arbitration discipline of an iterative matcher.
+// The paper's related-work discussion (§5) contrasts NegotiaToR Matching
+// with the classic crossbar schedulers PIM, RRM and iSLIP; implementing
+// all three makes the comparison runnable (the `ext-arbiters` experiment).
+type ArbiterKind int
+
+const (
+	// RRM picks round-robin and always advances the pointer past the
+	// winner — the paper's variant (and NegotiaToR's own discipline).
+	RRM ArbiterKind = iota
+	// PIM picks uniformly at random among candidates (Anderson et al.):
+	// no pointer state, ~63% efficiency per iteration.
+	PIM
+	// ISLIP picks round-robin but advances pointers only for grants that
+	// are accepted in the first iteration (McKeown): the pointers
+	// desynchronise and the matcher converges to 100% under saturated
+	// uniform traffic.
+	ISLIP
+)
+
+func (k ArbiterKind) String() string {
+	switch k {
+	case PIM:
+		return "pim"
+	case ISLIP:
+		return "islip"
+	default:
+		return "rrm"
+	}
+}
+
+// Classic is an iterative matcher with a selectable arbitration discipline,
+// implementing the crossbar schedulers the paper cites transplanted to the
+// ToR-matching setting. Classic{RRM, iters:1} is exactly the paper's
+// iterative variant baseline; ISLIP adds the accepted-grant pointer rule;
+// PIM replaces rings with random choice.
+type Classic struct {
+	*Negotiator
+	kind  ArbiterKind
+	iters int
+	rng   *sim.RNG
+
+	srcFree, dstFree [][]bool
+	want             []bool
+	cand             []int // scratch for PIM random choice
+}
+
+// NewClassic returns an iterative matcher with the given discipline and
+// iteration count.
+func NewClassic(t topo.Topology, rng *sim.RNG, iters int, kind ArbiterKind) *Classic {
+	if iters < 1 {
+		iters = 1
+	}
+	n, s := t.N(), t.Ports()
+	m := &Classic{
+		Negotiator: NewNegotiator(t, rng),
+		kind:       kind,
+		iters:      iters,
+		rng:        rng.Split(77),
+	}
+	m.srcFree = make([][]bool, n)
+	m.dstFree = make([][]bool, n)
+	for i := 0; i < n; i++ {
+		m.srcFree[i] = make([]bool, s)
+		m.dstFree[i] = make([]bool, s)
+	}
+	m.want = make([]bool, n)
+	return m
+}
+
+func (m *Classic) Name() string { return fmt.Sprintf("%s-%d", m.kind, m.iters) }
+
+// MatchDelay follows the paper's iterative accounting: 2 epochs plus 3 per
+// extra iteration (Appendix A.2.1).
+func (m *Classic) MatchDelay() int { return 2 + 3*(m.iters-1) }
+
+// pickGrant chooses a requester for (dst, port) among eligible domain
+// positions, returning the domain position or -1. advance reports whether
+// the ring pointer may move now (RRM) or must wait for accept feedback
+// (iSLIP); PIM has no pointer.
+func (m *Classic) pickGrant(dst, port int, dom []int, eligible func(src int) bool) int {
+	switch m.kind {
+	case PIM:
+		m.cand = m.cand[:0]
+		for p, src := range dom {
+			if eligible(src) {
+				m.cand = append(m.cand, p)
+			}
+		}
+		if len(m.cand) == 0 {
+			return -1
+		}
+		return m.cand[m.rng.Intn(len(m.cand))]
+	default:
+		rings := m.grantRings[dst]
+		ring := rings[0]
+		if len(rings) > 1 {
+			ring = rings[port]
+		}
+		pos := ring.Pick(func(p int) bool { return eligible(dom[p]) })
+		if pos >= 0 && m.kind == RRM {
+			ring.Advance(pos)
+		}
+		return pos
+	}
+}
+
+func (m *Classic) pickAccept(src, port int, dom []int, eligible func(dst int) bool) int {
+	switch m.kind {
+	case PIM:
+		m.cand = m.cand[:0]
+		for p, dst := range dom {
+			if eligible(dst) {
+				m.cand = append(m.cand, p)
+			}
+		}
+		if len(m.cand) == 0 {
+			return -1
+		}
+		return m.cand[m.rng.Intn(len(m.cand))]
+	default:
+		ring := m.acceptRings[src][port]
+		pos := ring.Pick(func(p int) bool { return eligible(dom[p]) })
+		if pos >= 0 && m.kind == RRM {
+			ring.Advance(pos)
+		}
+		return pos
+	}
+}
+
+// Match implements BatchMatcher: iterated request/grant/accept over one
+// request snapshot.
+func (m *Classic) Match(reqs []Request, matches [][]int32, stats *BatchStats) {
+	n, s := m.topo.N(), m.topo.Ports()
+	for i := 0; i < n; i++ {
+		for p := 0; p < s; p++ {
+			m.srcFree[i][p] = true
+			m.dstFree[i][p] = true
+			matches[i][p] = -1
+		}
+	}
+	reqBy := make([][]int32, n)
+	for _, r := range reqs {
+		reqBy[r.Dst] = append(reqBy[r.Dst], int32(r.Src))
+	}
+	type grantRec struct {
+		g   Grant
+		pos int // domain position at the granting dst (for iSLIP feedback)
+	}
+	grants := make([][]grantRec, n)
+	for iter := 0; iter < m.iters; iter++ {
+		granted := false
+		for dst := 0; dst < n; dst++ {
+			if len(reqBy[dst]) == 0 {
+				continue
+			}
+			for i := range m.want {
+				m.want[i] = false
+			}
+			for _, src := range reqBy[dst] {
+				m.want[int(src)] = true
+			}
+			for port := 0; port < s; port++ {
+				if !m.dstFree[dst][port] {
+					continue
+				}
+				dom := m.topo.PortDomain(dst, port)
+				pos := m.pickGrant(dst, port, dom, func(src int) bool {
+					return m.want[src] && src != dst && m.srcFree[src][port]
+				})
+				if pos < 0 {
+					continue
+				}
+				src := dom[pos]
+				grants[src] = append(grants[src], grantRec{Grant{Dst: dst, Port: port, Src: src}, pos})
+				if stats != nil {
+					stats.Grants++
+				}
+				granted = true
+			}
+		}
+		if !granted {
+			break
+		}
+		for src := 0; src < n; src++ {
+			gs := grants[src]
+			if len(gs) == 0 {
+				continue
+			}
+			for port := 0; port < s; port++ {
+				if !m.srcFree[src][port] {
+					continue
+				}
+				dom := m.topo.PortDomain(src, port)
+				pos := m.pickAccept(src, port, dom, func(dst int) bool {
+					for _, g := range gs {
+						if g.g.Port == port && g.g.Dst == dst {
+							return true
+						}
+					}
+					return false
+				})
+				if pos < 0 {
+					continue
+				}
+				dst := dom[pos]
+				matches[src][port] = int32(dst)
+				m.srcFree[src][port] = false
+				m.dstFree[dst][port] = false
+				if stats != nil {
+					stats.Accepts++
+				}
+				if m.kind == ISLIP && iter == 0 {
+					// iSLIP pointer rule: advance only for accepted
+					// first-iteration grants.
+					rings := m.grantRings[dst]
+					gring := rings[0]
+					if len(rings) > 1 {
+						gring = rings[port]
+					}
+					for _, g := range gs {
+						if g.g.Port == port && g.g.Dst == dst {
+							gring.Advance(g.pos)
+							break
+						}
+					}
+					m.acceptRings[src][port].Advance(pos)
+				}
+			}
+			grants[src] = grants[src][:0]
+		}
+	}
+}

@@ -1,0 +1,202 @@
+package match
+
+import (
+	"negotiator/internal/sim"
+	"negotiator/internal/topo"
+)
+
+// QueueView lets matchers read a source ToR's per-destination queue state
+// without coupling to the queue implementation.
+type QueueView interface {
+	// QueuedBytes returns the bytes currently queued for dst.
+	QueuedBytes(dst int) int64
+	// WeightedHoL returns the paper's weighted head-of-line delay for dst
+	// (Appendix A.2.3).
+	WeightedHoL(dst int, alpha float64) float64
+	// CumInjected returns the cumulative bytes ever enqueued for dst, used
+	// by the stateful variant to report newly arrived demand.
+	CumInjected(dst int) int64
+}
+
+// Request is a scheduling request from Src to Dst. The base algorithm uses
+// only the binary fact of its existence; variants attach extra fields.
+type Request struct {
+	Src, Dst int
+	Port     int     // ProjecToR variant: pre-bound source port; -1 for ToR-level
+	Size     int64   // data-size variant: queued bytes
+	Delay    float64 // HoL-delay / ProjecToR variants: waiting-delay priority
+	NewBytes int64   // stateful variant: bytes newly arrived since last request
+}
+
+// Grant allocates destination Dst's port Port to source Src.
+type Grant struct {
+	Dst, Port, Src int
+}
+
+// Matcher is one scheduling policy, invoked by the fabric engine once per
+// ToR per pipeline stage. Implementations keep all per-ToR state internally
+// (indexed by ToR id) and are single-goroutine.
+type Matcher interface {
+	// Name identifies the policy in experiment output.
+	Name() string
+	// MatchDelay returns the pipeline depth in epochs from the epoch a
+	// request is issued to the epoch its match carries data. The base
+	// non-iterative pipeline is 2 (request n, grant n+1, accept+data n+2,
+	// paper Figure 4); each extra iteration adds three epochs (A.2.1).
+	MatchDelay() int
+	// Requests emits this epoch's requests from src given its queue state.
+	// threshold is the engine's request threshold in bytes (3 piggyback
+	// payloads when data piggybacking is on, §3.4.1).
+	Requests(src int, view QueueView, now sim.Time, threshold int64, emit func(Request))
+	// Grants runs the GRANT step at dst over the requests it received,
+	// emitting at most one grant per uplink port.
+	Grants(dst int, reqs []Request, emit func(Grant))
+	// Accepts runs the ACCEPT step at src over the grants it received,
+	// writing the matched destination (or -1) into matches[port] and
+	// reporting per-grant accept/reject feedback (consumed by the stateful
+	// variant; the base algorithm ignores it).
+	Accepts(src int, view QueueView, grants []Grant, matches []int32, feedback func(g Grant, accepted bool))
+	// Feedback delivers a source's accept/reject decision back to the
+	// granting destination (stateful variant; no-op otherwise).
+	Feedback(g Grant, accepted bool)
+}
+
+// Negotiator is the paper's NegotiaToR Matching: binary ToR-level requests,
+// port-level grants via round-robin rings (one shared ring per destination
+// on the parallel network, one ring per destination port on thin-clos,
+// Figure 3), and port-level accepts via per-port rings. Non-iterative and
+// stateless.
+type Negotiator struct {
+	topo topo.Topology
+
+	// grantRings[dst]: length 1 (parallel, shared) or S (thin-clos,
+	// per-port). Ring positions index the port's domain.
+	grantRings [][]*Ring
+	// acceptRings[src][port], positions index ToR ids (parallel) or the
+	// port's reachable destination group (thin-clos domain size).
+	acceptRings [][]*Ring
+
+	// scratch, reused across calls.
+	reqSet    []bool
+	grantable [][]int32 // grantable[port] = dsts granting that port (scratch)
+}
+
+// NewNegotiator returns the base matcher for the given topology. rng seeds
+// the random initial ring pointers.
+func NewNegotiator(t topo.Topology, rng *sim.RNG) *Negotiator {
+	n, s := t.N(), t.Ports()
+	m := &Negotiator{topo: t}
+	m.grantRings = make([][]*Ring, n)
+	m.acceptRings = make([][]*Ring, n)
+	_, shared := t.(*topo.Parallel)
+	for i := 0; i < n; i++ {
+		if shared {
+			m.grantRings[i] = []*Ring{NewRing(n, rng)}
+		} else {
+			rings := make([]*Ring, s)
+			for p := 0; p < s; p++ {
+				rings[p] = NewRing(len(t.PortDomain(i, p)), rng)
+			}
+			m.grantRings[i] = rings
+		}
+		rings := make([]*Ring, s)
+		for p := 0; p < s; p++ {
+			rings[p] = NewRing(len(t.PortDomain(i, p)), rng)
+		}
+		m.acceptRings[i] = rings
+	}
+	m.reqSet = make([]bool, n)
+	m.grantable = make([][]int32, s)
+	for p := range m.grantable {
+		m.grantable[p] = make([]int32, 0, 8)
+	}
+	return m
+}
+
+func (m *Negotiator) Name() string    { return "negotiator" }
+func (m *Negotiator) MatchDelay() int { return 2 }
+
+// Requests implements the REQUEST step: a binary request to every
+// destination whose per-destination queue exceeds the threshold (§3.2.1
+// with the piggybacking adjustment of §3.4.1).
+func (m *Negotiator) Requests(src int, view QueueView, now sim.Time, threshold int64, emit func(Request)) {
+	n := m.topo.N()
+	for dst := 0; dst < n; dst++ {
+		if dst == src {
+			continue
+		}
+		if view.QueuedBytes(dst) > threshold {
+			emit(Request{Src: src, Dst: dst, Port: -1})
+		}
+	}
+}
+
+// Grants implements the GRANT step at dst.
+func (m *Negotiator) Grants(dst int, reqs []Request, emit func(Grant)) {
+	if len(reqs) == 0 {
+		return
+	}
+	for i := range m.reqSet {
+		m.reqSet[i] = false
+	}
+	for _, r := range reqs {
+		m.reqSet[r.Src] = true
+	}
+	s := m.topo.Ports()
+	rings := m.grantRings[dst]
+	for port := 0; port < s; port++ {
+		ring := rings[0]
+		if len(rings) > 1 {
+			ring = rings[port]
+		}
+		dom := m.topo.PortDomain(dst, port)
+		pos := ring.Pick(func(p int) bool { return m.reqSet[dom[p]] })
+		if pos < 0 {
+			continue
+		}
+		ring.Advance(pos)
+		emit(Grant{Dst: dst, Port: port, Src: dom[pos]})
+	}
+}
+
+// Accepts implements the ACCEPT step at src: one grant per port, chosen by
+// the per-port round-robin ring.
+func (m *Negotiator) Accepts(src int, view QueueView, grants []Grant, matches []int32, feedback func(Grant, bool)) {
+	for p := range matches {
+		matches[p] = -1
+		m.grantable[p] = m.grantable[p][:0]
+	}
+	for _, g := range grants {
+		m.grantable[g.Port] = append(m.grantable[g.Port], int32(g.Dst))
+	}
+	for port := range matches {
+		cand := m.grantable[port]
+		if len(cand) == 0 {
+			continue
+		}
+		ring := m.acceptRings[src][port]
+		dom := m.topo.PortDomain(src, port) // symmetric: src's port peers
+		pos := ring.Pick(func(p int) bool {
+			d := int32(dom[p])
+			for _, c := range cand {
+				if c == d {
+					return true
+				}
+			}
+			return false
+		})
+		if pos < 0 {
+			continue
+		}
+		ring.Advance(pos)
+		matches[port] = int32(dom[pos])
+	}
+	if feedback != nil {
+		for _, g := range grants {
+			feedback(g, matches[g.Port] == int32(g.Dst))
+		}
+	}
+}
+
+// Feedback is a no-op for the stateless base algorithm.
+func (m *Negotiator) Feedback(Grant, bool) {}

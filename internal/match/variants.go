@@ -1,0 +1,486 @@
+package match
+
+import (
+	"fmt"
+
+	"negotiator/internal/sim"
+	"negotiator/internal/topo"
+)
+
+// HoLAlpha is the paper's weight for the lowest-priority queue in the
+// weighted head-of-line delay (Appendix A.2.3): small but non-zero so
+// mice-bearing pairs are scheduled promptly while elephants still register.
+const HoLAlpha = 0.001
+
+// priorityKind selects what the informative-request variants (A.2.3) carry
+// and maximise.
+type priorityKind int
+
+const (
+	prioDataSize priorityKind = iota // goodput-oriented: queued bytes
+	prioHoLDelay                     // FCT-oriented: weighted HoL delay
+)
+
+// Informative is the informative-requests variant (Appendix A.2.3): requests
+// carry a priority (aggregated queue size or weighted HoL delay) and both
+// GRANT and ACCEPT pick the highest-priority candidate instead of the
+// round-robin ring, with ring order breaking ties.
+type Informative struct {
+	*Negotiator
+	kind priorityKind
+
+	prio []float64 // scratch: per-source priority at the granting dst
+}
+
+// NewDataSize returns the goodput-oriented data-size priority matcher.
+func NewDataSize(t topo.Topology, rng *sim.RNG) *Informative {
+	return &Informative{Negotiator: NewNegotiator(t, rng), kind: prioDataSize,
+		prio: make([]float64, t.N())}
+}
+
+// NewHoLDelay returns the FCT-oriented weighted-HoL-delay priority matcher.
+func NewHoLDelay(t topo.Topology, rng *sim.RNG) *Informative {
+	return &Informative{Negotiator: NewNegotiator(t, rng), kind: prioHoLDelay,
+		prio: make([]float64, t.N())}
+}
+
+func (m *Informative) Name() string {
+	if m.kind == prioDataSize {
+		return "data-size"
+	}
+	return "hol-delay"
+}
+
+func (m *Informative) key(src int, view QueueView, dst int) float64 {
+	if m.kind == prioDataSize {
+		return float64(view.QueuedBytes(dst))
+	}
+	return view.WeightedHoL(dst, HoLAlpha)
+}
+
+// Requests attaches the priority information to each binary request.
+func (m *Informative) Requests(src int, view QueueView, now sim.Time, threshold int64, emit func(Request)) {
+	m.Negotiator.Requests(src, view, now, threshold, func(r Request) {
+		r.Size = view.QueuedBytes(r.Dst)
+		r.Delay = m.key(src, view, r.Dst)
+		emit(r)
+	})
+}
+
+// Grants picks, per port, the requester with the highest priority; the ring
+// is still advanced past the winner so ties rotate fairly.
+func (m *Informative) Grants(dst int, reqs []Request, emit func(Grant)) {
+	if len(reqs) == 0 {
+		return
+	}
+	for i := range m.reqSet {
+		m.reqSet[i] = false
+		m.prio[i] = 0
+	}
+	for _, r := range reqs {
+		m.reqSet[r.Src] = true
+		p := r.Delay
+		if m.kind == prioDataSize {
+			p = float64(r.Size)
+		}
+		m.prio[r.Src] = p
+	}
+	s := m.topo.Ports()
+	rings := m.grantRings[dst]
+	for port := 0; port < s; port++ {
+		ring := rings[0]
+		if len(rings) > 1 {
+			ring = rings[port]
+		}
+		dom := m.topo.PortDomain(dst, port)
+		best, bestPos := -1.0, -1
+		// Scan in ring order so equal priorities round-robin.
+		start := ring.Pointer()
+		for k := 0; k < len(dom); k++ {
+			pos := start + k
+			if pos >= len(dom) {
+				pos -= len(dom)
+			}
+			src := dom[pos]
+			if m.reqSet[src] && m.prio[src] > best {
+				best, bestPos = m.prio[src], pos
+			}
+		}
+		if bestPos < 0 {
+			continue
+		}
+		ring.Advance(bestPos)
+		emit(Grant{Dst: dst, Port: port, Src: dom[bestPos]})
+	}
+}
+
+// Accepts picks, per port, the granting destination with the highest local
+// priority (the source consults its own queues).
+func (m *Informative) Accepts(src int, view QueueView, grants []Grant, matches []int32, feedback func(Grant, bool)) {
+	for p := range matches {
+		matches[p] = -1
+		m.grantable[p] = m.grantable[p][:0]
+	}
+	for _, g := range grants {
+		m.grantable[g.Port] = append(m.grantable[g.Port], int32(g.Dst))
+	}
+	for port := range matches {
+		cand := m.grantable[port]
+		if len(cand) == 0 {
+			continue
+		}
+		best, bestDst := -1.0, int32(-1)
+		for _, d := range cand {
+			if k := m.key(src, view, int(d)); k > best {
+				best, bestDst = k, d
+			}
+		}
+		matches[port] = bestDst
+	}
+	if feedback != nil {
+		for _, g := range grants {
+			feedback(g, matches[g.Port] == int32(g.Dst))
+		}
+	}
+}
+
+// Stateful is the stateful-scheduling variant (Appendix A.2.4): each
+// destination maintains a traffic matrix of estimated pending bytes per
+// source, fed by request-carried newly-arrived sizes; grants are suppressed
+// for sources the matrix believes are drained, and accept/reject feedback
+// confirms or reverts the matrix decrements.
+type Stateful struct {
+	*Negotiator
+	epochBytes int64 // bytes one matched port moves per scheduled phase
+
+	matrix   [][]int64 // matrix[dst][src]: estimated pending bytes
+	reported [][]int64 // reported[src][dst]: cumulative bytes already requested
+}
+
+// NewStateful returns the stateful matcher. epochBytes is the per-port
+// scheduled-phase capacity used as the per-grant matrix decrement.
+func NewStateful(t topo.Topology, rng *sim.RNG, epochBytes int64) *Stateful {
+	n := t.N()
+	m := &Stateful{Negotiator: NewNegotiator(t, rng), epochBytes: epochBytes}
+	m.matrix = make([][]int64, n)
+	m.reported = make([][]int64, n)
+	for i := 0; i < n; i++ {
+		m.matrix[i] = make([]int64, n)
+		m.reported[i] = make([]int64, n)
+	}
+	return m
+}
+
+func (m *Stateful) Name() string { return "stateful" }
+
+// Requests reports newly arrived bytes along with each binary request.
+func (m *Stateful) Requests(src int, view QueueView, now sim.Time, threshold int64, emit func(Request)) {
+	m.Negotiator.Requests(src, view, now, threshold, func(r Request) {
+		cum := view.CumInjected(r.Dst)
+		r.NewBytes = cum - m.reported[src][r.Dst]
+		m.reported[src][r.Dst] = cum
+		emit(r)
+	})
+}
+
+// Grants updates the matrix from the requests, then grants only to sources
+// with matrix-positive demand, temporarily decrementing per grant.
+func (m *Stateful) Grants(dst int, reqs []Request, emit func(Grant)) {
+	if len(reqs) == 0 {
+		return
+	}
+	for i := range m.reqSet {
+		m.reqSet[i] = false
+	}
+	row := m.matrix[dst]
+	for _, r := range reqs {
+		row[r.Src] += r.NewBytes
+		if row[r.Src] > 0 {
+			m.reqSet[r.Src] = true
+		}
+	}
+	s := m.topo.Ports()
+	rings := m.grantRings[dst]
+	for port := 0; port < s; port++ {
+		ring := rings[0]
+		if len(rings) > 1 {
+			ring = rings[port]
+		}
+		dom := m.topo.PortDomain(dst, port)
+		pos := ring.Pick(func(p int) bool { return m.reqSet[dom[p]] })
+		if pos < 0 {
+			continue
+		}
+		ring.Advance(pos)
+		src := dom[pos]
+		// Temporary decrement; reverted on reject via Feedback.
+		row[src] -= m.epochBytes
+		if row[src] <= 0 {
+			m.reqSet[src] = false
+		}
+		emit(Grant{Dst: dst, Port: port, Src: src})
+	}
+}
+
+// Feedback reverts the temporary matrix decrement of rejected grants and
+// floors accepted entries at zero (piggybacked bytes drain queues the
+// matrix cannot see, §3.4.1).
+func (m *Stateful) Feedback(g Grant, accepted bool) {
+	row := m.matrix[g.Dst]
+	if !accepted {
+		row[g.Src] += m.epochBytes
+	}
+	if row[g.Src] < 0 {
+		row[g.Src] = 0
+	}
+}
+
+// Matrix exposes the estimated pending bytes for tests.
+func (m *Stateful) Matrix(dst, src int) int64 { return m.matrix[dst][src] }
+
+// ProjecToR is the ProjecToR-style scheduler transferred to NegotiaToR's
+// setting (Appendix A.2.5): requests are per-port (the sending port is
+// chosen before scheduling), carry the bundle's waiting delay, and both
+// sides resolve conflicts by largest delay, with a single iteration.
+type ProjecToR struct {
+	*Negotiator
+	rotate []int // per-source rotating first port, spreading port bindings
+
+	delay []float64 // scratch: per-source delay at the granting dst
+	port  []int32   // scratch: per-source requested port at dst
+}
+
+// NewProjecToR returns the ProjecToR-style matcher.
+func NewProjecToR(t topo.Topology, rng *sim.RNG) *ProjecToR {
+	return &ProjecToR{
+		Negotiator: NewNegotiator(t, rng),
+		rotate:     make([]int, t.N()),
+		delay:      make([]float64, t.N()),
+		port:       make([]int32, t.N()),
+	}
+}
+
+func (m *ProjecToR) Name() string { return "projector" }
+
+// Requests binds each demanded destination to a specific source port
+// up-front (rotating round-robin across ports), attaching the pair's
+// waiting delay. On single-path topologies the bound port is the only path.
+func (m *ProjecToR) Requests(src int, view QueueView, now sim.Time, threshold int64, emit func(Request)) {
+	s := m.topo.Ports()
+	k := m.rotate[src]
+	m.rotate[src]++
+	m.Negotiator.Requests(src, view, now, threshold, func(r Request) {
+		if p := m.topo.PathPort(src, r.Dst); p >= 0 {
+			r.Port = p
+		} else {
+			r.Port = k % s
+			k++
+		}
+		r.Delay = view.WeightedHoL(r.Dst, 0.5)
+		emit(r)
+	})
+}
+
+// Grants picks, per destination port, the largest-delay request bound to
+// that port.
+func (m *ProjecToR) Grants(dst int, reqs []Request, emit func(Grant)) {
+	if len(reqs) == 0 {
+		return
+	}
+	for i := range m.delay {
+		m.port[i] = -1
+	}
+	for _, r := range reqs {
+		m.port[r.Src] = int32(r.Port)
+		m.delay[r.Src] = r.Delay
+	}
+	s := m.topo.Ports()
+	for port := 0; port < s; port++ {
+		dom := m.topo.PortDomain(dst, port)
+		best, bestSrc := -1.0, -1
+		for _, src := range dom {
+			if m.port[src] == int32(port) && m.delay[src] > best {
+				best, bestSrc = m.delay[src], src
+			}
+		}
+		if bestSrc < 0 {
+			continue
+		}
+		emit(Grant{Dst: dst, Port: port, Src: bestSrc})
+	}
+}
+
+// Accepts picks, per source port, the largest-delay granting destination.
+func (m *ProjecToR) Accepts(src int, view QueueView, grants []Grant, matches []int32, feedback func(Grant, bool)) {
+	for p := range matches {
+		matches[p] = -1
+		m.grantable[p] = m.grantable[p][:0]
+	}
+	for _, g := range grants {
+		m.grantable[g.Port] = append(m.grantable[g.Port], int32(g.Dst))
+	}
+	for port := range matches {
+		best, bestDst := -1.0, int32(-1)
+		for _, d := range m.grantable[port] {
+			if k := view.WeightedHoL(int(d), 0.5); k > best {
+				best, bestDst = k, d
+			}
+		}
+		matches[port] = bestDst
+	}
+	if feedback != nil {
+		for _, g := range grants {
+			feedback(g, matches[g.Port] == int32(g.Dst))
+		}
+	}
+}
+
+// BatchStats reports grant/accept counts from a batch matcher for the
+// match-ratio metric.
+type BatchStats struct {
+	Grants, Accepts int64
+}
+
+// BatchMatcher computes a whole-fabric matching from one epoch's request
+// snapshot in a single call. The fabric engine uses it for the iterative
+// variant, whose multiple request/grant/accept rounds would otherwise span
+// several predefined phases; the engine models that cost through
+// MatchDelay.
+type BatchMatcher interface {
+	Matcher
+	// Match fills matches[src][port] with the matched destination or -1.
+	Match(reqs []Request, matches [][]int32, stats *BatchStats)
+}
+
+// Iterative is the iterative variant of NegotiaToR Matching
+// (Appendix A.2.1): after the base request/grant/accept round, unmatched
+// ports re-request for further rounds. Each extra iteration costs three
+// more epochs of scheduling delay.
+type Iterative struct {
+	*Negotiator
+	iters int
+
+	srcFree, dstFree [][]bool
+	want             []bool
+}
+
+// NewIterative returns the iterative matcher with the given iteration
+// count (the paper evaluates 1, 3 and 5).
+func NewIterative(t topo.Topology, rng *sim.RNG, iters int) *Iterative {
+	if iters < 1 {
+		iters = 1
+	}
+	n, s := t.N(), t.Ports()
+	m := &Iterative{Negotiator: NewNegotiator(t, rng), iters: iters}
+	m.srcFree = make([][]bool, n)
+	m.dstFree = make([][]bool, n)
+	for i := 0; i < n; i++ {
+		m.srcFree[i] = make([]bool, s)
+		m.dstFree[i] = make([]bool, s)
+	}
+	m.want = make([]bool, n)
+	return m
+}
+
+func (m *Iterative) Name() string { return fmt.Sprintf("iterative-%d", m.iters) }
+
+// MatchDelay: 2 epochs for the first round plus 3 per extra iteration
+// (Appendix A.2.1: "For one more iteration, the scheduling delay is
+// enlarged by three epochs").
+func (m *Iterative) MatchDelay() int { return 2 + 3*(m.iters-1) }
+
+// Match runs the iterations over the request snapshot.
+func (m *Iterative) Match(reqs []Request, matches [][]int32, stats *BatchStats) {
+	n, s := m.topo.N(), m.topo.Ports()
+	for i := 0; i < n; i++ {
+		for p := 0; p < s; p++ {
+			m.srcFree[i][p] = true
+			m.dstFree[i][p] = true
+			matches[i][p] = -1
+		}
+	}
+	// requested[dst] = set of srcs; rebuilt per call from reqs.
+	reqBy := make([][]int32, n)
+	for _, r := range reqs {
+		reqBy[r.Dst] = append(reqBy[r.Dst], int32(r.Src))
+	}
+	grants := make([][]Grant, n) // grants received per src this iteration
+	for iter := 0; iter < m.iters; iter++ {
+		// GRANT at each dst over its free ports.
+		granted := false
+		for dst := 0; dst < n; dst++ {
+			if len(reqBy[dst]) == 0 {
+				continue
+			}
+			for i := range m.want {
+				m.want[i] = false
+			}
+			for _, src := range reqBy[dst] {
+				m.want[int(src)] = true
+			}
+			rings := m.grantRings[dst]
+			for port := 0; port < s; port++ {
+				if !m.dstFree[dst][port] {
+					continue
+				}
+				ring := rings[0]
+				if len(rings) > 1 {
+					ring = rings[port]
+				}
+				dom := m.topo.PortDomain(dst, port)
+				pos := ring.Pick(func(p int) bool {
+					src := dom[p]
+					return m.want[src] && src != dst && m.srcFree[src][port]
+				})
+				if pos < 0 {
+					continue
+				}
+				ring.Advance(pos)
+				src := dom[pos]
+				grants[src] = append(grants[src], Grant{Dst: dst, Port: port, Src: src})
+				if stats != nil {
+					stats.Grants++
+				}
+				granted = true
+			}
+		}
+		if !granted {
+			break
+		}
+		// ACCEPT at each src over its free ports.
+		for src := 0; src < n; src++ {
+			gs := grants[src]
+			if len(gs) == 0 {
+				continue
+			}
+			for port := 0; port < s; port++ {
+				if !m.srcFree[src][port] {
+					continue
+				}
+				ring := m.acceptRings[src][port]
+				dom := m.topo.PortDomain(src, port)
+				pos := ring.Pick(func(p int) bool {
+					d := int32(dom[p])
+					for _, g := range gs {
+						if g.Port == port && int32(g.Dst) == d {
+							return true
+						}
+					}
+					return false
+				})
+				if pos < 0 {
+					continue
+				}
+				ring.Advance(pos)
+				dst := dom[pos]
+				matches[src][port] = int32(dst)
+				m.srcFree[src][port] = false
+				m.dstFree[dst][port] = false
+				if stats != nil {
+					stats.Accepts++
+				}
+			}
+			grants[src] = grants[src][:0]
+		}
+	}
+}

@@ -1,0 +1,464 @@
+package negotiator
+
+import (
+	"fmt"
+
+	"negotiator/internal/failure"
+	"negotiator/internal/flows"
+	"negotiator/internal/match"
+	"negotiator/internal/metrics"
+	"negotiator/internal/queue"
+	"negotiator/internal/sim"
+	"negotiator/internal/topo"
+	"negotiator/internal/workload"
+)
+
+// Config assembles a NegotiaToR fabric.
+type Config struct {
+	// Topology is the optical fabric layout (required).
+	Topology topo.Topology
+	// Timing is the epoch structure; zero value means DefaultTiming.
+	Timing Timing
+	// HostRate is the aggregate host bandwidth under one ToR (400 Gbps in
+	// the paper), used for goodput normalisation.
+	HostRate sim.Rate
+	// Piggyback enables unscheduled data transmission in the predefined
+	// phase (paper §3.4.1). On by default in the paper's evaluation.
+	Piggyback bool
+	// PriorityQueues enables PIAS-style mice-flow prioritisation at
+	// sources (paper §3.4.2).
+	PriorityQueues bool
+	// RequestThresholdPkts is the request threshold in piggyback packets:
+	// with piggybacking on, a pair requests a scheduled connection only
+	// when its queue exceeds this many piggyback payloads (3 in §3.4.1).
+	// Ignored when Piggyback is false (threshold zero).
+	RequestThresholdPkts int
+	// NewMatcher builds the scheduling policy; nil means the base
+	// NegotiaToR Matching.
+	NewMatcher func(t topo.Topology, timing Timing, rng *sim.RNG) match.Matcher
+	// Relay enables the traffic-aware selective relay extension
+	// (Appendix A.2.2, thin-clos only); nil disables.
+	Relay *RelayConfig
+	// Failures optionally injects link failures (§4.3).
+	Failures *failure.Plan
+	// Seed drives all randomness (ring init, relay candidate rotation).
+	Seed int64
+	// CheckInvariants enables per-epoch conflict-freedom and byte
+	// conservation assertions (used by tests; costs O(N²) per epoch).
+	CheckInvariants bool
+	// OnDeliver, when set, observes every payload delivery at its
+	// destination (receiver-bandwidth micro-observations).
+	OnDeliver func(dst int, at sim.Time, n int64)
+	// TrackReceiverBuffers models the receiver-side ToR-to-host buffers of
+	// §3.6.5 (the optical fabric can deliver at 2x the host drain rate)
+	// and reports their peak occupancy in Results.
+	TrackReceiverBuffers bool
+}
+
+// TagStat tracks one tagged application event (e.g. an incast): its start,
+// the completion time of its last flow, and flow counts.
+type TagStat struct {
+	Start sim.Time
+	End   sim.Time
+	Flows int
+	Done  int
+}
+
+// Results summarises a run.
+type Results struct {
+	FCT        *metrics.FCTStats
+	Goodput    *metrics.Goodput
+	MatchRatio *metrics.Ratio
+	Tags       map[int]*TagStat
+	Duration   sim.Duration
+	EpochLen   sim.Duration
+	Epochs     int64
+	Injected   int64
+	Delivered  int64
+	LostBytes  int64 // bytes destroyed by failures (before requeue), cumulative
+	// PeakReceiverBuffer is the largest receiver-side ToR-to-host backlog
+	// across all ToRs (§3.6.5); zero unless TrackReceiverBuffers is set.
+	PeakReceiverBuffer int64
+}
+
+// tor holds one ToR's queues and scheduling mailboxes.
+type tor struct {
+	queues      []*queue.DestQueue
+	cumInjected []int64
+	// Pipelined scheduling mailboxes: reqIn[g] holds requests received as
+	// a destination, grantIn[g] grants received as a source; g cycles
+	// through stageLag generations.
+	reqIn   [][]match.Request
+	grantIn [][]match.Grant
+	matches []int32 // this epoch's scheduled matches, per port
+
+	// Selective relay state (nil unless enabled).
+	relayQ     []*queue.FIFO // per final destination: bytes relayed through us
+	relayBytes int64         // total relay backlog
+	relayPlan  []relayPlan   // per intermediate: first-hop plan this epoch
+
+	losses []lossRec // bytes destroyed by failures, awaiting detection+requeue
+}
+
+type relayPlan struct {
+	finalDst int32
+	quota    int64
+}
+
+type lossRec struct {
+	f   *flows.Flow
+	dst int
+	off int64
+	n   int64
+	at  sim.Time
+}
+
+// Engine is the NegotiaToR fabric simulator.
+type Engine struct {
+	cfg     Config
+	top     topo.Topology
+	timing  Timing
+	n, s    int
+	epochs  int64
+	now     sim.Time
+	epochLn sim.Duration
+
+	predefSlots int
+	stageLag    int
+	threshold   int64
+	payload     int64 // scheduled-phase payload per slot
+	piggyBytes  int64
+
+	tors    []*tor
+	matcher match.Matcher
+	batch   match.BatchMatcher // non-nil for batch (iterative) matchers
+	future  [][][]int32        // batch path: future[d][src][port], ring by epoch
+
+	work        workload.Generator
+	pending     workload.Arrival
+	havePending bool
+	genDone     bool
+	flowSeq     int64
+
+	fct        metrics.FCTStats
+	goodput    *metrics.Goodput
+	matchRatio metrics.Ratio
+	ledger     flows.Ledger
+	tags       map[int]*TagStat
+	tagOf      map[int64]int // flow ID -> tag, for tagged flows only
+	lost       int64
+
+	actual, known *failure.State
+	relay         *relayState
+	rxBuffers     []*metrics.DrainBuffer // per-dst host-drain model, optional
+
+	rng *sim.RNG
+
+	// scratch
+	reqScratch []match.Request
+}
+
+// New builds an engine. The zero Timing is replaced by DefaultTiming and a
+// zero HostRate by 400 Gbps.
+func New(cfg Config) (*Engine, error) {
+	if cfg.Topology == nil {
+		return nil, fmt.Errorf("negotiator: nil topology")
+	}
+	if cfg.Timing == (Timing{}) {
+		cfg.Timing = DefaultTiming()
+	}
+	if cfg.HostRate == 0 {
+		cfg.HostRate = sim.Gbps(400)
+	}
+	if cfg.RequestThresholdPkts == 0 {
+		cfg.RequestThresholdPkts = 3
+	}
+	if err := cfg.Timing.Validate(cfg.Topology); err != nil {
+		return nil, err
+	}
+	if cfg.Relay != nil {
+		if _, ok := cfg.Topology.(*topo.ThinClos); !ok {
+			return nil, fmt.Errorf("negotiator: selective relay is a thin-clos extension (Appendix A.2.2)")
+		}
+	}
+	e := &Engine{
+		cfg:         cfg,
+		top:         cfg.Topology,
+		timing:      cfg.Timing,
+		n:           cfg.Topology.N(),
+		s:           cfg.Topology.Ports(),
+		predefSlots: cfg.Topology.PredefinedSlots(),
+		rng:         sim.NewRNG(cfg.Seed),
+		tags:        make(map[int]*TagStat),
+		tagOf:       make(map[int64]int),
+	}
+	e.epochLn = e.timing.EpochLen(e.predefSlots)
+	e.stageLag = e.timing.StageLag(e.predefSlots)
+	e.payload = e.timing.DataPayloadBytes()
+	e.piggyBytes = e.timing.PiggybackBytes()
+	if cfg.Piggyback {
+		e.threshold = int64(cfg.RequestThresholdPkts) * e.piggyBytes
+	}
+	e.goodput = metrics.NewGoodput(e.n)
+
+	if cfg.NewMatcher != nil {
+		e.matcher = cfg.NewMatcher(e.top, e.timing, e.rng.Split(1))
+	} else {
+		e.matcher = match.NewNegotiator(e.top, e.rng.Split(1))
+	}
+	if b, ok := e.matcher.(match.BatchMatcher); ok {
+		e.batch = b
+		depth := b.MatchDelay() + 1
+		e.future = make([][][]int32, depth)
+		for d := range e.future {
+			e.future[d] = make([][]int32, e.n)
+			for i := range e.future[d] {
+				row := make([]int32, e.s)
+				for p := range row {
+					row[p] = -1
+				}
+				e.future[d][i] = row
+			}
+		}
+	}
+
+	e.tors = make([]*tor, e.n)
+	for i := range e.tors {
+		t := &tor{
+			queues:      make([]*queue.DestQueue, e.n),
+			cumInjected: make([]int64, e.n),
+			reqIn:       make([][]match.Request, e.stageLag),
+			grantIn:     make([][]match.Grant, e.stageLag),
+			matches:     make([]int32, e.s),
+		}
+		for j := range t.queues {
+			t.queues[j] = queue.NewDestQueue(cfg.PriorityQueues)
+		}
+		for p := range t.matches {
+			t.matches[p] = -1
+		}
+		e.tors[i] = t
+	}
+	if cfg.Failures != nil {
+		e.actual = failure.NewState(e.n, e.s)
+		e.known = failure.NewState(e.n, e.s)
+	}
+	if cfg.Relay != nil {
+		e.initRelay()
+	}
+	if cfg.TrackReceiverBuffers {
+		e.rxBuffers = make([]*metrics.DrainBuffer, e.n)
+		for i := range e.rxBuffers {
+			e.rxBuffers[i] = metrics.NewDrainBuffer(cfg.HostRate)
+		}
+	}
+	return e, nil
+}
+
+// SetWorkload attaches the arrival stream. Must be called before Run.
+func (e *Engine) SetWorkload(g workload.Generator) { e.work = g }
+
+// EpochLen returns the epoch duration.
+func (e *Engine) EpochLen() sim.Duration { return e.epochLn }
+
+// Now returns the current simulated time (start of the next epoch).
+func (e *Engine) Now() sim.Time { return e.now }
+
+// Run advances the simulation until at least d of simulated time has
+// elapsed (whole epochs).
+func (e *Engine) Run(d sim.Duration) {
+	end := sim.Time(d)
+	for e.now < end {
+		e.runEpoch()
+	}
+}
+
+// RunEpochs advances exactly k epochs.
+func (e *Engine) RunEpochs(k int) {
+	for i := 0; i < k; i++ {
+		e.runEpoch()
+	}
+}
+
+// Drain keeps running until all injected flows complete or maxEpochs pass,
+// returning true if fully drained. The workload must be exhausted first.
+func (e *Engine) Drain(maxEpochs int) bool {
+	for i := 0; i < maxEpochs; i++ {
+		if e.ledger.Queued() == 0 && e.genDone && !e.havePending {
+			return true
+		}
+		e.runEpoch()
+	}
+	return e.ledger.Queued() == 0
+}
+
+// Results snapshots the run's measurements.
+func (e *Engine) Results() Results {
+	r := Results{
+		FCT:        &e.fct,
+		Goodput:    e.goodput,
+		MatchRatio: &e.matchRatio,
+		Tags:       e.tags,
+		Duration:   sim.Duration(e.now),
+		EpochLen:   e.epochLn,
+		Epochs:     e.epochs,
+		Injected:   e.ledger.Injected,
+		Delivered:  e.ledger.Delivered,
+		LostBytes:  e.lost,
+	}
+	for _, b := range e.rxBuffers {
+		if p := b.Peak(); p > r.PeakReceiverBuffer {
+			r.PeakReceiverBuffer = p
+		}
+	}
+	return r
+}
+
+func (e *Engine) runEpoch() {
+	epochStart := e.now
+	if e.cfg.Failures != nil {
+		e.cfg.Failures.Fill(e.actual, epochStart)
+		e.cfg.Failures.Fill(e.known, epochStart.Add(-e.cfg.Failures.DetectDelay))
+		e.requeueDetectedLosses(epochStart)
+	}
+	e.inject(epochStart)
+	e.controlStep(epochStart)
+	if e.cfg.Piggyback {
+		e.predefinedPhase(epochStart)
+	}
+	e.scheduledPhase(epochStart)
+	if e.cfg.CheckInvariants {
+		e.checkInvariants()
+	}
+	e.epochs++
+	e.now = epochStart.Add(e.epochLn)
+}
+
+// inject moves all arrivals at or before t into the source queues.
+func (e *Engine) inject(t sim.Time) {
+	if e.work == nil {
+		e.genDone = true
+		return
+	}
+	for {
+		if !e.havePending {
+			a, ok := e.work.Next()
+			if !ok {
+				e.genDone = true
+				return
+			}
+			e.pending, e.havePending = a, true
+		}
+		if e.pending.Time > t {
+			return
+		}
+		a := e.pending
+		e.havePending = false
+		e.flowSeq++
+		f := &flows.Flow{ID: e.flowSeq, Src: a.Src, Dst: a.Dst, Size: a.Size, Arrival: a.Time}
+		e.tors[a.Src].queues[a.Dst].Push(f, t)
+		e.tors[a.Src].cumInjected[a.Dst] += a.Size
+		e.ledger.Injected += a.Size
+		if a.Tag != 0 {
+			ts := e.tags[a.Tag]
+			if ts == nil {
+				ts = &TagStat{Start: a.Time}
+				e.tags[a.Tag] = ts
+			}
+			ts.Flows++
+			if a.Time < ts.Start {
+				ts.Start = a.Time
+			}
+			e.tagOf[f.ID] = a.Tag
+		}
+	}
+}
+
+// deliver accounts one run of payload bytes arriving at dst.
+func (e *Engine) deliver(f *flows.Flow, dst int, n int64, at sim.Time) {
+	e.ledger.Delivered += n
+	e.goodput.Deliver(dst, n)
+	if f.Deliver(n, at) {
+		e.fct.Record(f.Size, f.FCT())
+		e.noteTagCompletion(f)
+	}
+	if e.rxBuffers != nil {
+		e.rxBuffers[dst].Add(at, n)
+	}
+	if e.cfg.OnDeliver != nil {
+		e.cfg.OnDeliver(dst, at, n)
+	}
+}
+
+// noteTagCompletion updates application-event bookkeeping (incast finish
+// times) for a finished flow.
+func (e *Engine) noteTagCompletion(f *flows.Flow) {
+	if len(e.tagOf) == 0 {
+		return
+	}
+	if tag, ok := e.tagOf[f.ID]; ok {
+		ts := e.tags[tag]
+		ts.Done++
+		if f.Completed() > ts.End {
+			ts.End = f.Completed()
+		}
+		delete(e.tagOf, f.ID)
+	}
+}
+
+// requeueDetectedLosses returns failure-destroyed bytes to their source
+// queues once the detection delay has elapsed, modelling upper-layer
+// retransmission (§3.6.1).
+func (e *Engine) requeueDetectedLosses(now sim.Time) {
+	detect := e.cfg.Failures.DetectDelay
+	for _, t := range e.tors {
+		if len(t.losses) == 0 {
+			continue
+		}
+		kept := t.losses[:0]
+		for _, l := range t.losses {
+			if l.at.Add(detect) <= now {
+				l.f.Unsend(l.n)
+				t.queues[l.dst].PushBytes(l.f, l.n, l.off, now)
+				e.ledger.Lost -= l.n
+			} else {
+				kept = append(kept, l)
+			}
+		}
+		t.losses = kept
+	}
+}
+
+// checkInvariants asserts byte conservation and match conflict-freedom.
+func (e *Engine) checkInvariants() {
+	var inFabric int64
+	for _, t := range e.tors {
+		for _, q := range t.queues {
+			inFabric += q.Bytes()
+		}
+		if t.relayQ != nil {
+			for _, q := range t.relayQ {
+				inFabric += q.Bytes()
+			}
+		}
+	}
+	if err := e.ledger.Check(inFabric); err != nil {
+		panic(err)
+	}
+	rx := make(map[[2]int32]int32)
+	for i, t := range e.tors {
+		for p, dj := range t.matches {
+			if dj < 0 {
+				continue
+			}
+			key := [2]int32{dj, int32(p)}
+			if prev, ok := rx[key]; ok {
+				panic(fmt.Sprintf("negotiator: conflict: dst %d port %d matched by %d and %d", dj, p, prev, i))
+			}
+			rx[key] = int32(i)
+			if !e.top.CanReach(i, p, int(dj)) {
+				panic(fmt.Sprintf("negotiator: unreachable match %d-(%d)->%d", i, p, dj))
+			}
+		}
+	}
+}

@@ -1,0 +1,285 @@
+package negotiator
+
+import (
+	"negotiator/internal/flows"
+	"negotiator/internal/match"
+	"negotiator/internal/sim"
+)
+
+// torView adapts a ToR's queues to the matcher's QueueView. Queued bytes
+// include relay demand: an intermediate must request links to forward
+// relayed data, and a relaying source must request its first-hop
+// intermediate.
+type torView struct {
+	e *Engine
+	i int
+}
+
+func (v torView) QueuedBytes(dst int) int64 {
+	t := v.e.tors[v.i]
+	b := t.queues[dst].Bytes()
+	if t.relayQ != nil {
+		b += t.relayQ[dst].Bytes()
+		if p := t.relayPlan[dst]; p.quota > 0 {
+			b += p.quota
+		}
+	}
+	return b
+}
+
+func (v torView) WeightedHoL(dst int, alpha float64) float64 {
+	return v.e.tors[v.i].queues[dst].WeightedHoL(v.e.now, alpha)
+}
+
+func (v torView) CumInjected(dst int) int64 {
+	return v.e.tors[v.i].cumInjected[dst]
+}
+
+// rotation returns the predefined-phase round-robin rotation for an epoch.
+// The rule changes every epoch so a ToR pair's control messages cycle over
+// all ports (§3.6.1).
+func (e *Engine) rotation(epoch int64) int { return int(epoch % (1 << 30)) }
+
+// msgPathOK reports whether the scheduling message i->j survives epoch's
+// predefined phase (it is lost if its slot's link has actually failed).
+func (e *Engine) msgPathOK(i, j int, epoch int64) bool {
+	if e.actual == nil || e.actual.Count == 0 {
+		return true
+	}
+	_, port := e.top.PredefinedSlotPort(i, j, e.rotation(epoch))
+	return e.actual.PathOK(i, j, port)
+}
+
+// controlStep runs the three pipelined stages at the start of an epoch
+// (paper Figure 4): ACCEPT over grants transported last epoch (producing
+// this epoch's matches), GRANT over requests transported last epoch
+// (transported now), and REQUEST from current queue state (transported
+// now).
+func (e *Engine) controlStep(epochStart sim.Time) {
+	// Mailbox generation g is consumed exactly stageLag epochs after it was
+	// filled; with a ring of stageLag slots that is the same slot the
+	// current epoch refills, so consumption precedes production below.
+	cur := int(e.epochs) % e.stageLag
+	prev := cur
+
+	if e.relay != nil {
+		e.planRelay()
+	}
+
+	if e.batch != nil {
+		e.batchControlStep()
+		return
+	}
+
+	var grants, accepts int64
+
+	// ACCEPT: grants received during the previous epoch yield this epoch's
+	// matches.
+	for i, t := range e.tors {
+		in := t.grantIn[prev]
+		if len(in) == 0 {
+			for p := range t.matches {
+				t.matches[p] = -1
+			}
+			continue
+		}
+		e.matcher.Accepts(i, torView{e, i}, in, t.matches, func(g match.Grant, ok bool) {
+			e.matcher.Feedback(g, ok)
+		})
+		t.grantIn[prev] = in[:0]
+		for _, d := range t.matches {
+			if d >= 0 {
+				accepts++
+			}
+		}
+	}
+	// Known failures exclude links from transmission at use time.
+	if e.known != nil && e.known.Count > 0 {
+		for i, t := range e.tors {
+			for p, dj := range t.matches {
+				if dj >= 0 && !e.known.PathOK(i, int(dj), p) {
+					t.matches[p] = -1
+					accepts--
+				}
+			}
+		}
+	}
+
+	// GRANT: requests received during the previous epoch yield grants
+	// transported this epoch.
+	for j, t := range e.tors {
+		in := t.reqIn[prev]
+		if len(in) == 0 {
+			continue
+		}
+		e.matcher.Grants(j, in, func(g match.Grant) {
+			grants++
+			// Grants over known-failed ports are suppressed at the source
+			// of truth: the destination will not use a dead ingress.
+			if e.known != nil && e.known.Count > 0 && !e.known.PathOK(g.Src, g.Dst, g.Port) {
+				return
+			}
+			// The grant message travels j -> g.Src in this epoch's
+			// predefined phase.
+			if !e.msgPathOK(j, g.Src, e.epochs) {
+				return
+			}
+			e.tors[g.Src].grantIn[cur] = append(e.tors[g.Src].grantIn[cur], g)
+		})
+		t.reqIn[prev] = in[:0]
+	}
+
+	// REQUEST: current queue state yields requests transported this epoch.
+	for i := range e.tors {
+		e.matcher.Requests(i, torView{e, i}, epochStart, e.threshold, func(r match.Request) {
+			if !e.msgPathOK(i, r.Dst, e.epochs) {
+				return
+			}
+			e.tors[r.Dst].reqIn[cur] = append(e.tors[r.Dst].reqIn[cur], r)
+		})
+	}
+
+	e.matchRatio.Observe(accepts, grants)
+}
+
+// batchControlStep drives BatchMatchers (the iterative variant): requests
+// snapshotted now are matched in one logical computation whose result takes
+// effect MatchDelay epochs later, modelling the extra request/grant/accept
+// rounds occupying the intervening predefined phases.
+func (e *Engine) batchControlStep() {
+	depth := len(e.future)
+	slot := int(e.epochs) % depth
+	// This epoch's matches were computed MatchDelay epochs ago.
+	for i, t := range e.tors {
+		copy(t.matches, e.future[slot][i])
+		for p := range e.future[slot][i] {
+			e.future[slot][i][p] = -1
+		}
+	}
+	if e.known != nil && e.known.Count > 0 {
+		for i, t := range e.tors {
+			for p, dj := range t.matches {
+				if dj >= 0 && !e.known.PathOK(i, int(dj), p) {
+					t.matches[p] = -1
+				}
+			}
+		}
+	}
+	// Snapshot requests and compute the future matching.
+	e.reqScratch = e.reqScratch[:0]
+	for i := range e.tors {
+		e.matcher.Requests(i, torView{e, i}, e.now, e.threshold, func(r match.Request) {
+			e.reqScratch = append(e.reqScratch, r)
+		})
+	}
+	target := (int(e.epochs) + e.batch.MatchDelay()) % depth
+	var stats match.BatchStats
+	e.batch.Match(e.reqScratch, e.future[target], &stats)
+	e.matchRatio.Observe(stats.Accepts, stats.Grants)
+}
+
+// predefinedPhase transmits piggybacked data over the round-robin all-to-all
+// connections (§3.4.1): every pair moves up to one small payload, bypassing
+// the scheduling delay.
+func (e *Engine) predefinedPhase(epochStart sim.Time) {
+	if e.piggyBytes <= 0 {
+		return
+	}
+	rot := e.rotation(e.epochs)
+	slotDur := e.timing.PredefinedSlot
+	for i, t := range e.tors {
+		for j := 0; j < e.n; j++ {
+			if j == i {
+				continue
+			}
+			q := t.queues[j]
+			hasDirect := !q.Empty()
+			hasRelay := t.relayQ != nil && t.relayQ[j].HeadReady(epochStart)
+			if !hasDirect && !hasRelay {
+				continue
+			}
+			slot, port := e.top.PredefinedSlotPort(i, j, rot)
+			if e.known != nil && e.known.Count > 0 && !e.known.PathOK(i, j, port) {
+				continue // knowingly dead link: hold the data
+			}
+			lost := e.actual != nil && e.actual.Count > 0 && !e.actual.PathOK(i, j, port)
+			at := epochStart.Add(sim.Duration(slot+1) * slotDur).Add(e.timing.PropDelay)
+			budget := e.piggyBytes
+			if hasDirect {
+				budget -= e.sendRun(t, q.Take, i, j, budget, at, lost)
+			}
+			if budget > 0 && hasRelay {
+				// Relay bytes piggyback too once they are at the
+				// intermediate: from there they are ordinary one-hop data.
+				ready := func(max int64, emit func(f *flows.Flow, n int64)) int64 {
+					return t.relayQ[j].TakeReady(max, epochStart, emit)
+				}
+				t.relayBytes -= e.sendRun(t, ready, i, j, budget, at, lost)
+			}
+		}
+	}
+}
+
+type takeFunc func(max int64, emit func(f *flows.Flow, n int64)) int64
+
+// sendRun moves up to budget bytes from a queue across the link i->j,
+// delivering them at time at, or logging them as failure losses.
+func (e *Engine) sendRun(t *tor, take takeFunc, i, j int, budget int64, at sim.Time, lost bool) int64 {
+	return take(budget, func(f *flows.Flow, n int64) {
+		off := f.Sent()
+		f.NoteSent(n)
+		if lost {
+			e.ledger.Lost += n
+			e.lost += n
+			t.losses = append(t.losses, lossRec{f: f, dst: j, off: off, n: n, at: at})
+			return
+		}
+		e.deliver(f, j, n, at)
+	})
+}
+
+// scheduledPhase transmits data over the matched connections: each matched
+// port sends from its per-destination queue until the phase ends or the
+// queue empties (§3.3.2). Direct data goes first, then relay forwarding
+// (second hop), then selective-relay first-hop data (Appendix A.2.2).
+func (e *Engine) scheduledPhase(epochStart sim.Time) {
+	phaseStart := epochStart.Add(e.timing.PredefinedLen(e.predefSlots))
+	capacity := e.payload * int64(e.timing.ScheduledSlots)
+	for i, t := range e.tors {
+		for p, dj := range t.matches {
+			if dj < 0 {
+				continue
+			}
+			j := int(dj)
+			lost := e.actual != nil && e.actual.Count > 0 && !e.actual.PathOK(i, j, p)
+			sent := int64(0)
+			pos := int64(0)
+			emit := func(f *flows.Flow, n int64) {
+				off := f.Sent()
+				f.NoteSent(n)
+				pos += n
+				endSlot := (pos + e.payload - 1) / e.payload
+				at := phaseStart.Add(sim.Duration(endSlot) * e.timing.ScheduledSlot).Add(e.timing.PropDelay)
+				if lost {
+					e.ledger.Lost += n
+					e.lost += n
+					t.losses = append(t.losses, lossRec{f: f, dst: j, off: off, n: n, at: at})
+					return
+				}
+				e.deliver(f, j, n, at)
+			}
+			sent += t.queues[j].Take(capacity, emit)
+			if t.relayQ != nil && sent < capacity {
+				// Second hop: forward data relayed through us that has
+				// physically arrived by the start of this epoch.
+				fwd := t.relayQ[j].TakeReady(capacity-sent, epochStart, emit)
+				t.relayBytes -= fwd
+				sent += fwd
+			}
+			if e.relay != nil && sent < capacity {
+				// First hop: ship planned relay data to intermediate j.
+				e.relayFirstHop(i, j, capacity-sent, pos, phaseStart, lost)
+			}
+		}
+	}
+}

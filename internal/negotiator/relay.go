@@ -1,0 +1,195 @@
+package negotiator
+
+import (
+	"negotiator/internal/flows"
+	"negotiator/internal/queue"
+	"negotiator/internal/sim"
+	"negotiator/internal/topo"
+)
+
+// RelayConfig tunes the traffic-aware selective relay extension
+// (Appendix A.2.2), which lets elephant-flow data take a two-hop path on
+// the connection-limited thin-clos topology when spare links exist.
+type RelayConfig struct {
+	// MinBytes is the lowest-priority backlog a destination queue needs
+	// before its data is considered for relaying ("only enable it ... if
+	// the data volume exceeds a certain threshold"). Zero means one epoch
+	// of port capacity.
+	MinBytes int64
+	// DirectBusyBytes marks a port-group as busy with direct traffic;
+	// candidates sharing a busy link are excluded to avoid bandwidth
+	// competition. Zero means one epoch of port capacity.
+	DirectBusyBytes int64
+	// BufferCap bounds the relay backlog an intermediate accepts, the
+	// congestion-control condition of the GRANT step. Zero means 64 epochs
+	// of port capacity.
+	BufferCap int64
+}
+
+func (c *RelayConfig) withDefaults(epochPortBytes int64) RelayConfig {
+	out := *c
+	if out.MinBytes == 0 {
+		out.MinBytes = epochPortBytes
+	}
+	if out.DirectBusyBytes == 0 {
+		out.DirectBusyBytes = epochPortBytes
+	}
+	if out.BufferCap == 0 {
+		out.BufferCap = 64 * epochPortBytes
+	}
+	return out
+}
+
+// relayState is the engine-side implementation. The paper's variant runs
+// the relay negotiation through the same request/grant/accept exchange; we
+// fold the candidate filtering and buffer-capacity checks into the per-epoch
+// planning step with direct state inspection standing in for the message
+// exchange. This idealisation can only flatter the relay variant (perfect,
+// instant information), which is conservative for the paper's conclusion
+// that relaying brings no meaningful gain.
+type relayState struct {
+	cfg      RelayConfig
+	tc       *topo.ThinClos
+	rotate   []int   // per-source candidate rotation
+	groupBuf []int64 // scratch: per-port direct bytes of the planning source
+}
+
+func (e *Engine) initRelay() {
+	tc := e.top.(*topo.ThinClos)
+	e.relay = &relayState{
+		cfg:      e.cfg.Relay.withDefaults(e.timing.EpochPortBytes()),
+		tc:       tc,
+		rotate:   make([]int, e.n),
+		groupBuf: make([]int64, e.s),
+	}
+	for _, t := range e.tors {
+		t.relayQ = make([]*queue.FIFO, e.n)
+		for j := range t.relayQ {
+			t.relayQ[j] = &queue.FIFO{}
+		}
+		t.relayPlan = make([]relayPlan, e.n)
+	}
+}
+
+// planRelay selects, per source, which elephants to relay through which
+// intermediates this epoch (step 1 of A.2.2): only lowest-priority data
+// above the volume threshold, intermediates that share no busy direct link
+// on either hop and have relay buffer headroom.
+func (e *Engine) planRelay() {
+	r := e.relay
+	for i, t := range e.tors {
+		for k := range t.relayPlan {
+			t.relayPlan[k] = relayPlan{finalDst: -1}
+		}
+		// Direct traffic volume per egress port of i.
+		for p := range r.groupBuf {
+			r.groupBuf[p] = 0
+		}
+		heavy := false
+		for j := 0; j < e.n; j++ {
+			if j == i {
+				continue
+			}
+			if b := t.queues[j].Bytes(); b > 0 {
+				r.groupBuf[r.tc.PathPort(i, j)] += b
+			}
+			if t.queues[j].LowestPriorityBytes() > r.cfg.MinBytes {
+				heavy = true
+			}
+		}
+		if !heavy {
+			continue
+		}
+		rot := r.rotate[i]
+		r.rotate[i]++
+		for j := 0; j < e.n; j++ {
+			if j == i || t.queues[j].LowestPriorityBytes() <= r.cfg.MinBytes {
+				continue
+			}
+			// Find an intermediate k for the elephant i -> j.
+			for step := 0; step < e.n; step++ {
+				k := (j + rot + step) % e.n
+				if k == i || k == j {
+					continue
+				}
+				s1 := r.tc.PathPort(i, k)
+				// First hop competes with i's own direct traffic on s1.
+				if r.groupBuf[s1] > r.cfg.DirectBusyBytes {
+					continue
+				}
+				// A port already planned for another relay is taken.
+				if t.relayPlan[k].quota > 0 {
+					continue
+				}
+				inter := e.tors[k]
+				headroom := r.cfg.BufferCap - inter.relayBytes
+				if headroom <= 0 {
+					continue
+				}
+				// Second hop competes with k's direct traffic to j's group.
+				s2 := r.tc.PathPort(k, j)
+				var kDirect int64
+				for _, d := range r.tc.PortDomain(k, s2) {
+					if d != k {
+						kDirect += inter.queues[d].Bytes()
+					}
+				}
+				if kDirect > r.cfg.DirectBusyBytes {
+					continue
+				}
+				quota := e.timing.EpochPortBytes()
+				if quota > headroom {
+					quota = headroom
+				}
+				t.relayPlan[k] = relayPlan{finalDst: int32(j), quota: quota}
+				break
+			}
+		}
+	}
+}
+
+// relayFirstHop ships planned elephant data from source i to the matched
+// intermediate k during the scheduled phase, after direct data has been
+// served (step 3 of A.2.2). The bytes enter k's relay queue at
+// lowest priority and are forwarded by k's own scheduling.
+func (e *Engine) relayFirstHop(i, k int, budget, pos int64, phaseStart sim.Time, lost bool) {
+	t := e.tors[i]
+	plan := t.relayPlan[k]
+	if plan.quota <= 0 || plan.finalDst < 0 {
+		return
+	}
+	j := int(plan.finalDst)
+	inter := e.tors[k]
+	headroom := e.relay.cfg.BufferCap - inter.relayBytes
+	max := budget
+	if max > plan.quota {
+		max = plan.quota
+	}
+	if max > headroom {
+		max = headroom
+	}
+	if max <= 0 {
+		return
+	}
+	arriveBase := phaseStart
+	t.queues[j].TakeLowestOnly(max, func(f *flows.Flow, n int64) {
+		pos += n
+		endSlot := (pos + e.payload - 1) / e.payload
+		at := arriveBase.Add(sim.Duration(endSlot) * e.timing.ScheduledSlot).Add(e.timing.PropDelay)
+		if lost {
+			off := f.Sent()
+			f.NoteSent(n)
+			e.ledger.Lost += n
+			e.lost += n
+			t.losses = append(t.losses, lossRec{f: f, dst: j, off: off, n: n, at: at})
+			return
+		}
+		// The bytes move between ToR buffers: they stay "sent but not
+		// delivered" until the second hop completes, so NoteSent happens
+		// at the final hop only. Enqueue at the intermediate with the
+		// arrival timestamp.
+		inter.relayQ[j].Push(queue.Segment{Flow: f, Bytes: n, Enqueued: at})
+		inter.relayBytes += n
+	})
+	t.relayPlan[k] = relayPlan{finalDst: -1}
+}

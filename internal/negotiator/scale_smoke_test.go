@@ -1,0 +1,27 @@
+package negotiator
+
+import (
+	"testing"
+	"time"
+
+	"negotiator/internal/sim"
+	"negotiator/internal/topo"
+	"negotiator/internal/workload"
+)
+
+func TestPaperScaleSmoke(t *testing.T) {
+	top, _ := topo.NewParallel(128, 8)
+	cfg := Config{Topology: top, HostRate: sim.Gbps(400), Piggyback: true, PriorityQueues: true, Seed: 1}
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.SetWorkload(workload.NewPoisson(workload.Hadoop(), 128, 1.0, sim.Gbps(400), 7))
+	start := time.Now()
+	e.Run(2 * sim.Millisecond)
+	el := time.Since(start)
+	r := e.Results()
+	t.Logf("wall=%v epochs=%d flows=%d mice99p=%v miceavg=%v goodput=%.3f matchratio=%.3f",
+		el, r.Epochs, r.FCT.Count(), r.FCT.MiceP(99), r.FCT.MiceMean(),
+		r.Goodput.Normalized(r.Duration, sim.Gbps(400)), r.MatchRatio.Mean())
+}

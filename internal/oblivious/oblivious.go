@@ -1,0 +1,530 @@
+// Package oblivious implements the state-of-the-art traffic-oblivious
+// reconfigurable DCN baseline the paper compares against (§2, §4.1),
+// following Sirius: the fabric reconfigures every timeslot through a
+// predefined round-robin schedule, providing all-to-all connectivity
+// regardless of traffic, and adapts traffic to the network with Valiant
+// load balancing — data is sprayed to an intermediate ToR and relayed to
+// its destination, taking two hops.
+//
+// Fresh data is split across per-intermediate spray lanes at arrival
+// (uniform VLB, pre-assigned as Sirius sprays cells); each slot carries one
+// cell: relay (second-hop) traffic for the connected peer first — it must
+// not accumulate — else the head cell of the peer's spray lane, which
+// stalls when its destination's relay VOQ at the peer is full (the bounded
+// buffers + backpressure standing in for Sirius's congestion control).
+// That stall-driven slot waste, on top of the doubled traffic volume, is
+// what caps this design's goodput under heavy load (paper §2). Mice-flow
+// priority queues apply at sources only (the paper notes PIAS does not
+// apply to data at intermediate nodes). The RotorLB-style opportunistic
+// discipline (relay > direct > slot-time spray) and a relay-free
+// round-robin are kept as ablations.
+//
+// The engine is slot-synchronous (one decision per port per timeslot) and
+// shares the queueing, workload, metrics and failure substrates with the
+// NegotiaToR engine.
+package oblivious
+
+import (
+	"fmt"
+
+	"negotiator/internal/flows"
+	"negotiator/internal/metrics"
+	"negotiator/internal/queue"
+	"negotiator/internal/sim"
+	"negotiator/internal/topo"
+	"negotiator/internal/workload"
+)
+
+// Timing describes the baseline's slot structure: every slot pays a
+// reconfiguration guardband (the fabric retunes each slot).
+type Timing struct {
+	// Guardband is the per-slot reconfiguration delay (10 ns).
+	Guardband sim.Duration
+	// Slot is the total slot duration including the guardband (60 ns, the
+	// same optical hardware budget as NegotiaToR's predefined slot).
+	Slot sim.Duration
+	// HeaderBytes is the per-cell header (10 B).
+	HeaderBytes int64
+	// PropDelay is the one-way propagation delay (2 µs).
+	PropDelay sim.Duration
+	// LinkRate is the per-port line rate (100 Gbps with 2x speedup).
+	LinkRate sim.Rate
+}
+
+// DefaultTiming returns the evaluation's baseline slot settings.
+func DefaultTiming() Timing {
+	return Timing{
+		Guardband:   10,
+		Slot:        60,
+		HeaderBytes: 10,
+		PropDelay:   2 * sim.Microsecond,
+		LinkRate:    sim.Gbps(100),
+	}
+}
+
+// CellBytes is the payload one slot carries on one port.
+func (t Timing) CellBytes() int64 {
+	n := t.LinkRate.BytesIn(t.Slot-t.Guardband) - t.HeaderBytes
+	if n < 0 {
+		return 0
+	}
+	return n
+}
+
+// Validate checks consistency.
+func (t Timing) Validate() error {
+	if t.Slot <= t.Guardband || t.CellBytes() <= 0 {
+		return fmt.Errorf("oblivious: slot %v too short (guardband %v)", t.Slot, t.Guardband)
+	}
+	if t.PropDelay < 0 {
+		return fmt.Errorf("oblivious: negative propagation delay")
+	}
+	return nil
+}
+
+// Config assembles the baseline fabric.
+type Config struct {
+	// Topology supplies the round-robin schedule. The baseline's
+	// relay-enabled round-robin performs identically on both flat
+	// topologies (paper §4.1), so either works.
+	Topology topo.Topology
+	// Timing is the slot structure; zero means DefaultTiming.
+	Timing Timing
+	// HostRate is the per-ToR host aggregate (400 Gbps), for goodput
+	// normalisation.
+	HostRate sim.Rate
+	// PriorityQueues enables source-side PIAS prioritisation.
+	PriorityQueues bool
+	// RelayCap bounds each (intermediate, destination) relay VOQ. Zero
+	// means 64 cells (~39 KB): deep enough that elephants spread across
+	// the fabric block mice at intermediates — the paper's criticism of
+	// relay-based designs — while shallow enough that full VOQs stall
+	// spraying sources, the congestion that caps the oblivious design's
+	// goodput under heavy load (§2).
+	RelayCap int64
+	// SprayChunkCells is the lane-assignment granularity in cells (default
+	// 4). Sirius sprays per cell; chunking trades a little spray
+	// uniformity for segment-bookkeeping memory.
+	SprayChunkCells int
+	// DirectOnly disables VLB relaying (degenerating into pure round-robin
+	// direct transmission); used by ablation tests.
+	DirectOnly bool
+	// OpportunisticDirect switches the service discipline from Sirius's
+	// uniform VLB spray (default: every byte takes two hops unless its
+	// random intermediate happens to be its destination) to the
+	// RotorLB-style relay > direct > indirect order. The paper's baseline
+	// follows Sirius; the opportunistic variant is kept for ablations.
+	OpportunisticDirect bool
+	// Seed drives the spray randomness.
+	Seed int64
+	// CheckInvariants enables byte-conservation assertions.
+	CheckInvariants bool
+	// OnDeliver observes final-destination deliveries.
+	OnDeliver func(dst int, at sim.Time, n int64)
+	// OnTransit observes first-hop (intermediate) arrivals, the "light
+	// grey dots" of the paper's Figure 18.
+	OnTransit func(intermediate int, at sim.Time, n int64)
+}
+
+// TagStat mirrors negotiator.TagStat for tagged application events.
+type TagStat struct {
+	Start sim.Time
+	End   sim.Time
+	Flows int
+	Done  int
+}
+
+// Results summarises a run.
+type Results struct {
+	FCT       *metrics.FCTStats
+	Goodput   *metrics.Goodput
+	Tags      map[int]*TagStat
+	Duration  sim.Duration
+	Injected  int64
+	Delivered int64
+	Relayed   int64 // bytes that took a first hop (transit volume)
+}
+
+type tor struct {
+	// direct holds fresh data per final destination; used by the
+	// OpportunisticDirect and DirectOnly disciplines, whose spray target
+	// is decided at slot time.
+	direct []*queue.DestQueue
+	// lanes holds fresh data per pre-assigned intermediate (the default
+	// Sirius discipline): flows are sprayed across lanes in fixed-size
+	// chunks at arrival, and a slot to peer k can only carry lane k's
+	// data. PIAS priorities apply within a lane.
+	lanes []*queue.DestQueue
+	// relay holds in-transit data per final destination (the second-hop
+	// virtual output queues). Each VOQ is bounded; a full VOQ stalls the
+	// spraying lane head — Sirius's congestion control.
+	relay      []*queue.FIFO
+	relayBytes int64
+	sprayPtr   int // rotating lane/destination pointer
+}
+
+// Engine is the traffic-oblivious fabric simulator.
+type Engine struct {
+	cfg    Config
+	top    topo.Topology
+	timing Timing
+	n, s   int
+	slots  int // round-robin cycle length in slots
+	cell   int64
+	now    sim.Time
+	slotNo int64
+
+	tors []*tor
+
+	work        workload.Generator
+	pending     workload.Arrival
+	havePending bool
+	genDone     bool
+	flowSeq     int64
+
+	fct     metrics.FCTStats
+	goodput *metrics.Goodput
+	ledger  flows.Ledger
+	tags    map[int]*TagStat
+	tagOf   map[int64]int
+	relayed int64
+	rng     *sim.RNG
+}
+
+// New builds the baseline engine.
+func New(cfg Config) (*Engine, error) {
+	if cfg.Topology == nil {
+		return nil, fmt.Errorf("oblivious: nil topology")
+	}
+	if cfg.Timing == (Timing{}) {
+		cfg.Timing = DefaultTiming()
+	}
+	if cfg.HostRate == 0 {
+		cfg.HostRate = sim.Gbps(400)
+	}
+	if err := cfg.Timing.Validate(); err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		cfg:    cfg,
+		top:    cfg.Topology,
+		timing: cfg.Timing,
+		n:      cfg.Topology.N(),
+		s:      cfg.Topology.Ports(),
+		slots:  cfg.Topology.PredefinedSlots(),
+		cell:   cfg.Timing.CellBytes(),
+		tags:   make(map[int]*TagStat),
+		tagOf:  make(map[int64]int),
+		rng:    sim.NewRNG(cfg.Seed),
+	}
+	if cfg.RelayCap == 0 {
+		e.cfg.RelayCap = 64 * e.cell
+	}
+	if cfg.SprayChunkCells <= 0 {
+		e.cfg.SprayChunkCells = 4
+	}
+	lanes := !e.cfg.OpportunisticDirect && !e.cfg.DirectOnly
+	e.goodput = metrics.NewGoodput(e.n)
+	e.tors = make([]*tor, e.n)
+	for i := range e.tors {
+		t := &tor{
+			direct: make([]*queue.DestQueue, e.n),
+			relay:  make([]*queue.FIFO, e.n),
+		}
+		if lanes {
+			t.lanes = make([]*queue.DestQueue, e.n)
+		}
+		for j := range t.direct {
+			t.direct[j] = queue.NewDestQueue(cfg.PriorityQueues)
+			t.relay[j] = &queue.FIFO{}
+			if lanes {
+				t.lanes[j] = queue.NewDestQueue(cfg.PriorityQueues)
+			}
+		}
+		e.tors[i] = t
+	}
+	return e, nil
+}
+
+// SetWorkload attaches the arrival stream.
+func (e *Engine) SetWorkload(g workload.Generator) { e.work = g }
+
+// CycleLen returns the all-to-all round-robin cycle duration.
+func (e *Engine) CycleLen() sim.Duration {
+	return sim.Duration(e.slots) * e.timing.Slot
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() sim.Time { return e.now }
+
+// Run advances until at least d has elapsed.
+func (e *Engine) Run(d sim.Duration) {
+	for e.now < sim.Time(d) {
+		e.runSlot()
+	}
+}
+
+// Drain runs until all injected bytes are delivered or maxSlots elapse.
+func (e *Engine) Drain(maxSlots int) bool {
+	for i := 0; i < maxSlots; i++ {
+		if e.ledger.Queued() == 0 && e.genDone && !e.havePending {
+			return true
+		}
+		e.runSlot()
+	}
+	return e.ledger.Queued() == 0
+}
+
+// Results snapshots the measurements.
+func (e *Engine) Results() Results {
+	return Results{
+		FCT:       &e.fct,
+		Goodput:   e.goodput,
+		Tags:      e.tags,
+		Duration:  sim.Duration(e.now),
+		Injected:  e.ledger.Injected,
+		Delivered: e.ledger.Delivered,
+		Relayed:   e.relayed,
+	}
+}
+
+func (e *Engine) runSlot() {
+	slotStart := e.now
+	e.inject(slotStart)
+	t := int(e.slotNo) % e.slots
+	rot := int(e.slotNo) / e.slots // rotate the rule every full cycle
+	arrive := slotStart.Add(e.timing.Slot).Add(e.timing.PropDelay)
+	for i, src := range e.tors {
+		for s := 0; s < e.s; s++ {
+			j := e.top.PredefinedPeer(i, s, t, rot)
+			if j < 0 {
+				continue
+			}
+			if src.lanes != nil {
+				e.serveLanes(src, i, j, slotStart, arrive)
+			} else {
+				e.serve(src, i, j, slotStart, arrive)
+			}
+		}
+	}
+	if e.cfg.CheckInvariants {
+		e.checkInvariants()
+	}
+	e.slotNo++
+	e.now = slotStart.Add(e.timing.Slot)
+}
+
+// serveLanes fills one slot under the default Sirius discipline: relay
+// (second-hop) traffic destined to the connected peer j first, then the
+// head cell of the pre-assigned spray lane for j. Fresh data was split
+// across lanes at arrival, so a slot can only carry lane j's data; if the
+// head cell's destination VOQ at j is full, the slot is wasted — the
+// backpressure that, together with the doubled traffic volume, caps the
+// oblivious design's goodput under heavy load (paper §2).
+func (e *Engine) serveLanes(src *tor, i, j int, slotStart, arrive sim.Time) {
+	// Second hop: relay traffic destined to j that has physically arrived.
+	if src.relay[j].HeadReady(slotStart) {
+		n := src.relay[j].TakeReady(e.cell, slotStart, func(f *flows.Flow, n int64) {
+			e.deliver(f, j, n, arrive)
+		})
+		src.relayBytes -= n
+		return
+	}
+	lane := src.lanes[j]
+	d := lane.HeadDst()
+	if d < 0 {
+		return // idle slot
+	}
+	if d == j {
+		// The pre-assigned intermediate is the destination: one hop.
+		lane.TakeHeadCell(e.cell, func(f *flows.Flow, n int64) {
+			f.NoteSent(n)
+			e.deliver(f, j, n, arrive)
+		})
+		return
+	}
+	inter := e.tors[j]
+	headroom := e.cfg.RelayCap - inter.relay[d].Bytes()
+	if headroom <= 0 {
+		return // VOQ full: the lane head stalls and the slot is wasted
+	}
+	max := e.cell
+	if max > headroom {
+		max = headroom
+	}
+	_, n := lane.TakeHeadCell(max, func(f *flows.Flow, n int64) {
+		f.NoteSent(n)
+		inter.relay[d].Push(queue.Segment{Flow: f, Bytes: n, Enqueued: arrive})
+	})
+	inter.relayBytes += n
+	e.relayed += n
+	if e.cfg.OnTransit != nil && n > 0 {
+		e.cfg.OnTransit(j, arrive, n)
+	}
+}
+
+// serve fills the slot for the slot-time-spray disciplines
+// (OpportunisticDirect and DirectOnly ablations): one cell per slot chosen
+// as relay > [direct-to-j] > spray-from-any-queue, with the spray target
+// decided at slot time rather than pre-assigned.
+func (e *Engine) serve(src *tor, i, j int, slotStart, arrive sim.Time) {
+	// Second hop: relay traffic destined to j that has physically arrived.
+	if src.relay[j].HeadReady(slotStart) {
+		n := src.relay[j].TakeReady(e.cell, slotStart, func(f *flows.Flow, n int64) {
+			e.deliver(f, j, n, arrive)
+		})
+		src.relayBytes -= n
+		return
+	}
+	if e.cfg.OpportunisticDirect || e.cfg.DirectOnly {
+		// Direct traffic to j (source-side priority queues apply).
+		if !src.direct[j].Empty() {
+			src.direct[j].Take(e.cell, func(f *flows.Flow, n int64) {
+				f.NoteSent(n)
+				e.deliver(f, j, n, arrive)
+			})
+			return
+		}
+		if e.cfg.DirectOnly {
+			return
+		}
+	}
+	// First hop: spray one fresh cell via j, bounded by j's relay headroom
+	// (idealised backpressure standing in for Sirius's congestion
+	// control). Data already destined to j delivers in one hop.
+	inter := e.tors[j]
+	for scan := 0; scan < e.n; scan++ {
+		d := src.sprayPtr
+		src.sprayPtr++
+		if src.sprayPtr >= e.n {
+			src.sprayPtr = 0
+		}
+		if d == i || src.direct[d].Empty() {
+			continue
+		}
+		if d == j {
+			src.direct[d].Take(e.cell, func(f *flows.Flow, n int64) {
+				f.NoteSent(n)
+				e.deliver(f, j, n, arrive)
+			})
+			return
+		}
+		headroom := e.cfg.RelayCap - inter.relay[d].Bytes()
+		if headroom <= 0 {
+			continue // that VOQ is full; try another destination's data
+		}
+		max := e.cell
+		if max > headroom {
+			max = headroom
+		}
+		n := src.direct[d].Take(max, func(f *flows.Flow, n int64) {
+			f.NoteSent(n)
+			inter.relay[d].Push(queue.Segment{Flow: f, Bytes: n, Enqueued: arrive})
+		})
+		inter.relayBytes += n
+		e.relayed += n
+		if e.cfg.OnTransit != nil && n > 0 {
+			e.cfg.OnTransit(j, arrive, n)
+		}
+		return
+	}
+}
+
+func (e *Engine) deliver(f *flows.Flow, dst int, n int64, at sim.Time) {
+	e.ledger.Delivered += n
+	e.goodput.Deliver(dst, n)
+	if f.Deliver(n, at) {
+		e.fct.Record(f.Size, f.FCT())
+		if tag, ok := e.tagOf[f.ID]; ok {
+			ts := e.tags[tag]
+			ts.Done++
+			if f.Completed() > ts.End {
+				ts.End = f.Completed()
+			}
+			delete(e.tagOf, f.ID)
+		}
+	}
+	if e.cfg.OnDeliver != nil {
+		e.cfg.OnDeliver(dst, at, n)
+	}
+}
+
+func (e *Engine) inject(t sim.Time) {
+	if e.work == nil {
+		e.genDone = true
+		return
+	}
+	for {
+		if !e.havePending {
+			a, ok := e.work.Next()
+			if !ok {
+				e.genDone = true
+				return
+			}
+			e.pending, e.havePending = a, true
+		}
+		if e.pending.Time > t {
+			return
+		}
+		a := e.pending
+		e.havePending = false
+		e.flowSeq++
+		f := &flows.Flow{ID: e.flowSeq, Src: a.Src, Dst: a.Dst, Size: a.Size, Arrival: a.Time}
+		src := e.tors[a.Src]
+		if src.lanes != nil {
+			// Spray the flow across intermediates in fixed-size chunks,
+			// each assigned a uniformly random intermediate at arrival as
+			// Sirius sprays cells. Randomness matters: deterministic
+			// assignment correlates across sources and melts hot
+			// intermediates.
+			chunk := int64(e.cfg.SprayChunkCells) * e.cell
+			for off := int64(0); off < a.Size; off += chunk {
+				n := a.Size - off
+				if n > chunk {
+					n = chunk
+				}
+				k := e.rng.Intn(e.n - 1)
+				if k >= a.Src {
+					k++
+				}
+				src.lanes[k].PushBytes(f, n, off, t)
+			}
+		} else {
+			src.direct[a.Dst].Push(f, t)
+		}
+		e.ledger.Injected += a.Size
+		if a.Tag != 0 {
+			ts := e.tags[a.Tag]
+			if ts == nil {
+				ts = &TagStat{Start: a.Time}
+				e.tags[a.Tag] = ts
+			}
+			ts.Flows++
+			if a.Time < ts.Start {
+				ts.Start = a.Time
+			}
+			e.tagOf[f.ID] = a.Tag
+		}
+	}
+}
+
+func (e *Engine) checkInvariants() {
+	var inFabric int64
+	for _, t := range e.tors {
+		var relayHere int64
+		for j := range t.direct {
+			inFabric += t.direct[j].Bytes()
+			relayHere += t.relay[j].Bytes()
+			if t.lanes != nil {
+				inFabric += t.lanes[j].Bytes()
+			}
+		}
+		inFabric += relayHere
+		if relayHere != t.relayBytes {
+			panic(fmt.Sprintf("oblivious: relay accounting drift: %d vs %d", relayHere, t.relayBytes))
+		}
+	}
+	if err := e.ledger.Check(inFabric); err != nil {
+		panic(err)
+	}
+}

@@ -1,0 +1,34 @@
+package queue
+
+import (
+	"testing"
+
+	"negotiator/internal/flows"
+)
+
+// BenchmarkPushTake measures the steady-state per-packet queue cost: one
+// PIAS-classified push and one priority-ordered take.
+func BenchmarkPushTake(b *testing.B) {
+	d := NewDestQueue(true)
+	f := &flows.Flow{ID: 1, Size: 1 << 40}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		d.PushBytes(f, 1115, int64(i)*1115%(20<<10), 0)
+		d.Take(1115, func(*flows.Flow, int64) {})
+	}
+}
+
+// BenchmarkTakeCell measures the spray-lane cell extraction used by the
+// oblivious baseline's hot path.
+func BenchmarkTakeCell(b *testing.B) {
+	var q FIFO
+	fl := make([]*flows.Flow, 8)
+	for i := range fl {
+		fl[i] = &flows.Flow{ID: int64(i), Dst: i % 3, Size: 1 << 40}
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		q.Push(Segment{Flow: fl[i%8], Bytes: 615})
+		q.TakeCell(615, func(*flows.Flow, int64) {})
+	}
+}

@@ -1,0 +1,309 @@
+// Package queue implements the ToR-side queueing model: per-destination
+// FIFO queues (paper §3.1) optionally layered with the PIAS-style
+// information-agnostic multi-level priority mechanism used for mice-flow
+// prioritisation (paper §3.4.2).
+//
+// With priority queues enabled, the first DefaultPrio0Bytes of every flow
+// land in priority 0, the next DefaultPrio1Bytes-DefaultPrio0Bytes in
+// priority 1, and the remainder in priority 2 — the paper's "first 1KB,
+// then the following 9KB, and then the rest" (§4.1). Each priority level
+// drains FIFO, and dequeueing always serves the lowest-numbered non-empty
+// priority, so mice flows overtake queued elephant bytes without any flow
+// size knowledge.
+//
+// Transmission is byte-granular: a slot payload may pack bytes from
+// several segments (and hence flows). This cut-through idealisation has no
+// effect on the epoch-level dynamics the paper measures and keeps the hot
+// path allocation-free.
+package queue
+
+import (
+	"fmt"
+
+	"negotiator/internal/flows"
+	"negotiator/internal/sim"
+)
+
+// PIAS demotion thresholds (paper §4.1).
+const (
+	DefaultPrio0Bytes = 1 << 10  // first 1 KB of a flow
+	DefaultPrio1Bytes = 10 << 10 // up to 10 KB of a flow
+	NumPriorities     = 3
+)
+
+// Segment is a contiguous run of one flow's bytes inside a queue.
+type Segment struct {
+	Flow     *flows.Flow
+	Bytes    int64
+	Enqueued sim.Time // when the segment entered this queue (for HoL stats)
+}
+
+// FIFO is a segment queue with O(1) amortised push/pop and no steady-state
+// allocation. The zero value is an empty queue ready for use.
+type FIFO struct {
+	segs  []Segment
+	head  int
+	bytes int64
+}
+
+// Push appends a segment. Zero-byte segments are dropped.
+func (q *FIFO) Push(s Segment) {
+	if s.Bytes <= 0 {
+		return
+	}
+	if q.head > 64 && q.head*2 >= len(q.segs) {
+		n := copy(q.segs, q.segs[q.head:])
+		q.segs = q.segs[:n]
+		q.head = 0
+	}
+	q.segs = append(q.segs, s)
+	q.bytes += s.Bytes
+}
+
+// Bytes reports the queued byte total.
+func (q *FIFO) Bytes() int64 { return q.bytes }
+
+// Empty reports whether the queue holds no bytes.
+func (q *FIFO) Empty() bool { return q.bytes == 0 }
+
+// Len reports the number of queued segments.
+func (q *FIFO) Len() int { return len(q.segs) - q.head }
+
+// Head returns the front segment without removing it. It panics when empty.
+func (q *FIFO) Head() *Segment {
+	if q.Empty() {
+		panic("queue: Head of empty FIFO")
+	}
+	return &q.segs[q.head]
+}
+
+// Take removes up to max bytes from the front of the queue in FIFO order,
+// invoking emit once per (flow, byte-run) taken. It returns the bytes taken.
+func (q *FIFO) Take(max int64, emit func(f *flows.Flow, n int64)) int64 {
+	var taken int64
+	for taken < max && !q.Empty() {
+		s := &q.segs[q.head]
+		n := s.Bytes
+		if rem := max - taken; n > rem {
+			n = rem
+		}
+		s.Bytes -= n
+		q.bytes -= n
+		taken += n
+		emit(s.Flow, n)
+		if s.Bytes == 0 {
+			s.Flow = nil // allow GC of completed flows
+			q.head++
+		}
+	}
+	return taken
+}
+
+// TakeReady is Take restricted to segments whose Enqueued time is at or
+// before now. It models in-flight data: a relay queue is filled with future
+// arrival timestamps, and the intermediate may only forward bytes that have
+// physically arrived. Segments are enqueued in non-decreasing time order,
+// so the scan stops at the first not-yet-arrived segment.
+func (q *FIFO) TakeReady(max int64, now sim.Time, emit func(f *flows.Flow, n int64)) int64 {
+	var taken int64
+	for taken < max && !q.Empty() {
+		s := &q.segs[q.head]
+		if s.Enqueued > now {
+			break
+		}
+		n := s.Bytes
+		if rem := max - taken; n > rem {
+			n = rem
+		}
+		s.Bytes -= n
+		q.bytes -= n
+		taken += n
+		emit(s.Flow, n)
+		if s.Bytes == 0 {
+			s.Flow = nil
+			q.head++
+		}
+	}
+	return taken
+}
+
+// TakeCell removes up to max bytes belonging to one destination: the head
+// segment's flow destination, packing consecutive segments that share it.
+// It models a network cell, which carries exactly one destination header.
+// It returns the destination served and the bytes taken (dst -1 if empty).
+func (q *FIFO) TakeCell(max int64, emit func(f *flows.Flow, n int64)) (dst int, taken int64) {
+	if q.Empty() {
+		return -1, 0
+	}
+	dst = q.Head().Flow.Dst
+	for taken < max && !q.Empty() && q.Head().Flow.Dst == dst {
+		s := &q.segs[q.head]
+		n := s.Bytes
+		if rem := max - taken; n > rem {
+			n = rem
+		}
+		s.Bytes -= n
+		q.bytes -= n
+		taken += n
+		emit(s.Flow, n)
+		if s.Bytes == 0 {
+			s.Flow = nil
+			q.head++
+		}
+	}
+	return dst, taken
+}
+
+// HeadReady reports whether the front segment has arrived by now — the
+// O(1) guard for relay service decisions (segments are queued in
+// non-decreasing arrival order, so a late head implies nothing is ready).
+func (q *FIFO) HeadReady(now sim.Time) bool {
+	return !q.Empty() && q.segs[q.head].Enqueued <= now
+}
+
+// ReadyBytes reports how many queued bytes have arrived by now.
+func (q *FIFO) ReadyBytes(now sim.Time) int64 {
+	var b int64
+	for i := q.head; i < len(q.segs); i++ {
+		if q.segs[i].Enqueued > now {
+			break
+		}
+		b += q.segs[i].Bytes
+	}
+	return b
+}
+
+// DestQueue is the per-destination queue of one ToR: either a single FIFO
+// (priority queues disabled) or a PIAS multi-level feedback queue.
+type DestQueue struct {
+	prios    []FIFO
+	priority bool
+}
+
+// NewDestQueue returns a per-destination queue; priority selects the PIAS
+// multi-level variant.
+func NewDestQueue(priority bool) *DestQueue {
+	n := 1
+	if priority {
+		n = NumPriorities
+	}
+	return &DestQueue{prios: make([]FIFO, n), priority: priority}
+}
+
+// Push enqueues all bytes of flow f at time now, splitting across priority
+// levels by the PIAS thresholds when enabled.
+func (d *DestQueue) Push(f *flows.Flow, now sim.Time) {
+	d.PushBytes(f, f.Size, 0, now)
+}
+
+// PushBytes enqueues n bytes of flow f whose first byte is at offset off
+// within the flow. Offsets matter because PIAS priorities are assigned by
+// cumulative position in the flow, not by arrival order (a requeued byte
+// keeps its original priority).
+func (d *DestQueue) PushBytes(f *flows.Flow, n, off int64, now sim.Time) {
+	if n <= 0 {
+		return
+	}
+	if !d.priority {
+		d.prios[0].Push(Segment{Flow: f, Bytes: n, Enqueued: now})
+		return
+	}
+	bounds := [...]int64{DefaultPrio0Bytes, DefaultPrio1Bytes, 1 << 62}
+	for p := 0; p < NumPriorities && n > 0; p++ {
+		if off >= bounds[p] {
+			continue
+		}
+		take := bounds[p] - off
+		if take > n {
+			take = n
+		}
+		d.prios[p].Push(Segment{Flow: f, Bytes: take, Enqueued: now})
+		off += take
+		n -= take
+	}
+	if n > 0 {
+		panic(fmt.Sprintf("queue: %d bytes beyond final priority bound", n))
+	}
+}
+
+// Bytes reports the total queued bytes across all priorities.
+func (d *DestQueue) Bytes() int64 {
+	var total int64
+	for i := range d.prios {
+		total += d.prios[i].bytes
+	}
+	return total
+}
+
+// Empty reports whether no bytes are queued.
+func (d *DestQueue) Empty() bool { return d.Bytes() == 0 }
+
+// Take removes up to max bytes, serving priorities in order and FIFO within
+// each priority. It returns the bytes taken.
+func (d *DestQueue) Take(max int64, emit func(f *flows.Flow, n int64)) int64 {
+	var taken int64
+	for p := range d.prios {
+		if taken >= max {
+			break
+		}
+		taken += d.prios[p].Take(max-taken, emit)
+	}
+	return taken
+}
+
+// HeadDst returns the destination of the next data to be served (the head
+// flow of the highest-priority non-empty queue), or -1 when empty. Used by
+// spray lanes, whose segments mix final destinations.
+func (d *DestQueue) HeadDst() int {
+	for p := range d.prios {
+		if !d.prios[p].Empty() {
+			return d.prios[p].Head().Flow.Dst
+		}
+	}
+	return -1
+}
+
+// TakeHeadCell removes up to max bytes for a single destination from the
+// highest-priority non-empty queue (see FIFO.TakeCell). It returns the
+// destination served and bytes taken.
+func (d *DestQueue) TakeHeadCell(max int64, emit func(f *flows.Flow, n int64)) (dst int, taken int64) {
+	for p := range d.prios {
+		if !d.prios[p].Empty() {
+			return d.prios[p].TakeCell(max, emit)
+		}
+	}
+	return -1, 0
+}
+
+// TakeLowestOnly removes up to max bytes but only from the lowest-priority
+// (elephant) queue, used by the traffic-aware selective relay variant
+// (App. A.2.2), which relays only elephant-class data.
+func (d *DestQueue) TakeLowestOnly(max int64, emit func(f *flows.Flow, n int64)) int64 {
+	return d.prios[len(d.prios)-1].Take(max, emit)
+}
+
+// LowestPriorityBytes reports the bytes queued at the lowest priority.
+func (d *DestQueue) LowestPriorityBytes() int64 {
+	return d.prios[len(d.prios)-1].bytes
+}
+
+// HoLWait returns the per-priority head-of-line waiting times at now,
+// padded with zeros for empty queues. Used by the HoL-delay informative
+// request variant (App. A.2.3).
+func (d *DestQueue) HoLWait(now sim.Time) [NumPriorities]sim.Duration {
+	var w [NumPriorities]sim.Duration
+	for p := range d.prios {
+		if !d.prios[p].Empty() {
+			w[p] = now.Sub(d.prios[p].Head().Enqueued)
+		}
+	}
+	return w
+}
+
+// WeightedHoL computes the paper's weighted head-of-line delay
+// (App. A.2.3): (1-α)·(HoL₀+HoL₁)/2 + α·HoL₂, with α small so mice-bearing
+// pairs are scheduled promptly while elephants still register demand.
+func (d *DestQueue) WeightedHoL(now sim.Time, alpha float64) float64 {
+	w := d.HoLWait(now)
+	return (1-alpha)*(float64(w[0])+float64(w[1]))/2 + alpha*float64(w[2])
+}

@@ -1,0 +1,30 @@
+package sim
+
+// Rate is a link rate expressed in bytes per 8 nanoseconds. The unusual unit
+// makes the common datacenter rates exact integers (100 Gbps = 100 bytes per
+// 8 ns) so slot payload arithmetic stays integral.
+type Rate int64
+
+// Gbps returns the rate for a whole number of gigabits per second.
+// 1 Gbps = 1e9 bits/s = 0.125 B/ns = 1 byte per 8 ns.
+func Gbps(g int64) Rate { return Rate(g) }
+
+// GbpsValue reports the rate in gigabits per second.
+func (r Rate) GbpsValue() float64 { return float64(r) }
+
+// BytesIn returns how many whole bytes the rate transfers in d.
+func (r Rate) BytesIn(d Duration) int64 {
+	return int64(r) * int64(d) / 8
+}
+
+// TimeFor returns the duration needed to transfer n bytes at rate r,
+// rounded up to whole nanoseconds.
+func (r Rate) TimeFor(n int64) Duration {
+	if r <= 0 {
+		return 0
+	}
+	return Duration((n*8 + int64(r) - 1) / int64(r))
+}
+
+// BytesPerSecond reports the rate in bytes per second.
+func (r Rate) BytesPerSecond() float64 { return float64(r) * 0.125e9 }

@@ -1,0 +1,29 @@
+package topo
+
+import "testing"
+
+// BenchmarkPredefinedPeer measures the schedule lookup on the hot
+// per-slot path at paper scale.
+func BenchmarkPredefinedPeer(b *testing.B) {
+	p, err := NewParallel(128, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p.PredefinedPeer(i%128, i%8, i%16, i)
+	}
+}
+
+// BenchmarkPredefinedSlotPort measures the inverse lookup used per
+// ToR-pair per epoch for piggybacking.
+func BenchmarkPredefinedSlotPort(b *testing.B) {
+	tc, err := NewThinClos(128, 8, 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tc.PredefinedSlotPort(i%128, (i+7)%128, i)
+	}
+}

@@ -1,0 +1,234 @@
+// Package topo models the flat AWGR-based optical topologies that NegotiaToR
+// runs on: the parallel network built from high port-count AWGRs and the
+// thin-clos network built from low port-count AWGRs (paper Figure 1).
+//
+// In both topologies a ToR has S uplink ports, each equipped with a fast
+// tunable laser and attached to a passive AWGR; tuning the wavelength selects
+// the destination. A physical connection is always "same-index port to
+// same-index port": when source i transmits from its port s the bits arrive
+// on destination j's port s. The topologies differ in which destinations a
+// given port can reach, which in turn shapes the GRANT step of NegotiaToR
+// Matching (per-ToR ring on the parallel network, per-port rings on
+// thin-clos).
+package topo
+
+import "fmt"
+
+// Topology describes the connection capabilities of a flat optical fabric
+// interconnecting N ToRs with S uplink ports each.
+//
+// Implementations must be stateless and safe for concurrent use.
+type Topology interface {
+	// N returns the number of ToRs.
+	N() int
+	// Ports returns the number of uplink ports per ToR (S).
+	Ports() int
+
+	// CanReach reports whether source ToR src can transmit to destination
+	// ToR dst using port s (on both ends; connections are same-index).
+	CanReach(src, s, dst int) bool
+
+	// PortDomain returns the set of source ToRs that can reach destination
+	// dst on its port s, i.e. the candidate set of the GRANT arbiter for
+	// that port. The returned slice must not be modified. The destination
+	// itself is included when the hardware would allow a self-loop; the
+	// matching layer never requests self traffic.
+	PortDomain(dst, s int) []int
+
+	// PredefinedSlots returns the number of timeslots a predefined phase
+	// needs to connect every ordered ToR pair exactly once:
+	// ceil((N-1)/S) for the parallel network, W for thin-clos.
+	PredefinedSlots() int
+
+	// PredefinedPeer returns the destination that port s of ToR i connects
+	// to during timeslot t of a predefined phase with round-robin rotation
+	// r, or -1 if the slot is a self-connection (idle). Rotation only has
+	// an effect on the parallel network, where it cycles the port used by
+	// each ToR pair across epochs for fault resilience (§3.6.1); thin-clos
+	// pairs have a single fixed port-to-port path.
+	PredefinedPeer(i, s, t, r int) int
+
+	// PathPort returns the single port index connecting src to dst on
+	// topologies with unique paths (thin-clos), or -1 when any port works
+	// (parallel network). It returns -2 if src == dst.
+	PathPort(src, dst int) int
+
+	// PredefinedSlotPort is the inverse of PredefinedPeer: the (slot, port)
+	// at which source i connects to j during a predefined phase with
+	// rotation r. It returns (-1, -1) if i == j.
+	PredefinedSlotPort(i, j, r int) (slot, port int)
+
+	// AWGRs returns the number of optical switches the physical build
+	// requires and the port count of each.
+	AWGRs() (count, ports int)
+
+	// Name returns a short human-readable topology name.
+	Name() string
+}
+
+// Parallel is the parallel network topology (paper Figure 1a): S AWGRs, each
+// with N ports; ToR i's port s attaches to AWGR s, which is a full N×N
+// wavelength crossbar. Any source can reach any destination on any port.
+type Parallel struct {
+	n, s    int
+	domains [][]int // one shared domain: all ToRs
+}
+
+// NewParallel returns a parallel network of n ToRs with s ports each.
+func NewParallel(n, s int) (*Parallel, error) {
+	if n < 2 || s < 1 {
+		return nil, fmt.Errorf("topo: parallel network needs n >= 2, s >= 1 (got n=%d s=%d)", n, s)
+	}
+	all := make([]int, n)
+	for i := range all {
+		all[i] = i
+	}
+	return &Parallel{n: n, s: s, domains: [][]int{all}}, nil
+}
+
+func (p *Parallel) N() int     { return p.n }
+func (p *Parallel) Ports() int { return p.s }
+
+func (p *Parallel) CanReach(src, s, dst int) bool {
+	return src != dst && s >= 0 && s < p.s && src >= 0 && src < p.n && dst >= 0 && dst < p.n
+}
+
+func (p *Parallel) PortDomain(dst, s int) []int { return p.domains[0] }
+
+func (p *Parallel) PredefinedSlots() int { return (p.n - 2 + p.s) / p.s } // ceil((n-1)/s)
+
+// PredefinedPeer implements the rotating round-robin schedule. With
+// k = (t*S + s + r) mod (slots*S), ToR i connects to (i + 1 + k) mod N.
+// For fixed t the S ports of a ToR hit S consecutive offsets, so each slot
+// is conflict-free, and over one phase every ordered pair meets exactly
+// once. Incrementing the rotation r each epoch shifts which port serves a
+// given pair, cycling through all S ports over S epochs.
+func (p *Parallel) PredefinedPeer(i, s, t, r int) int {
+	span := p.PredefinedSlots() * p.s
+	k := (t*p.s + s + r) % span
+	j := (i + 1 + k) % p.n
+	if j == i || k >= p.n-1 {
+		// Offsets beyond n-2 (padding when S doesn't divide N-1) and the
+		// wrap onto self are idle.
+		return -1
+	}
+	return j
+}
+
+func (p *Parallel) PathPort(src, dst int) int {
+	if src == dst {
+		return -2
+	}
+	return -1
+}
+
+// PredefinedSlotPort inverts the rotating schedule: the offset of j from i
+// is k = (j-i-1) mod N, reached when (t*S + s + r) mod span == k.
+func (p *Parallel) PredefinedSlotPort(i, j, r int) (slot, port int) {
+	if i == j {
+		return -1, -1
+	}
+	span := p.PredefinedSlots() * p.s
+	k := (j - i - 1 + p.n) % p.n
+	ts := ((k-r)%span + span) % span
+	return ts / p.s, ts % p.s
+}
+
+func (p *Parallel) AWGRs() (count, ports int) { return p.s, p.n }
+func (p *Parallel) Name() string              { return "parallel" }
+
+// ThinClos is the thin-clos topology (paper Figure 1b) built from W-port
+// AWGRs. N = W*G ToRs are arranged in G groups of W, with S = G ports per
+// ToR. Port s of ToR i (in group gi) reaches exactly the W ToRs of group
+// (s - gi) mod G, so every ordered pair is connected by a single
+// port-to-port path with identical port index at both ends (§3.6.1). The
+// build uses N*S/W AWGRs of W ports each: at paper scale (N=128, S=8,
+// W=16) that is 64 sixteen-port AWGRs.
+type ThinClos struct {
+	n, s, w int
+	domains [][]int // indexed by group: the W members of that group
+}
+
+// NewThinClos returns a thin-clos network of n ToRs with s ports per ToR
+// and w-port AWGRs. It requires n == s*w (so the s port-reachable sets of
+// size w partition the n destinations).
+func NewThinClos(n, s, w int) (*ThinClos, error) {
+	if n < 2 || s < 1 || w < 1 {
+		return nil, fmt.Errorf("topo: thin-clos needs positive dimensions (got n=%d s=%d w=%d)", n, s, w)
+	}
+	if n != s*w {
+		return nil, fmt.Errorf("topo: thin-clos requires n == s*w, got n=%d, s*w=%d", n, s*w)
+	}
+	t := &ThinClos{n: n, s: s, w: w}
+	t.domains = make([][]int, s)
+	for g := 0; g < s; g++ {
+		members := make([]int, w)
+		for l := 0; l < w; l++ {
+			members[l] = g*w + l
+		}
+		t.domains[g] = members
+	}
+	return t, nil
+}
+
+func (t *ThinClos) N() int     { return t.n }
+func (t *ThinClos) Ports() int { return t.s }
+
+// W returns the AWGR port count (group size).
+func (t *ThinClos) W() int { return t.w }
+
+func (t *ThinClos) group(i int) int { return i / t.w }
+
+func (t *ThinClos) CanReach(src, s, dst int) bool {
+	if src == dst || s < 0 || s >= t.s || src < 0 || src >= t.n || dst < 0 || dst >= t.n {
+		return false
+	}
+	return t.group(dst) == (s-t.group(src)+t.s)%t.s
+}
+
+// PortDomain: destination dst receives on port s only from sources in group
+// (s - g(dst)) mod G.
+func (t *ThinClos) PortDomain(dst, s int) []int {
+	g := (s - t.group(dst) + t.s) % t.s
+	return t.domains[g]
+}
+
+func (t *ThinClos) PredefinedSlots() int { return t.w }
+
+// PredefinedPeer: in slot tt, port s of ToR i connects to the member of its
+// reachable group with local index (li + tt) mod W. Each destination port
+// then hears from exactly one source per slot, and over W slots every
+// reachable pair meets exactly once. Rotation r is ignored: thin-clos pairs
+// have a unique path, so there is nothing to rotate (the paper handles
+// thin-clos failures by relaying instead).
+func (t *ThinClos) PredefinedPeer(i, s, tt, r int) int {
+	gi := t.group(i)
+	gj := (s - gi + t.s) % t.s
+	li := i % t.w
+	j := gj*t.w + (li+tt)%t.w
+	if j == i {
+		return -1
+	}
+	return j
+}
+
+func (t *ThinClos) PathPort(src, dst int) int {
+	if src == dst {
+		return -2
+	}
+	return (t.group(src) + t.group(dst)) % t.s
+}
+
+// PredefinedSlotPort inverts the thin-clos schedule: the pair's unique port
+// and the slot offsetting j's local index from i's.
+func (t *ThinClos) PredefinedSlotPort(i, j, r int) (slot, port int) {
+	if i == j {
+		return -1, -1
+	}
+	port = t.PathPort(i, j)
+	slot = (j%t.w - i%t.w + t.w) % t.w
+	return slot, port
+}
+
+func (t *ThinClos) AWGRs() (count, ports int) { return t.n * t.s / t.w, t.w }
+func (t *ThinClos) Name() string              { return "thin-clos" }

@@ -1,0 +1,302 @@
+package workload
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+
+	"negotiator/internal/sim"
+)
+
+// Arrival is one flow arrival produced by a Generator. Tag groups flows
+// belonging to the same application event: 0 marks background traffic and
+// positive values identify incast events (used for incast finish time).
+type Arrival struct {
+	Time sim.Time
+	Src  int
+	Dst  int
+	Size int64
+	Tag  int
+}
+
+// Generator yields flow arrivals in non-decreasing time order. A generator
+// may be infinite; engines stop pulling at their horizon.
+type Generator interface {
+	// Next returns the next arrival. ok is false when the generator is
+	// exhausted.
+	Next() (a Arrival, ok bool)
+}
+
+// Load computes the paper's network load for a mean flow size F (bytes),
+// per-ToR host bandwidth R, N ToRs and mean inter-arrival τ:
+// L = F / (R·N·τ).
+func Load(meanFlowBytes float64, hostRate sim.Rate, n int, interArrival sim.Duration) float64 {
+	denom := hostRate.BytesPerSecond() * float64(n) * interArrival.Seconds()
+	if denom == 0 {
+		return 0
+	}
+	return meanFlowBytes / denom
+}
+
+// InterArrivalFor inverts the load equation: the mean flow inter-arrival
+// time τ that produces the requested load, rounded to the nearest
+// nanosecond. At paper scale τ is a few tens of nanoseconds, so treat the
+// result as informational; the Poisson generator keeps sub-nanosecond
+// precision internally.
+func InterArrivalFor(load float64, dist SizeDist, hostRate sim.Rate, n int) sim.Duration {
+	if load <= 0 {
+		return 1 << 60
+	}
+	tau := dist.Mean() / (hostRate.BytesPerSecond() * float64(n) * load)
+	d := sim.Duration(tau*float64(sim.Second) + 0.5)
+	if d < 1 {
+		d = 1
+	}
+	return d
+}
+
+// Poisson generates background traffic: flows arrive as a Poisson process
+// with sources and destinations chosen uniformly at random (distinct), and
+// sizes drawn from dist — the paper's workload model (§4.1).
+//
+// Arrival times accumulate in float64 nanoseconds internally: at paper
+// scale the mean inter-arrival is a few tens of nanoseconds, where integer
+// truncation would bias the offered load by several percent.
+type Poisson struct {
+	dist   SizeDist
+	n      int
+	meanNs float64
+	rng    *sim.RNG
+	clock  float64
+}
+
+// NewPoisson returns a Poisson generator for n ToRs at the given load.
+func NewPoisson(dist SizeDist, n int, load float64, hostRate sim.Rate, seed int64) *Poisson {
+	g := &Poisson{
+		dist: dist,
+		n:    n,
+		rng:  sim.NewRNG(seed),
+	}
+	if load > 0 {
+		tauSec := dist.Mean() / (hostRate.BytesPerSecond() * float64(n) * load)
+		g.meanNs = tauSec * 1e9
+	} else {
+		g.meanNs = 1e18
+	}
+	g.advance()
+	return g
+}
+
+func (g *Poisson) advance() {
+	u := g.rng.Float64()
+	for u == 0 {
+		u = g.rng.Float64()
+	}
+	g.clock += -math.Log(u) * g.meanNs
+}
+
+// Next implements Generator. The process is unbounded.
+func (g *Poisson) Next() (Arrival, bool) {
+	src := g.rng.Intn(g.n)
+	dst := g.rng.Intn(g.n - 1)
+	if dst >= src {
+		dst++
+	}
+	a := Arrival{Time: sim.Time(g.clock), Src: src, Dst: dst, Size: g.dist.Sample(g.rng)}
+	g.advance()
+	return a, true
+}
+
+// Incast generates one incast event: degree distinct sources each send one
+// flow of size bytes to dst simultaneously at t (paper §4.2, Figure 7a).
+type Incast struct {
+	arrivals []Arrival
+	pos      int
+}
+
+// NewIncast builds the event. Sources are chosen deterministically from
+// seed among all ToRs except dst.
+func NewIncast(n, dst, degree int, size int64, t sim.Time, tag int, seed int64) (*Incast, error) {
+	if degree > n-1 {
+		return nil, fmt.Errorf("workload: incast degree %d exceeds n-1=%d", degree, n-1)
+	}
+	rng := sim.NewRNG(seed)
+	perm := make([]int, n)
+	rng.Perm(perm)
+	ev := &Incast{}
+	for _, src := range perm {
+		if src == dst {
+			continue
+		}
+		ev.arrivals = append(ev.arrivals, Arrival{Time: t, Src: src, Dst: dst, Size: size, Tag: tag})
+		if len(ev.arrivals) == degree {
+			break
+		}
+	}
+	return ev, nil
+}
+
+func (g *Incast) Next() (Arrival, bool) {
+	if g.pos >= len(g.arrivals) {
+		return Arrival{}, false
+	}
+	a := g.arrivals[g.pos]
+	g.pos++
+	return a, true
+}
+
+// AllToAll generates the synchronous all-to-all workload: at time t each
+// ToR sends one flow of size bytes to every other ToR (paper §4.2,
+// Figure 7b).
+type AllToAll struct {
+	n    int
+	size int64
+	t    sim.Time
+	i, j int
+}
+
+// NewAllToAll returns the generator for n ToRs.
+func NewAllToAll(n int, size int64, t sim.Time) *AllToAll {
+	return &AllToAll{n: n, size: size, t: t}
+}
+
+func (g *AllToAll) Next() (Arrival, bool) {
+	if g.j == g.i {
+		g.j++
+	}
+	if g.j >= g.n {
+		g.i++
+		g.j = 0
+		if g.j == g.i {
+			g.j++
+		}
+	}
+	if g.i >= g.n {
+		return Arrival{}, false
+	}
+	a := Arrival{Time: g.t, Src: g.i, Dst: g.j, Size: g.size}
+	g.j++
+	return a, true
+}
+
+// SinglePair generates one very large flow between a fixed pair, modelling
+// the continuously-transmitting pair of the failure micro-observation
+// (paper Appendix A.4, Figure 19).
+type SinglePair struct {
+	done bool
+	a    Arrival
+}
+
+// NewSinglePair returns the generator.
+func NewSinglePair(src, dst int, size int64, t sim.Time) *SinglePair {
+	return &SinglePair{a: Arrival{Time: t, Src: src, Dst: dst, Size: size}}
+}
+
+func (g *SinglePair) Next() (Arrival, bool) {
+	if g.done {
+		return Arrival{}, false
+	}
+	g.done = true
+	return g.a, true
+}
+
+// IncastMix generates Poisson-arriving incast events: each event has the
+// given degree and per-flow size, and events arrive so that incast traffic
+// consumes bwFraction of the aggregate host downlink bandwidth (paper §4.4,
+// Figure 13a: degree 20, 1 KB flows, 2%).
+type IncastMix struct {
+	n        int
+	degree   int
+	size     int64
+	mean     sim.Duration
+	rng      *sim.RNG
+	nextTime sim.Time
+	tag      int
+	pending  []Arrival
+	pos      int
+}
+
+// NewIncastMix returns the generator. Tags start at firstTag and increment
+// per event.
+func NewIncastMix(n, degree int, size int64, bwFraction float64, hostRate sim.Rate, firstTag int, seed int64) *IncastMix {
+	eventBytes := float64(degree) * float64(size)
+	rate := bwFraction * hostRate.BytesPerSecond() * float64(n) / eventBytes // events/s
+	mean := sim.Duration(float64(sim.Second) / rate)
+	if mean < 1 {
+		mean = 1
+	}
+	g := &IncastMix{
+		n: n, degree: degree, size: size,
+		mean: mean, rng: sim.NewRNG(seed), tag: firstTag,
+	}
+	g.nextTime = sim.Time(g.rng.ExpDuration(mean))
+	return g
+}
+
+func (g *IncastMix) Next() (Arrival, bool) {
+	if g.pos >= len(g.pending) {
+		// Synthesise the next event.
+		dst := g.rng.Intn(g.n)
+		ev, err := NewIncast(g.n, dst, g.degree, g.size, g.nextTime, g.tag, int64(g.rng.Uint64()))
+		if err != nil {
+			return Arrival{}, false
+		}
+		g.pending = ev.arrivals
+		g.pos = 0
+		g.tag++
+		g.nextTime = g.nextTime.Add(g.rng.ExpDuration(g.mean))
+	}
+	a := g.pending[g.pos]
+	g.pos++
+	return a, true
+}
+
+// Merge combines generators into one stream ordered by arrival time.
+type Merge struct {
+	h mergeHeap
+}
+
+type mergeEntry struct {
+	a   Arrival
+	gen Generator
+}
+
+type mergeHeap []mergeEntry
+
+func (h mergeHeap) Len() int            { return len(h) }
+func (h mergeHeap) Less(i, j int) bool  { return h[i].a.Time < h[j].a.Time }
+func (h mergeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *mergeHeap) Push(x interface{}) { *h = append(*h, x.(mergeEntry)) }
+func (h *mergeHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// NewMerge merges the given generators.
+func NewMerge(gens ...Generator) *Merge {
+	m := &Merge{}
+	for _, g := range gens {
+		if a, ok := g.Next(); ok {
+			m.h = append(m.h, mergeEntry{a, g})
+		}
+	}
+	heap.Init(&m.h)
+	return m
+}
+
+func (m *Merge) Next() (Arrival, bool) {
+	if m.h.Len() == 0 {
+		return Arrival{}, false
+	}
+	top := m.h[0]
+	if a, ok := top.gen.Next(); ok {
+		m.h[0] = mergeEntry{a, top.gen}
+		heap.Fix(&m.h, 0)
+	} else {
+		heap.Pop(&m.h)
+	}
+	return top.a, true
+}

@@ -1,0 +1,542 @@
+// Package negotiator is a from-scratch Go reproduction of NegotiaToR
+// (Liang et al., SIGCOMM 2024): a simple on-demand reconfigurable optical
+// datacenter network architecture. ToRs exchange binary scheduling messages
+// through an in-band control plane carried by periodic round-robin
+// all-to-all connectivity, distributedly compute non-conflicting one-hop
+// paths with the NegotiaToR Matching algorithm, and bypass scheduling
+// delays for latency-sensitive mice flows by piggybacking data on the
+// control plane — an incast-friendly design.
+//
+// The package exposes a high-level facade over the engines in internal/:
+// build a Spec, call Build, attach a workload, Run, and read Summary.
+//
+//	spec := negotiator.DefaultSpec()
+//	fab, err := spec.Build()
+//	if err != nil { ... }
+//	fab.SetWorkload(negotiator.PoissonWorkload(spec, negotiator.Hadoop, 0.5, 7))
+//	fab.Run(5 * negotiator.Millisecond) // simulated time
+//	sum := fab.Summary()
+//
+// Everything the paper evaluates — both flat topologies, the
+// traffic-oblivious Sirius-like baseline, the design-choice variants of
+// §3.5/Appendix A.2, link-failure scenarios, and the paper's workloads —
+// is reachable from this package; the experiment harness in internal/exp
+// regenerates every table and figure.
+package negotiator
+
+import (
+	"fmt"
+
+	"negotiator/internal/failure"
+	"negotiator/internal/match"
+	"negotiator/internal/metrics"
+	"negotiator/internal/negotiator"
+	"negotiator/internal/oblivious"
+	"negotiator/internal/sim"
+	"negotiator/internal/topo"
+	"negotiator/internal/workload"
+)
+
+// Time is a simulated instant in nanoseconds (re-exported from the
+// simulation substrate).
+type Time = sim.Time
+
+// Duration is a simulated time span in nanoseconds.
+type Duration = sim.Duration
+
+// Common durations.
+const (
+	Nanosecond  = sim.Nanosecond
+	Microsecond = sim.Microsecond
+	Millisecond = sim.Millisecond
+	Second      = sim.Second
+)
+
+// Gbps expresses a link rate in gigabits per second.
+func Gbps(g int64) sim.Rate { return sim.Gbps(g) }
+
+// Topology selects the flat optical topology (paper Figure 1).
+type Topology int
+
+const (
+	// ParallelNetwork uses S high port-count AWGRs: any destination is
+	// reachable on any uplink port.
+	ParallelNetwork Topology = iota
+	// ThinClos uses many low port-count AWGRs: every ToR pair is connected
+	// by exactly one port-to-port path.
+	ThinClos
+)
+
+func (t Topology) String() string {
+	if t == ThinClos {
+		return "thin-clos"
+	}
+	return "parallel"
+}
+
+// Scheduler selects the scheduling policy (§3.2, §3.5, Appendix A.2).
+type Scheduler int
+
+const (
+	// Matching is NegotiaToR Matching: binary requests, round-robin rings,
+	// no iteration, stateless (the paper's design).
+	Matching Scheduler = iota
+	// Iterative1, Iterative3, Iterative5 are the iterative variants with
+	// 1, 3 and 5 rounds (Appendix A.2.1).
+	Iterative1
+	Iterative3
+	Iterative5
+	// DataSizePriority carries queue sizes in requests and favours large
+	// backlogs (Appendix A.2.3, goodput-oriented).
+	DataSizePriority
+	// HoLDelayPriority carries weighted head-of-line delays and favours
+	// long waits (Appendix A.2.3, tail-FCT-oriented).
+	HoLDelayPriority
+	// Stateful tracks a per-destination traffic matrix to suppress
+	// over-scheduling (Appendix A.2.4).
+	Stateful
+	// ProjecToRStyle is the ProjecToR-inspired per-port delay-priority
+	// scheduler (Appendix A.2.5).
+	ProjecToRStyle
+	// PIMStyle and ISLIPStyle transplant the classic crossbar schedulers
+	// the paper contrasts with (§5) into the ToR-matching setting, with
+	// three iterations each: PIM picks randomly, iSLIP desynchronises its
+	// pointers via the accepted-grant rule. These are reproduction
+	// extensions (the `ext-arbiters` experiment), not paper variants.
+	PIMStyle
+	ISLIPStyle
+)
+
+func (s Scheduler) String() string {
+	switch s {
+	case Iterative1:
+		return "iterative-1"
+	case Iterative3:
+		return "iterative-3"
+	case Iterative5:
+		return "iterative-5"
+	case DataSizePriority:
+		return "data-size"
+	case HoLDelayPriority:
+		return "hol-delay"
+	case Stateful:
+		return "stateful"
+	case ProjecToRStyle:
+		return "projector"
+	case PIMStyle:
+		return "pim"
+	case ISLIPStyle:
+		return "islip"
+	default:
+		return "negotiator-matching"
+	}
+}
+
+// Spec describes a fabric to build. The zero value is not useful; start
+// from DefaultSpec (the paper's §4.1 setup) and adjust.
+type Spec struct {
+	// ToRs and Ports dimension the network (128 and 8 in the paper).
+	ToRs, Ports int
+	// AWGRPorts is the thin-clos AWGR port count W (16 in the paper);
+	// ignored for the parallel network. Must satisfy ToRs == Ports*AWGRPorts.
+	AWGRPorts int
+	// Topology picks the fabric layout.
+	Topology Topology
+	// Oblivious builds the traffic-oblivious Sirius-like baseline instead
+	// of NegotiaToR.
+	Oblivious bool
+	// Scheduler picks the NegotiaToR scheduling policy (ignored for the
+	// baseline).
+	Scheduler Scheduler
+	// LinkRate is the per-uplink-port rate (100 Gbps: the paper's 2x
+	// speedup over 400 Gbps hosts on 8 ports).
+	LinkRate sim.Rate
+	// HostRate is the aggregate host bandwidth per ToR (400 Gbps).
+	HostRate sim.Rate
+	// ReconfigDelay is the guardband / end-to-end reconfiguration delay
+	// (10 ns).
+	ReconfigDelay Duration
+	// PropDelay is the one-way inter-ToR propagation delay (2 µs).
+	PropDelay Duration
+	// ScheduledSlots is the scheduled-phase length in 90 ns timeslots (30).
+	ScheduledSlots int
+	// PredefinedSlotTime overrides the predefined-phase timeslot duration
+	// (guardband included); zero keeps the default 60 ns. Sweeping it
+	// changes how much data piggybacks per epoch (Figure 12a).
+	PredefinedSlotTime Duration
+	// Piggyback enables scheduling-delay bypass (§3.4.1). Both true in the
+	// paper's default evaluation.
+	Piggyback bool
+	// RequestThresholdPkts is the request threshold in piggyback packets
+	// (§3.4.1): with piggybacking on, a pair requests a scheduled
+	// connection only when its queue exceeds this many piggyback
+	// payloads. Zero means the paper's 3.
+	RequestThresholdPkts int
+	// PriorityQueues enables PIAS mice-flow prioritisation (§3.4.2).
+	PriorityQueues bool
+	// SelectiveRelay enables the traffic-aware relay extension on
+	// thin-clos (Appendix A.2.2).
+	SelectiveRelay bool
+	// Failures optionally injects link failures.
+	Failures *FailurePlan
+	// Seed drives all randomness.
+	Seed int64
+	// CheckInvariants enables per-epoch conservation/conflict assertions.
+	CheckInvariants bool
+	// OnDeliver and OnTransit observe deliveries (and, for the baseline,
+	// first-hop transit arrivals).
+	OnDeliver func(dst int, at Time, n int64)
+	OnTransit func(intermediate int, at Time, n int64)
+	// TrackReceiverBuffers models the receiver-side ToR-to-host buffers of
+	// §3.6.5 (the optical fabric delivers at up to 2x the host drain rate)
+	// and reports their peak occupancy in Summary (NegotiaToR fabric only).
+	TrackReceiverBuffers bool
+}
+
+// DefaultSpec returns the paper's evaluation setup (§4.1): 128 8-port ToRs,
+// 100 Gbps ports (2x speedup), 10 ns guardband, 30-slot scheduled phase,
+// piggybacking and priority queues on, parallel network topology.
+func DefaultSpec() Spec {
+	return Spec{
+		ToRs: 128, Ports: 8, AWGRPorts: 16,
+		Topology:       ParallelNetwork,
+		LinkRate:       sim.Gbps(100),
+		HostRate:       sim.Gbps(400),
+		ReconfigDelay:  10,
+		PropDelay:      2 * sim.Microsecond,
+		ScheduledSlots: 30,
+		Piggyback:      true,
+		PriorityQueues: true,
+		Seed:           1,
+	}
+}
+
+// SmallSpec returns a reduced 16-ToR setup for fast tests, examples and
+// benchmarks (4 ports, thin-clos W=4, 200 Gbps hosts for the same 2x
+// speedup).
+func SmallSpec() Spec {
+	s := DefaultSpec()
+	s.ToRs, s.Ports, s.AWGRPorts = 16, 4, 4
+	s.HostRate = sim.Gbps(200)
+	return s
+}
+
+// buildTopology constructs the topo.Topology for the spec.
+func (s Spec) buildTopology() (topo.Topology, error) {
+	if s.Topology == ThinClos {
+		return topo.NewThinClos(s.ToRs, s.Ports, s.AWGRPorts)
+	}
+	return topo.NewParallel(s.ToRs, s.Ports)
+}
+
+// timing derives the NegotiaToR Timing from the spec.
+func (s Spec) timing() negotiator.Timing {
+	t := negotiator.DefaultTiming()
+	t.LinkRate = s.LinkRate
+	t.PropDelay = s.PropDelay
+	if s.ScheduledSlots > 0 {
+		t.ScheduledSlots = s.ScheduledSlots
+	}
+	if s.PredefinedSlotTime > 0 {
+		t.PredefinedSlot = s.PredefinedSlotTime
+	}
+	if s.ReconfigDelay > 0 && s.ReconfigDelay != t.Guardband {
+		// Keep the message transmission time; the slot stretches.
+		t.PredefinedSlot = t.PredefinedSlot - t.Guardband + s.ReconfigDelay
+		t.Guardband = s.ReconfigDelay
+	}
+	return t
+}
+
+func (s Spec) matcherFactory() func(topo.Topology, negotiator.Timing, *sim.RNG) match.Matcher {
+	switch s.Scheduler {
+	case Iterative1:
+		return func(t topo.Topology, tm negotiator.Timing, r *sim.RNG) match.Matcher {
+			return match.NewIterative(t, r, 1)
+		}
+	case Iterative3:
+		return func(t topo.Topology, tm negotiator.Timing, r *sim.RNG) match.Matcher {
+			return match.NewIterative(t, r, 3)
+		}
+	case Iterative5:
+		return func(t topo.Topology, tm negotiator.Timing, r *sim.RNG) match.Matcher {
+			return match.NewIterative(t, r, 5)
+		}
+	case DataSizePriority:
+		return func(t topo.Topology, tm negotiator.Timing, r *sim.RNG) match.Matcher { return match.NewDataSize(t, r) }
+	case HoLDelayPriority:
+		return func(t topo.Topology, tm negotiator.Timing, r *sim.RNG) match.Matcher { return match.NewHoLDelay(t, r) }
+	case Stateful:
+		return func(t topo.Topology, tm negotiator.Timing, r *sim.RNG) match.Matcher {
+			return match.NewStateful(t, r, tm.EpochPortBytes())
+		}
+	case ProjecToRStyle:
+		return func(t topo.Topology, tm negotiator.Timing, r *sim.RNG) match.Matcher { return match.NewProjecToR(t, r) }
+	case PIMStyle:
+		return func(t topo.Topology, tm negotiator.Timing, r *sim.RNG) match.Matcher {
+			return match.NewClassic(t, r, 3, match.PIM)
+		}
+	case ISLIPStyle:
+		return func(t topo.Topology, tm negotiator.Timing, r *sim.RNG) match.Matcher {
+			return match.NewClassic(t, r, 3, match.ISLIP)
+		}
+	default:
+		return nil // base NegotiaToR Matching
+	}
+}
+
+// Build constructs the fabric described by the spec.
+func (s Spec) Build() (Fabric, error) {
+	top, err := s.buildTopology()
+	if err != nil {
+		return nil, err
+	}
+	var plan *failure.Plan
+	if s.Failures != nil {
+		plan, err = s.Failures.compile(s)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if s.Oblivious {
+		ot := oblivious.DefaultTiming()
+		ot.LinkRate = s.LinkRate
+		ot.PropDelay = s.PropDelay
+		if s.ReconfigDelay > 0 {
+			ot.Slot = ot.Slot - ot.Guardband + s.ReconfigDelay
+			ot.Guardband = s.ReconfigDelay
+		}
+		if plan != nil {
+			return nil, fmt.Errorf("negotiator: failure injection is implemented for the NegotiaToR fabric (§4.3); the baseline does not model it")
+		}
+		e, err := oblivious.New(oblivious.Config{
+			Topology:        top,
+			Timing:          ot,
+			HostRate:        s.HostRate,
+			PriorityQueues:  s.PriorityQueues,
+			Seed:            s.Seed,
+			CheckInvariants: s.CheckInvariants,
+			OnDeliver:       s.OnDeliver,
+			OnTransit:       s.OnTransit,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return &obliviousFabric{e: e, spec: s}, nil
+	}
+	cfg := negotiator.Config{
+		Topology:             top,
+		Timing:               s.timing(),
+		HostRate:             s.HostRate,
+		Piggyback:            s.Piggyback,
+		RequestThresholdPkts: s.RequestThresholdPkts,
+		PriorityQueues:       s.PriorityQueues,
+		NewMatcher:           s.matcherFactory(),
+		Failures:             plan,
+		Seed:                 s.Seed,
+		CheckInvariants:      s.CheckInvariants,
+		OnDeliver:            s.OnDeliver,
+		TrackReceiverBuffers: s.TrackReceiverBuffers,
+	}
+	if s.SelectiveRelay {
+		cfg.Relay = &negotiator.RelayConfig{}
+	}
+	e, err := negotiator.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &negotiatorFabric{e: e, spec: s}, nil
+}
+
+// FailurePlan describes link failures for the fault-tolerance experiments
+// (§4.3, Appendix A.4).
+type FailurePlan struct {
+	// Fraction of all directed port-links to fail simultaneously (Figure
+	// 10). Mutually exclusive with Links.
+	Fraction float64
+	// Links lists explicit failures (Figure 19). Each entry is
+	// (tor, port, ingress).
+	Links []FailedLink
+	// FailAt and RecoverAt bound the outage.
+	FailAt, RecoverAt Time
+	// DetectDelay is the fabric's detection lag; zero means three epochs
+	// at default timing.
+	DetectDelay Duration
+	// Seed selects which links fail for Fraction plans.
+	Seed int64
+}
+
+// FailedLink names one direction of one uplink port.
+type FailedLink struct {
+	ToR, Port int
+	Ingress   bool
+}
+
+func (p *FailurePlan) compile(s Spec) (*failure.Plan, error) {
+	detect := p.DetectDelay
+	if detect == 0 {
+		detect = 3 * negotiator.DefaultTiming().EpochLen(16)
+	}
+	if p.Fraction > 0 && len(p.Links) > 0 {
+		return nil, fmt.Errorf("negotiator: FailurePlan: set Fraction or Links, not both")
+	}
+	if p.Fraction > 0 {
+		return failure.Random(s.ToRs, s.Ports, p.Fraction, p.FailAt, p.RecoverAt, detect, p.Seed), nil
+	}
+	links := make([]failure.Link, len(p.Links))
+	for i, l := range p.Links {
+		links[i] = failure.Link{ToR: l.ToR, Port: l.Port, Ingress: l.Ingress}
+	}
+	return failure.Single(links, p.FailAt, p.RecoverAt, detect), nil
+}
+
+// Summary reports a run's headline measurements in the paper's units.
+type Summary struct {
+	// Flows and MiceFlows completed.
+	Flows, MiceFlows int
+	// Mice99p and MiceMean are mice-flow FCTs (flows < 10 KB).
+	Mice99p, MiceMean Duration
+	// All99p is the 99th-percentile FCT over all flows.
+	All99p Duration
+	// GoodputNormalized is delivered goodput over the host aggregate
+	// bandwidth, averaged across ToRs (§4.1).
+	GoodputNormalized float64
+	// MatchRatio is the mean accept/grant ratio (Appendix A.1); zero for
+	// the baseline.
+	MatchRatio float64
+	// EpochLen is the fabric's epoch (NegotiaToR) or round-robin cycle
+	// (baseline) duration.
+	EpochLen Duration
+	// Injected and Delivered are total bytes.
+	Injected, Delivered int64
+	// Duration is the simulated time covered.
+	Duration Duration
+	// PeakReceiverBuffer is the largest receiver-side ToR-to-host backlog
+	// (§3.6.5); zero unless Spec.TrackReceiverBuffers was set.
+	PeakReceiverBuffer int64
+}
+
+// EventStat describes one tagged application event (e.g. an incast).
+type EventStat struct {
+	Start, End  Time
+	Flows, Done int
+}
+
+// FinishTime is the event's completion latency (zero until all flows
+// finish).
+func (e EventStat) FinishTime() Duration {
+	if e.Done < e.Flows {
+		return 0
+	}
+	return e.End.Sub(e.Start)
+}
+
+// Fabric is a runnable network simulation: NegotiaToR or the
+// traffic-oblivious baseline.
+type Fabric interface {
+	// SetWorkload attaches the arrival stream; call before Run.
+	SetWorkload(Workload)
+	// Run advances the simulation to at least the given simulated time.
+	Run(Duration)
+	// Drain runs until all injected traffic is delivered (or the step
+	// budget is exhausted) and reports whether it drained.
+	Drain(budget int) bool
+	// Summary reports headline metrics.
+	Summary() Summary
+	// MiceCDF returns the mice-flow FCT CDF (Figure 6).
+	MiceCDF(points int) []metrics.CDFPoint
+	// Events returns tagged application events (incasts) by tag.
+	Events() map[int]EventStat
+	// MatchRatioSeries returns the per-epoch accept/grant ratios
+	// (NegotiaToR only; nil for the baseline).
+	MatchRatioSeries() []float64
+	// Spec returns the spec the fabric was built from.
+	Spec() Spec
+}
+
+// Workload is an arrival stream (re-exported).
+type Workload = workload.Generator
+
+type negotiatorFabric struct {
+	e    *negotiator.Engine
+	spec Spec
+}
+
+func (f *negotiatorFabric) SetWorkload(w Workload) { f.e.SetWorkload(w) }
+func (f *negotiatorFabric) Run(d Duration)         { f.e.Run(d) }
+func (f *negotiatorFabric) Drain(budget int) bool  { return f.e.Drain(budget) }
+func (f *negotiatorFabric) Spec() Spec             { return f.spec }
+
+func (f *negotiatorFabric) Summary() Summary {
+	r := f.e.Results()
+	return Summary{
+		Flows:              r.FCT.Count(),
+		MiceFlows:          r.FCT.MiceCount(),
+		Mice99p:            r.FCT.MiceP(99),
+		MiceMean:           r.FCT.MiceMean(),
+		All99p:             r.FCT.P(99),
+		GoodputNormalized:  r.Goodput.Normalized(r.Duration, f.spec.HostRate),
+		MatchRatio:         r.MatchRatio.Mean(),
+		EpochLen:           r.EpochLen,
+		Injected:           r.Injected,
+		Delivered:          r.Delivered,
+		Duration:           r.Duration,
+		PeakReceiverBuffer: r.PeakReceiverBuffer,
+	}
+}
+
+func (f *negotiatorFabric) MiceCDF(points int) []metrics.CDFPoint {
+	return f.e.Results().FCT.MiceCDF(points)
+}
+
+func (f *negotiatorFabric) Events() map[int]EventStat {
+	out := make(map[int]EventStat)
+	for tag, ts := range f.e.Results().Tags {
+		out[tag] = EventStat{Start: ts.Start, End: ts.End, Flows: ts.Flows, Done: ts.Done}
+	}
+	return out
+}
+
+func (f *negotiatorFabric) MatchRatioSeries() []float64 {
+	return f.e.Results().MatchRatio.Series()
+}
+
+type obliviousFabric struct {
+	e    *oblivious.Engine
+	spec Spec
+}
+
+func (f *obliviousFabric) SetWorkload(w Workload) { f.e.SetWorkload(w) }
+func (f *obliviousFabric) Run(d Duration)         { f.e.Run(d) }
+func (f *obliviousFabric) Drain(budget int) bool  { return f.e.Drain(budget) }
+func (f *obliviousFabric) Spec() Spec             { return f.spec }
+
+func (f *obliviousFabric) Summary() Summary {
+	r := f.e.Results()
+	return Summary{
+		Flows:             r.FCT.Count(),
+		MiceFlows:         r.FCT.MiceCount(),
+		Mice99p:           r.FCT.MiceP(99),
+		MiceMean:          r.FCT.MiceMean(),
+		All99p:            r.FCT.P(99),
+		GoodputNormalized: r.Goodput.Normalized(r.Duration, f.spec.HostRate),
+		EpochLen:          f.e.CycleLen(),
+		Injected:          r.Injected,
+		Delivered:         r.Delivered,
+		Duration:          r.Duration,
+	}
+}
+
+func (f *obliviousFabric) MiceCDF(points int) []metrics.CDFPoint {
+	return f.e.Results().FCT.MiceCDF(points)
+}
+
+func (f *obliviousFabric) Events() map[int]EventStat {
+	out := make(map[int]EventStat)
+	for tag, ts := range f.e.Results().Tags {
+		out[tag] = EventStat{Start: ts.Start, End: ts.End, Flows: ts.Flows, Done: ts.Done}
+	}
+	return out
+}
+
+func (f *obliviousFabric) MatchRatioSeries() []float64 { return nil }
