@@ -7,6 +7,11 @@
 //	negotiator-exp -exp fig9
 //	negotiator-exp -exp all -quick
 //	negotiator-exp -exp table2 -duration 30ms   # the paper's full duration
+//	negotiator-exp -exp all -parallel 8         # 8 simulation cells at once
+//
+// Each experiment decomposes into independent (system, load, seed) cells
+// executed by a bounded worker pool (default GOMAXPROCS; -parallel 1
+// forces sequential). Output is byte-identical at any parallelism level.
 //
 // Absolute numbers differ from the paper (purpose-built simulator, shorter
 // default duration); EXPERIMENTS.md records the shape claims each
@@ -32,6 +37,7 @@ func main() {
 		duration = flag.Duration("duration", 0, "simulated duration per run (e.g. 30ms; default 6ms, paper uses 30ms)")
 		tors     = flag.Int("tors", 0, "override network size (default 128 ToRs)")
 		seed     = flag.Int64("seed", 0, "seed offset")
+		parallel = flag.Int("parallel", 0, "max concurrent simulation cells (0 = GOMAXPROCS, 1 = sequential)")
 	)
 	flag.Parse()
 
@@ -51,6 +57,7 @@ func main() {
 		ToRs:     *tors,
 		Quick:    *quick,
 		Seed:     *seed,
+		Parallel: *parallel,
 	}
 	if *quick && o.Duration == 0 {
 		o.Duration = 2 * sim.Millisecond
@@ -72,6 +79,7 @@ func main() {
 			todo = append(todo, e)
 		}
 	}
+	total := time.Now()
 	for _, e := range todo {
 		fmt.Printf("== %s: %s ==\n", e.ID, e.Title)
 		start := time.Now()
@@ -80,5 +88,9 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("(%s wall time)\n\n", time.Since(start).Round(time.Millisecond))
+	}
+	if len(todo) > 1 {
+		fmt.Printf("== total: %d experiments in %s wall time (parallel=%d) ==\n",
+			len(todo), time.Since(total).Round(time.Millisecond), exp.EffectiveParallelism(*parallel))
 	}
 }

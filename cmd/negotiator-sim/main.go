@@ -7,16 +7,23 @@
 //	negotiator-sim -topology thin-clos -load 0.75 -duration 10ms
 //	negotiator-sim -oblivious -trace websearch -load 0.5
 //	negotiator-sim -scheduler stateful -tors 64 -no-pq
+//	negotiator-sim -runs 8 -parallel 4   # 8 seed replicates, 4 at a time
+//
+// With -runs N the same configuration is executed for seeds seed..seed+N-1
+// as independent cells on a bounded worker pool (see -parallel); the
+// per-seed summaries print in seed order regardless of completion order.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
 
 	negotiator "negotiator"
+	"negotiator/internal/exp"
 	"negotiator/internal/sim"
 )
 
@@ -39,6 +46,8 @@ func main() {
 		noPQ      = flag.Bool("no-pq", false, "disable priority queues")
 		relay     = flag.Bool("relay", false, "enable traffic-aware selective relay (thin-clos)")
 		seed      = flag.Int64("seed", 1, "random seed")
+		runs      = flag.Int("runs", 1, "number of seed replicates (seeds seed..seed+runs-1)")
+		parallel  = flag.Int("parallel", 0, "max concurrent runs (0 = GOMAXPROCS, 1 = sequential)")
 	)
 	flag.Parse()
 
@@ -96,32 +105,58 @@ func main() {
 		fatalf("unknown trace %q", *trace)
 	}
 
-	fab, err := spec.Build()
-	if err != nil {
+	runOne := func(runSeed int64, w io.Writer) error {
+		sp := spec
+		sp.Seed = runSeed
+		fab, err := sp.Build()
+		if err != nil {
+			return err
+		}
+		fab.SetWorkload(negotiator.PoissonWorkload(sp, tr, *load, runSeed+6))
+		start := time.Now()
+		fab.Run(sim.Duration(duration.Nanoseconds()))
+		sum := fab.Summary()
+
+		sys := "NegotiaToR"
+		if *oblivious {
+			sys = "traffic-oblivious"
+		}
+		fmt.Fprintf(w, "%s on %s: %d ToRs x %d ports, trace=%s load=%.0f%%, %v simulated (%v wall)\n",
+			sys, sp.Topology, sp.ToRs, sp.Ports, tr, *load*100, sum.Duration, time.Since(start).Round(time.Millisecond))
+		fmt.Fprintf(w, "  flows completed:   %d (%d mice)\n", sum.Flows, sum.MiceFlows)
+		fmt.Fprintf(w, "  mice FCT 99p/mean: %v / %v\n", sum.Mice99p, sum.MiceMean)
+		fmt.Fprintf(w, "  all-flow FCT 99p:  %v\n", sum.All99p)
+		fmt.Fprintf(w, "  goodput:           %.3f (normalized to %d Gbps hosts)\n", sum.GoodputNormalized, *hostGbps)
+		if !*oblivious {
+			fmt.Fprintf(w, "  match ratio:       %.3f\n", sum.MatchRatio)
+			fmt.Fprintf(w, "  epoch length:      %v\n", sum.EpochLen)
+		} else {
+			fmt.Fprintf(w, "  round-robin cycle: %v\n", sum.EpochLen)
+		}
+		fmt.Fprintf(w, "  bytes delivered:   %d of %d injected\n", sum.Delivered, sum.Injected)
+		return nil
+	}
+
+	if *runs <= 1 {
+		if err := runOne(*seed, os.Stdout); err != nil {
+			fatalf("%v", err)
+		}
+		return
+	}
+	// Seed replicates as independent cells: run on the worker pool, print
+	// in seed order.
+	r := exp.NewRunner(*parallel)
+	total := time.Now()
+	for k := 0; k < *runs; k++ {
+		runSeed := *seed + int64(k)
+		r.Textf("-- seed %d --\n", runSeed)
+		r.Cell(func(w io.Writer) error { return runOne(runSeed, w) })
+	}
+	if err := r.Flush(os.Stdout); err != nil {
 		fatalf("%v", err)
 	}
-	fab.SetWorkload(negotiator.PoissonWorkload(spec, tr, *load, *seed+6))
-	start := time.Now()
-	fab.Run(sim.Duration(duration.Nanoseconds()))
-	sum := fab.Summary()
-
-	sys := "NegotiaToR"
-	if *oblivious {
-		sys = "traffic-oblivious"
-	}
-	fmt.Printf("%s on %s: %d ToRs x %d ports, trace=%s load=%.0f%%, %v simulated (%v wall)\n",
-		sys, spec.Topology, spec.ToRs, spec.Ports, tr, *load*100, sum.Duration, time.Since(start).Round(time.Millisecond))
-	fmt.Printf("  flows completed:   %d (%d mice)\n", sum.Flows, sum.MiceFlows)
-	fmt.Printf("  mice FCT 99p/mean: %v / %v\n", sum.Mice99p, sum.MiceMean)
-	fmt.Printf("  all-flow FCT 99p:  %v\n", sum.All99p)
-	fmt.Printf("  goodput:           %.3f (normalized to %d Gbps hosts)\n", sum.GoodputNormalized, *hostGbps)
-	if !*oblivious {
-		fmt.Printf("  match ratio:       %.3f\n", sum.MatchRatio)
-		fmt.Printf("  epoch length:      %v\n", sum.EpochLen)
-	} else {
-		fmt.Printf("  round-robin cycle: %v\n", sum.EpochLen)
-	}
-	fmt.Printf("  bytes delivered:   %d of %d injected\n", sum.Delivered, sum.Injected)
+	fmt.Printf("-- %d runs in %s wall time (parallel=%d) --\n",
+		*runs, time.Since(total).Round(time.Millisecond), r.Parallelism())
 }
 
 func fatalf(format string, args ...interface{}) {

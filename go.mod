@@ -1,0 +1,3 @@
+module negotiator
+
+go 1.24

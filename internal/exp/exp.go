@@ -31,7 +31,14 @@ type Options struct {
 	Quick bool
 	// Seed offsets all run seeds.
 	Seed int64
+	// Parallel bounds how many independent simulation cells run
+	// concurrently; 0 means GOMAXPROCS, 1 forces sequential execution.
+	// Output is byte-identical at any setting (see Runner).
+	Parallel int
 }
+
+// runner returns the cell runner for these options.
+func (o Options) runner() *Runner { return NewRunner(o.Parallel) }
 
 func (o Options) duration() sim.Duration {
 	if o.Duration > 0 {

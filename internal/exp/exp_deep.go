@@ -19,7 +19,7 @@ func init() {
 
 // runFig12a sweeps the predefined-phase timeslot duration (guardband
 // included) from 20 to 120 ns on the parallel network, reporting mice 99p
-// FCT per load. Longer slots piggyback more data per epoch.
+// FCT per load. Each (load, slot) run is one cell emitting its fragment.
 func runFig12a(o Options, w io.Writer) error {
 	d := o.duration()
 	slots := []sim.Duration{20, 30, 60, 90, 120}
@@ -31,22 +31,26 @@ func runFig12a(o Options, w io.Writer) error {
 	for _, st := range slots {
 		head += fmt.Sprintf(" | %4dns 99p(µs)", st)
 	}
-	header(w, "%s", head)
+	r := o.runner()
+	r.Header("%s", head)
 	for _, load := range loads {
-		fmt.Fprintf(w, "%-8.0f", load*100)
+		r.Textf("%-8.0f", load*100)
 		for _, st := range slots {
-			spec := o.baseSpec()
-			spec.Topology = negotiator.ParallelNetwork
-			spec.PredefinedSlotTime = st
-			sum, err := run(spec, negotiator.PoissonWorkload(spec, negotiator.Hadoop, load, 7+o.Seed), d)
-			if err != nil {
-				return err
-			}
-			fmt.Fprintf(w, " | %15.1f", sum.Mice99p.Micros())
+			r.Cell(func(w io.Writer) error {
+				spec := o.baseSpec()
+				spec.Topology = negotiator.ParallelNetwork
+				spec.PredefinedSlotTime = st
+				sum, err := run(spec, negotiator.PoissonWorkload(spec, negotiator.Hadoop, load, 7+o.Seed), d)
+				if err != nil {
+					return err
+				}
+				fmt.Fprintf(w, " | %15.1f", sum.Mice99p.Micros())
+				return nil
+			})
 		}
-		fmt.Fprintln(w)
+		r.Textf("\n")
 	}
-	return nil
+	return r.Flush(w)
 }
 
 // runFig12b sweeps the scheduled-phase length from 10 to 500 timeslots on
@@ -57,22 +61,26 @@ func runFig12b(o Options, w io.Writer) error {
 	if o.Quick {
 		lengths = []int{10, 30, 500}
 	}
+	r := o.runner()
 	for _, n := range lengths {
-		fmt.Fprintf(w, "scheduled phase = %d timeslots:\n", n)
-		header(w, "%-8s | %-12s | %-8s", "load(%)", "99p FCT (ms)", "goodput")
+		r.Textf("scheduled phase = %d timeslots:\n", n)
+		r.Header("%-8s | %-12s | %-8s", "load(%)", "99p FCT (ms)", "goodput")
 		for _, load := range o.loads() {
-			spec := o.baseSpec()
-			spec.Topology = negotiator.ParallelNetwork
-			spec.ScheduledSlots = n
-			sum, err := run(spec, negotiator.PoissonWorkload(spec, negotiator.Hadoop, load, 7+o.Seed), d)
-			if err != nil {
-				return err
-			}
-			fmt.Fprintf(w, "%-8.0f | %s | %8.3f\n", load*100, fmtFCT(sum.Mice99p), sum.GoodputNormalized)
+			r.Cell(func(w io.Writer) error {
+				spec := o.baseSpec()
+				spec.Topology = negotiator.ParallelNetwork
+				spec.ScheduledSlots = n
+				sum, err := run(spec, negotiator.PoissonWorkload(spec, negotiator.Hadoop, load, 7+o.Seed), d)
+				if err != nil {
+					return err
+				}
+				fmt.Fprintf(w, "%-8.0f | %s | %8.3f\n", load*100, fmtFCT(sum.Mice99p), sum.GoodputNormalized)
+				return nil
+			})
 		}
-		fmt.Fprintln(w)
+		r.Textf("\n")
 	}
-	return nil
+	return r.Flush(w)
 }
 
 // runFig13a mixes degree-20 1 KB incasts consuming 2% of aggregate downlink
@@ -84,43 +92,47 @@ func runFig13a(o Options, w io.Writer) error {
 	if o.Quick {
 		systems = []system{systems[0], systems[2], systems[4]}
 	}
+	r := o.runner()
 	for _, sys := range systems {
-		fmt.Fprintf(w, "%s:\n", sys.name)
-		header(w, "%-8s | %-12s | %-16s | %-8s", "load(%)", "bg 99p (ms)", "incast avg (ms)", "goodput")
+		r.Textf("%s:\n", sys.name)
+		r.Header("%-8s | %-12s | %-16s | %-8s", "load(%)", "bg 99p (ms)", "incast avg (ms)", "goodput")
 		for _, load := range o.loads() {
-			spec := o.baseSpec()
-			spec.Topology = sys.top
-			spec.Oblivious = sys.obl
-			spec.PriorityQueues = sys.pq
-			degree := 20
-			if degree > spec.ToRs-1 {
-				degree = spec.ToRs - 1
-			}
-			fab, err := spec.Build()
-			if err != nil {
-				return err
-			}
-			fab.SetWorkload(negotiator.MixedIncastWorkload(spec, negotiator.Hadoop, load, degree, 1000, 0.02, 1, 7+o.Seed))
-			fab.Run(d)
-			sum := fab.Summary()
-			var total sim.Duration
-			var done int
-			for _, ev := range fab.Events() {
-				if ft := ev.FinishTime(); ft > 0 {
-					total += ft
-					done++
+			r.Cell(func(w io.Writer) error {
+				spec := o.baseSpec()
+				spec.Topology = sys.top
+				spec.Oblivious = sys.obl
+				spec.PriorityQueues = sys.pq
+				degree := 20
+				if degree > spec.ToRs-1 {
+					degree = spec.ToRs - 1
 				}
-			}
-			avg := sim.Duration(0)
-			if done > 0 {
-				avg = total / sim.Duration(done)
-			}
-			fmt.Fprintf(w, "%-8.0f | %s | %16.4f | %8.3f\n",
-				load*100, fmtFCT(sum.Mice99p), avg.Millis(), sum.GoodputNormalized)
+				fab, err := spec.Build()
+				if err != nil {
+					return err
+				}
+				fab.SetWorkload(negotiator.MixedIncastWorkload(spec, negotiator.Hadoop, load, degree, 1000, 0.02, 1, 7+o.Seed))
+				fab.Run(d)
+				sum := fab.Summary()
+				var total sim.Duration
+				var done int
+				for _, ev := range fab.Events() {
+					if ft := ev.FinishTime(); ft > 0 {
+						total += ft
+						done++
+					}
+				}
+				avg := sim.Duration(0)
+				if done > 0 {
+					avg = total / sim.Duration(done)
+				}
+				fmt.Fprintf(w, "%-8.0f | %s | %16.4f | %8.3f\n",
+					load*100, fmtFCT(sum.Mice99p), avg.Millis(), sum.GoodputNormalized)
+				return nil
+			})
 		}
-		fmt.Fprintln(w)
+		r.Textf("\n")
 	}
-	return nil
+	return r.Flush(w)
 }
 
 func runFig13b(o Options, w io.Writer) error {
@@ -133,46 +145,44 @@ func runFig13c(o Options, w io.Writer) error {
 
 // runFig14 reproduces Appendix A.1: the per-epoch accept/grant match ratio
 // at 100% load on both topologies, against the theoretical 1-(1-1/n)^n.
+// Each topology is one cell.
 func runFig14(o Options, w io.Writer) error {
 	d := o.duration()
-	for _, tc := range []struct {
-		top    negotiator.Topology
-		n      int // competition domain in the theory
-		theory float64
-	}{
-		{negotiator.ParallelNetwork, 0, 0},
-		{negotiator.ThinClos, 0, 0},
-	} {
-		spec := o.baseSpec()
-		spec.Topology = tc.top
-		// Theory: n = number of competitors per grant ring (N for
-		// parallel, W for thin-clos).
-		n := spec.ToRs
-		if tc.top == negotiator.ThinClos {
-			n = spec.AWGRPorts
-		}
-		theory := theoreticalMatchRatio(n)
-		fab, err := spec.Build()
-		if err != nil {
-			return err
-		}
-		fab.SetWorkload(negotiator.PoissonWorkload(spec, negotiator.Hadoop, 1.0, 7+o.Seed))
-		fab.Run(d)
-		series := fab.MatchRatioSeries()
-		sum := fab.Summary()
-		fmt.Fprintf(w, "%s: theory E[Y]=%.3f measured mean=%.3f\n", tc.top, theory, sum.MatchRatio)
-		header(w, "%-10s | %-10s", "time (ms)", "ratio")
-		step := len(series) / 10
-		if step == 0 {
-			step = 1
-		}
-		for i := step; i < len(series); i += step {
-			t := sim.Duration(int64(i) * int64(sum.EpochLen))
-			fmt.Fprintf(w, "%10.2f | %10.3f\n", t.Millis(), series[i])
-		}
-		fmt.Fprintln(w)
+	r := o.runner()
+	for _, top := range []negotiator.Topology{negotiator.ParallelNetwork, negotiator.ThinClos} {
+		r.Cell(func(w io.Writer) error {
+			spec := o.baseSpec()
+			spec.Topology = top
+			// Theory: n = number of competitors per grant ring (N for
+			// parallel, W for thin-clos).
+			n := spec.ToRs
+			if top == negotiator.ThinClos {
+				n = spec.AWGRPorts
+			}
+			theory := theoreticalMatchRatio(n)
+			fab, err := spec.Build()
+			if err != nil {
+				return err
+			}
+			fab.SetWorkload(negotiator.PoissonWorkload(spec, negotiator.Hadoop, 1.0, 7+o.Seed))
+			fab.Run(d)
+			series := fab.MatchRatioSeries()
+			sum := fab.Summary()
+			fmt.Fprintf(w, "%s: theory E[Y]=%.3f measured mean=%.3f\n", top, theory, sum.MatchRatio)
+			header(w, "%-10s | %-10s", "time (ms)", "ratio")
+			step := len(series) / 10
+			if step == 0 {
+				step = 1
+			}
+			for i := step; i < len(series); i += step {
+				t := sim.Duration(int64(i) * int64(sum.EpochLen))
+				fmt.Fprintf(w, "%10.2f | %10.3f\n", t.Millis(), series[i])
+			}
+			fmt.Fprintln(w)
+			return nil
+		})
 	}
-	return nil
+	return r.Flush(w)
 }
 
 // theoreticalMatchRatio is 1-(1-1/n)^n (paper §3.2.2).

@@ -23,10 +23,9 @@ func init() {
 // expected outcome mirrors §3.5: higher matching efficiency cannot offset
 // the iteration-added scheduling delay in a long-RTT fabric.
 func runExtArbiters(o Options, w io.Writer) error {
-	variantHeader(o, w)
-	if err := variantRow(o, w, "base-2x", func(s *negotiator.Spec) {}); err != nil {
-		return err
-	}
+	r := o.runner()
+	variantHeader(o, r)
+	variantRow(o, r, "base-2x", func(s *negotiator.Spec) {})
 	rows := []struct {
 		name string
 		sch  negotiator.Scheduler
@@ -39,65 +38,71 @@ func runExtArbiters(o Options, w io.Writer) error {
 		rows = rows[2:]
 	}
 	for _, row := range rows {
-		err := variantRow(o, w, row.name, func(s *negotiator.Spec) {
+		variantRow(o, r, row.name, func(s *negotiator.Spec) {
 			s.Scheduler = row.sch
 			s.LinkRate = negotiator.Gbps(int64(s.HostRate) / int64(s.Ports))
 		})
-		if err != nil {
-			return err
-		}
 	}
-	return nil
+	return r.Flush(w)
 }
 
 // runExtBuffers measures the receiver-side buffering the 2x speedup
 // induces (§3.6.5: data "may arrive synchronously at the ToR through
 // multiple ports" faster than hosts drain): peak ToR-to-host backlog
-// across loads, with and without speedup.
+// across loads, with and without speedup. Each (load, speedup) run is one
+// cell emitting its row fragment.
 func runExtBuffers(o Options, w io.Writer) error {
 	d := o.duration()
-	header(w, "%-8s | %-22s | %-22s", "load(%)", "peak rx buffer 2x (KB)", "peak rx buffer 1x (KB)")
+	r := o.runner()
+	r.Header("%-8s | %-22s | %-22s", "load(%)", "peak rx buffer 2x (KB)", "peak rx buffer 1x (KB)")
 	for _, load := range o.loads() {
-		var cells []string
+		r.Textf("%-8.0f", load*100)
 		for _, speedup := range []bool{true, false} {
-			spec := o.baseSpec()
-			spec.Topology = negotiator.ParallelNetwork
-			spec.TrackReceiverBuffers = true
-			if !speedup {
-				spec.LinkRate = negotiator.Gbps(int64(spec.HostRate) / int64(spec.Ports))
-			}
-			sum, err := run(spec, negotiator.PoissonWorkload(spec, negotiator.Hadoop, load, 7+o.Seed), d)
-			if err != nil {
-				return err
-			}
-			cells = append(cells, fmt.Sprintf("%22.1f", float64(sum.PeakReceiverBuffer)/1024))
+			r.Cell(func(w io.Writer) error {
+				spec := o.baseSpec()
+				spec.Topology = negotiator.ParallelNetwork
+				spec.TrackReceiverBuffers = true
+				if !speedup {
+					spec.LinkRate = negotiator.Gbps(int64(spec.HostRate) / int64(spec.Ports))
+				}
+				sum, err := run(spec, negotiator.PoissonWorkload(spec, negotiator.Hadoop, load, 7+o.Seed), d)
+				if err != nil {
+					return err
+				}
+				fmt.Fprintf(w, " | %22.1f", float64(sum.PeakReceiverBuffer)/1024)
+				return nil
+			})
 		}
-		fmt.Fprintf(w, "%-8.0f | %s | %s\n", load*100, cells[0], cells[1])
+		r.Textf("\n")
 	}
-	return nil
+	return r.Flush(w)
 }
 
 // runExtThreshold sweeps the request threshold of §3.4.1 (the paper fixes
 // it at 3 piggyback packets): lower thresholds over-schedule pairs whose
 // queue will drain via piggybacking anyway; higher thresholds delay
-// elephants' first scheduled epoch.
+// elephants' first scheduled epoch. One cell per threshold.
 func runExtThreshold(o Options, w io.Writer) error {
 	d := o.duration()
 	thresholds := []int{1, 2, 3, 5, 8}
 	if o.Quick {
 		thresholds = []int{1, 3, 8}
 	}
-	header(w, "%-10s | %-12s | %-12s | %-8s", "threshold", "99p FCT (ms)", "mean FCT(µs)", "goodput")
+	r := o.runner()
+	r.Header("%-10s | %-12s | %-12s | %-8s", "threshold", "99p FCT (ms)", "mean FCT(µs)", "goodput")
 	for _, thr := range thresholds {
-		spec := o.baseSpec()
-		spec.Topology = negotiator.ParallelNetwork
-		spec.RequestThresholdPkts = thr
-		sum, err := run(spec, negotiator.PoissonWorkload(spec, negotiator.Hadoop, 1.0, 7+o.Seed), d)
-		if err != nil {
-			return err
-		}
-		fmt.Fprintf(w, "%-10d | %s | %12.1f | %8.3f\n",
-			thr, fmtFCT(sum.Mice99p), sum.MiceMean.Micros(), sum.GoodputNormalized)
+		r.Cell(func(w io.Writer) error {
+			spec := o.baseSpec()
+			spec.Topology = negotiator.ParallelNetwork
+			spec.RequestThresholdPkts = thr
+			sum, err := run(spec, negotiator.PoissonWorkload(spec, negotiator.Hadoop, 1.0, 7+o.Seed), d)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "%-10d | %s | %12.1f | %8.3f\n",
+				thr, fmtFCT(sum.Mice99p), sum.MiceMean.Micros(), sum.GoodputNormalized)
+			return nil
+		})
 	}
-	return nil
+	return r.Flush(w)
 }

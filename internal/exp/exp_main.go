@@ -37,33 +37,37 @@ func mainResultSystems() []system {
 }
 
 // runLoadSweep renders the FCT/goodput-vs-load matrix shared by Figures 9,
-// 11 and 13(b)/(c).
+// 11 and 13(b)/(c). Every (system, load) point is an independent cell.
 func runLoadSweep(o Options, w io.Writer, trace negotiator.Trace, mutate func(*negotiator.Spec)) error {
 	d := o.duration()
 	systems := mainResultSystems()
 	if o.Quick {
 		systems = []system{systems[0], systems[2], systems[4]}
 	}
+	r := o.runner()
 	for _, sys := range systems {
-		fmt.Fprintf(w, "%s:\n", sys.name)
-		header(w, "%-8s | %-12s | %-8s", "load(%)", "99p FCT (ms)", "goodput")
+		r.Textf("%s:\n", sys.name)
+		r.Header("%-8s | %-12s | %-8s", "load(%)", "99p FCT (ms)", "goodput")
 		for _, load := range o.loads() {
-			spec := o.baseSpec()
-			spec.Topology = sys.top
-			spec.Oblivious = sys.obl
-			spec.PriorityQueues = sys.pq
-			if mutate != nil {
-				mutate(&spec)
-			}
-			sum, err := run(spec, negotiator.PoissonWorkload(spec, trace, load, 7+o.Seed), d)
-			if err != nil {
-				return err
-			}
-			fmt.Fprintf(w, "%-8.0f | %s | %8.3f\n", load*100, fmtFCT(sum.Mice99p), sum.GoodputNormalized)
+			r.Cell(func(w io.Writer) error {
+				spec := o.baseSpec()
+				spec.Topology = sys.top
+				spec.Oblivious = sys.obl
+				spec.PriorityQueues = sys.pq
+				if mutate != nil {
+					mutate(&spec)
+				}
+				sum, err := run(spec, negotiator.PoissonWorkload(spec, trace, load, 7+o.Seed), d)
+				if err != nil {
+					return err
+				}
+				fmt.Fprintf(w, "%-8.0f | %s | %8.3f\n", load*100, fmtFCT(sum.Mice99p), sum.GoodputNormalized)
+				return nil
+			})
 		}
-		fmt.Fprintln(w)
+		r.Textf("\n")
 	}
-	return nil
+	return r.Flush(w)
 }
 
 func runFig9(o Options, w io.Writer) error {
@@ -81,44 +85,48 @@ func runFig11(o Options, w io.Writer) error {
 // runFig10 reproduces Figure 10: simultaneous link failures at ratios
 // 2-10%, recovered mid-run; the table reports BWpost-failure/BWpre-failure
 // and BWpre-recovery/BWpost-recovery under a saturating workload on the
-// parallel network.
+// parallel network. Each failure ratio is one cell.
 func runFig10(o Options, w io.Writer) error {
 	ratios := []float64{0.02, 0.04, 0.06, 0.08, 0.10}
 	if o.Quick {
 		ratios = []float64{0.02, 0.10}
 	}
-	header(w, "%-12s | %-22s | %-22s", "failure(%)",
+	r := o.runner()
+	r.Header("%-12s | %-22s | %-22s", "failure(%)",
 		"BWpost_fail/BWpre_fail", "BWpre_recov/BWpost_recov")
 	for _, ratio := range ratios {
-		spec := o.baseSpec()
-		spec.Topology = negotiator.ParallelNetwork
-		epoch := negotiatorEpoch(spec)
-		// Timeline: warm up, fail, hold, recover, hold.
-		failAt := sim.Time(400 * epoch)
-		recoverAt := sim.Time(800 * epoch)
-		endAt := sim.Duration(1200 * epoch)
-		series := metrics.NewTimeSeries(10 * epoch)
-		spec.OnDeliver = func(dst int, at sim.Time, n int64) { series.Add(at, n) }
-		spec.Failures = &negotiator.FailurePlan{
-			Fraction: ratio,
-			FailAt:   failAt, RecoverAt: recoverAt,
-			Seed: 11 + o.Seed,
-		}
-		fab, err := spec.Build()
-		if err != nil {
-			return err
-		}
-		// Saturating uniform traffic so bandwidth usage tracks capacity.
-		fab.SetWorkload(negotiator.FixedSizeWorkload(spec, 1<<20, 1.2, 13+o.Seed))
-		fab.Run(endAt)
-		// Windows avoid the detection transients.
-		preFail := series.MeanGbpsBetween(sim.Time(200*epoch), failAt)
-		postFail := series.MeanGbpsBetween(sim.Time(500*epoch), recoverAt)
-		postRecov := series.MeanGbpsBetween(sim.Time(1000*epoch), sim.Time(endAt))
-		fmt.Fprintf(w, "%-12.0f | %22.3f | %22.3f\n",
-			ratio*100, postFail/preFail, preFail/postRecov)
+		r.Cell(func(w io.Writer) error {
+			spec := o.baseSpec()
+			spec.Topology = negotiator.ParallelNetwork
+			epoch := negotiatorEpoch(spec)
+			// Timeline: warm up, fail, hold, recover, hold.
+			failAt := sim.Time(400 * epoch)
+			recoverAt := sim.Time(800 * epoch)
+			endAt := sim.Duration(1200 * epoch)
+			series := metrics.NewTimeSeries(10 * epoch)
+			spec.OnDeliver = func(dst int, at sim.Time, n int64) { series.Add(at, n) }
+			spec.Failures = &negotiator.FailurePlan{
+				Fraction: ratio,
+				FailAt:   failAt, RecoverAt: recoverAt,
+				Seed: 11 + o.Seed,
+			}
+			fab, err := spec.Build()
+			if err != nil {
+				return err
+			}
+			// Saturating uniform traffic so bandwidth usage tracks capacity.
+			fab.SetWorkload(negotiator.FixedSizeWorkload(spec, 1<<20, 1.2, 13+o.Seed))
+			fab.Run(endAt)
+			// Windows avoid the detection transients.
+			preFail := series.MeanGbpsBetween(sim.Time(200*epoch), failAt)
+			postFail := series.MeanGbpsBetween(sim.Time(500*epoch), recoverAt)
+			postRecov := series.MeanGbpsBetween(sim.Time(1000*epoch), sim.Time(endAt))
+			fmt.Fprintf(w, "%-12.0f | %22.3f | %22.3f\n",
+				ratio*100, postFail/preFail, preFail/postRecov)
+			return nil
+		})
 	}
-	return nil
+	return r.Flush(w)
 }
 
 // negotiatorEpoch computes the spec's epoch length without building a

@@ -17,7 +17,8 @@ func init() {
 // 10 ns guardband absorbs clock drift; with conventional tens-of-ns sync
 // errors a larger guardband is needed. The table reports the worst
 // pairwise misalignment over many epochs and the guardband margin
-// (guardband minus a 5 ns tuning time minus the misalignment).
+// (guardband minus a 5 ns tuning time minus the misalignment). One cell
+// per sync regime.
 func runExtSync(o Options, w io.Writer) error {
 	spec := o.baseSpec()
 	epoch := negotiatorEpoch(spec)
@@ -26,7 +27,8 @@ func runExtSync(o Options, w io.Writer) error {
 		epochs = 200
 	}
 	const tuning = 5 // ns of the guardband consumed by laser tuning/CDR
-	header(w, "%-28s | %-14s | %-14s | %-14s", "sync regime",
+	r := o.runner()
+	r.Header("%-28s | %-14s | %-14s | %-14s", "sync regime",
 		"worst mis (ns)", "margin@10ns", "margin@100ns")
 	rows := []struct {
 		name  string
@@ -39,19 +41,22 @@ func runExtSync(o Options, w io.Writer) error {
 		{"conventional 25ns, 10ppm", 10, 25},
 	}
 	for _, row := range rows {
-		m, err := clocksync.New(clocksync.Config{
-			N:         spec.ToRs,
-			DriftPPM:  row.drift,
-			SyncError: row.err,
-			Interval:  epoch,
-		}, 17+o.Seed)
-		if err != nil {
-			return err
-		}
-		worst := m.WorstOverEpochs(epochs)
-		fmt.Fprintf(w, "%-28s | %14.3f | %14.3f | %14.3f\n",
-			row.name, worst, float64(10-tuning)-worst, float64(100-tuning)-worst)
+		r.Cell(func(w io.Writer) error {
+			m, err := clocksync.New(clocksync.Config{
+				N:         spec.ToRs,
+				DriftPPM:  row.drift,
+				SyncError: row.err,
+				Interval:  epoch,
+			}, 17+o.Seed)
+			if err != nil {
+				return err
+			}
+			worst := m.WorstOverEpochs(epochs)
+			fmt.Fprintf(w, "%-28s | %14.3f | %14.3f | %14.3f\n",
+				row.name, worst, float64(10-tuning)-worst, float64(100-tuning)-worst)
+			return nil
+		})
 	}
-	fmt.Fprintln(w, "(positive margin: slots stay collision-free; epoch =", epoch, ")")
-	return nil
+	r.Textf("(positive margin: slots stay collision-free; epoch = %v )\n", epoch)
+	return r.Flush(w)
 }

@@ -15,40 +15,42 @@ func init() {
 	register(Experiment{ID: "table6", Title: "Table 6 (A.2.5): ProjecToR-style scheduling", Run: runTable6})
 }
 
-// variantRow runs one scheduler/spec variant across loads, reporting the
-// paper's appendix-table format: 99p mice FCT (µs) / normalised goodput.
-func variantRow(o Options, w io.Writer, name string, mutate func(*negotiator.Spec)) error {
+// variantRow registers one scheduler/spec variant's row: one cell per
+// load, each reporting the paper's appendix-table format — 99p mice FCT
+// (µs) / normalised goodput.
+func variantRow(o Options, r *Runner, name string, mutate func(*negotiator.Spec)) {
 	d := o.duration()
-	fmt.Fprintf(w, "%-10s", name)
+	r.Textf("%-10s", name)
 	for _, load := range o.loads() {
-		spec := o.baseSpec()
-		spec.Topology = negotiator.ParallelNetwork
-		mutate(&spec)
-		sum, err := run(spec, negotiator.PoissonWorkload(spec, negotiator.Hadoop, load, 7+o.Seed), d)
-		if err != nil {
-			return err
-		}
-		fmt.Fprintf(w, " | %s/%5.1f%%", fmtUs(sum.Mice99p), 100*sum.GoodputNormalized)
+		r.Cell(func(w io.Writer) error {
+			spec := o.baseSpec()
+			spec.Topology = negotiator.ParallelNetwork
+			mutate(&spec)
+			sum, err := run(spec, negotiator.PoissonWorkload(spec, negotiator.Hadoop, load, 7+o.Seed), d)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, " | %s/%5.1f%%", fmtUs(sum.Mice99p), 100*sum.GoodputNormalized)
+			return nil
+		})
 	}
-	fmt.Fprintln(w)
-	return nil
+	r.Textf("\n")
 }
 
-func variantHeader(o Options, w io.Writer) {
+func variantHeader(o Options, r *Runner) {
 	head := fmt.Sprintf("%-10s", "")
 	for _, load := range o.loads() {
 		head += fmt.Sprintf(" | %3.0f%% 99p(µs)/gp", load*100)
 	}
-	header(w, "%s", head)
+	r.Header("%s", head)
 }
 
 // runFig15 compares the base non-iterative matching with 2x speedup
 // against iterative variants (1/3/5 rounds) without speedup.
 func runFig15(o Options, w io.Writer) error {
-	variantHeader(o, w)
-	if err := variantRow(o, w, "speedup2x", func(s *negotiator.Spec) {}); err != nil {
-		return err
-	}
+	r := o.runner()
+	variantHeader(o, r)
+	variantRow(o, r, "speedup2x", func(s *negotiator.Spec) {})
 	iters := []struct {
 		name string
 		sch  negotiator.Scheduler
@@ -61,69 +63,64 @@ func runFig15(o Options, w io.Writer) error {
 		iters = iters[2:]
 	}
 	for _, it := range iters {
-		err := variantRow(o, w, it.name, func(s *negotiator.Spec) {
+		variantRow(o, r, it.name, func(s *negotiator.Spec) {
 			s.Scheduler = it.sch
 			// No speedup: uplink aggregate equals host aggregate.
 			s.LinkRate = negotiator.Gbps(int64(s.HostRate) / int64(s.Ports))
 		})
-		if err != nil {
-			return err
-		}
 	}
-	return nil
+	return r.Flush(w)
 }
 
 // runTable3 compares base NegotiaToR with the traffic-aware selective
 // relay extension on the thin-clos topology.
 func runTable3(o Options, w io.Writer) error {
-	variantHeader(o, w)
-	if err := variantRow(o, w, "Base", func(s *negotiator.Spec) {
+	r := o.runner()
+	variantHeader(o, r)
+	variantRow(o, r, "Base", func(s *negotiator.Spec) {
 		s.Topology = negotiator.ThinClos
-	}); err != nil {
-		return err
-	}
-	return variantRow(o, w, "Two-Hop", func(s *negotiator.Spec) {
+	})
+	variantRow(o, r, "Two-Hop", func(s *negotiator.Spec) {
 		s.Topology = negotiator.ThinClos
 		s.SelectiveRelay = true
 	})
+	return r.Flush(w)
 }
 
 // runTable4 compares binary requests with the informative-request
 // variants.
 func runTable4(o Options, w io.Writer) error {
-	variantHeader(o, w)
-	if err := variantRow(o, w, "Base", func(s *negotiator.Spec) {}); err != nil {
-		return err
-	}
-	if err := variantRow(o, w, "Data-Size", func(s *negotiator.Spec) {
+	r := o.runner()
+	variantHeader(o, r)
+	variantRow(o, r, "Base", func(s *negotiator.Spec) {})
+	variantRow(o, r, "Data-Size", func(s *negotiator.Spec) {
 		s.Scheduler = negotiator.DataSizePriority
-	}); err != nil {
-		return err
-	}
-	return variantRow(o, w, "HoL-Delay", func(s *negotiator.Spec) {
+	})
+	variantRow(o, r, "HoL-Delay", func(s *negotiator.Spec) {
 		s.Scheduler = negotiator.HoLDelayPriority
 	})
+	return r.Flush(w)
 }
 
 // runTable5 compares stateless and stateful scheduling.
 func runTable5(o Options, w io.Writer) error {
-	variantHeader(o, w)
-	if err := variantRow(o, w, "Base", func(s *negotiator.Spec) {}); err != nil {
-		return err
-	}
-	return variantRow(o, w, "Stateful", func(s *negotiator.Spec) {
+	r := o.runner()
+	variantHeader(o, r)
+	variantRow(o, r, "Base", func(s *negotiator.Spec) {})
+	variantRow(o, r, "Stateful", func(s *negotiator.Spec) {
 		s.Scheduler = negotiator.Stateful
 	})
+	return r.Flush(w)
 }
 
 // runTable6 compares NegotiaToR Matching with the ProjecToR-style
 // scheduler.
 func runTable6(o Options, w io.Writer) error {
-	variantHeader(o, w)
-	if err := variantRow(o, w, "Base", func(s *negotiator.Spec) {}); err != nil {
-		return err
-	}
-	return variantRow(o, w, "ProjecToR", func(s *negotiator.Spec) {
+	r := o.runner()
+	variantHeader(o, r)
+	variantRow(o, r, "Base", func(s *negotiator.Spec) {})
+	variantRow(o, r, "ProjecToR", func(s *negotiator.Spec) {
 		s.Scheduler = negotiator.ProjecToRStyle
 	})
+	return r.Flush(w)
 }

@@ -1,0 +1,150 @@
+package exp
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+)
+
+// Runner executes an experiment as a sequence of output items, some of
+// which — the cells — are independent simulations that may run
+// concurrently on a bounded worker pool. Each cell renders into its own
+// buffer; Flush stitches every item's output in registration order, so the
+// final byte stream is identical at any parallelism level.
+//
+// The contract that makes this safe: a cell closure must be
+// self-contained. It builds its own Spec, fabric, workload and metric
+// sinks (all randomness flows from per-cell seeds, see internal/sim.RNG),
+// and shares nothing mutable with other cells. Text items run serially
+// during the stitch pass, after every cell has finished, so they may read
+// results a cell stored (e.g. a series written into its own slot of a
+// pre-sized slice).
+type Runner struct {
+	par   int
+	items []runItem
+}
+
+// runItem is one unit of output: either a pooled cell or a serial text
+// item (exactly one of the two fields is set).
+type runItem struct {
+	cell *cell
+	text func(io.Writer) error
+}
+
+// cell is a pooled simulation with its private output buffer.
+type cell struct {
+	run func(io.Writer) error
+	buf bytes.Buffer
+	err error
+}
+
+// EffectiveParallelism resolves a requested parallelism level:
+// parallel <= 0 means GOMAXPROCS. The single point of truth for the
+// default, shared by NewRunner and the CLIs' reporting.
+func EffectiveParallelism(parallel int) int {
+	if parallel <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return parallel
+}
+
+// NewRunner returns a runner executing at most parallel cells at once.
+// parallel <= 0 means GOMAXPROCS.
+func NewRunner(parallel int) *Runner {
+	return &Runner{par: EffectiveParallelism(parallel)}
+}
+
+// Parallelism reports the runner's worker bound.
+func (r *Runner) Parallelism() int { return r.par }
+
+// Cell registers an independent simulation. fn receives the cell's private
+// buffer as its writer; its output appears at this registration position
+// in the stitched stream.
+func (r *Runner) Cell(fn func(w io.Writer) error) {
+	r.items = append(r.items, runItem{cell: &cell{run: fn}})
+}
+
+// Text registers a serial item executed in order during the stitch pass,
+// after all cells have completed. Use it for headers, separators, and any
+// output derived from results the cells stored.
+func (r *Runner) Text(fn func(w io.Writer) error) {
+	r.items = append(r.items, runItem{text: fn})
+}
+
+// Textf registers a fixed formatted string as a serial item.
+func (r *Runner) Textf(format string, args ...interface{}) {
+	s := fmt.Sprintf(format, args...)
+	r.Text(func(w io.Writer) error {
+		_, err := io.WriteString(w, s)
+		return err
+	})
+}
+
+// Header registers the experiment table header (rule line included).
+func (r *Runner) Header(format string, args ...interface{}) {
+	r.Text(func(w io.Writer) error {
+		header(w, format, args...)
+		return nil
+	})
+}
+
+// Flush runs every registered cell on the worker pool, then writes all
+// items to w in registration order. It returns the first error in
+// registration order; output preceding the failed item has already been
+// written, matching what a sequential run would have produced.
+func (r *Runner) Flush(w io.Writer) error {
+	var cells []*cell
+	for _, it := range r.items {
+		if it.cell != nil {
+			cells = append(cells, it.cell)
+		}
+	}
+	if len(cells) > 0 {
+		workers := r.par
+		if workers > len(cells) {
+			workers = len(cells)
+		}
+		if workers <= 1 {
+			for _, c := range cells {
+				c.err = c.run(&c.buf)
+			}
+		} else {
+			var (
+				wg   sync.WaitGroup
+				next = make(chan *cell)
+			)
+			wg.Add(workers)
+			for k := 0; k < workers; k++ {
+				go func() {
+					defer wg.Done()
+					for c := range next {
+						c.err = c.run(&c.buf)
+					}
+				}()
+			}
+			for _, c := range cells {
+				next <- c
+			}
+			close(next)
+			wg.Wait()
+		}
+	}
+	for _, it := range r.items {
+		if it.cell != nil {
+			if it.cell.err != nil {
+				return it.cell.err
+			}
+			if _, err := w.Write(it.cell.buf.Bytes()); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := it.text(w); err != nil {
+			return err
+		}
+	}
+	r.items = r.items[:0]
+	return nil
+}

@@ -1,0 +1,113 @@
+package exp
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+	"testing"
+)
+
+// TestRunnerStitchOrder checks that cells and text items appear in
+// registration order regardless of the parallelism level, including cell
+// fragments that compose a single output line.
+func TestRunnerStitchOrder(t *testing.T) {
+	for _, par := range []int{1, 2, 7} {
+		r := NewRunner(par)
+		var want strings.Builder
+		for row := 0; row < 5; row++ {
+			r.Textf("row%d:", row)
+			fmt.Fprintf(&want, "row%d:", row)
+			for c := 0; c < 4; c++ {
+				r.Cell(func(w io.Writer) error {
+					fmt.Fprintf(w, " c%d", c)
+					return nil
+				})
+				fmt.Fprintf(&want, " c%d", c)
+			}
+			r.Textf("\n")
+			want.WriteString("\n")
+		}
+		var got bytes.Buffer
+		if err := r.Flush(&got); err != nil {
+			t.Fatalf("par=%d: %v", par, err)
+		}
+		if got.String() != want.String() {
+			t.Errorf("par=%d: got\n%q\nwant\n%q", par, got.String(), want.String())
+		}
+	}
+}
+
+// TestRunnerErrorOrder checks that Flush reports the first error in
+// registration order (not completion order) and stops writing at the
+// failed item, matching sequential semantics.
+func TestRunnerErrorOrder(t *testing.T) {
+	errA := errors.New("a")
+	errB := errors.New("b")
+	r := NewRunner(4)
+	r.Textf("ok1\n")
+	r.Cell(func(w io.Writer) error { fmt.Fprintln(w, "cell1"); return nil })
+	r.Cell(func(io.Writer) error { return errA })
+	r.Cell(func(io.Writer) error { return errB })
+	r.Textf("never\n")
+	var got bytes.Buffer
+	if err := r.Flush(&got); err != errA {
+		t.Fatalf("Flush error = %v, want %v", err, errA)
+	}
+	if want := "ok1\ncell1\n"; got.String() != want {
+		t.Errorf("partial output %q, want %q", got.String(), want)
+	}
+}
+
+// TestRunnerTextSeesCellResults checks the barrier contract: text items
+// run after every cell has completed, so they can read results cells
+// stored into pre-sized slots (the fig17/fig18 pattern).
+func TestRunnerTextSeesCellResults(t *testing.T) {
+	r := NewRunner(4)
+	vals := make([]int, 8)
+	for i := range vals {
+		r.Cell(func(io.Writer) error {
+			vals[i] = i * i
+			return nil
+		})
+	}
+	r.Text(func(w io.Writer) error {
+		for _, v := range vals {
+			fmt.Fprintf(w, "%d,", v)
+		}
+		return nil
+	})
+	var got bytes.Buffer
+	if err := r.Flush(&got); err != nil {
+		t.Fatal(err)
+	}
+	if want := "0,1,4,9,16,25,36,49,"; got.String() != want {
+		t.Errorf("got %q, want %q", got.String(), want)
+	}
+}
+
+// TestParallelDeterminism is the tentpole guarantee: every experiment
+// produces byte-identical output whether its cells run sequentially or on
+// a saturated worker pool. Under -race this doubles as the concurrency
+// soundness check for the whole experiment matrix.
+func TestParallelDeterminism(t *testing.T) {
+	for _, e := range All() {
+		t.Run(e.ID, func(t *testing.T) {
+			t.Parallel()
+			outs := make([]string, 2)
+			for i, par := range []int{1, 8} {
+				o := tinyOptions()
+				o.Parallel = par
+				var sb strings.Builder
+				if err := e.Run(o, &sb); err != nil {
+					t.Fatalf("parallel=%d: %v", par, err)
+				}
+				outs[i] = sb.String()
+			}
+			if outs[0] != outs[1] {
+				t.Errorf("output differs between parallel=1 and parallel=8:\n--- sequential ---\n%s\n--- parallel ---\n%s", outs[0], outs[1])
+			}
+		})
+	}
+}

@@ -76,8 +76,12 @@ type Negotiator struct {
 	// port's reachable destination group (thin-clos domain size).
 	acceptRings [][]*Ring
 
-	// scratch, reused across calls.
-	reqSet    []bool
+	// scratch, reused across calls. reqSet is an epoch-stamped membership
+	// set: entry src is "set" iff reqStamp[src] == stamp. Bumping stamp
+	// clears the whole set in O(1), replacing the O(n) clear-and-scan that
+	// dominated the GRANT step at scale.
+	reqStamp  []uint64
+	stamp     uint64
 	grantable [][]int32 // grantable[port] = dsts granting that port (scratch)
 }
 
@@ -105,7 +109,7 @@ func NewNegotiator(t topo.Topology, rng *sim.RNG) *Negotiator {
 		}
 		m.acceptRings[i] = rings
 	}
-	m.reqSet = make([]bool, n)
+	m.reqStamp = make([]uint64, n)
 	m.grantable = make([][]int32, s)
 	for p := range m.grantable {
 		m.grantable[p] = make([]int32, 0, 8)
@@ -136,11 +140,9 @@ func (m *Negotiator) Grants(dst int, reqs []Request, emit func(Grant)) {
 	if len(reqs) == 0 {
 		return
 	}
-	for i := range m.reqSet {
-		m.reqSet[i] = false
-	}
+	m.stamp++
 	for _, r := range reqs {
-		m.reqSet[r.Src] = true
+		m.reqStamp[r.Src] = m.stamp
 	}
 	s := m.topo.Ports()
 	rings := m.grantRings[dst]
@@ -150,7 +152,7 @@ func (m *Negotiator) Grants(dst int, reqs []Request, emit func(Grant)) {
 			ring = rings[port]
 		}
 		dom := m.topo.PortDomain(dst, port)
-		pos := ring.Pick(func(p int) bool { return m.reqSet[dom[p]] })
+		pos := ring.Pick(func(p int) bool { return m.reqStamp[dom[p]] == m.stamp })
 		if pos < 0 {
 			continue
 		}

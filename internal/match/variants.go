@@ -73,12 +73,9 @@ func (m *Informative) Grants(dst int, reqs []Request, emit func(Grant)) {
 	if len(reqs) == 0 {
 		return
 	}
-	for i := range m.reqSet {
-		m.reqSet[i] = false
-		m.prio[i] = 0
-	}
+	m.stamp++
 	for _, r := range reqs {
-		m.reqSet[r.Src] = true
+		m.reqStamp[r.Src] = m.stamp
 		p := r.Delay
 		if m.kind == prioDataSize {
 			p = float64(r.Size)
@@ -102,7 +99,7 @@ func (m *Informative) Grants(dst int, reqs []Request, emit func(Grant)) {
 				pos -= len(dom)
 			}
 			src := dom[pos]
-			if m.reqSet[src] && m.prio[src] > best {
+			if m.reqStamp[src] == m.stamp && m.prio[src] > best {
 				best, bestPos = m.prio[src], pos
 			}
 		}
@@ -189,14 +186,12 @@ func (m *Stateful) Grants(dst int, reqs []Request, emit func(Grant)) {
 	if len(reqs) == 0 {
 		return
 	}
-	for i := range m.reqSet {
-		m.reqSet[i] = false
-	}
+	m.stamp++
 	row := m.matrix[dst]
 	for _, r := range reqs {
 		row[r.Src] += r.NewBytes
 		if row[r.Src] > 0 {
-			m.reqSet[r.Src] = true
+			m.reqStamp[r.Src] = m.stamp
 		}
 	}
 	s := m.topo.Ports()
@@ -207,16 +202,17 @@ func (m *Stateful) Grants(dst int, reqs []Request, emit func(Grant)) {
 			ring = rings[port]
 		}
 		dom := m.topo.PortDomain(dst, port)
-		pos := ring.Pick(func(p int) bool { return m.reqSet[dom[p]] })
+		pos := ring.Pick(func(p int) bool { return m.reqStamp[dom[p]] == m.stamp })
 		if pos < 0 {
 			continue
 		}
 		ring.Advance(pos)
 		src := dom[pos]
-		// Temporary decrement; reverted on reject via Feedback.
+		// Temporary decrement; reverted on reject via Feedback. Stamp 0 is
+		// never current (the stamp pre-increments), so it unsets the entry.
 		row[src] -= m.epochBytes
 		if row[src] <= 0 {
-			m.reqSet[src] = false
+			m.reqStamp[src] = 0
 		}
 		emit(Grant{Dst: dst, Port: port, Src: src})
 	}

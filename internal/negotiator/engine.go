@@ -156,6 +156,32 @@ type Engine struct {
 
 	// scratch
 	reqScratch []match.Request
+
+	// Allocation-free hot-path state. The per-epoch control and data paths
+	// run entirely through these preallocated views and prebuilt closures:
+	// constructing a fresh closure (or boxing a torView into the QueueView
+	// interface) at every call site costs one heap allocation per ToR per
+	// epoch, which dominated the steady-state profile.
+	views      []torView              // one per ToR, passed as *torView
+	curGen     int                    // mailbox generation filled this epoch
+	ctlGrants  int64                  // GRANT-step counter for the match ratio
+	feedbackFn func(match.Grant, bool)
+	grantEmit  func(match.Grant)
+	reqEmit    func(match.Request)
+	batchEmit  func(match.Request)
+
+	// Transmission emitter state, shared by the prebuilt schedEmit /
+	// pbEmit / relayEmit closures. Valid only during one queue drain.
+	txTor        *tor
+	txDst        int
+	txLost       bool
+	txPos        int64    // scheduled-phase byte position (slot timing)
+	txAt         sim.Time // predefined-phase fixed arrival time
+	txPhaseStart sim.Time
+	txInter      *tor // relay first hop: receiving intermediate
+	schedEmit    func(*flows.Flow, int64)
+	pbEmit       func(*flows.Flow, int64)
+	relayEmit    func(*flows.Flow, int64)
 }
 
 // New builds an engine. The zero Timing is replaced by DefaultTiming and a
@@ -234,11 +260,23 @@ func New(cfg Config) (*Engine, error) {
 		for j := range t.queues {
 			t.queues[j] = queue.NewDestQueue(cfg.PriorityQueues)
 		}
+		// Pre-size the pipelined mailboxes so typical epochs never grow
+		// them: a destination receives at most n-1 requests; a source
+		// usually receives far fewer than n-1 grants (the theoretical
+		// worst case is (n-1)*s under extreme skew — growth past the
+		// pre-size is one-time, since capacity is retained via in[:0]).
+		for g := range t.reqIn {
+			t.reqIn[g] = make([]match.Request, 0, e.n-1)
+		}
+		for g := range t.grantIn {
+			t.grantIn[g] = make([]match.Grant, 0, e.n-1)
+		}
 		for p := range t.matches {
 			t.matches[p] = -1
 		}
 		e.tors[i] = t
 	}
+	e.initHotPath()
 	if cfg.Failures != nil {
 		e.actual = failure.NewState(e.n, e.s)
 		e.known = failure.NewState(e.n, e.s)
@@ -253,6 +291,100 @@ func New(cfg Config) (*Engine, error) {
 		}
 	}
 	return e, nil
+}
+
+// initHotPath builds the preallocated matcher views and the closures the
+// per-epoch path reuses. All per-call context travels through engine
+// fields (curGen, tx*), so the steady-state epoch performs no heap
+// allocation: closures are built once here, and views are passed by
+// pointer to avoid boxing.
+//
+// The closures rely on two invariants every Matcher maintains:
+// Requests(src, ...) emits requests with Src == src, and Grants(dst, ...)
+// emits grants with Dst == dst.
+func (e *Engine) initHotPath() {
+	e.views = make([]torView, e.n)
+	for i := range e.views {
+		e.views[i] = torView{e: e, i: i}
+	}
+	e.feedbackFn = func(g match.Grant, ok bool) { e.matcher.Feedback(g, ok) }
+	// GRANT transport: the grant message travels g.Dst -> g.Src in this
+	// epoch's predefined phase.
+	e.grantEmit = func(g match.Grant) {
+		e.ctlGrants++
+		// Grants over known-failed ports are suppressed at the source of
+		// truth: the destination will not use a dead ingress.
+		if e.known != nil && e.known.Count > 0 && !e.known.PathOK(g.Src, g.Dst, g.Port) {
+			return
+		}
+		if !e.msgPathOK(g.Dst, g.Src, e.epochs) {
+			return
+		}
+		e.tors[g.Src].grantIn[e.curGen] = append(e.tors[g.Src].grantIn[e.curGen], g)
+	}
+	// REQUEST transport: the request message travels r.Src -> r.Dst.
+	e.reqEmit = func(r match.Request) {
+		if !e.msgPathOK(r.Src, r.Dst, e.epochs) {
+			return
+		}
+		e.tors[r.Dst].reqIn[e.curGen] = append(e.tors[r.Dst].reqIn[e.curGen], r)
+	}
+	e.batchEmit = func(r match.Request) { e.reqScratch = append(e.reqScratch, r) }
+	// Scheduled-phase delivery: bytes land slot by slot after the
+	// predefined phase.
+	e.schedEmit = func(f *flows.Flow, n int64) {
+		off := f.Sent()
+		f.NoteSent(n)
+		e.txPos += n
+		at := e.slotArrival()
+		if e.txLost {
+			e.recordLoss(f, off, n, at)
+			return
+		}
+		e.deliver(f, e.txDst, n, at)
+	}
+	// Predefined-phase (piggyback) delivery: fixed slot arrival time.
+	e.pbEmit = func(f *flows.Flow, n int64) {
+		off := f.Sent()
+		f.NoteSent(n)
+		if e.txLost {
+			e.recordLoss(f, off, n, e.txAt)
+			return
+		}
+		e.deliver(f, e.txDst, n, e.txAt)
+	}
+	// Relay first hop: bytes move into the intermediate's relay queue and
+	// stay "sent but not delivered" until the second hop completes, so
+	// NoteSent happens at the final hop only.
+	e.relayEmit = func(f *flows.Flow, n int64) {
+		e.txPos += n
+		at := e.slotArrival()
+		if e.txLost {
+			off := f.Sent()
+			f.NoteSent(n)
+			e.recordLoss(f, off, n, at)
+			return
+		}
+		e.txInter.relayQ[e.txDst].Push(queue.Segment{Flow: f, Bytes: n, Enqueued: at})
+		e.txInter.relayBytes += n
+	}
+}
+
+// slotArrival returns the arrival time of a scheduled-phase byte run
+// ending at the current txPos: the end of the slot it finishes in, plus
+// propagation.
+func (e *Engine) slotArrival() sim.Time {
+	endSlot := (e.txPos + e.payload - 1) / e.payload
+	return e.txPhaseStart.Add(sim.Duration(endSlot) * e.timing.ScheduledSlot).Add(e.timing.PropDelay)
+}
+
+// recordLoss books n bytes of f (starting at flow offset off) destroyed by
+// an actually-failed link on the current transmission (txTor -> txDst),
+// awaiting detection and source requeue (§3.6.1).
+func (e *Engine) recordLoss(f *flows.Flow, off, n int64, at sim.Time) {
+	e.ledger.Lost += n
+	e.lost += n
+	e.txTor.losses = append(e.txTor.losses, lossRec{f: f, dst: e.txDst, off: off, n: n, at: at})
 }
 
 // SetWorkload attaches the arrival stream. Must be called before Run.

@@ -1,7 +1,6 @@
 package negotiator
 
 import (
-	"negotiator/internal/flows"
 	"negotiator/internal/match"
 	"negotiator/internal/sim"
 )
@@ -9,13 +8,14 @@ import (
 // torView adapts a ToR's queues to the matcher's QueueView. Queued bytes
 // include relay demand: an intermediate must request links to forward
 // relayed data, and a relaying source must request its first-hop
-// intermediate.
+// intermediate. Views are preallocated (one per ToR, see initHotPath) and
+// passed by pointer so the interface conversion never allocates.
 type torView struct {
 	e *Engine
 	i int
 }
 
-func (v torView) QueuedBytes(dst int) int64 {
+func (v *torView) QueuedBytes(dst int) int64 {
 	t := v.e.tors[v.i]
 	b := t.queues[dst].Bytes()
 	if t.relayQ != nil {
@@ -27,11 +27,11 @@ func (v torView) QueuedBytes(dst int) int64 {
 	return b
 }
 
-func (v torView) WeightedHoL(dst int, alpha float64) float64 {
+func (v *torView) WeightedHoL(dst int, alpha float64) float64 {
 	return v.e.tors[v.i].queues[dst].WeightedHoL(v.e.now, alpha)
 }
 
-func (v torView) CumInjected(dst int) int64 {
+func (v *torView) CumInjected(dst int) int64 {
 	return v.e.tors[v.i].cumInjected[dst]
 }
 
@@ -61,6 +61,7 @@ func (e *Engine) controlStep(epochStart sim.Time) {
 	// current epoch refills, so consumption precedes production below.
 	cur := int(e.epochs) % e.stageLag
 	prev := cur
+	e.curGen = cur
 
 	if e.relay != nil {
 		e.planRelay()
@@ -71,7 +72,8 @@ func (e *Engine) controlStep(epochStart sim.Time) {
 		return
 	}
 
-	var grants, accepts int64
+	var accepts int64
+	e.ctlGrants = 0
 
 	// ACCEPT: grants received during the previous epoch yield this epoch's
 	// matches.
@@ -83,9 +85,7 @@ func (e *Engine) controlStep(epochStart sim.Time) {
 			}
 			continue
 		}
-		e.matcher.Accepts(i, torView{e, i}, in, t.matches, func(g match.Grant, ok bool) {
-			e.matcher.Feedback(g, ok)
-		})
+		e.matcher.Accepts(i, &e.views[i], in, t.matches, e.feedbackFn)
 		t.grantIn[prev] = in[:0]
 		for _, d := range t.matches {
 			if d >= 0 {
@@ -106,40 +106,22 @@ func (e *Engine) controlStep(epochStart sim.Time) {
 	}
 
 	// GRANT: requests received during the previous epoch yield grants
-	// transported this epoch.
+	// transported this epoch (via e.grantEmit into generation cur).
 	for j, t := range e.tors {
 		in := t.reqIn[prev]
 		if len(in) == 0 {
 			continue
 		}
-		e.matcher.Grants(j, in, func(g match.Grant) {
-			grants++
-			// Grants over known-failed ports are suppressed at the source
-			// of truth: the destination will not use a dead ingress.
-			if e.known != nil && e.known.Count > 0 && !e.known.PathOK(g.Src, g.Dst, g.Port) {
-				return
-			}
-			// The grant message travels j -> g.Src in this epoch's
-			// predefined phase.
-			if !e.msgPathOK(j, g.Src, e.epochs) {
-				return
-			}
-			e.tors[g.Src].grantIn[cur] = append(e.tors[g.Src].grantIn[cur], g)
-		})
+		e.matcher.Grants(j, in, e.grantEmit)
 		t.reqIn[prev] = in[:0]
 	}
 
 	// REQUEST: current queue state yields requests transported this epoch.
 	for i := range e.tors {
-		e.matcher.Requests(i, torView{e, i}, epochStart, e.threshold, func(r match.Request) {
-			if !e.msgPathOK(i, r.Dst, e.epochs) {
-				return
-			}
-			e.tors[r.Dst].reqIn[cur] = append(e.tors[r.Dst].reqIn[cur], r)
-		})
+		e.matcher.Requests(i, &e.views[i], epochStart, e.threshold, e.reqEmit)
 	}
 
-	e.matchRatio.Observe(accepts, grants)
+	e.matchRatio.Observe(accepts, e.ctlGrants)
 }
 
 // batchControlStep drives BatchMatchers (the iterative variant): requests
@@ -168,9 +150,7 @@ func (e *Engine) batchControlStep() {
 	// Snapshot requests and compute the future matching.
 	e.reqScratch = e.reqScratch[:0]
 	for i := range e.tors {
-		e.matcher.Requests(i, torView{e, i}, e.now, e.threshold, func(r match.Request) {
-			e.reqScratch = append(e.reqScratch, r)
-		})
+		e.matcher.Requests(i, &e.views[i], e.now, e.threshold, e.batchEmit)
 	}
 	target := (int(e.epochs) + e.batch.MatchDelay()) % depth
 	var stats match.BatchStats
@@ -202,40 +182,20 @@ func (e *Engine) predefinedPhase(epochStart sim.Time) {
 			if e.known != nil && e.known.Count > 0 && !e.known.PathOK(i, j, port) {
 				continue // knowingly dead link: hold the data
 			}
-			lost := e.actual != nil && e.actual.Count > 0 && !e.actual.PathOK(i, j, port)
-			at := epochStart.Add(sim.Duration(slot+1) * slotDur).Add(e.timing.PropDelay)
+			e.txTor, e.txDst = t, j
+			e.txLost = e.actual != nil && e.actual.Count > 0 && !e.actual.PathOK(i, j, port)
+			e.txAt = epochStart.Add(sim.Duration(slot+1) * slotDur).Add(e.timing.PropDelay)
 			budget := e.piggyBytes
 			if hasDirect {
-				budget -= e.sendRun(t, q.Take, i, j, budget, at, lost)
+				budget -= q.Take(budget, e.pbEmit)
 			}
 			if budget > 0 && hasRelay {
 				// Relay bytes piggyback too once they are at the
 				// intermediate: from there they are ordinary one-hop data.
-				ready := func(max int64, emit func(f *flows.Flow, n int64)) int64 {
-					return t.relayQ[j].TakeReady(max, epochStart, emit)
-				}
-				t.relayBytes -= e.sendRun(t, ready, i, j, budget, at, lost)
+				t.relayBytes -= t.relayQ[j].TakeReady(budget, epochStart, e.pbEmit)
 			}
 		}
 	}
-}
-
-type takeFunc func(max int64, emit func(f *flows.Flow, n int64)) int64
-
-// sendRun moves up to budget bytes from a queue across the link i->j,
-// delivering them at time at, or logging them as failure losses.
-func (e *Engine) sendRun(t *tor, take takeFunc, i, j int, budget int64, at sim.Time, lost bool) int64 {
-	return take(budget, func(f *flows.Flow, n int64) {
-		off := f.Sent()
-		f.NoteSent(n)
-		if lost {
-			e.ledger.Lost += n
-			e.lost += n
-			t.losses = append(t.losses, lossRec{f: f, dst: j, off: off, n: n, at: at})
-			return
-		}
-		e.deliver(f, j, n, at)
-	})
 }
 
 // scheduledPhase transmits data over the matched connections: each matched
@@ -251,34 +211,21 @@ func (e *Engine) scheduledPhase(epochStart sim.Time) {
 				continue
 			}
 			j := int(dj)
-			lost := e.actual != nil && e.actual.Count > 0 && !e.actual.PathOK(i, j, p)
-			sent := int64(0)
-			pos := int64(0)
-			emit := func(f *flows.Flow, n int64) {
-				off := f.Sent()
-				f.NoteSent(n)
-				pos += n
-				endSlot := (pos + e.payload - 1) / e.payload
-				at := phaseStart.Add(sim.Duration(endSlot) * e.timing.ScheduledSlot).Add(e.timing.PropDelay)
-				if lost {
-					e.ledger.Lost += n
-					e.lost += n
-					t.losses = append(t.losses, lossRec{f: f, dst: j, off: off, n: n, at: at})
-					return
-				}
-				e.deliver(f, j, n, at)
-			}
-			sent += t.queues[j].Take(capacity, emit)
+			e.txTor, e.txDst = t, j
+			e.txLost = e.actual != nil && e.actual.Count > 0 && !e.actual.PathOK(i, j, p)
+			e.txPos = 0
+			e.txPhaseStart = phaseStart
+			sent := t.queues[j].Take(capacity, e.schedEmit)
 			if t.relayQ != nil && sent < capacity {
 				// Second hop: forward data relayed through us that has
 				// physically arrived by the start of this epoch.
-				fwd := t.relayQ[j].TakeReady(capacity-sent, epochStart, emit)
+				fwd := t.relayQ[j].TakeReady(capacity-sent, epochStart, e.schedEmit)
 				t.relayBytes -= fwd
 				sent += fwd
 			}
 			if e.relay != nil && sent < capacity {
 				// First hop: ship planned relay data to intermediate j.
-				e.relayFirstHop(i, j, capacity-sent, pos, phaseStart, lost)
+				e.relayFirstHop(i, j, capacity-sent)
 			}
 		}
 	}

@@ -1,9 +1,7 @@
 package negotiator
 
 import (
-	"negotiator/internal/flows"
 	"negotiator/internal/queue"
-	"negotiator/internal/sim"
 	"negotiator/internal/topo"
 )
 
@@ -151,8 +149,11 @@ func (e *Engine) planRelay() {
 // relayFirstHop ships planned elephant data from source i to the matched
 // intermediate k during the scheduled phase, after direct data has been
 // served (step 3 of A.2.2). The bytes enter k's relay queue at
-// lowest priority and are forwarded by k's own scheduling.
-func (e *Engine) relayFirstHop(i, k int, budget, pos int64, phaseStart sim.Time, lost bool) {
+// lowest priority and are forwarded by k's own scheduling. Slot position,
+// loss state and phase start are carried in the engine's tx* emitter
+// fields, already set by scheduledPhase; txDst is repointed from the
+// matched intermediate to the final destination for the relayed run.
+func (e *Engine) relayFirstHop(i, k int, budget int64) {
 	t := e.tors[i]
 	plan := t.relayPlan[k]
 	if plan.quota <= 0 || plan.finalDst < 0 {
@@ -171,25 +172,8 @@ func (e *Engine) relayFirstHop(i, k int, budget, pos int64, phaseStart sim.Time,
 	if max <= 0 {
 		return
 	}
-	arriveBase := phaseStart
-	t.queues[j].TakeLowestOnly(max, func(f *flows.Flow, n int64) {
-		pos += n
-		endSlot := (pos + e.payload - 1) / e.payload
-		at := arriveBase.Add(sim.Duration(endSlot) * e.timing.ScheduledSlot).Add(e.timing.PropDelay)
-		if lost {
-			off := f.Sent()
-			f.NoteSent(n)
-			e.ledger.Lost += n
-			e.lost += n
-			t.losses = append(t.losses, lossRec{f: f, dst: j, off: off, n: n, at: at})
-			return
-		}
-		// The bytes move between ToR buffers: they stay "sent but not
-		// delivered" until the second hop completes, so NoteSent happens
-		// at the final hop only. Enqueue at the intermediate with the
-		// arrival timestamp.
-		inter.relayQ[j].Push(queue.Segment{Flow: f, Bytes: n, Enqueued: at})
-		inter.relayBytes += n
-	})
+	e.txDst = j
+	e.txInter = inter
+	t.queues[j].TakeLowestOnly(max, e.relayEmit)
 	t.relayPlan[k] = relayPlan{finalDst: -1}
 }
