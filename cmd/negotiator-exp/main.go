@@ -8,10 +8,13 @@
 //	negotiator-exp -exp all -quick
 //	negotiator-exp -exp table2 -duration 30ms   # the paper's full duration
 //	negotiator-exp -exp all -parallel 8         # 8 simulation cells at once
+//	negotiator-exp -exp scale-sweep -workers 8  # 8 ToR shards inside each run
 //
-// Each experiment decomposes into independent (system, load, seed) cells
-// executed by a bounded worker pool (default GOMAXPROCS; -parallel 1
-// forces sequential). Output is byte-identical at any parallelism level.
+// Two levels of parallelism compose: each experiment decomposes into
+// independent (system, load, seed) cells executed by a bounded worker
+// pool (-parallel; default GOMAXPROCS), and each simulation can split its
+// ToRs into intra-run shards (-workers). Output is byte-identical at any
+// setting of either knob.
 //
 // Absolute numbers differ from the paper (purpose-built simulator, shorter
 // default duration); EXPERIMENTS.md records the shape claims each
@@ -38,6 +41,7 @@ func main() {
 		tors     = flag.Int("tors", 0, "override network size (default 128 ToRs)")
 		seed     = flag.Int64("seed", 0, "seed offset")
 		parallel = flag.Int("parallel", 0, "max concurrent simulation cells (0 = GOMAXPROCS, 1 = sequential)")
+		workers  = flag.Int("workers", 0, "ToR shards per simulation (intra-run parallelism; 0 = auto: sequential for paper experiments, GOMAXPROCS for scale-sweep). Results are identical at any value")
 	)
 	flag.Parse()
 
@@ -58,6 +62,7 @@ func main() {
 		Quick:    *quick,
 		Seed:     *seed,
 		Parallel: *parallel,
+		Workers:  *workers,
 	}
 	if *quick && o.Duration == 0 {
 		o.Duration = 2 * sim.Millisecond

@@ -8,10 +8,13 @@
 //	negotiator-sim -oblivious -trace websearch -load 0.5
 //	negotiator-sim -scheduler stateful -tors 64 -no-pq
 //	negotiator-sim -runs 8 -parallel 4   # 8 seed replicates, 4 at a time
+//	negotiator-sim -tors 512 -workers 0  # one big run, sharded over all cores
 //
 // With -runs N the same configuration is executed for seeds seed..seed+N-1
 // as independent cells on a bounded worker pool (see -parallel); the
 // per-seed summaries print in seed order regardless of completion order.
+// With -workers P each run additionally splits its ToRs into P shards that
+// execute every epoch concurrently; results are identical at any P.
 package main
 
 import (
@@ -48,6 +51,7 @@ func main() {
 		seed      = flag.Int64("seed", 1, "random seed")
 		runs      = flag.Int("runs", 1, "number of seed replicates (seeds seed..seed+runs-1)")
 		parallel  = flag.Int("parallel", 0, "max concurrent runs (0 = GOMAXPROCS, 1 = sequential)")
+		workers   = flag.Int("workers", 1, "ToR shards per run (intra-run parallelism; 0 = GOMAXPROCS, 1 = sequential). Results are identical at any value")
 	)
 	flag.Parse()
 
@@ -62,6 +66,7 @@ func main() {
 	spec.PriorityQueues = !*noPQ
 	spec.SelectiveRelay = *relay
 	spec.Seed = *seed
+	spec.Workers = exp.EffectiveParallelism(*workers)
 
 	switch strings.ToLower(*topology) {
 	case "parallel":

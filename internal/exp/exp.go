@@ -35,6 +35,13 @@ type Options struct {
 	// concurrently; 0 means GOMAXPROCS, 1 forces sequential execution.
 	// Output is byte-identical at any setting (see Runner).
 	Parallel int
+	// Workers is the intra-run ToR-shard parallelism applied to every
+	// fabric an experiment builds (Spec.Workers). 0 keeps runs sequential
+	// — the right default when cells already fill the cores — except for
+	// the scale-sweep experiment, which exists to exercise intra-run
+	// sharding and resolves 0 to GOMAXPROCS. Output is byte-identical at
+	// any setting.
+	Workers int
 }
 
 // runner returns the cell runner for these options.
@@ -48,20 +55,26 @@ func (o Options) duration() sim.Duration {
 }
 
 // baseSpec returns the paper's §4.1 spec scaled to the options.
-func (o Options) baseSpec() negotiator.Spec {
+func (o Options) baseSpec() negotiator.Spec { return o.sizedSpec(o.ToRs) }
+
+// sizedSpec returns the paper's §4.1 spec scaled to an explicit fabric
+// size (0 means the paper's 128 ToRs). Ports and AWGR width scale with
+// the size, keeping the 2x speedup.
+func (o Options) sizedSpec(tors int) negotiator.Spec {
 	s := negotiator.DefaultSpec()
 	s.Seed = 1 + o.Seed
-	if o.ToRs == 0 || o.ToRs == 128 {
+	s.Workers = o.Workers
+	if tors == 0 || tors == 128 {
 		return s
 	}
-	s.ToRs = o.ToRs
+	s.ToRs = tors
 	switch {
-	case o.ToRs%16 == 0 && o.ToRs >= 64:
-		s.Ports, s.AWGRPorts = o.ToRs/16, 16
-	case o.ToRs%8 == 0 && o.ToRs >= 32:
-		s.Ports, s.AWGRPorts = o.ToRs/8, 8
+	case tors%16 == 0 && tors >= 64:
+		s.Ports, s.AWGRPorts = tors/16, 16
+	case tors%8 == 0 && tors >= 32:
+		s.Ports, s.AWGRPorts = tors/8, 8
 	default:
-		s.Ports, s.AWGRPorts = 4, o.ToRs/4
+		s.Ports, s.AWGRPorts = 4, tors/4
 	}
 	// Keep the 2x speedup: host rate = ports * link rate / 2.
 	s.HostRate = sim.Gbps(int64(s.Ports) * 100 / 2)
@@ -73,6 +86,12 @@ type Experiment struct {
 	ID    string
 	Title string
 	Run   func(o Options, w io.Writer) error
+	// WallClock marks experiments whose output includes wall-clock-derived
+	// measurements (e.g. scale-sweep's epochs/s column). Their simulated
+	// metrics are still deterministic, but the byte stream is exempt from
+	// the byte-identical-at-any-parallelism guarantee the rest of the
+	// registry upholds.
+	WallClock bool
 }
 
 var registry []Experiment
@@ -93,6 +112,7 @@ func order(id string) int {
 		"fig11", "fig12a", "fig12b", "fig13a", "fig13b", "fig13c",
 		"fig14", "fig15", "table3", "table4", "table5", "table6",
 		"fig17", "fig18", "fig19", "ext-arbiters", "ext-threshold", "ext-buffers", "ext-sync",
+		"scale-sweep",
 	} {
 		if k == id {
 			return i

@@ -4,8 +4,8 @@ import (
 	"bytes"
 	"fmt"
 	"io"
-	"runtime"
-	"sync"
+
+	"negotiator/internal/par"
 )
 
 // Runner executes an experiment as a sequence of output items, some of
@@ -41,14 +41,9 @@ type cell struct {
 }
 
 // EffectiveParallelism resolves a requested parallelism level:
-// parallel <= 0 means GOMAXPROCS. The single point of truth for the
-// default, shared by NewRunner and the CLIs' reporting.
-func EffectiveParallelism(parallel int) int {
-	if parallel <= 0 {
-		return runtime.GOMAXPROCS(0)
-	}
-	return parallel
-}
+// parallel <= 0 means GOMAXPROCS (see par.Effective, the single point of
+// truth shared with the engines' shard workers).
+func EffectiveParallelism(parallel int) int { return par.Effective(parallel) }
 
 // NewRunner returns a runner executing at most parallel cells at once.
 // parallel <= 0 means GOMAXPROCS.
@@ -101,36 +96,10 @@ func (r *Runner) Flush(w io.Writer) error {
 			cells = append(cells, it.cell)
 		}
 	}
-	if len(cells) > 0 {
-		workers := r.par
-		if workers > len(cells) {
-			workers = len(cells)
-		}
-		if workers <= 1 {
-			for _, c := range cells {
-				c.err = c.run(&c.buf)
-			}
-		} else {
-			var (
-				wg   sync.WaitGroup
-				next = make(chan *cell)
-			)
-			wg.Add(workers)
-			for k := 0; k < workers; k++ {
-				go func() {
-					defer wg.Done()
-					for c := range next {
-						c.err = c.run(&c.buf)
-					}
-				}()
-			}
-			for _, c := range cells {
-				next <- c
-			}
-			close(next)
-			wg.Wait()
-		}
-	}
+	par.Do(len(cells), r.par, func(i int) {
+		c := cells[i]
+		c.err = c.run(&c.buf)
+	})
 	for _, it := range r.items {
 		if it.cell != nil {
 			if it.cell.err != nil {

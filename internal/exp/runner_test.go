@@ -95,6 +95,9 @@ func TestParallelDeterminism(t *testing.T) {
 	for _, e := range All() {
 		t.Run(e.ID, func(t *testing.T) {
 			t.Parallel()
+			if e.WallClock {
+				t.Skip("output includes wall-clock measurements by design; simulated metrics are covered by TestShardDeterminism and TestEveryExperimentRuns")
+			}
 			outs := make([]string, 2)
 			for i, par := range []int{1, 8} {
 				o := tinyOptions()

@@ -20,6 +20,7 @@ type Flow struct {
 	Dst     int      // destination ToR
 	Size    int64    // bytes
 	Arrival sim.Time // enqueue time at the source ToR
+	Tag     int      // application event tag (0 = untagged); set at injection
 
 	sent      int64    // bytes that have left the source
 	delivered int64    // bytes that have arrived at the destination

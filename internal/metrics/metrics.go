@@ -18,6 +18,11 @@ const MiceFlowBytes = 10 << 10
 
 // FCTStats accumulates flow completion times, classified into mice and
 // all flows. The zero value is ready to use.
+//
+// Every derived statistic has a defined zero result on an empty sample
+// set — P, MiceP, Mean, MiceMean and Max return 0, MiceCDF returns nil —
+// so per-shard instances that happened to record nothing (a legitimate
+// state under sharded engine execution) are safe to query or merge.
 type FCTStats struct {
 	all    []sim.Duration
 	mice   []sim.Duration
@@ -31,6 +36,19 @@ func (s *FCTStats) Record(size int64, fct sim.Duration) {
 	if size < MiceFlowBytes {
 		s.mice = append(s.mice, fct)
 	}
+}
+
+// Merge folds another accumulator's samples into s. Every derived
+// statistic sorts first, so the merge is order-independent: merging
+// per-shard accumulators in any order yields the same percentiles, means
+// and CDFs as recording all samples into one instance. o is not modified.
+func (s *FCTStats) Merge(o *FCTStats) {
+	if o == nil || len(o.all) == 0 {
+		return
+	}
+	s.sorted = false
+	s.all = append(s.all, o.all...)
+	s.mice = append(s.mice, o.mice...)
 }
 
 // Count returns the number of completed flows (all classes).
@@ -130,6 +148,22 @@ func NewGoodput(n int) *Goodput { return &Goodput{perToR: make([]int64, n)} }
 func (g *Goodput) Deliver(dst int, n int64) {
 	g.perToR[dst] += n
 	g.total += n
+}
+
+// Merge adds another accumulator's per-ToR byte counts into g — a
+// commutative sum, so merging per-shard goodput accumulators in any order
+// equals recording every delivery into one instance. Sizes must match.
+func (g *Goodput) Merge(o *Goodput) {
+	if o == nil {
+		return
+	}
+	if len(o.perToR) != len(g.perToR) {
+		panic(fmt.Sprintf("metrics: merging goodput over %d ToRs into %d", len(o.perToR), len(g.perToR)))
+	}
+	for i, b := range o.perToR {
+		g.perToR[i] += b
+	}
+	g.total += o.total
 }
 
 // TotalBytes returns all delivered payload bytes.

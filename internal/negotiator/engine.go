@@ -2,11 +2,13 @@ package negotiator
 
 import (
 	"fmt"
+	"runtime"
 
 	"negotiator/internal/failure"
 	"negotiator/internal/flows"
 	"negotiator/internal/match"
 	"negotiator/internal/metrics"
+	"negotiator/internal/par"
 	"negotiator/internal/queue"
 	"negotiator/internal/sim"
 	"negotiator/internal/topo"
@@ -53,6 +55,18 @@ type Config struct {
 	// §3.6.5 (the optical fabric can deliver at 2x the host drain rate)
 	// and reports their peak occupancy in Results.
 	TrackReceiverBuffers bool
+	// Workers is the intra-run shard parallelism: the ToRs are split into
+	// Workers contiguous shards that execute each epoch's pipeline stages
+	// concurrently with barrier-synchronized phases (shard-local request
+	// emission → cross-shard mailbox exchange → shard-local matching and
+	// transmission → deterministic merge). Results are byte-identical at
+	// any value. 0 or 1 means sequential; the count is capped at the ToR
+	// count and silently reduced to 1 when a feature that requires global
+	// sequential state is enabled (selective relay, receiver-buffer
+	// tracking, OnDeliver observation, or a custom matcher that does not
+	// implement match.Sharded) — see Engine.Workers for the effective
+	// value.
+	Workers int
 }
 
 // TagStat tracks one tagged application event (e.g. an incast): its start,
@@ -140,12 +154,9 @@ type Engine struct {
 	genDone     bool
 	flowSeq     int64
 
-	fct        metrics.FCTStats
-	goodput    *metrics.Goodput
 	matchRatio metrics.Ratio
 	ledger     flows.Ledger
 	tags       map[int]*TagStat
-	tagOf      map[int64]int // flow ID -> tag, for tagged flows only
 	lost       int64
 
 	actual, known *failure.State
@@ -155,33 +166,33 @@ type Engine struct {
 	rng *sim.RNG
 
 	// scratch
-	reqScratch []match.Request
+	reqScratch []match.Request // batch path: stitched request snapshot
 
-	// Allocation-free hot-path state. The per-epoch control and data paths
-	// run entirely through these preallocated views and prebuilt closures:
-	// constructing a fresh closure (or boxing a torView into the QueueView
-	// interface) at every call site costs one heap allocation per ToR per
-	// epoch, which dominated the steady-state profile.
-	views      []torView              // one per ToR, passed as *torView
-	curGen     int                    // mailbox generation filled this epoch
-	ctlGrants  int64                  // GRANT-step counter for the match ratio
-	feedbackFn func(match.Grant, bool)
-	grantEmit  func(match.Grant)
-	reqEmit    func(match.Request)
-	batchEmit  func(match.Request)
+	// Sharded epoch execution (see shard.go). The ToRs are split into
+	// len(shards) contiguous ranges; each epoch runs as barrier-separated
+	// phases over the shards, executed by the gang (nil when sequential).
+	// FCT, goodput and ledger deltas accumulate per shard and merge
+	// order-independently; cross-shard scheduling messages travel through
+	// per-shard outboxes merged in shard order, which reproduces the exact
+	// ToR-ascending mailbox order of a sequential epoch.
+	workers       int
+	shards        []*engineShard
+	shardOf       []int32 // ToR -> owning shard
+	gang          *par.Gang
+	curEpochStart sim.Time // set serially each epoch, read by phase steps
 
-	// Transmission emitter state, shared by the prebuilt schedEmit /
-	// pbEmit / relayEmit closures. Valid only during one queue drain.
-	txTor        *tor
-	txDst        int
-	txLost       bool
-	txPos        int64    // scheduled-phase byte position (slot timing)
-	txAt         sim.Time // predefined-phase fixed arrival time
-	txPhaseStart sim.Time
-	txInter      *tor // relay first hop: receiving intermediate
-	schedEmit    func(*flows.Flow, int64)
-	pbEmit       func(*flows.Flow, int64)
-	relayEmit    func(*flows.Flow, int64)
+	// Prebuilt phase-step closures, passed to gang.Do so the steady-state
+	// epoch performs no heap allocation regardless of worker count.
+	stepAccept        func(k int)
+	stepEmit          func(k int)
+	stepMergeOnly     func(k int)
+	stepMergeTransmit func(k int)
+	stepBatchPrep     func(k int)
+
+	// Allocation-free hot-path views: one per ToR, passed as *torView so
+	// the QueueView interface conversion never allocates.
+	views  []torView
+	curGen int // mailbox generation filled this epoch
 }
 
 // New builds an engine. The zero Timing is replaced by DefaultTiming and a
@@ -216,7 +227,6 @@ func New(cfg Config) (*Engine, error) {
 		predefSlots: cfg.Topology.PredefinedSlots(),
 		rng:         sim.NewRNG(cfg.Seed),
 		tags:        make(map[int]*TagStat),
-		tagOf:       make(map[int64]int),
 	}
 	e.epochLn = e.timing.EpochLen(e.predefSlots)
 	e.stageLag = e.timing.StageLag(e.predefSlots)
@@ -225,7 +235,6 @@ func New(cfg Config) (*Engine, error) {
 	if cfg.Piggyback {
 		e.threshold = int64(cfg.RequestThresholdPkts) * e.piggyBytes
 	}
-	e.goodput = metrics.NewGoodput(e.n)
 
 	if cfg.NewMatcher != nil {
 		e.matcher = cfg.NewMatcher(e.top, e.timing, e.rng.Split(1))
@@ -293,98 +302,106 @@ func New(cfg Config) (*Engine, error) {
 	return e, nil
 }
 
-// initHotPath builds the preallocated matcher views and the closures the
-// per-epoch path reuses. All per-call context travels through engine
-// fields (curGen, tx*), so the steady-state epoch performs no heap
-// allocation: closures are built once here, and views are passed by
+// resolveWorkers clamps the configured shard parallelism: never more
+// shards than ToRs, and sequential whenever a feature needs globally
+// ordered mutation that the sharded phases cannot reproduce — the
+// selective relay's cross-ToR queue pushes, the receiver-buffer drain
+// model, per-delivery observation callbacks, and custom matchers without
+// shard-private scratch (batch matchers are exempt: their Match runs
+// serially and their per-ToR Requests step is read-only).
+func (e *Engine) resolveWorkers() int {
+	w := e.cfg.Workers
+	if w < 1 {
+		w = 1
+	}
+	if w > e.n {
+		w = e.n
+	}
+	if e.cfg.Relay != nil || e.cfg.TrackReceiverBuffers || e.cfg.OnDeliver != nil {
+		w = 1
+	}
+	if w > 1 {
+		if _, ok := e.matcher.(match.Sharded); !ok {
+			w = 1
+		}
+	}
+	return w
+}
+
+// initHotPath builds the preallocated per-ToR matcher views and the
+// shard execution contexts (see shard.go), including every closure the
+// per-epoch path reuses — all per-call context travels through engine and
+// shard fields, so the steady-state epoch performs no heap allocation at
+// any worker count: closures are built once here, and views are passed by
 // pointer to avoid boxing.
-//
-// The closures rely on two invariants every Matcher maintains:
-// Requests(src, ...) emits requests with Src == src, and Grants(dst, ...)
-// emits grants with Dst == dst.
 func (e *Engine) initHotPath() {
 	e.views = make([]torView, e.n)
 	for i := range e.views {
 		e.views[i] = torView{e: e, i: i}
 	}
-	e.feedbackFn = func(g match.Grant, ok bool) { e.matcher.Feedback(g, ok) }
-	// GRANT transport: the grant message travels g.Dst -> g.Src in this
-	// epoch's predefined phase.
-	e.grantEmit = func(g match.Grant) {
-		e.ctlGrants++
-		// Grants over known-failed ports are suppressed at the source of
-		// truth: the destination will not use a dead ingress.
-		if e.known != nil && e.known.Count > 0 && !e.known.PathOK(g.Src, g.Dst, g.Port) {
-			return
-		}
-		if !e.msgPathOK(g.Dst, g.Src, e.epochs) {
-			return
-		}
-		e.tors[g.Src].grantIn[e.curGen] = append(e.tors[g.Src].grantIn[e.curGen], g)
+	e.workers = e.resolveWorkers()
+	e.shardOf = make([]int32, e.n)
+	e.shards = make([]*engineShard, e.workers)
+
+	// Matcher handles: the sequential engine uses the matcher directly;
+	// parallel shards get scratch-private forks sharing the per-ToR ring
+	// state. Batch matchers fork too — only their per-ToR Requests step
+	// runs on the handles (Match stays serial on the original), and the
+	// built-in batch matchers inherit both Fork and Requests unchanged
+	// from the base Negotiator.
+	var handles []match.Matcher
+	if e.workers > 1 {
+		handles = e.matcher.(match.Sharded).Fork(e.workers)
 	}
-	// REQUEST transport: the request message travels r.Src -> r.Dst.
-	e.reqEmit = func(r match.Request) {
-		if !e.msgPathOK(r.Src, r.Dst, e.epochs) {
-			return
+	for k := 0; k < e.workers; k++ {
+		lo, hi := par.Split(e.n, e.workers, k)
+		sh := &engineShard{e: e, k: k, lo: lo, hi: hi, goodput: metrics.NewGoodput(e.n)}
+		if handles != nil {
+			sh.matcher = handles[k]
+		} else {
+			sh.matcher = e.matcher
 		}
-		e.tors[r.Dst].reqIn[e.curGen] = append(e.tors[r.Dst].reqIn[e.curGen], r)
+		sh.reqOut = make([][]match.Request, e.workers)
+		sh.grantOut = make([][]match.Grant, e.workers)
+		for r := range sh.reqOut {
+			sh.reqOut[r] = make([]match.Request, 0, (hi-lo)+1)
+			sh.grantOut[r] = make([]match.Grant, 0, (hi-lo)+1)
+		}
+		sh.initEmitters()
+		e.shards[k] = sh
+		for i := lo; i < hi; i++ {
+			e.shardOf[i] = int32(k)
+		}
 	}
-	e.batchEmit = func(r match.Request) { e.reqScratch = append(e.reqScratch, r) }
-	// Scheduled-phase delivery: bytes land slot by slot after the
-	// predefined phase.
-	e.schedEmit = func(f *flows.Flow, n int64) {
-		off := f.Sent()
-		f.NoteSent(n)
-		e.txPos += n
-		at := e.slotArrival()
-		if e.txLost {
-			e.recordLoss(f, off, n, at)
-			return
-		}
-		e.deliver(f, e.txDst, n, at)
-	}
-	// Predefined-phase (piggyback) delivery: fixed slot arrival time.
-	e.pbEmit = func(f *flows.Flow, n int64) {
-		off := f.Sent()
-		f.NoteSent(n)
-		if e.txLost {
-			e.recordLoss(f, off, n, e.txAt)
-			return
-		}
-		e.deliver(f, e.txDst, n, e.txAt)
-	}
-	// Relay first hop: bytes move into the intermediate's relay queue and
-	// stay "sent but not delivered" until the second hop completes, so
-	// NoteSent happens at the final hop only.
-	e.relayEmit = func(f *flows.Flow, n int64) {
-		e.txPos += n
-		at := e.slotArrival()
-		if e.txLost {
-			off := f.Sent()
-			f.NoteSent(n)
-			e.recordLoss(f, off, n, at)
-			return
-		}
-		e.txInter.relayQ[e.txDst].Push(queue.Segment{Flow: f, Bytes: n, Enqueued: at})
-		e.txInter.relayBytes += n
+
+	// Phase-step closures, one per barrier phase, prebuilt so gang.Do
+	// never constructs a closure per epoch.
+	e.stepAccept = func(k int) { e.shards[k].acceptStep() }
+	e.stepEmit = func(k int) { e.shards[k].emitStep() }
+	e.stepMergeOnly = func(k int) { e.shards[k].mergeStep() }
+	e.stepMergeTransmit = func(k int) { e.shards[k].mergeTransmitStep() }
+	e.stepBatchPrep = func(k int) { e.shards[k].batchPrepStep() }
+
+	if e.workers > 1 {
+		e.gang = par.NewGang(e.workers)
+		// Engines have no Close; release the gang's background workers
+		// when the engine becomes unreachable. The gang does not reference
+		// the engine (workers hold only the transient phase closure while
+		// it runs), so the cleanup can fire.
+		runtime.AddCleanup(e, func(g *par.Gang) { g.Close() }, e.gang)
 	}
 }
 
-// slotArrival returns the arrival time of a scheduled-phase byte run
-// ending at the current txPos: the end of the slot it finishes in, plus
-// propagation.
-func (e *Engine) slotArrival() sim.Time {
-	endSlot := (e.txPos + e.payload - 1) / e.payload
-	return e.txPhaseStart.Add(sim.Duration(endSlot) * e.timing.ScheduledSlot).Add(e.timing.PropDelay)
-}
-
-// recordLoss books n bytes of f (starting at flow offset off) destroyed by
-// an actually-failed link on the current transmission (txTor -> txDst),
-// awaiting detection and source requeue (§3.6.1).
-func (e *Engine) recordLoss(f *flows.Flow, off, n int64, at sim.Time) {
-	e.ledger.Lost += n
-	e.lost += n
-	e.txTor.losses = append(e.txTor.losses, lossRec{f: f, dst: e.txDst, off: off, n: n, at: at})
+// parDo runs one barrier phase: fn(k) for every shard k, concurrently on
+// the gang when parallel, inline in shard order when sequential.
+func (e *Engine) parDo(fn func(k int)) {
+	if e.gang != nil {
+		e.gang.Do(fn)
+		return
+	}
+	for k := range e.shards {
+		fn(k)
+	}
 }
 
 // SetWorkload attaches the arrival stream. Must be called before Run.
@@ -424,11 +441,24 @@ func (e *Engine) Drain(maxEpochs int) bool {
 	return e.ledger.Queued() == 0
 }
 
-// Results snapshots the run's measurements.
+// Workers reports the effective shard parallelism after clamping (see
+// Config.Workers).
+func (e *Engine) Workers() int { return e.workers }
+
+// Results snapshots the run's measurements. Per-shard FCT and goodput
+// accumulators merge order-independently, so the snapshot is identical at
+// any worker count; the merge builds fresh accumulators, keeping Results
+// idempotent.
 func (e *Engine) Results() Results {
+	fct := &metrics.FCTStats{}
+	goodput := metrics.NewGoodput(e.n)
+	for _, sh := range e.shards {
+		fct.Merge(&sh.fct)
+		goodput.Merge(sh.goodput)
+	}
 	r := Results{
-		FCT:        &e.fct,
-		Goodput:    e.goodput,
+		FCT:        fct,
+		Goodput:    goodput,
 		MatchRatio: &e.matchRatio,
 		Tags:       e.tags,
 		Duration:   sim.Duration(e.now),
@@ -446,24 +476,116 @@ func (e *Engine) Results() Results {
 	return r
 }
 
+// runEpoch advances one epoch through the barrier-synchronized shard
+// phases (paper Figure 4 per shard):
+//
+//	serial   failure bookkeeping, arrival injection
+//	phase A  ACCEPT over last epoch's grants (+ known-failure filter)
+//	phase B  GRANT + REQUEST emission into per-shard outboxes
+//	phase C  cross-shard mailbox exchange (outboxes merged in shard
+//	         order, reproducing ToR-ascending arrival order), then the
+//	         predefined and scheduled transmission phases shard-locally
+//	serial   deterministic merge: ledger deltas, tag completions, match
+//	         ratio, invariants
+//
+// The batch (iterative) matchers replace A and B with one request-
+// snapshot phase and a serial whole-fabric Match.
 func (e *Engine) runEpoch() {
 	epochStart := e.now
+	e.curEpochStart = epochStart
 	if e.cfg.Failures != nil {
 		e.cfg.Failures.Fill(e.actual, epochStart)
 		e.cfg.Failures.Fill(e.known, epochStart.Add(-e.cfg.Failures.DetectDelay))
 		e.requeueDetectedLosses(epochStart)
 	}
 	e.inject(epochStart)
-	e.controlStep(epochStart)
-	if e.cfg.Piggyback {
-		e.predefinedPhase(epochStart)
+
+	// Mailbox generation g is consumed exactly stageLag epochs after it
+	// was filled; with a ring of stageLag slots that is the same slot the
+	// current epoch refills, so consumption (phases A/B) precedes
+	// production (phase C).
+	e.curGen = int(e.epochs) % e.stageLag
+
+	if e.relay != nil {
+		e.planRelay() // sequential-only feature (workers == 1)
 	}
-	e.scheduledPhase(epochStart)
+
+	if e.batch != nil {
+		e.batchControl()
+		e.parDo(e.stepMergeTransmit) // outboxes empty: pure transmission
+	} else {
+		e.controlPhases(e.stepMergeTransmit)
+	}
+
+	// Deterministic merge: fold shard deltas in shard order. Every fold is
+	// commutative (sums, max) so the result is worker-count-independent.
+	for _, sh := range e.shards {
+		e.ledger.Delivered += sh.delivered
+		sh.delivered = 0
+		e.ledger.Lost += sh.lostDelta
+		e.lost += sh.lostDelta
+		sh.lostDelta = 0
+		for _, f := range sh.tagged {
+			ts := e.tags[f.Tag]
+			ts.Done++
+			if f.Completed() > ts.End {
+				ts.End = f.Completed()
+			}
+		}
+		sh.tagged = sh.tagged[:0]
+	}
 	if e.cfg.CheckInvariants {
 		e.checkInvariants()
 	}
 	e.epochs++
 	e.now = epochStart.Add(e.epochLn)
+}
+
+// batchControl runs the batch-matcher control plane: the per-shard
+// request snapshot, the shard-order stitch, and the serial whole-fabric
+// Match into the future ring.
+func (e *Engine) batchControl() {
+	e.parDo(e.stepBatchPrep)
+	e.reqScratch = e.reqScratch[:0]
+	for _, sh := range e.shards {
+		e.reqScratch = append(e.reqScratch, sh.reqScratch...)
+	}
+	target := (int(e.epochs) + e.batch.MatchDelay()) % len(e.future)
+	var stats match.BatchStats
+	e.batch.Match(e.reqScratch, e.future[target], &stats)
+	e.matchRatio.Observe(stats.Accepts, stats.Grants)
+}
+
+// controlPhases runs the non-batch control plane — phases A (ACCEPT) and
+// B (GRANT/REQUEST emission), the given phase-C step (mailbox exchange,
+// with or without transmission) — then folds the per-shard accept/grant
+// counters into the match ratio.
+func (e *Engine) controlPhases(phaseC func(k int)) {
+	e.parDo(e.stepAccept)
+	e.parDo(e.stepEmit)
+	e.parDo(phaseC)
+	var accepts, grants int64
+	for _, sh := range e.shards {
+		accepts += sh.accepts
+		grants += sh.grants
+		sh.accepts, sh.grants = 0, 0
+	}
+	e.matchRatio.Observe(accepts, grants)
+}
+
+// controlStep runs one epoch's scheduling phases in isolation — ACCEPT,
+// GRANT and REQUEST plus the mailbox exchange, without data transmission
+// (and without runEpoch's relay planning, a sequential-only feature
+// outside the control plane). Benchmarks use it to measure the
+// distributed scheduling computation alone.
+func (e *Engine) controlStep(epochStart sim.Time) {
+	e.curEpochStart = epochStart
+	e.curGen = int(e.epochs) % e.stageLag
+	if e.batch != nil {
+		e.batchControl()
+		return
+	}
+	e.controlPhases(e.stepMergeOnly)
 }
 
 // inject moves all arrivals at or before t into the source queues.
@@ -487,7 +609,7 @@ func (e *Engine) inject(t sim.Time) {
 		a := e.pending
 		e.havePending = false
 		e.flowSeq++
-		f := &flows.Flow{ID: e.flowSeq, Src: a.Src, Dst: a.Dst, Size: a.Size, Arrival: a.Time}
+		f := &flows.Flow{ID: e.flowSeq, Src: a.Src, Dst: a.Dst, Size: a.Size, Arrival: a.Time, Tag: a.Tag}
 		e.tors[a.Src].queues[a.Dst].Push(f, t)
 		e.tors[a.Src].cumInjected[a.Dst] += a.Size
 		e.ledger.Injected += a.Size
@@ -501,40 +623,7 @@ func (e *Engine) inject(t sim.Time) {
 			if a.Time < ts.Start {
 				ts.Start = a.Time
 			}
-			e.tagOf[f.ID] = a.Tag
 		}
-	}
-}
-
-// deliver accounts one run of payload bytes arriving at dst.
-func (e *Engine) deliver(f *flows.Flow, dst int, n int64, at sim.Time) {
-	e.ledger.Delivered += n
-	e.goodput.Deliver(dst, n)
-	if f.Deliver(n, at) {
-		e.fct.Record(f.Size, f.FCT())
-		e.noteTagCompletion(f)
-	}
-	if e.rxBuffers != nil {
-		e.rxBuffers[dst].Add(at, n)
-	}
-	if e.cfg.OnDeliver != nil {
-		e.cfg.OnDeliver(dst, at, n)
-	}
-}
-
-// noteTagCompletion updates application-event bookkeeping (incast finish
-// times) for a finished flow.
-func (e *Engine) noteTagCompletion(f *flows.Flow) {
-	if len(e.tagOf) == 0 {
-		return
-	}
-	if tag, ok := e.tagOf[f.ID]; ok {
-		ts := e.tags[tag]
-		ts.Done++
-		if f.Completed() > ts.End {
-			ts.End = f.Completed()
-		}
-		delete(e.tagOf, f.ID)
 	}
 }
 

@@ -1,15 +1,17 @@
 package negotiator
 
-import (
-	"negotiator/internal/match"
-	"negotiator/internal/sim"
-)
+// The per-epoch pipeline stages themselves (ACCEPT/GRANT/REQUEST and the
+// predefined and scheduled transmission phases) live in shard.go: they
+// execute per ToR-shard with barriers in between, sequentially when
+// Config.Workers <= 1. This file keeps the shared read-only helpers.
 
 // torView adapts a ToR's queues to the matcher's QueueView. Queued bytes
 // include relay demand: an intermediate must request links to forward
 // relayed data, and a relaying source must request its first-hop
 // intermediate. Views are preallocated (one per ToR, see initHotPath) and
-// passed by pointer so the interface conversion never allocates.
+// passed by pointer so the interface conversion never allocates. A view
+// reads only its own ToR's state, so concurrent shards may evaluate views
+// of distinct ToRs freely.
 type torView struct {
 	e *Engine
 	i int
@@ -48,185 +50,4 @@ func (e *Engine) msgPathOK(i, j int, epoch int64) bool {
 	}
 	_, port := e.top.PredefinedSlotPort(i, j, e.rotation(epoch))
 	return e.actual.PathOK(i, j, port)
-}
-
-// controlStep runs the three pipelined stages at the start of an epoch
-// (paper Figure 4): ACCEPT over grants transported last epoch (producing
-// this epoch's matches), GRANT over requests transported last epoch
-// (transported now), and REQUEST from current queue state (transported
-// now).
-func (e *Engine) controlStep(epochStart sim.Time) {
-	// Mailbox generation g is consumed exactly stageLag epochs after it was
-	// filled; with a ring of stageLag slots that is the same slot the
-	// current epoch refills, so consumption precedes production below.
-	cur := int(e.epochs) % e.stageLag
-	prev := cur
-	e.curGen = cur
-
-	if e.relay != nil {
-		e.planRelay()
-	}
-
-	if e.batch != nil {
-		e.batchControlStep()
-		return
-	}
-
-	var accepts int64
-	e.ctlGrants = 0
-
-	// ACCEPT: grants received during the previous epoch yield this epoch's
-	// matches.
-	for i, t := range e.tors {
-		in := t.grantIn[prev]
-		if len(in) == 0 {
-			for p := range t.matches {
-				t.matches[p] = -1
-			}
-			continue
-		}
-		e.matcher.Accepts(i, &e.views[i], in, t.matches, e.feedbackFn)
-		t.grantIn[prev] = in[:0]
-		for _, d := range t.matches {
-			if d >= 0 {
-				accepts++
-			}
-		}
-	}
-	// Known failures exclude links from transmission at use time.
-	if e.known != nil && e.known.Count > 0 {
-		for i, t := range e.tors {
-			for p, dj := range t.matches {
-				if dj >= 0 && !e.known.PathOK(i, int(dj), p) {
-					t.matches[p] = -1
-					accepts--
-				}
-			}
-		}
-	}
-
-	// GRANT: requests received during the previous epoch yield grants
-	// transported this epoch (via e.grantEmit into generation cur).
-	for j, t := range e.tors {
-		in := t.reqIn[prev]
-		if len(in) == 0 {
-			continue
-		}
-		e.matcher.Grants(j, in, e.grantEmit)
-		t.reqIn[prev] = in[:0]
-	}
-
-	// REQUEST: current queue state yields requests transported this epoch.
-	for i := range e.tors {
-		e.matcher.Requests(i, &e.views[i], epochStart, e.threshold, e.reqEmit)
-	}
-
-	e.matchRatio.Observe(accepts, e.ctlGrants)
-}
-
-// batchControlStep drives BatchMatchers (the iterative variant): requests
-// snapshotted now are matched in one logical computation whose result takes
-// effect MatchDelay epochs later, modelling the extra request/grant/accept
-// rounds occupying the intervening predefined phases.
-func (e *Engine) batchControlStep() {
-	depth := len(e.future)
-	slot := int(e.epochs) % depth
-	// This epoch's matches were computed MatchDelay epochs ago.
-	for i, t := range e.tors {
-		copy(t.matches, e.future[slot][i])
-		for p := range e.future[slot][i] {
-			e.future[slot][i][p] = -1
-		}
-	}
-	if e.known != nil && e.known.Count > 0 {
-		for i, t := range e.tors {
-			for p, dj := range t.matches {
-				if dj >= 0 && !e.known.PathOK(i, int(dj), p) {
-					t.matches[p] = -1
-				}
-			}
-		}
-	}
-	// Snapshot requests and compute the future matching.
-	e.reqScratch = e.reqScratch[:0]
-	for i := range e.tors {
-		e.matcher.Requests(i, &e.views[i], e.now, e.threshold, e.batchEmit)
-	}
-	target := (int(e.epochs) + e.batch.MatchDelay()) % depth
-	var stats match.BatchStats
-	e.batch.Match(e.reqScratch, e.future[target], &stats)
-	e.matchRatio.Observe(stats.Accepts, stats.Grants)
-}
-
-// predefinedPhase transmits piggybacked data over the round-robin all-to-all
-// connections (§3.4.1): every pair moves up to one small payload, bypassing
-// the scheduling delay.
-func (e *Engine) predefinedPhase(epochStart sim.Time) {
-	if e.piggyBytes <= 0 {
-		return
-	}
-	rot := e.rotation(e.epochs)
-	slotDur := e.timing.PredefinedSlot
-	for i, t := range e.tors {
-		for j := 0; j < e.n; j++ {
-			if j == i {
-				continue
-			}
-			q := t.queues[j]
-			hasDirect := !q.Empty()
-			hasRelay := t.relayQ != nil && t.relayQ[j].HeadReady(epochStart)
-			if !hasDirect && !hasRelay {
-				continue
-			}
-			slot, port := e.top.PredefinedSlotPort(i, j, rot)
-			if e.known != nil && e.known.Count > 0 && !e.known.PathOK(i, j, port) {
-				continue // knowingly dead link: hold the data
-			}
-			e.txTor, e.txDst = t, j
-			e.txLost = e.actual != nil && e.actual.Count > 0 && !e.actual.PathOK(i, j, port)
-			e.txAt = epochStart.Add(sim.Duration(slot+1) * slotDur).Add(e.timing.PropDelay)
-			budget := e.piggyBytes
-			if hasDirect {
-				budget -= q.Take(budget, e.pbEmit)
-			}
-			if budget > 0 && hasRelay {
-				// Relay bytes piggyback too once they are at the
-				// intermediate: from there they are ordinary one-hop data.
-				t.relayBytes -= t.relayQ[j].TakeReady(budget, epochStart, e.pbEmit)
-			}
-		}
-	}
-}
-
-// scheduledPhase transmits data over the matched connections: each matched
-// port sends from its per-destination queue until the phase ends or the
-// queue empties (§3.3.2). Direct data goes first, then relay forwarding
-// (second hop), then selective-relay first-hop data (Appendix A.2.2).
-func (e *Engine) scheduledPhase(epochStart sim.Time) {
-	phaseStart := epochStart.Add(e.timing.PredefinedLen(e.predefSlots))
-	capacity := e.payload * int64(e.timing.ScheduledSlots)
-	for i, t := range e.tors {
-		for p, dj := range t.matches {
-			if dj < 0 {
-				continue
-			}
-			j := int(dj)
-			e.txTor, e.txDst = t, j
-			e.txLost = e.actual != nil && e.actual.Count > 0 && !e.actual.PathOK(i, j, p)
-			e.txPos = 0
-			e.txPhaseStart = phaseStart
-			sent := t.queues[j].Take(capacity, e.schedEmit)
-			if t.relayQ != nil && sent < capacity {
-				// Second hop: forward data relayed through us that has
-				// physically arrived by the start of this epoch.
-				fwd := t.relayQ[j].TakeReady(capacity-sent, epochStart, e.schedEmit)
-				t.relayBytes -= fwd
-				sent += fwd
-			}
-			if e.relay != nil && sent < capacity {
-				// First hop: ship planned relay data to intermediate j.
-				e.relayFirstHop(i, j, capacity-sent)
-			}
-		}
-	}
 }

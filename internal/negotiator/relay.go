@@ -150,10 +150,13 @@ func (e *Engine) planRelay() {
 // intermediate k during the scheduled phase, after direct data has been
 // served (step 3 of A.2.2). The bytes enter k's relay queue at
 // lowest priority and are forwarded by k's own scheduling. Slot position,
-// loss state and phase start are carried in the engine's tx* emitter
+// loss state and phase start are carried in the shard's tx* emitter
 // fields, already set by scheduledPhase; txDst is repointed from the
 // matched intermediate to the final destination for the relayed run.
-func (e *Engine) relayFirstHop(i, k int, budget int64) {
+// Selective relay pushes into another ToR's queue, so it forces
+// sequential execution (the engine clamps Workers to 1).
+func (sh *engineShard) relayFirstHop(i, k int, budget int64) {
+	e := sh.e
 	t := e.tors[i]
 	plan := t.relayPlan[k]
 	if plan.quota <= 0 || plan.finalDst < 0 {
@@ -172,8 +175,8 @@ func (e *Engine) relayFirstHop(i, k int, budget int64) {
 	if max <= 0 {
 		return
 	}
-	e.txDst = j
-	e.txInter = inter
-	t.queues[j].TakeLowestOnly(max, e.relayEmit)
+	sh.txDst = j
+	sh.txInter = inter
+	t.queues[j].TakeLowestOnly(max, sh.relayEmit)
 	t.relayPlan[k] = relayPlan{finalDst: -1}
 }

@@ -1,0 +1,393 @@
+package negotiator
+
+import (
+	"negotiator/internal/flows"
+	"negotiator/internal/match"
+	"negotiator/internal/metrics"
+	"negotiator/internal/queue"
+	"negotiator/internal/sim"
+)
+
+// engineShard owns the execution context of one contiguous ToR range
+// [lo, hi): a scratch-private matcher handle, per-shard metric
+// accumulators, cross-shard message outboxes, and the transmission emitter
+// state with its prebuilt closures. An epoch's phases run over all shards
+// between barriers (see Engine.runEpoch); everything a phase writes is
+// either owned by this shard (its ToRs' queues, mailboxes and matches; its
+// accumulators) or deferred into an outbox that a later phase merges in
+// shard order.
+//
+// Determinism at any worker count follows from three properties:
+//
+//   - Shards are contiguous ascending ToR ranges and each phase walks its
+//     range in ascending order, so concatenating per-shard emissions in
+//     shard order reproduces exactly the ToR-ascending order a sequential
+//     epoch produces — mailbox contents are identical, byte for byte.
+//   - Per-shard FCT/goodput/ledger accumulators merge order-independently
+//     (sorted percentiles, sums, max).
+//   - Matcher per-ToR state (rings, matrices) is partitioned by the same
+//     ToR ranges, and shard handles share it while owning private scratch
+//     (see match.Sharded).
+type engineShard struct {
+	e      *Engine
+	k      int
+	lo, hi int // ToR range [lo, hi)
+
+	// matcher is this shard's handle: a scratch-private fork when running
+	// parallel, the engine's matcher itself when sequential or batch.
+	matcher match.Matcher
+
+	// Per-shard accumulators, merged order-independently: fct/goodput at
+	// Results, the deltas and tag completions at each epoch's serial merge.
+	fct       metrics.FCTStats
+	goodput   *metrics.Goodput
+	delivered int64
+	lostDelta int64
+	accepts   int64
+	grants    int64
+	tagged    []*flows.Flow // completed tagged flows awaiting serial fold
+
+	// Outboxes for cross-shard scheduling messages, bucketed by receiving
+	// shard. Phase B fills them; phase C's receiving shard drains bucket
+	// [k] of every sender in shard order and resets it. Buckets retain
+	// capacity across epochs, so the steady state never allocates.
+	reqOut   [][]match.Request
+	grantOut [][]match.Grant
+
+	reqScratch []match.Request // batch path: this shard's request snapshot
+
+	// Transmission emitter state shared by the prebuilt closures below.
+	// Valid only during one queue drain.
+	txTor        *tor
+	txDst        int
+	txLost       bool
+	txPos        int64    // scheduled-phase byte position (slot timing)
+	txAt         sim.Time // predefined-phase fixed arrival time
+	txPhaseStart sim.Time
+	txInter      *tor // relay first hop: receiving intermediate
+
+	feedbackFn func(match.Grant, bool)
+	grantEmit  func(match.Grant)
+	reqEmit    func(match.Request)
+	batchEmit  func(match.Request)
+	schedEmit  func(*flows.Flow, int64)
+	pbEmit     func(*flows.Flow, int64)
+	relayEmit  func(*flows.Flow, int64)
+}
+
+// initEmitters builds the closures the per-epoch path reuses. All per-call
+// context travels through shard fields, so the steady-state epoch performs
+// no heap allocation.
+//
+// The closures rely on two invariants every Matcher maintains:
+// Requests(src, ...) emits requests with Src == src, and Grants(dst, ...)
+// emits grants with Dst == dst.
+func (sh *engineShard) initEmitters() {
+	e := sh.e
+	sh.feedbackFn = func(g match.Grant, ok bool) { sh.matcher.Feedback(g, ok) }
+	// GRANT transport: the grant message travels g.Dst -> g.Src in this
+	// epoch's predefined phase, via the outbox bucket of g.Src's shard.
+	sh.grantEmit = func(g match.Grant) {
+		sh.grants++
+		// Grants over known-failed ports are suppressed at the source of
+		// truth: the destination will not use a dead ingress.
+		if e.known != nil && e.known.Count > 0 && !e.known.PathOK(g.Src, g.Dst, g.Port) {
+			return
+		}
+		if !e.msgPathOK(g.Dst, g.Src, e.epochs) {
+			return
+		}
+		r := e.shardOf[g.Src]
+		sh.grantOut[r] = append(sh.grantOut[r], g)
+	}
+	// REQUEST transport: the request message travels r.Src -> r.Dst.
+	sh.reqEmit = func(r match.Request) {
+		if !e.msgPathOK(r.Src, r.Dst, e.epochs) {
+			return
+		}
+		d := e.shardOf[r.Dst]
+		sh.reqOut[d] = append(sh.reqOut[d], r)
+	}
+	sh.batchEmit = func(r match.Request) { sh.reqScratch = append(sh.reqScratch, r) }
+	// Scheduled-phase delivery: bytes land slot by slot after the
+	// predefined phase.
+	sh.schedEmit = func(f *flows.Flow, n int64) {
+		off := f.Sent()
+		f.NoteSent(n)
+		sh.txPos += n
+		at := sh.slotArrival()
+		if sh.txLost {
+			sh.recordLoss(f, off, n, at)
+			return
+		}
+		sh.deliver(f, sh.txDst, n, at)
+	}
+	// Predefined-phase (piggyback) delivery: fixed slot arrival time.
+	sh.pbEmit = func(f *flows.Flow, n int64) {
+		off := f.Sent()
+		f.NoteSent(n)
+		if sh.txLost {
+			sh.recordLoss(f, off, n, sh.txAt)
+			return
+		}
+		sh.deliver(f, sh.txDst, n, sh.txAt)
+	}
+	// Relay first hop (sequential-only feature): bytes move into the
+	// intermediate's relay queue and stay "sent but not delivered" until
+	// the second hop completes, so NoteSent happens at the final hop only.
+	sh.relayEmit = func(f *flows.Flow, n int64) {
+		sh.txPos += n
+		at := sh.slotArrival()
+		if sh.txLost {
+			off := f.Sent()
+			f.NoteSent(n)
+			sh.recordLoss(f, off, n, at)
+			return
+		}
+		sh.txInter.relayQ[sh.txDst].Push(queue.Segment{Flow: f, Bytes: n, Enqueued: at})
+		sh.txInter.relayBytes += n
+	}
+}
+
+// slotArrival returns the arrival time of a scheduled-phase byte run
+// ending at the current txPos: the end of the slot it finishes in, plus
+// propagation.
+func (sh *engineShard) slotArrival() sim.Time {
+	e := sh.e
+	endSlot := (sh.txPos + e.payload - 1) / e.payload
+	return sh.txPhaseStart.Add(sim.Duration(endSlot) * e.timing.ScheduledSlot).Add(e.timing.PropDelay)
+}
+
+// deliver accounts one run of payload bytes arriving at dst. The flow is
+// owned by this shard (its source ToR is local, and cross-ToR flow
+// movement — selective relay — forces sequential execution), so flow state
+// is race-free; everything else lands in per-shard accumulators.
+func (sh *engineShard) deliver(f *flows.Flow, dst int, n int64, at sim.Time) {
+	sh.delivered += n
+	sh.goodput.Deliver(dst, n)
+	if f.Deliver(n, at) {
+		sh.fct.Record(f.Size, f.FCT())
+		if f.Tag != 0 {
+			sh.tagged = append(sh.tagged, f)
+		}
+	}
+	e := sh.e
+	if e.rxBuffers != nil { // sequential-only feature
+		e.rxBuffers[dst].Add(at, n)
+	}
+	if e.cfg.OnDeliver != nil { // sequential-only feature
+		e.cfg.OnDeliver(dst, at, n)
+	}
+}
+
+// recordLoss books n bytes of f (starting at flow offset off) destroyed by
+// an actually-failed link on the current transmission (txTor -> txDst),
+// awaiting detection and source requeue (§3.6.1). The loss list is owned
+// by the transmitting ToR, hence by this shard.
+func (sh *engineShard) recordLoss(f *flows.Flow, off, n int64, at sim.Time) {
+	sh.lostDelta += n
+	sh.txTor.losses = append(sh.txTor.losses, lossRec{f: f, dst: sh.txDst, off: off, n: n, at: at})
+}
+
+// acceptStep is phase A: grants received during the previous epoch yield
+// this epoch's matches for this shard's ToRs, followed by the
+// known-failure filter. Feedback reaches the matcher's shared state only
+// at elements unique to a (dst, src) pair — src local to this shard — so
+// concurrent shards never write the same element.
+func (sh *engineShard) acceptStep() {
+	e := sh.e
+	prev := e.curGen
+	for i := sh.lo; i < sh.hi; i++ {
+		t := e.tors[i]
+		in := t.grantIn[prev]
+		if len(in) == 0 {
+			for p := range t.matches {
+				t.matches[p] = -1
+			}
+			continue
+		}
+		sh.matcher.Accepts(i, &e.views[i], in, t.matches, sh.feedbackFn)
+		t.grantIn[prev] = in[:0]
+		for _, d := range t.matches {
+			if d >= 0 {
+				sh.accepts++
+			}
+		}
+	}
+	// Known failures exclude links from transmission at use time.
+	if e.known != nil && e.known.Count > 0 {
+		for i := sh.lo; i < sh.hi; i++ {
+			t := e.tors[i]
+			for p, dj := range t.matches {
+				if dj >= 0 && !e.known.PathOK(i, int(dj), p) {
+					t.matches[p] = -1
+					sh.accepts--
+				}
+			}
+		}
+	}
+}
+
+// emitStep is phase B: requests received during the previous epoch yield
+// grants (GRANT), and current queue state yields requests (REQUEST), both
+// emitted into per-shard outboxes for the phase-C exchange.
+func (sh *engineShard) emitStep() {
+	e := sh.e
+	prev := e.curGen
+	for j := sh.lo; j < sh.hi; j++ {
+		t := e.tors[j]
+		in := t.reqIn[prev]
+		if len(in) == 0 {
+			continue
+		}
+		sh.matcher.Grants(j, in, sh.grantEmit)
+		t.reqIn[prev] = in[:0]
+	}
+	for i := sh.lo; i < sh.hi; i++ {
+		sh.matcher.Requests(i, &e.views[i], e.curEpochStart, e.threshold, sh.reqEmit)
+	}
+}
+
+// mergeStep is the cross-shard mailbox exchange of phase C: this shard
+// drains its bucket of every sender's outbox in shard order, which
+// appends messages to its ToRs' mailboxes in exactly the ToR-ascending
+// order a sequential epoch would.
+func (sh *engineShard) mergeStep() {
+	e := sh.e
+	cur := e.curGen
+	for _, src := range e.shards {
+		gout := src.grantOut[sh.k]
+		for _, g := range gout {
+			t := e.tors[g.Src]
+			t.grantIn[cur] = append(t.grantIn[cur], g)
+		}
+		src.grantOut[sh.k] = gout[:0]
+		rout := src.reqOut[sh.k]
+		for _, r := range rout {
+			t := e.tors[r.Dst]
+			t.reqIn[cur] = append(t.reqIn[cur], r)
+		}
+		src.reqOut[sh.k] = rout[:0]
+	}
+}
+
+// mergeTransmitStep is phase C: the mailbox exchange, then the shard-local
+// predefined and scheduled transmission phases.
+func (sh *engineShard) mergeTransmitStep() {
+	e := sh.e
+	sh.mergeStep()
+	if e.cfg.Piggyback {
+		sh.predefinedPhase(e.curEpochStart)
+	}
+	sh.scheduledPhase(e.curEpochStart)
+}
+
+// batchPrepStep replaces phases A and B for batch (iterative) matchers:
+// this epoch's matches were computed MatchDelay epochs ago and are copied
+// from the future ring, then the shard snapshots its ToRs' requests for
+// the serial whole-fabric Match (run on the original matcher; only the
+// Requests step runs on the shard handles).
+func (sh *engineShard) batchPrepStep() {
+	e := sh.e
+	depth := len(e.future)
+	slot := int(e.epochs) % depth
+	for i := sh.lo; i < sh.hi; i++ {
+		t := e.tors[i]
+		copy(t.matches, e.future[slot][i])
+		for p := range e.future[slot][i] {
+			e.future[slot][i][p] = -1
+		}
+	}
+	if e.known != nil && e.known.Count > 0 {
+		for i := sh.lo; i < sh.hi; i++ {
+			t := e.tors[i]
+			for p, dj := range t.matches {
+				if dj >= 0 && !e.known.PathOK(i, int(dj), p) {
+					t.matches[p] = -1
+				}
+			}
+		}
+	}
+	sh.reqScratch = sh.reqScratch[:0]
+	for i := sh.lo; i < sh.hi; i++ {
+		sh.matcher.Requests(i, &e.views[i], e.curEpochStart, e.threshold, sh.batchEmit)
+	}
+}
+
+// predefinedPhase transmits piggybacked data over the round-robin
+// all-to-all connections (§3.4.1) for this shard's sources: every pair
+// moves up to one small payload, bypassing the scheduling delay.
+func (sh *engineShard) predefinedPhase(epochStart sim.Time) {
+	e := sh.e
+	if e.piggyBytes <= 0 {
+		return
+	}
+	rot := e.rotation(e.epochs)
+	slotDur := e.timing.PredefinedSlot
+	for i := sh.lo; i < sh.hi; i++ {
+		t := e.tors[i]
+		for j := 0; j < e.n; j++ {
+			if j == i {
+				continue
+			}
+			q := t.queues[j]
+			hasDirect := !q.Empty()
+			hasRelay := t.relayQ != nil && t.relayQ[j].HeadReady(epochStart)
+			if !hasDirect && !hasRelay {
+				continue
+			}
+			slot, port := e.top.PredefinedSlotPort(i, j, rot)
+			if e.known != nil && e.known.Count > 0 && !e.known.PathOK(i, j, port) {
+				continue // knowingly dead link: hold the data
+			}
+			sh.txTor, sh.txDst = t, j
+			sh.txLost = e.actual != nil && e.actual.Count > 0 && !e.actual.PathOK(i, j, port)
+			sh.txAt = epochStart.Add(sim.Duration(slot+1) * slotDur).Add(e.timing.PropDelay)
+			budget := e.piggyBytes
+			if hasDirect {
+				budget -= q.Take(budget, sh.pbEmit)
+			}
+			if budget > 0 && hasRelay {
+				// Relay bytes piggyback too once they are at the
+				// intermediate: from there they are ordinary one-hop data.
+				t.relayBytes -= t.relayQ[j].TakeReady(budget, epochStart, sh.pbEmit)
+			}
+		}
+	}
+}
+
+// scheduledPhase transmits data over the matched connections for this
+// shard's sources: each matched port sends from its per-destination queue
+// until the phase ends or the queue empties (§3.3.2). Direct data goes
+// first, then relay forwarding (second hop), then selective-relay
+// first-hop data (Appendix A.2.2; sequential-only).
+func (sh *engineShard) scheduledPhase(epochStart sim.Time) {
+	e := sh.e
+	phaseStart := epochStart.Add(e.timing.PredefinedLen(e.predefSlots))
+	capacity := e.payload * int64(e.timing.ScheduledSlots)
+	for i := sh.lo; i < sh.hi; i++ {
+		t := e.tors[i]
+		for p, dj := range t.matches {
+			if dj < 0 {
+				continue
+			}
+			j := int(dj)
+			sh.txTor, sh.txDst = t, j
+			sh.txLost = e.actual != nil && e.actual.Count > 0 && !e.actual.PathOK(i, j, p)
+			sh.txPos = 0
+			sh.txPhaseStart = phaseStart
+			sent := t.queues[j].Take(capacity, sh.schedEmit)
+			if t.relayQ != nil && sent < capacity {
+				// Second hop: forward data relayed through us that has
+				// physically arrived by the start of this epoch.
+				fwd := t.relayQ[j].TakeReady(capacity-sent, epochStart, sh.schedEmit)
+				t.relayBytes -= fwd
+				sent += fwd
+			}
+			if e.relay != nil && sent < capacity {
+				// First hop: ship planned relay data to intermediate j.
+				sh.relayFirstHop(i, j, capacity-sent)
+			}
+		}
+	}
+}

@@ -26,9 +26,11 @@ package oblivious
 
 import (
 	"fmt"
+	"runtime"
 
 	"negotiator/internal/flows"
 	"negotiator/internal/metrics"
+	"negotiator/internal/par"
 	"negotiator/internal/queue"
 	"negotiator/internal/sim"
 	"negotiator/internal/topo"
@@ -124,6 +126,24 @@ type Config struct {
 	// OnTransit observes first-hop (intermediate) arrivals, the "light
 	// grey dots" of the paper's Figure 18.
 	OnTransit func(intermediate int, at sim.Time, n int64)
+	// Workers is the intra-run shard parallelism: the ToRs split into
+	// Workers contiguous shards, and each timeslot executes as
+	// barrier-synchronized phases — shard-local relay drains, then
+	// shard-local lane/spray service against the drained VOQ occupancy
+	// snapshot, then a serial merge that applies relay pushes and delivery
+	// accounting in shard (= ToR) order. Results are identical at any
+	// value (0 or 1 = sequential); the count is capped at the ToR count.
+	//
+	// Sharding fixes the backpressure semantics at any worker count: a
+	// source's VOQ-headroom check reads the slot-start occupancy after all
+	// second-hop drains but before this slot's pushes — same-slot pushes
+	// from other sources are invisible, mirroring the physical reality
+	// that occupancy feedback is at least a propagation delay stale. A
+	// VOQ may therefore briefly exceed RelayCap by up to one cell per
+	// connected source per slot. Observer callbacks fire from the serial
+	// merge in a fixed order (drain deliveries, transits, serve
+	// deliveries, each in ToR order), identical at any worker count.
+	Workers int
 }
 
 // TagStat mirrors negotiator.TagStat for tagged application events.
@@ -140,6 +160,7 @@ type Results struct {
 	Goodput   *metrics.Goodput
 	Tags      map[int]*TagStat
 	Duration  sim.Duration
+	Slots     int64 // timeslots executed
 	Injected  int64
 	Delivered int64
 	Relayed   int64 // bytes that took a first hop (transit volume)
@@ -186,9 +207,81 @@ type Engine struct {
 	goodput *metrics.Goodput
 	ledger  flows.Ledger
 	tags    map[int]*TagStat
-	tagOf   map[int64]int
 	relayed int64
 	rng     *sim.RNG
+
+	// Sharded slot execution (see Config.Workers): per-slot context set
+	// serially, phase steps run over the shards via the gang (nil when
+	// sequential), and the shards' deferred effect records are applied in
+	// shard order by the serial merge.
+	workers    int
+	shards     []*obShard
+	gang       *par.Gang
+	stepDrain  func(k int)
+	stepServe  func(k int)
+	slotT      int      // round-robin slot within the cycle
+	slotRot    int      // rule rotation (full cycles elapsed)
+	slotStart  sim.Time // current slot's start
+	slotArrive sim.Time // current slot's delivery time (slot end + prop)
+}
+
+// obShard owns one contiguous ToR range of the slot pipeline. Phases A
+// (relay drains) and B (lane/spray service) only mutate shard-local ToR
+// state — queue takes at this shard's sources — and defer every
+// cross-shard effect (relay pushes into intermediates, delivery accounting
+// on flows owned elsewhere) into per-shard record lists the serial merge
+// applies in shard order, which equals ToR-ascending order because shards
+// are contiguous ascending ranges.
+type obShard struct {
+	e      *Engine
+	k      int
+	lo, hi int
+
+	// usedStamp marks connections phase A consumed ((tor-lo)*s + port,
+	// stamped with slotNo+1 so no per-slot clearing is needed).
+	usedStamp []int64
+
+	// Deferred effect records. Drain (phase A) and serve (phase B)
+	// deliveries are kept apart so the merge can apply all drains before
+	// all serves — the same order a sequential slot produces — regardless
+	// of where shard boundaries fall. Transits aggregate one record per
+	// pushing connection (the granularity OnTransit always had), while
+	// pushes keep one record per flow segment for the FIFO contents.
+	drainDelivs []obDeliv
+	serveDelivs []obDeliv
+	pushes      []obPush
+	transits    []obTransit
+
+	// Emitter context + prebuilt closures (no per-take closure allocs).
+	txDst     int
+	txInter   int
+	drainEmit func(*flows.Flow, int64) // relay second hop: no NoteSent
+	sentEmit  func(*flows.Flow, int64) // direct delivery: NoteSent + record
+	pushEmit  func(*flows.Flow, int64) // first hop: NoteSent + push record
+}
+
+// obDeliv defers one delivery's accounting to the serial merge.
+type obDeliv struct {
+	f   *flows.Flow
+	dst int
+	n   int64
+	at  sim.Time
+}
+
+// obPush defers one first-hop relay push to the serial merge.
+type obPush struct {
+	f          *flows.Flow
+	inter, dst int
+	n          int64
+	at         sim.Time
+}
+
+// obTransit defers one connection's OnTransit observation (bytes summed
+// over the connection's segments) to the serial merge.
+type obTransit struct {
+	inter int
+	n     int64
+	at    sim.Time
 }
 
 // New builds the baseline engine.
@@ -214,7 +307,6 @@ func New(cfg Config) (*Engine, error) {
 		slots:  cfg.Topology.PredefinedSlots(),
 		cell:   cfg.Timing.CellBytes(),
 		tags:   make(map[int]*TagStat),
-		tagOf:  make(map[int64]int),
 		rng:    sim.NewRNG(cfg.Seed),
 	}
 	if cfg.RelayCap == 0 {
@@ -243,8 +335,60 @@ func New(cfg Config) (*Engine, error) {
 		}
 		e.tors[i] = t
 	}
+	e.initShards()
 	return e, nil
 }
+
+// initShards builds the shard contexts and their prebuilt emitters.
+func (e *Engine) initShards() {
+	e.workers = e.cfg.Workers
+	if e.workers < 1 {
+		e.workers = 1
+	}
+	if e.workers > e.n {
+		e.workers = e.n
+	}
+	e.shards = make([]*obShard, e.workers)
+	for k := 0; k < e.workers; k++ {
+		lo, hi := par.Split(e.n, e.workers, k)
+		sh := &obShard{e: e, k: k, lo: lo, hi: hi, usedStamp: make([]int64, (hi-lo)*e.s)}
+		sh.drainEmit = func(f *flows.Flow, n int64) {
+			sh.drainDelivs = append(sh.drainDelivs, obDeliv{f: f, dst: sh.txDst, n: n, at: e.slotArrive})
+		}
+		sh.sentEmit = func(f *flows.Flow, n int64) {
+			f.NoteSent(n)
+			sh.serveDelivs = append(sh.serveDelivs, obDeliv{f: f, dst: sh.txDst, n: n, at: e.slotArrive})
+		}
+		sh.pushEmit = func(f *flows.Flow, n int64) {
+			f.NoteSent(n)
+			sh.pushes = append(sh.pushes, obPush{f: f, inter: sh.txInter, dst: sh.txDst, n: n, at: e.slotArrive})
+		}
+		e.shards[k] = sh
+	}
+	e.stepDrain = func(k int) { e.shards[k].drainStep() }
+	e.stepServe = func(k int) { e.shards[k].serveStep() }
+	if e.workers > 1 {
+		e.gang = par.NewGang(e.workers)
+		// Engines have no Close; release the gang's background workers
+		// when the engine becomes unreachable (the gang holds no engine
+		// reference, so the cleanup can fire).
+		runtime.AddCleanup(e, func(g *par.Gang) { g.Close() }, e.gang)
+	}
+}
+
+// parDo runs one barrier phase over all shards.
+func (e *Engine) parDo(fn func(k int)) {
+	if e.gang != nil {
+		e.gang.Do(fn)
+		return
+	}
+	for k := range e.shards {
+		fn(k)
+	}
+}
+
+// Workers reports the effective shard parallelism.
+func (e *Engine) Workers() int { return e.workers }
 
 // SetWorkload attaches the arrival stream.
 func (e *Engine) SetWorkload(g workload.Generator) { e.work = g }
@@ -254,12 +398,23 @@ func (e *Engine) CycleLen() sim.Duration {
 	return sim.Duration(e.slots) * e.timing.Slot
 }
 
+// SlotsPerCycle returns the number of timeslots in one round-robin cycle.
+func (e *Engine) SlotsPerCycle() int { return e.slots }
+
 // Now returns the current simulated time.
 func (e *Engine) Now() sim.Time { return e.now }
 
 // Run advances until at least d has elapsed.
 func (e *Engine) Run(d sim.Duration) {
 	for e.now < sim.Time(d) {
+		e.runSlot()
+	}
+}
+
+// RunCycles advances exactly k full round-robin cycles (the baseline's
+// epoch analogue: one all-to-all sweep of the predefined schedule).
+func (e *Engine) RunCycles(k int) {
+	for i := 0; i < k*e.slots; i++ {
 		e.runSlot()
 	}
 }
@@ -282,31 +437,71 @@ func (e *Engine) Results() Results {
 		Goodput:   e.goodput,
 		Tags:      e.tags,
 		Duration:  sim.Duration(e.now),
+		Slots:     e.slotNo,
 		Injected:  e.ledger.Injected,
 		Delivered: e.ledger.Delivered,
 		Relayed:   e.relayed,
 	}
 }
 
+// runSlot advances one timeslot through the barrier-synchronized shard
+// phases:
+//
+//	serial   arrival injection, slot context
+//	phase A  second-hop relay drains — each shard drains its own ToRs'
+//	         ready relay VOQs toward this slot's peers, marking the
+//	         connections it consumed
+//	phase B  lane/spray service on the remaining connections, with
+//	         VOQ-headroom checks against the post-drain occupancy
+//	         snapshot; takes mutate only shard-local queues, and all
+//	         cross-shard effects (relay pushes, delivery accounting on
+//	         flows owned elsewhere) are deferred as records
+//	serial   deterministic merge — pushes and deliveries applied in
+//	         shard (= ToR-ascending) order, so FIFO contents, flow
+//	         completions and observer callbacks are identical at any
+//	         worker count
 func (e *Engine) runSlot() {
 	slotStart := e.now
 	e.inject(slotStart)
-	t := int(e.slotNo) % e.slots
-	rot := int(e.slotNo) / e.slots // rotate the rule every full cycle
-	arrive := slotStart.Add(e.timing.Slot).Add(e.timing.PropDelay)
-	for i, src := range e.tors {
-		for s := 0; s < e.s; s++ {
-			j := e.top.PredefinedPeer(i, s, t, rot)
-			if j < 0 {
-				continue
-			}
-			if src.lanes != nil {
-				e.serveLanes(src, i, j, slotStart, arrive)
-			} else {
-				e.serve(src, i, j, slotStart, arrive)
-			}
+	e.slotT = int(e.slotNo) % e.slots
+	e.slotRot = int(e.slotNo) / e.slots // rotate the rule every full cycle
+	e.slotStart = slotStart
+	e.slotArrive = slotStart.Add(e.timing.Slot).Add(e.timing.PropDelay)
+
+	e.parDo(e.stepDrain)
+	e.parDo(e.stepServe)
+
+	// Separate sweeps per record class (drain deliveries, pushes, serve
+	// deliveries), each in shard order: the apply order — and with it the
+	// FIFO contents, flow completions and observer callbacks — must not
+	// depend on where shard boundaries fall. A sequential slot produces
+	// exactly this order: all drains in ToR order, then all serves.
+	for _, sh := range e.shards {
+		for _, d := range sh.drainDelivs {
+			e.deliver(d.f, d.dst, d.n, d.at)
 		}
+		sh.drainDelivs = sh.drainDelivs[:0]
 	}
+	for _, sh := range e.shards {
+		for _, p := range sh.pushes {
+			inter := e.tors[p.inter]
+			inter.relay[p.dst].Push(queue.Segment{Flow: p.f, Bytes: p.n, Enqueued: p.at})
+			inter.relayBytes += p.n
+			e.relayed += p.n
+		}
+		sh.pushes = sh.pushes[:0]
+		for _, tr := range sh.transits {
+			e.cfg.OnTransit(tr.inter, tr.at, tr.n)
+		}
+		sh.transits = sh.transits[:0]
+	}
+	for _, sh := range e.shards {
+		for _, d := range sh.serveDelivs {
+			e.deliver(d.f, d.dst, d.n, d.at)
+		}
+		sh.serveDelivs = sh.serveDelivs[:0]
+	}
+
 	if e.cfg.CheckInvariants {
 		e.checkInvariants()
 	}
@@ -314,22 +509,61 @@ func (e *Engine) runSlot() {
 	e.now = slotStart.Add(e.timing.Slot)
 }
 
-// serveLanes fills one slot under the default Sirius discipline: relay
-// (second-hop) traffic destined to the connected peer j first, then the
-// head cell of the pre-assigned spray lane for j. Fresh data was split
-// across lanes at arrival, so a slot can only carry lane j's data; if the
-// head cell's destination VOQ at j is full, the slot is wasted — the
-// backpressure that, together with the doubled traffic volume, caps the
-// oblivious design's goodput under heavy load (paper §2).
-func (e *Engine) serveLanes(src *tor, i, j int, slotStart, arrive sim.Time) {
-	// Second hop: relay traffic destined to j that has physically arrived.
-	if src.relay[j].HeadReady(slotStart) {
-		n := src.relay[j].TakeReady(e.cell, slotStart, func(f *flows.Flow, n int64) {
-			e.deliver(f, j, n, arrive)
-		})
-		src.relayBytes -= n
-		return
+// drainStep is phase A for one shard: second-hop relay traffic destined to
+// each connected peer, for this shard's ToRs. Relay traffic must not
+// accumulate, so a connection carrying it is consumed for the slot.
+func (sh *obShard) drainStep() {
+	e := sh.e
+	for i := sh.lo; i < sh.hi; i++ {
+		src := e.tors[i]
+		for s := 0; s < e.s; s++ {
+			j := e.top.PredefinedPeer(i, s, e.slotT, e.slotRot)
+			if j < 0 {
+				continue
+			}
+			if !src.relay[j].HeadReady(e.slotStart) {
+				continue
+			}
+			sh.txDst = j
+			n := src.relay[j].TakeReady(e.cell, e.slotStart, sh.drainEmit)
+			src.relayBytes -= n
+			sh.usedStamp[(i-sh.lo)*e.s+s] = e.slotNo + 1
+		}
 	}
+}
+
+// serveStep is phase B for one shard: fresh-data service on the
+// connections phase A left free.
+func (sh *obShard) serveStep() {
+	e := sh.e
+	for i := sh.lo; i < sh.hi; i++ {
+		src := e.tors[i]
+		for s := 0; s < e.s; s++ {
+			if sh.usedStamp[(i-sh.lo)*e.s+s] == e.slotNo+1 {
+				continue
+			}
+			j := e.top.PredefinedPeer(i, s, e.slotT, e.slotRot)
+			if j < 0 {
+				continue
+			}
+			if src.lanes != nil {
+				sh.serveLanes(src, i, j)
+			} else {
+				sh.serve(src, i, j)
+			}
+		}
+	}
+}
+
+// serveLanes fills one slot under the default Sirius discipline: the head
+// cell of the pre-assigned spray lane for the connected peer j. Fresh data
+// was split across lanes at arrival, so a slot can only carry lane j's
+// data; if the head cell's destination VOQ at j is full — judged against
+// the post-drain slot-start occupancy, see Config.Workers — the slot is
+// wasted: the backpressure that, together with the doubled traffic volume,
+// caps the oblivious design's goodput under heavy load (paper §2).
+func (sh *obShard) serveLanes(src *tor, i, j int) {
+	e := sh.e
 	lane := src.lanes[j]
 	d := lane.HeadDst()
 	if d < 0 {
@@ -337,14 +571,11 @@ func (e *Engine) serveLanes(src *tor, i, j int, slotStart, arrive sim.Time) {
 	}
 	if d == j {
 		// The pre-assigned intermediate is the destination: one hop.
-		lane.TakeHeadCell(e.cell, func(f *flows.Flow, n int64) {
-			f.NoteSent(n)
-			e.deliver(f, j, n, arrive)
-		})
+		sh.txDst = j
+		lane.TakeHeadCell(e.cell, sh.sentEmit)
 		return
 	}
-	inter := e.tors[j]
-	headroom := e.cfg.RelayCap - inter.relay[d].Bytes()
+	headroom := e.cfg.RelayCap - e.tors[j].relay[d].Bytes()
 	if headroom <= 0 {
 		return // VOQ full: the lane head stalls and the slot is wasted
 	}
@@ -352,37 +583,23 @@ func (e *Engine) serveLanes(src *tor, i, j int, slotStart, arrive sim.Time) {
 	if max > headroom {
 		max = headroom
 	}
-	_, n := lane.TakeHeadCell(max, func(f *flows.Flow, n int64) {
-		f.NoteSent(n)
-		inter.relay[d].Push(queue.Segment{Flow: f, Bytes: n, Enqueued: arrive})
-	})
-	inter.relayBytes += n
-	e.relayed += n
-	if e.cfg.OnTransit != nil && n > 0 {
-		e.cfg.OnTransit(j, arrive, n)
-	}
+	sh.txInter, sh.txDst = j, d
+	_, n := lane.TakeHeadCell(max, sh.pushEmit)
+	sh.noteTransit(j, n)
 }
 
 // serve fills the slot for the slot-time-spray disciplines
 // (OpportunisticDirect and DirectOnly ablations): one cell per slot chosen
-// as relay > [direct-to-j] > spray-from-any-queue, with the spray target
-// decided at slot time rather than pre-assigned.
-func (e *Engine) serve(src *tor, i, j int, slotStart, arrive sim.Time) {
-	// Second hop: relay traffic destined to j that has physically arrived.
-	if src.relay[j].HeadReady(slotStart) {
-		n := src.relay[j].TakeReady(e.cell, slotStart, func(f *flows.Flow, n int64) {
-			e.deliver(f, j, n, arrive)
-		})
-		src.relayBytes -= n
-		return
-	}
+// as [direct-to-j] > spray-from-any-queue, with the spray target decided
+// at slot time rather than pre-assigned (relay service already ran in
+// phase A).
+func (sh *obShard) serve(src *tor, i, j int) {
+	e := sh.e
 	if e.cfg.OpportunisticDirect || e.cfg.DirectOnly {
 		// Direct traffic to j (source-side priority queues apply).
 		if !src.direct[j].Empty() {
-			src.direct[j].Take(e.cell, func(f *flows.Flow, n int64) {
-				f.NoteSent(n)
-				e.deliver(f, j, n, arrive)
-			})
+			sh.txDst = j
+			src.direct[j].Take(e.cell, sh.sentEmit)
 			return
 		}
 		if e.cfg.DirectOnly {
@@ -403,10 +620,8 @@ func (e *Engine) serve(src *tor, i, j int, slotStart, arrive sim.Time) {
 			continue
 		}
 		if d == j {
-			src.direct[d].Take(e.cell, func(f *flows.Flow, n int64) {
-				f.NoteSent(n)
-				e.deliver(f, j, n, arrive)
-			})
+			sh.txDst = j
+			src.direct[d].Take(e.cell, sh.sentEmit)
 			return
 		}
 		headroom := e.cfg.RelayCap - inter.relay[d].Bytes()
@@ -417,31 +632,35 @@ func (e *Engine) serve(src *tor, i, j int, slotStart, arrive sim.Time) {
 		if max > headroom {
 			max = headroom
 		}
-		n := src.direct[d].Take(max, func(f *flows.Flow, n int64) {
-			f.NoteSent(n)
-			inter.relay[d].Push(queue.Segment{Flow: f, Bytes: n, Enqueued: arrive})
-		})
-		inter.relayBytes += n
-		e.relayed += n
-		if e.cfg.OnTransit != nil && n > 0 {
-			e.cfg.OnTransit(j, arrive, n)
-		}
+		sh.txInter, sh.txDst = j, d
+		n := src.direct[d].Take(max, sh.pushEmit)
+		sh.noteTransit(j, n)
 		return
 	}
 }
 
+// noteTransit records one connection's transit observation when an
+// observer is attached (one call per pushing connection, bytes summed —
+// the granularity the sequential engine always delivered).
+func (sh *obShard) noteTransit(inter int, n int64) {
+	if n > 0 && sh.e.cfg.OnTransit != nil {
+		sh.transits = append(sh.transits, obTransit{inter: inter, n: n, at: sh.e.slotArrive})
+	}
+}
+
+// deliver applies one delivery's accounting; called only from the serial
+// merge, in the same ToR-ascending order at any worker count.
 func (e *Engine) deliver(f *flows.Flow, dst int, n int64, at sim.Time) {
 	e.ledger.Delivered += n
 	e.goodput.Deliver(dst, n)
 	if f.Deliver(n, at) {
 		e.fct.Record(f.Size, f.FCT())
-		if tag, ok := e.tagOf[f.ID]; ok {
-			ts := e.tags[tag]
+		if f.Tag != 0 {
+			ts := e.tags[f.Tag]
 			ts.Done++
 			if f.Completed() > ts.End {
 				ts.End = f.Completed()
 			}
-			delete(e.tagOf, f.ID)
 		}
 	}
 	if e.cfg.OnDeliver != nil {
@@ -469,7 +688,7 @@ func (e *Engine) inject(t sim.Time) {
 		a := e.pending
 		e.havePending = false
 		e.flowSeq++
-		f := &flows.Flow{ID: e.flowSeq, Src: a.Src, Dst: a.Dst, Size: a.Size, Arrival: a.Time}
+		f := &flows.Flow{ID: e.flowSeq, Src: a.Src, Dst: a.Dst, Size: a.Size, Arrival: a.Time, Tag: a.Tag}
 		src := e.tors[a.Src]
 		if src.lanes != nil {
 			// Spray the flow across intermediates in fixed-size chunks,
@@ -503,7 +722,6 @@ func (e *Engine) inject(t sim.Time) {
 			if a.Time < ts.Start {
 				ts.Start = a.Time
 			}
-			e.tagOf[f.ID] = a.Tag
 		}
 	}
 }

@@ -1,0 +1,163 @@
+// Package par provides the two parallel-execution primitives the
+// simulator uses, factored out of the experiment harness so both layers of
+// parallelism share one implementation:
+//
+//   - Do: a bounded fan-out over independent work items — the
+//     across-run level (experiment cells, seed replicates), where each
+//     item is a self-contained simulation and completion order is
+//     irrelevant because output is stitched afterwards.
+//
+//   - Gang: a fixed crew of persistent workers executing phase functions
+//     in lockstep — the within-run level (ToR shards inside one engine),
+//     where every simulated epoch runs several barrier-synchronized
+//     phases and spawning goroutines per phase would dominate the
+//     microsecond-scale epoch cost.
+//
+// Both primitives are deterministic by construction as long as the work
+// functions are: Do assigns item indices, not work content, and Gang gives
+// worker k the same shard k every phase.
+package par
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Effective resolves a requested parallelism level: values <= 0 mean
+// GOMAXPROCS. The single point of truth for the default, shared by the
+// runner, the engines and the CLIs' reporting.
+func Effective(requested int) int {
+	if requested <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return requested
+}
+
+// Do runs fn(i) for every i in [0, n) using at most workers concurrent
+// goroutines and returns when all calls have completed. workers <= 0 means
+// GOMAXPROCS; with one worker (or one item) everything runs inline on the
+// caller's goroutine in index order.
+func Do(n, workers int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	workers = Effective(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var (
+		wg   sync.WaitGroup
+		next = make(chan int)
+	)
+	wg.Add(workers)
+	for k := 0; k < workers; k++ {
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}
+
+// Gang is a crew of n workers that execute phase functions in lockstep:
+// each Do(fn) call runs fn(k) once for every worker k and returns when all
+// have finished — one barrier-synchronized phase. Workers are persistent
+// goroutines, so a phase costs two channel synchronizations per worker
+// instead of a goroutine spawn, and worker k always executes shard k,
+// keeping shard-to-worker assignment deterministic.
+//
+// The caller's goroutine doubles as worker 0, so a Gang of size n keeps
+// n-1 background goroutines. Gangs of size <= 1 keep none and Do runs
+// entirely inline. Close releases the background goroutines; a Gang that
+// is never closed leaks them, so owners that cannot guarantee a Close call
+// should attach one via runtime.AddCleanup.
+//
+// Do must not be called concurrently from multiple goroutines, and fn must
+// not call Do on the same Gang (workers would deadlock).
+type Gang struct {
+	n    int
+	work []chan func(int) // per background worker (index 1..n-1)
+	wg   sync.WaitGroup
+	once sync.Once
+}
+
+// NewGang returns a gang of size n (n < 1 is treated as 1), starting its
+// n-1 background workers.
+func NewGang(n int) *Gang {
+	if n < 1 {
+		n = 1
+	}
+	g := &Gang{n: n}
+	g.work = make([]chan func(int), n)
+	for k := 1; k < n; k++ {
+		ch := make(chan func(int))
+		g.work[k] = ch
+		shard := k
+		go func() {
+			for fn := range ch {
+				fn(shard)
+				g.wg.Done()
+			}
+		}()
+	}
+	return g
+}
+
+// Size returns the number of workers (shards) in the gang.
+func (g *Gang) Size() int { return g.n }
+
+// Do runs fn(k) for every worker k in [0, Size()) and returns when all
+// calls complete. fn(0) runs on the caller's goroutine. Reusing one
+// prebuilt fn across calls keeps Do allocation-free.
+func (g *Gang) Do(fn func(k int)) {
+	if g.n == 1 {
+		fn(0)
+		return
+	}
+	g.wg.Add(g.n - 1)
+	for k := 1; k < g.n; k++ {
+		g.work[k] <- fn
+	}
+	fn(0)
+	g.wg.Wait()
+}
+
+// Close stops the background workers. The gang must be idle (no Do in
+// flight). Close is idempotent; Do must not be called after Close.
+func (g *Gang) Close() {
+	g.once.Do(func() {
+		for k := 1; k < g.n; k++ {
+			close(g.work[k])
+		}
+	})
+}
+
+// Split partitions n items into p contiguous ranges as evenly as possible
+// and returns the k-th range [lo, hi). Contiguity is what makes
+// shard-order merges reproduce global index order: concatenating per-shard
+// results for k = 0..p-1 yields items in ascending index order, the same
+// order a sequential loop produces. Ranges differ in size by at most one.
+func Split(n, p, k int) (lo, hi int) {
+	if p < 1 {
+		p = 1
+	}
+	base, rem := n/p, n%p
+	lo = k*base + min(k, rem)
+	hi = lo + base
+	if k < rem {
+		hi++
+	}
+	return lo, hi
+}

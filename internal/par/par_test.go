@@ -1,0 +1,108 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestDoRunsEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 8, 64} {
+		const n = 100
+		var counts [n]int32
+		Do(n, workers, func(i int) { atomic.AddInt32(&counts[i], 1) })
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestDoInlineWhenSequential(t *testing.T) {
+	// workers=1 must preserve index order (inline execution).
+	var order []int
+	Do(5, 1, func(i int) { order = append(order, i) })
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("sequential Do out of order: %v", order)
+		}
+	}
+	Do(0, 4, func(i int) { t.Fatal("fn called for n=0") })
+}
+
+func TestGangLockstepPhases(t *testing.T) {
+	for _, size := range []int{1, 2, 4, 7} {
+		g := NewGang(size)
+		if g.Size() != size {
+			t.Fatalf("size = %d, want %d", g.Size(), size)
+		}
+		// Each phase must see the previous phase fully applied (barrier).
+		sum := make([]int64, size)
+		for phase := 0; phase < 50; phase++ {
+			g.Do(func(k int) { sum[k]++ })
+			var total int64
+			g.Do(func(k int) {
+				if k == 0 {
+					for _, s := range sum {
+						total += s
+					}
+				}
+			})
+			if want := int64(size) * int64(phase+1); total != want {
+				t.Fatalf("size=%d phase=%d: barrier leak, sum %d want %d", size, phase, total, want)
+			}
+		}
+		g.Close()
+		g.Close() // idempotent
+	}
+}
+
+func TestGangWorkerIdentityStable(t *testing.T) {
+	g := NewGang(4)
+	defer g.Close()
+	seen := make([][]int, 4)
+	for phase := 0; phase < 8; phase++ {
+		g.Do(func(k int) { seen[k] = append(seen[k], k) })
+	}
+	for k, s := range seen {
+		if len(s) != 8 {
+			t.Fatalf("worker %d ran %d phases, want 8", k, len(s))
+		}
+		for _, v := range s {
+			if v != k {
+				t.Fatalf("worker identity drifted: %v on worker %d", v, k)
+			}
+		}
+	}
+}
+
+func TestSplitContiguousAndComplete(t *testing.T) {
+	for _, tc := range []struct{ n, p int }{{16, 1}, {16, 4}, {17, 4}, {3, 8}, {128, 5}, {0, 3}} {
+		prev := 0
+		for k := 0; k < tc.p; k++ {
+			lo, hi := Split(tc.n, tc.p, k)
+			if lo != prev {
+				t.Fatalf("n=%d p=%d k=%d: gap, lo=%d want %d", tc.n, tc.p, k, lo, prev)
+			}
+			if hi < lo {
+				t.Fatalf("n=%d p=%d k=%d: negative range [%d,%d)", tc.n, tc.p, k, lo, hi)
+			}
+			if sz := hi - lo; sz > tc.n/tc.p+1 {
+				t.Fatalf("n=%d p=%d k=%d: uneven range size %d", tc.n, tc.p, k, sz)
+			}
+			prev = hi
+		}
+		if prev != tc.n {
+			t.Fatalf("n=%d p=%d: ranges cover %d items", tc.n, tc.p, prev)
+		}
+	}
+}
+
+func TestEffective(t *testing.T) {
+	if Effective(3) != 3 {
+		t.Error("explicit level not honoured")
+	}
+	if Effective(0) < 1 || Effective(-1) < 1 {
+		t.Error("default level must be at least 1")
+	}
+}

@@ -191,6 +191,16 @@ type Spec struct {
 	// §3.6.5 (the optical fabric delivers at up to 2x the host drain rate)
 	// and reports their peak occupancy in Summary (NegotiaToR fabric only).
 	TrackReceiverBuffers bool
+	// Workers is the intra-run shard parallelism: the fabric's ToRs split
+	// into Workers contiguous shards that execute each epoch (or timeslot)
+	// concurrently with barrier-synchronized phases. Results are identical
+	// at any value — use it to put multiple cores behind one large
+	// simulation, complementing the experiment runner's across-run cell
+	// parallelism. 0 or 1 means sequential; the engines cap the count at
+	// the ToR count and fall back to sequential for features that need
+	// globally ordered mutation (selective relay, receiver-buffer
+	// tracking, OnDeliver on the NegotiaToR fabric).
+	Workers int
 }
 
 // DefaultSpec returns the paper's evaluation setup (§4.1): 128 8-port ToRs,
@@ -318,6 +328,7 @@ func (s Spec) Build() (Fabric, error) {
 			CheckInvariants: s.CheckInvariants,
 			OnDeliver:       s.OnDeliver,
 			OnTransit:       s.OnTransit,
+			Workers:         s.Workers,
 		})
 		if err != nil {
 			return nil, err
@@ -337,6 +348,7 @@ func (s Spec) Build() (Fabric, error) {
 		CheckInvariants:      s.CheckInvariants,
 		OnDeliver:            s.OnDeliver,
 		TrackReceiverBuffers: s.TrackReceiverBuffers,
+		Workers:              s.Workers,
 	}
 	if s.SelectiveRelay {
 		cfg.Relay = &negotiator.RelayConfig{}
@@ -407,8 +419,15 @@ type Summary struct {
 	// EpochLen is the fabric's epoch (NegotiaToR) or round-robin cycle
 	// (baseline) duration.
 	EpochLen Duration
+	// Epochs counts scheduling rounds executed: epochs for NegotiaToR,
+	// full round-robin cycles for the baseline (the unit EpochLen spans).
+	Epochs int64
 	// Injected and Delivered are total bytes.
 	Injected, Delivered int64
+	// LostBytes are bytes destroyed by link failures before their source
+	// requeue, cumulative over the run; zero without failure injection
+	// (and always zero for the baseline, which does not model failures).
+	LostBytes int64
 	// Duration is the simulated time covered.
 	Duration Duration
 	// PeakReceiverBuffer is the largest receiver-side ToR-to-host backlog
@@ -438,6 +457,10 @@ type Fabric interface {
 	SetWorkload(Workload)
 	// Run advances the simulation to at least the given simulated time.
 	Run(Duration)
+	// RunEpochs advances exactly k scheduling rounds — epochs for
+	// NegotiaToR, full round-robin cycles for the baseline — so callers
+	// can step whole rounds without duration arithmetic.
+	RunEpochs(k int)
 	// Drain runs until all injected traffic is delivered (or the step
 	// budget is exhausted) and reports whether it drained.
 	Drain(budget int) bool
@@ -464,6 +487,7 @@ type negotiatorFabric struct {
 
 func (f *negotiatorFabric) SetWorkload(w Workload) { f.e.SetWorkload(w) }
 func (f *negotiatorFabric) Run(d Duration)         { f.e.Run(d) }
+func (f *negotiatorFabric) RunEpochs(k int)        { f.e.RunEpochs(k) }
 func (f *negotiatorFabric) Drain(budget int) bool  { return f.e.Drain(budget) }
 func (f *negotiatorFabric) Spec() Spec             { return f.spec }
 
@@ -478,8 +502,10 @@ func (f *negotiatorFabric) Summary() Summary {
 		GoodputNormalized:  r.Goodput.Normalized(r.Duration, f.spec.HostRate),
 		MatchRatio:         r.MatchRatio.Mean(),
 		EpochLen:           r.EpochLen,
+		Epochs:             r.Epochs,
 		Injected:           r.Injected,
 		Delivered:          r.Delivered,
+		LostBytes:          r.LostBytes,
 		Duration:           r.Duration,
 		PeakReceiverBuffer: r.PeakReceiverBuffer,
 	}
@@ -508,6 +534,7 @@ type obliviousFabric struct {
 
 func (f *obliviousFabric) SetWorkload(w Workload) { f.e.SetWorkload(w) }
 func (f *obliviousFabric) Run(d Duration)         { f.e.Run(d) }
+func (f *obliviousFabric) RunEpochs(k int)        { f.e.RunCycles(k) }
 func (f *obliviousFabric) Drain(budget int) bool  { return f.e.Drain(budget) }
 func (f *obliviousFabric) Spec() Spec             { return f.spec }
 
@@ -521,6 +548,7 @@ func (f *obliviousFabric) Summary() Summary {
 		All99p:            r.FCT.P(99),
 		GoodputNormalized: r.Goodput.Normalized(r.Duration, f.spec.HostRate),
 		EpochLen:          f.e.CycleLen(),
+		Epochs:            r.Slots / int64(f.e.SlotsPerCycle()),
 		Injected:          r.Injected,
 		Delivered:         r.Delivered,
 		Duration:          r.Duration,
