@@ -78,7 +78,12 @@ func main() {
 		for _, one := range strings.Split(*id, ",") {
 			e, ok := exp.ByID(strings.TrimSpace(one))
 			if !ok {
-				fmt.Fprintf(os.Stderr, "negotiator-exp: unknown experiment %q (see -list)\n", one)
+				// Unknown names exit non-zero with the full list, so a typo
+				// cannot silently run nothing.
+				fmt.Fprintf(os.Stderr, "negotiator-exp: unknown experiment %q; available experiments:\n", one)
+				for _, e := range exp.All() {
+					fmt.Fprintf(os.Stderr, "  %-12s %s\n", e.ID, e.Title)
+				}
 				os.Exit(2)
 			}
 			todo = append(todo, e)

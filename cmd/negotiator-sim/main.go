@@ -4,8 +4,10 @@
 //
 // Examples:
 //
+//	negotiator-sim -list                        # engines, schedulers, topologies, traces
 //	negotiator-sim -topology thin-clos -load 0.75 -duration 10ms
-//	negotiator-sim -oblivious -trace websearch -load 0.5
+//	negotiator-sim -engine oblivious -trace websearch -load 0.5
+//	negotiator-sim -engine hybrid -load 1.0     # mice on round-robin, elephants negotiated
 //	negotiator-sim -scheduler stateful -tors 64 -no-pq
 //	negotiator-sim -runs 8 -parallel 4   # 8 seed replicates, 4 at a time
 //	negotiator-sim -tors 512 -workers 0  # one big run, sharded over all cores
@@ -30,14 +32,41 @@ import (
 	"negotiator/internal/sim"
 )
 
+// schedulerNames maps CLI names to facade schedulers, in listing order.
+var schedulerNames = []struct {
+	name string
+	s    negotiator.Scheduler
+}{
+	{"matching", negotiator.Matching},
+	{"iterative1", negotiator.Iterative1},
+	{"iterative3", negotiator.Iterative3},
+	{"iterative5", negotiator.Iterative5},
+	{"data-size", negotiator.DataSizePriority},
+	{"hol-delay", negotiator.HoLDelayPriority},
+	{"stateful", negotiator.Stateful},
+	{"projector", negotiator.ProjecToRStyle},
+	{"pim", negotiator.PIMStyle},
+	{"islip", negotiator.ISLIPStyle},
+}
+
+var traceNames = []struct {
+	name string
+	t    negotiator.Trace
+}{
+	{"hadoop", negotiator.Hadoop},
+	{"websearch", negotiator.WebSearch},
+	{"google", negotiator.Google},
+}
+
 func main() {
 	var (
 		tors      = flag.Int("tors", 128, "number of ToRs")
 		ports     = flag.Int("ports", 8, "uplink ports per ToR")
 		awgr      = flag.Int("awgr", 16, "thin-clos AWGR port count W (ToRs must equal ports*W)")
 		topology  = flag.String("topology", "parallel", "parallel | thin-clos")
-		oblivious = flag.Bool("oblivious", false, "run the traffic-oblivious baseline instead of NegotiaToR")
-		scheduler = flag.String("scheduler", "matching", "matching | iterative1 | iterative3 | iterative5 | data-size | hol-delay | stateful | projector")
+		engine    = flag.String("engine", "negotiator", "control plane: negotiator | oblivious | hybrid (see -list)")
+		oblivious = flag.Bool("oblivious", false, "deprecated alias for -engine oblivious")
+		scheduler = flag.String("scheduler", "matching", "NegotiaToR scheduling policy (see -list)")
 		trace     = flag.String("trace", "hadoop", "hadoop | websearch | google")
 		load      = flag.Float64("load", 0.5, "network load L = F/(R*N*tau)")
 		duration  = flag.Duration("duration", 6*time.Millisecond, "simulated duration")
@@ -52,12 +81,17 @@ func main() {
 		runs      = flag.Int("runs", 1, "number of seed replicates (seeds seed..seed+runs-1)")
 		parallel  = flag.Int("parallel", 0, "max concurrent runs (0 = GOMAXPROCS, 1 = sequential)")
 		workers   = flag.Int("workers", 1, "ToR shards per run (intra-run parallelism; 0 = GOMAXPROCS, 1 = sequential). Results are identical at any value")
+		list      = flag.Bool("list", false, "list engines, schedulers, topologies and traces, then exit")
 	)
 	flag.Parse()
 
+	if *list {
+		printLists(os.Stdout)
+		return
+	}
+
 	spec := negotiator.DefaultSpec()
 	spec.ToRs, spec.Ports, spec.AWGRPorts = *tors, *ports, *awgr
-	spec.Oblivious = *oblivious
 	spec.LinkRate = negotiator.Gbps(*linkGbps)
 	spec.HostRate = negotiator.Gbps(*hostGbps)
 	spec.ReconfigDelay = sim.Duration(reconfig.Nanoseconds())
@@ -68,46 +102,59 @@ func main() {
 	spec.Seed = *seed
 	spec.Workers = exp.EffectiveParallelism(*workers)
 
+	engineSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "engine" {
+			engineSet = true
+		}
+	})
+	engName := strings.ToLower(*engine)
+	if *oblivious {
+		// The deprecated alias may not silently override an explicit,
+		// conflicting -engine choice.
+		if engineSet && engName != "oblivious" {
+			fatalListf("-oblivious (deprecated) conflicts with -engine %s; drop one", engName)
+		}
+		engName = "oblivious"
+	}
+	plane, ok := negotiator.ControlPlaneByName(engName)
+	if !ok {
+		fatalListf("unknown engine %q; available engines:\n%s", *engine, engineList())
+	}
+	spec.ControlPlane = plane
+
 	switch strings.ToLower(*topology) {
 	case "parallel":
 		spec.Topology = negotiator.ParallelNetwork
 	case "thin-clos", "thinclos", "tc":
 		spec.Topology = negotiator.ThinClos
 	default:
-		fatalf("unknown topology %q", *topology)
+		fatalListf("unknown topology %q; available topologies:\n  parallel\n  thin-clos", *topology)
 	}
 
-	switch strings.ToLower(*scheduler) {
-	case "matching", "":
-		spec.Scheduler = negotiator.Matching
-	case "iterative1":
-		spec.Scheduler = negotiator.Iterative1
-	case "iterative3":
-		spec.Scheduler = negotiator.Iterative3
-	case "iterative5":
-		spec.Scheduler = negotiator.Iterative5
-	case "data-size":
-		spec.Scheduler = negotiator.DataSizePriority
-	case "hol-delay":
-		spec.Scheduler = negotiator.HoLDelayPriority
-	case "stateful":
-		spec.Scheduler = negotiator.Stateful
-	case "projector":
-		spec.Scheduler = negotiator.ProjecToRStyle
-	default:
-		fatalf("unknown scheduler %q", *scheduler)
+	schedOK := false
+	for _, sn := range schedulerNames {
+		if strings.ToLower(*scheduler) == sn.name || (*scheduler == "" && sn.name == "matching") {
+			spec.Scheduler = sn.s
+			schedOK = true
+			break
+		}
+	}
+	if !schedOK {
+		fatalListf("unknown scheduler %q; available schedulers:\n%s", *scheduler, schedulerList())
 	}
 
 	var tr negotiator.Trace
-	switch strings.ToLower(*trace) {
-	case "hadoop":
-		tr = negotiator.Hadoop
-	case "websearch":
-		tr = negotiator.WebSearch
-	case "google":
-		tr = negotiator.Google
-	default:
-		fatalf("unknown trace %q", *trace)
+	traceOK := false
+	for _, tn := range traceNames {
+		if strings.ToLower(*trace) == tn.name {
+			tr = tn.t
+			traceOK = true
+			break
+		}
+	}
+	if !traceOK {
+		fatalListf("unknown trace %q; available traces:\n%s", *trace, traceList())
 	}
 
 	runOne := func(runSeed int64, w io.Writer) error {
@@ -122,21 +169,17 @@ func main() {
 		fab.Run(sim.Duration(duration.Nanoseconds()))
 		sum := fab.Summary()
 
-		sys := "NegotiaToR"
-		if *oblivious {
-			sys = "traffic-oblivious"
-		}
 		fmt.Fprintf(w, "%s on %s: %d ToRs x %d ports, trace=%s load=%.0f%%, %v simulated (%v wall)\n",
-			sys, sp.Topology, sp.ToRs, sp.Ports, tr, *load*100, sum.Duration, time.Since(start).Round(time.Millisecond))
+			plane, sp.Topology, sp.ToRs, sp.Ports, tr, *load*100, sum.Duration, time.Since(start).Round(time.Millisecond))
 		fmt.Fprintf(w, "  flows completed:   %d (%d mice)\n", sum.Flows, sum.MiceFlows)
 		fmt.Fprintf(w, "  mice FCT 99p/mean: %v / %v\n", sum.Mice99p, sum.MiceMean)
 		fmt.Fprintf(w, "  all-flow FCT 99p:  %v\n", sum.All99p)
 		fmt.Fprintf(w, "  goodput:           %.3f (normalized to %d Gbps hosts)\n", sum.GoodputNormalized, *hostGbps)
-		if !*oblivious {
+		if plane == negotiator.ObliviousPlane {
+			fmt.Fprintf(w, "  round-robin cycle: %v\n", sum.EpochLen)
+		} else {
 			fmt.Fprintf(w, "  match ratio:       %.3f\n", sum.MatchRatio)
 			fmt.Fprintf(w, "  epoch length:      %v\n", sum.EpochLen)
-		} else {
-			fmt.Fprintf(w, "  round-robin cycle: %v\n", sum.EpochLen)
 		}
 		fmt.Fprintf(w, "  bytes delivered:   %d of %d injected\n", sum.Delivered, sum.Injected)
 		return nil
@@ -164,7 +207,50 @@ func main() {
 		*runs, time.Since(total).Round(time.Millisecond), r.Parallelism())
 }
 
+func engineList() string {
+	var b strings.Builder
+	desc := map[negotiator.ControlPlaneKind]string{
+		negotiator.NegotiaToRPlane: "on-demand negotiation (the paper's design)",
+		negotiator.ObliviousPlane:  "traffic-oblivious round-robin + VLB relay (Sirius-like baseline)",
+		negotiator.HybridPlane:     "mice on the round-robin schedule, elephants negotiated",
+	}
+	for _, k := range negotiator.ControlPlanes() {
+		fmt.Fprintf(&b, "  %-12s %s\n", k, desc[k])
+	}
+	return strings.TrimRight(b.String(), "\n")
+}
+
+func schedulerList() string {
+	var b strings.Builder
+	for _, sn := range schedulerNames {
+		fmt.Fprintf(&b, "  %s\n", sn.name)
+	}
+	return strings.TrimRight(b.String(), "\n")
+}
+
+func traceList() string {
+	var b strings.Builder
+	for _, tn := range traceNames {
+		fmt.Fprintf(&b, "  %s\n", tn.name)
+	}
+	return strings.TrimRight(b.String(), "\n")
+}
+
+func printLists(w io.Writer) {
+	fmt.Fprintf(w, "engines (-engine):\n%s\n", engineList())
+	fmt.Fprintf(w, "schedulers (-scheduler, NegotiaToR engine only):\n%s\n", schedulerList())
+	fmt.Fprintf(w, "topologies (-topology):\n  parallel\n  thin-clos\n")
+	fmt.Fprintf(w, "traces (-trace):\n%s\n", traceList())
+}
+
 func fatalf(format string, args ...interface{}) {
 	fmt.Fprintf(os.Stderr, "negotiator-sim: "+format+"\n", args...)
 	os.Exit(1)
+}
+
+// fatalListf rejects an unknown name: the error plus the valid list, and
+// a non-zero exit so scripts cannot silently run the wrong thing.
+func fatalListf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "negotiator-sim: "+format+"\n", args...)
+	os.Exit(2)
 }

@@ -1,0 +1,55 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+
+	negotiator "negotiator"
+)
+
+// The hybrid-control-plane experiment: the third engine over the shared
+// fabric core, compared head-to-head against both paper systems.
+
+func init() {
+	register(Experiment{ID: "ext-hybrid", Title: "Extension: hybrid control plane (mice on round-robin, elephants negotiated) vs both paper systems", Run: runExtHybrid})
+}
+
+// runExtHybrid sweeps load on the parallel network and prints, per
+// system, the metrics the mice/elephant segregation trades: mice FCT
+// (99p/mean), all-flow 99p and goodput. The hybrid pins mice latency to
+// the round-robin period with zero scheduling delay — but caps a mouse's
+// bandwidth at one piggyback payload per epoch, so large mice finish
+// slower than under NegotiaToR's combined piggyback+scheduled service;
+// elephants see an idealised instant negotiation (an upper bound). One
+// cell per (system, load).
+func runExtHybrid(o Options, w io.Writer) error {
+	d := o.duration()
+	r := o.runner()
+	r.Header("%-8s | %-11s | %-12s | %-12s | %-12s | %-8s", "load(%)", "system", "mice99p(ms)", "miceAvg(µs)", "all 99p(ms)", "goodput")
+	systems := []struct {
+		name  string
+		plane negotiator.ControlPlaneKind
+	}{
+		{"negotiator", negotiator.NegotiaToRPlane},
+		{"oblivious", negotiator.ObliviousPlane},
+		{"hybrid", negotiator.HybridPlane},
+	}
+	for _, load := range o.loads() {
+		for _, sys := range systems {
+			load, sys := load, sys
+			r.Cell(func(w io.Writer) error {
+				spec := o.baseSpec()
+				spec.Topology = negotiator.ParallelNetwork
+				spec.ControlPlane = sys.plane
+				sum, err := run(spec, negotiator.PoissonWorkload(spec, negotiator.Hadoop, load, 7+o.Seed), d)
+				if err != nil {
+					return err
+				}
+				fmt.Fprintf(w, "%-8.0f | %-11s | %s | %12.1f | %s | %8.3f\n",
+					load*100, sys.name, fmtFCT(sum.Mice99p), sum.MiceMean.Micros(), fmtFCT(sum.All99p), sum.GoodputNormalized)
+				return nil
+			})
+		}
+	}
+	return r.Flush(w)
+}

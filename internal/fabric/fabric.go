@@ -1,0 +1,421 @@
+// Package fabric is the control-plane-agnostic core shared by every
+// engine: it owns the physical substrate and the bookkeeping that is
+// identical no matter how transmissions are decided — topology, per-ToR
+// node state (VOQs, spray lanes, relay FIFOs, failure-loss records), the
+// workload pump, the flow ledger and tagged-event accounting, the
+// shard/gang scaffolding with per-shard metric accumulators and their
+// deterministic serial merge, and the round-synchronous run loop.
+//
+// A control plane — NegotiaToR's on-demand negotiation, the
+// traffic-oblivious round-robin/VLB baseline, the mice/elephant hybrid —
+// plugs in through the small ControlPlane interface: it decides, per
+// round, which bytes move where, reading slot-start snapshots and writing
+// through the core's shard-local accounting (Shard.Deliver,
+// Shard.RecordLoss, Node relay bookkeeping). Everything a new baseline
+// or scenario needs beyond its decision rule already lives here, which is
+// what makes an additional engine a single-file change.
+//
+// The determinism contract carries over from the engines the core was
+// extracted from: shards are contiguous ascending ToR ranges executed
+// between barriers, per-shard accumulators merge order-independently, and
+// any cross-shard effect is deferred into per-shard buffers applied in
+// shard (= ToR-ascending) order.
+package fabric
+
+import (
+	"fmt"
+	"runtime"
+
+	"negotiator/internal/flows"
+	"negotiator/internal/metrics"
+	"negotiator/internal/par"
+	"negotiator/internal/sim"
+	"negotiator/internal/topo"
+	"negotiator/internal/workload"
+)
+
+// ControlPlane is one scheduling discipline driving the shared core: the
+// decide-and-transmit hook the run loop invokes once per round. Round
+// executes one scheduling round (a NegotiaToR epoch, one baseline
+// timeslot, ...) starting at the core's current time: it pumps arrivals
+// (Core.Inject at the point in the round its semantics require), runs its
+// phases over the shards via Core.ParDo, and books every effect through
+// the core's shard-local accounting. The core then folds the per-shard
+// deltas, advances time by RoundLen and increments the round counter.
+type ControlPlane interface {
+	// Name identifies the control plane in output and CLIs.
+	Name() string
+	// RoundLen is the simulated duration of one round.
+	RoundLen() sim.Duration
+	// Round executes one round at Core.Now.
+	Round()
+}
+
+// RoundChecker is optionally implemented by control planes with
+// per-round invariants (byte conservation, match conflict-freedom); the
+// core calls it after each round's serial merge.
+type RoundChecker interface {
+	CheckRound()
+}
+
+// TagStat tracks one tagged application event (e.g. an incast): its
+// start, the completion time of its last flow, and flow counts.
+type TagStat struct {
+	Start sim.Time
+	End   sim.Time
+	Flows int
+	Done  int
+}
+
+// Config assembles a core. Workers is the EFFECTIVE shard parallelism:
+// control planes resolve their own clamping rules (sequential-only
+// features, matcher shardability) before building the core.
+type Config struct {
+	// Topology is the optical fabric layout (required).
+	Topology topo.Topology
+	// HostRate is the per-ToR host aggregate bandwidth, for goodput
+	// normalisation and receiver-buffer drain modelling.
+	HostRate sim.Rate
+	// Workers is the effective shard count (clamped to the ToR count;
+	// values < 1 mean sequential).
+	Workers int
+	// Seed seeds the core RNG (ignored when RNG is set).
+	Seed int64
+	// RNG optionally supplies the randomness stream directly, for control
+	// planes that must interleave their own draws with the core's (the
+	// stream is shared, so ownership passes to the core).
+	RNG *sim.RNG
+	// PriorityQueues enables PIAS-style multi-level queues in every
+	// DestQueue the core allocates.
+	PriorityQueues bool
+	// Lanes allocates the per-ToR secondary VOQ set (VLB spray lanes,
+	// hybrid mice queues).
+	Lanes bool
+	// Relay allocates the per-ToR in-transit relay FIFOs.
+	Relay bool
+	// CumInjected tracks cumulative injected bytes per destination
+	// (consumed by the stateful matcher's queue view).
+	CumInjected bool
+	// OnDeliver, when set, observes every payload delivery at its
+	// destination.
+	OnDeliver func(dst int, at sim.Time, n int64)
+	// TrackReceiverBuffers models receiver-side ToR-to-host drain buffers
+	// and reports their peak occupancy.
+	TrackReceiverBuffers bool
+}
+
+// Core is the shared fabric substrate. Exported fields are the stable
+// surface control planes program against; the run loop, workload pump and
+// merge bookkeeping stay internal.
+type Core struct {
+	Top   topo.Topology
+	N, S  int
+	Nodes []*Node
+	// Shards are the contiguous ToR ranges with their metric
+	// accumulators; ShardOf maps a ToR to its owning shard.
+	Shards  []*Shard
+	ShardOf []int32
+	Workers int
+	// Ledger tracks fabric-wide byte conservation; Lost accumulates
+	// failure-destroyed bytes (before requeue) for reporting.
+	Ledger flows.Ledger
+	Lost   int64
+	// Tags tracks tagged application events.
+	Tags map[int]*TagStat
+	// RNG is the core randomness stream (spray decisions, matcher seeds).
+	RNG *sim.RNG
+	// RxBuffers are the optional receiver-side drain buffers (per dst).
+	RxBuffers []*metrics.DrainBuffer
+	// OnDeliver is the optional delivery observer (applied by
+	// Shard.Deliver; sequential-only by the control planes' clamping).
+	OnDeliver func(dst int, at sim.Time, n int64)
+
+	plane    ControlPlane
+	check    RoundChecker
+	roundLen sim.Duration
+	gang     *par.Gang
+	now      sim.Time
+	rounds   int64
+
+	work        workload.Generator
+	pending     workload.Arrival
+	havePending bool
+	genDone     bool
+	flowSeq     int64
+	admit       func(f *flows.Flow, at sim.Time)
+}
+
+// New builds a core. Bind must be called with the control plane before
+// the run loop is used.
+func New(cfg Config) (*Core, error) {
+	if cfg.Topology == nil {
+		return nil, fmt.Errorf("fabric: nil topology")
+	}
+	if cfg.HostRate == 0 {
+		cfg.HostRate = sim.Gbps(400)
+	}
+	c := &Core{
+		Top:       cfg.Topology,
+		N:         cfg.Topology.N(),
+		S:         cfg.Topology.Ports(),
+		Tags:      make(map[int]*TagStat),
+		RNG:       cfg.RNG,
+		OnDeliver: cfg.OnDeliver,
+	}
+	if c.RNG == nil {
+		c.RNG = sim.NewRNG(cfg.Seed)
+	}
+	c.Nodes = make([]*Node, c.N)
+	for i := range c.Nodes {
+		c.Nodes[i] = newNode(c.N, cfg)
+	}
+	c.Workers = cfg.Workers
+	if c.Workers < 1 {
+		c.Workers = 1
+	}
+	if c.Workers > c.N {
+		c.Workers = c.N
+	}
+	c.ShardOf = make([]int32, c.N)
+	c.Shards = make([]*Shard, c.Workers)
+	for k := 0; k < c.Workers; k++ {
+		lo, hi := par.Split(c.N, c.Workers, k)
+		c.Shards[k] = &Shard{c: c, K: k, Lo: lo, Hi: hi, Goodput: metrics.NewGoodput(c.N)}
+		for i := lo; i < hi; i++ {
+			c.ShardOf[i] = int32(k)
+		}
+	}
+	if c.Workers > 1 {
+		c.gang = par.NewGang(c.Workers)
+		// Cores have no Close; release the gang's background workers when
+		// the core becomes unreachable (the gang holds no core reference,
+		// so the cleanup can fire).
+		runtime.AddCleanup(c, func(g *par.Gang) { g.Close() }, c.gang)
+	}
+	if cfg.TrackReceiverBuffers {
+		c.RxBuffers = make([]*metrics.DrainBuffer, c.N)
+		for i := range c.RxBuffers {
+			c.RxBuffers[i] = metrics.NewDrainBuffer(cfg.HostRate)
+		}
+	}
+	return c, nil
+}
+
+// Bind attaches the control plane and its arrival-admission hook (which
+// places an injected flow into the source node's queues). RoundLen is
+// captured once: a plane's round duration is fixed for the run.
+func (c *Core) Bind(plane ControlPlane, admit func(f *flows.Flow, at sim.Time)) {
+	c.plane = plane
+	c.roundLen = plane.RoundLen()
+	c.admit = admit
+	c.check, _ = plane.(RoundChecker)
+}
+
+// SetWorkload attaches (or replaces) the arrival stream; replacing one
+// mid-run restarts the pump on the new generator, dropping any arrival
+// still buffered from the previous one.
+func (c *Core) SetWorkload(g workload.Generator) {
+	c.work = g
+	c.genDone = false
+	c.havePending = false
+}
+
+// Now returns the current simulated time (start of the next round).
+func (c *Core) Now() sim.Time { return c.now }
+
+// Rounds returns the number of completed rounds.
+func (c *Core) Rounds() int64 { return c.rounds }
+
+// WorkloadDone reports whether the arrival generator is exhausted.
+func (c *Core) WorkloadDone() bool { return c.genDone }
+
+// ParDo runs one barrier phase: fn(k) for every shard k, concurrently on
+// the gang when parallel, inline in shard order when sequential.
+func (c *Core) ParDo(fn func(k int)) {
+	if c.gang != nil {
+		c.gang.Do(fn)
+		return
+	}
+	for k := range c.Shards {
+		fn(k)
+	}
+}
+
+// RunRound executes one scheduling round: the control plane's phases,
+// then the deterministic serial merge of per-shard deltas, the optional
+// invariant check, and the time/round-counter advance.
+func (c *Core) RunRound() {
+	c.plane.Round()
+	c.mergeRound()
+	if c.check != nil {
+		c.check.CheckRound()
+	}
+	c.rounds++
+	c.now = c.now.Add(c.roundLen)
+}
+
+// Run advances the simulation until at least d of simulated time has
+// elapsed (whole rounds).
+func (c *Core) Run(d sim.Duration) {
+	end := sim.Time(d)
+	for c.now < end {
+		c.RunRound()
+	}
+}
+
+// RunRounds advances exactly k rounds.
+func (c *Core) RunRounds(k int) {
+	for i := 0; i < k; i++ {
+		c.RunRound()
+	}
+}
+
+// Drain keeps running until all injected traffic is delivered or
+// maxRounds pass, returning true if fully drained. The workload must be
+// exhausted first.
+func (c *Core) Drain(maxRounds int) bool {
+	for i := 0; i < maxRounds; i++ {
+		if c.Ledger.Queued() == 0 && c.genDone && !c.havePending {
+			return true
+		}
+		c.RunRound()
+	}
+	return c.Ledger.Queued() == 0
+}
+
+// mergeRound folds the per-shard deltas in shard order. Every fold is
+// commutative (sums, max), so the result is worker-count-independent.
+func (c *Core) mergeRound() {
+	for _, sh := range c.Shards {
+		c.Ledger.Delivered += sh.Delivered
+		sh.Delivered = 0
+		c.Ledger.Lost += sh.LostDelta
+		c.Lost += sh.LostDelta
+		sh.LostDelta = 0
+		for _, f := range sh.Tagged {
+			ts := c.Tags[f.Tag]
+			ts.Done++
+			if f.Completed() > ts.End {
+				ts.End = f.Completed()
+			}
+		}
+		sh.Tagged = sh.Tagged[:0]
+	}
+}
+
+// Inject moves all arrivals at or before t through the control plane's
+// admission hook into the source queues. Control planes call it at the
+// point of their round where arrivals become visible.
+func (c *Core) Inject(t sim.Time) {
+	if c.work == nil {
+		c.genDone = true
+		return
+	}
+	for {
+		if !c.havePending {
+			a, ok := c.work.Next()
+			if !ok {
+				c.genDone = true
+				return
+			}
+			c.pending, c.havePending = a, true
+		}
+		if c.pending.Time > t {
+			return
+		}
+		a := c.pending
+		c.havePending = false
+		c.flowSeq++
+		f := &flows.Flow{ID: c.flowSeq, Src: a.Src, Dst: a.Dst, Size: a.Size, Arrival: a.Time, Tag: a.Tag}
+		c.admit(f, t)
+		c.Ledger.Injected += a.Size
+		if a.Tag != 0 {
+			ts := c.Tags[a.Tag]
+			if ts == nil {
+				ts = &TagStat{Start: a.Time}
+				c.Tags[a.Tag] = ts
+			}
+			ts.Flows++
+			if a.Time < ts.Start {
+				ts.Start = a.Time
+			}
+		}
+	}
+}
+
+// RequeueDetectedLosses returns failure-destroyed bytes to their source
+// queues once the detection delay has elapsed, modelling upper-layer
+// retransmission.
+func (c *Core) RequeueDetectedLosses(now sim.Time, detect sim.Duration) {
+	for _, nd := range c.Nodes {
+		if len(nd.Losses) == 0 {
+			continue
+		}
+		kept := nd.Losses[:0]
+		for _, l := range nd.Losses {
+			if l.At.Add(detect) <= now {
+				l.F.Unsend(l.N)
+				nd.Direct[l.Dst].PushBytes(l.F, l.N, l.Off, now)
+				c.Ledger.Lost -= l.N
+			} else {
+				kept = append(kept, l)
+			}
+		}
+		nd.Losses = kept
+	}
+}
+
+// MergedFCT snapshots the per-shard FCT accumulators into one fresh
+// instance (order-independent merge, so the snapshot is identical at any
+// worker count and the call is idempotent).
+func (c *Core) MergedFCT() *metrics.FCTStats {
+	fct := &metrics.FCTStats{}
+	for _, sh := range c.Shards {
+		fct.Merge(&sh.FCT)
+	}
+	return fct
+}
+
+// MergedGoodput snapshots the per-shard goodput accumulators.
+func (c *Core) MergedGoodput() *metrics.Goodput {
+	g := metrics.NewGoodput(c.N)
+	for _, sh := range c.Shards {
+		g.Merge(sh.Goodput)
+	}
+	return g
+}
+
+// PeakReceiverBuffer returns the largest receiver-side backlog across all
+// ToRs (zero without TrackReceiverBuffers).
+func (c *Core) PeakReceiverBuffer() int64 {
+	var peak int64
+	for _, b := range c.RxBuffers {
+		if p := b.Peak(); p > peak {
+			peak = p
+		}
+	}
+	return peak
+}
+
+// QueuedInNodes sums every byte sitting in node queues (direct VOQs,
+// lanes, relay FIFOs) — the fabric-side figure per-round conservation
+// checks compare against the ledger.
+func (c *Core) QueuedInNodes() int64 {
+	var total int64
+	for _, nd := range c.Nodes {
+		for _, q := range nd.Direct {
+			total += q.Bytes()
+		}
+		if nd.Lanes != nil {
+			for _, q := range nd.Lanes {
+				total += q.Bytes()
+			}
+		}
+		if nd.Relay != nil {
+			for _, q := range nd.Relay {
+				total += q.Bytes()
+			}
+		}
+	}
+	return total
+}

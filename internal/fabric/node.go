@@ -1,0 +1,105 @@
+package fabric
+
+import (
+	"fmt"
+
+	"negotiator/internal/flows"
+	"negotiator/internal/queue"
+	"negotiator/internal/sim"
+)
+
+// Node is one ToR's data-plane state: the queues bytes wait in and the
+// loss records awaiting failure detection. Control-plane state (scheduling
+// mailboxes, matches, relay plans) stays with the control plane, keyed by
+// the same ToR index.
+type Node struct {
+	// Direct holds data per final destination: the NegotiaToR VOQs, the
+	// baseline's direct queues, the hybrid's elephant queues.
+	Direct []*queue.DestQueue
+	// Lanes is the optional secondary VOQ set: per-intermediate VLB spray
+	// lanes for the baseline, per-destination mice queues for the hybrid.
+	Lanes []*queue.DestQueue
+	// Relay holds in-transit data per final destination (second-hop
+	// virtual output queues); RelayBytes is its single aggregate counter,
+	// maintained exclusively by PushRelay/DrainRelay below so no engine
+	// tallies it in two places.
+	Relay      []*queue.FIFO
+	RelayBytes int64
+	// CumInjected is the optional cumulative injected-bytes table per
+	// destination (stateful matcher view).
+	CumInjected []int64
+	// SprayPtr is a rotating destination pointer for slot-time spray
+	// disciplines.
+	SprayPtr int
+	// Losses are bytes destroyed by failures, awaiting detection and
+	// source requeue.
+	Losses []Loss
+}
+
+// Loss books one run of failure-destroyed bytes: flow, destination, flow
+// offset, byte count and destruction time.
+type Loss struct {
+	F   *flows.Flow
+	Dst int
+	Off int64
+	N   int64
+	At  sim.Time
+}
+
+func newNode(n int, cfg Config) *Node {
+	nd := &Node{Direct: make([]*queue.DestQueue, n)}
+	if cfg.Lanes {
+		nd.Lanes = make([]*queue.DestQueue, n)
+	}
+	if cfg.Relay {
+		nd.Relay = make([]*queue.FIFO, n)
+	}
+	if cfg.CumInjected {
+		nd.CumInjected = make([]int64, n)
+	}
+	for j := range nd.Direct {
+		nd.Direct[j] = queue.NewDestQueue(cfg.PriorityQueues)
+		if nd.Lanes != nil {
+			nd.Lanes[j] = queue.NewDestQueue(cfg.PriorityQueues)
+		}
+		if nd.Relay != nil {
+			nd.Relay[j] = &queue.FIFO{}
+		}
+	}
+	return nd
+}
+
+// PushRelay enqueues one in-transit segment for final destination dst and
+// maintains the aggregate relay counter.
+func (nd *Node) PushRelay(dst int, s queue.Segment) {
+	nd.Relay[dst].Push(s)
+	nd.RelayBytes += s.Bytes
+}
+
+// DrainRelay forwards up to max relay bytes for dst that have physically
+// arrived by now, maintaining the aggregate counter. It returns the bytes
+// taken.
+func (nd *Node) DrainRelay(dst int, max int64, now sim.Time, emit func(f *flows.Flow, n int64)) int64 {
+	taken := nd.Relay[dst].TakeReady(max, now, emit)
+	nd.RelayBytes -= taken
+	return taken
+}
+
+// RelayHeadroom returns how many more relay bytes the node accepts under
+// the given aggregate cap.
+func (nd *Node) RelayHeadroom(cap int64) int64 { return cap - nd.RelayBytes }
+
+// CheckRelayCounter asserts the aggregate counter matches the FIFO
+// contents (per-round invariant of relay-carrying control planes).
+func (nd *Node) CheckRelayCounter() {
+	if nd.Relay == nil {
+		return
+	}
+	var sum int64
+	for _, q := range nd.Relay {
+		sum += q.Bytes()
+	}
+	if sum != nd.RelayBytes {
+		panic(fmt.Sprintf("fabric: relay accounting drift: FIFOs hold %d, counter says %d", sum, nd.RelayBytes))
+	}
+}

@@ -1,0 +1,67 @@
+package fabric
+
+import (
+	"negotiator/internal/flows"
+	"negotiator/internal/metrics"
+	"negotiator/internal/sim"
+)
+
+// Shard owns the metric accumulators of one contiguous ToR range
+// [Lo, Hi). A control plane's phase steps book deliveries and losses
+// through the shard owning the flow's source (in-shard, race-free), or
+// defer them into their own per-shard records and apply through
+// Core.Deliver from the serial merge. Accumulators merge
+// order-independently (sorted percentiles, per-ToR sums), so results are
+// identical at any worker count.
+type Shard struct {
+	c      *Core
+	K      int
+	Lo, Hi int
+
+	// Per-shard accumulators. FCT and Goodput merge at snapshot time
+	// (Core.MergedFCT/MergedGoodput); Delivered, LostDelta and Tagged are
+	// deltas folded by the core after every round.
+	FCT       metrics.FCTStats
+	Goodput   *metrics.Goodput
+	Delivered int64
+	LostDelta int64
+	Tagged    []*flows.Flow
+}
+
+// Deliver accounts one run of payload bytes arriving at dst: shard
+// delivery/goodput accumulation, flow completion with FCT recording and
+// tag deferral, plus the optional receiver-buffer model and delivery
+// observer (both sequential-only by the control planes' worker clamping).
+func (sh *Shard) Deliver(f *flows.Flow, dst int, n int64, at sim.Time) {
+	sh.Delivered += n
+	sh.Goodput.Deliver(dst, n)
+	if f.Deliver(n, at) {
+		sh.FCT.Record(f.Size, f.FCT())
+		if f.Tag != 0 {
+			sh.Tagged = append(sh.Tagged, f)
+		}
+	}
+	if sh.c.RxBuffers != nil {
+		sh.c.RxBuffers[dst].Add(at, n)
+	}
+	if sh.c.OnDeliver != nil {
+		sh.c.OnDeliver(dst, at, n)
+	}
+}
+
+// RecordLoss books n bytes of f (starting at flow offset off) destroyed
+// by a failed link on a transmission from nd toward dst, awaiting
+// detection and source requeue. The loss list is owned by the
+// transmitting node, hence by the calling shard.
+func (sh *Shard) RecordLoss(nd *Node, f *flows.Flow, dst int, off, n int64, at sim.Time) {
+	sh.LostDelta += n
+	nd.Losses = append(nd.Losses, Loss{F: f, Dst: dst, Off: off, N: n, At: at})
+}
+
+// Deliver applies one delivery's accounting from serial context (a
+// control plane's post-barrier merge), routing it to the shard owning the
+// destination ToR — order-independent, since per-shard accumulators merge
+// commutatively.
+func (c *Core) Deliver(f *flows.Flow, dst int, n int64, at sim.Time) {
+	c.Shards[c.ShardOf[dst]].Deliver(f, dst, n, at)
+}

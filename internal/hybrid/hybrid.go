@@ -1,0 +1,435 @@
+// Package hybrid is the third control plane over the shared fabric core
+// (internal/fabric), and the existence proof that the core extraction
+// pays for itself: a complete engine in one file.
+//
+// It pushes the paper's §3.4.1 mice-bypass idea to its limit. Mice flows
+// (< 10 KB) never touch the scheduler: they ride the traffic-oblivious
+// round-robin all-to-all schedule — one piggyback payload per connected
+// pair per epoch, exactly the predefined-phase connectivity NegotiaToR
+// already pays for — so their FCT is bounded by the round-robin period
+// with zero scheduling delay. Elephant flows never ride the round-robin:
+// they go through on-demand NegotiaToR Matching (request → grant →
+// accept, idealised to resolve within the epoch rather than pipelined
+// over stageLag epochs — an instant-control-plane upper bound for what
+// strict traffic segregation can buy) and transmit in the scheduled
+// phase.
+//
+// The split reuses the core's two VOQ sets per node: Lanes[dst] holds
+// mice, Direct[dst] holds elephants, so the matcher's queue view sees
+// elephant demand only and mice never wait behind a negotiation.
+package hybrid
+
+import (
+	"fmt"
+
+	"negotiator/internal/fabric"
+	"negotiator/internal/flows"
+	"negotiator/internal/match"
+	"negotiator/internal/metrics"
+	"negotiator/internal/negotiator"
+	"negotiator/internal/sim"
+	"negotiator/internal/topo"
+	"negotiator/internal/workload"
+)
+
+// Config assembles the hybrid fabric. The epoch geometry reuses
+// negotiator.Timing (predefined round-robin phase + scheduled phase).
+type Config struct {
+	Topology topo.Topology
+	// Timing is the epoch structure; zero value means
+	// negotiator.DefaultTiming.
+	Timing negotiator.Timing
+	// HostRate is the per-ToR host aggregate, for goodput normalisation.
+	HostRate sim.Rate
+	// PriorityQueues enables PIAS levels inside both VOQ sets (mice
+	// queues still benefit: a 1 KB flow's first bytes overtake a 9 KB
+	// one's tail).
+	PriorityQueues bool
+	// MiceBytes is the mice/elephant split threshold; zero means the
+	// paper's 10 KB mice bound.
+	MiceBytes int64
+	// Seed drives the matcher's ring randomness.
+	Seed int64
+	// CheckInvariants enables per-epoch byte-conservation assertions.
+	CheckInvariants bool
+	// OnDeliver, when set, observes every payload delivery at its
+	// destination (forces sequential execution, like the NegotiaToR
+	// engine).
+	OnDeliver func(dst int, at sim.Time, n int64)
+	// TrackReceiverBuffers models the receiver-side ToR-to-host buffers
+	// and reports their peak occupancy (forces sequential execution).
+	TrackReceiverBuffers bool
+	// Workers is the intra-run shard parallelism (results identical at
+	// any value; capped at the ToR count, clamped to 1 when OnDeliver or
+	// TrackReceiverBuffers needs globally ordered delivery).
+	Workers int
+}
+
+// Results mirrors the other engines' summaries.
+type Results struct {
+	FCT        *metrics.FCTStats
+	Goodput    *metrics.Goodput
+	MatchRatio *metrics.Ratio
+	Tags       map[int]*fabric.TagStat
+	Duration   sim.Duration
+	EpochLen   sim.Duration
+	Epochs     int64
+	Injected   int64
+	Delivered  int64
+	// PeakReceiverBuffer is the largest receiver-side backlog; zero
+	// unless TrackReceiverBuffers is set.
+	PeakReceiverBuffer int64
+}
+
+// Engine is the hybrid control plane: mice on the oblivious round-robin
+// schedule, elephants on on-demand negotiation.
+type Engine struct {
+	cfg         Config
+	fab         *fabric.Core
+	top         topo.Topology
+	timing      negotiator.Timing
+	n, s        int
+	predefSlots int
+	epochLn     sim.Duration
+	payload     int64 // scheduled-phase payload per slot
+	piggyBytes  int64 // predefined-phase payload per pair
+	miceBytes   int64
+
+	matcher    match.Matcher
+	matchRatio metrics.Ratio
+	tors       []*torCtl
+	views      []torView
+	shards     []*hyShard
+	epochStart sim.Time
+
+	stepRequest  func(k int)
+	stepGrant    func(k int)
+	stepTransmit func(k int)
+}
+
+// torCtl is one ToR's control state: single-generation mailboxes (the
+// idealised negotiation resolves within the epoch) and this epoch's
+// matches per port.
+type torCtl struct {
+	reqIn   []match.Request
+	grantIn []match.Grant
+	matches []int32
+}
+
+// torView exposes elephant demand only to the matcher.
+type torView struct {
+	e *Engine
+	i int
+}
+
+func (v *torView) QueuedBytes(dst int) int64 { return v.e.fab.Nodes[v.i].Direct[dst].Bytes() }
+func (v *torView) WeightedHoL(dst int, alpha float64) float64 {
+	return v.e.fab.Nodes[v.i].Direct[dst].WeightedHoL(v.e.fab.Now(), alpha)
+}
+func (v *torView) CumInjected(dst int) int64 { return 0 }
+
+// hyShard is one contiguous ToR range's execution context: the matcher
+// handle, cross-shard message outboxes (bucketed by receiving shard,
+// merged in shard order — the ToR-ascending order a sequential epoch
+// produces) and the prebuilt transmission emitters.
+type hyShard struct {
+	e               *Engine
+	k               int
+	lo, hi          int
+	fs              *fabric.Shard
+	matcher         match.Matcher
+	accepts, grants int64
+	reqOut          [][]match.Request
+	grantOut        [][]match.Grant
+
+	txDst     int
+	txPos     int64
+	txAt      sim.Time
+	schedEmit func(*flows.Flow, int64)
+	miceEmit  func(*flows.Flow, int64)
+	grantEmit func(match.Grant)
+	reqEmit   func(match.Request)
+}
+
+// New builds the hybrid engine.
+func New(cfg Config) (*Engine, error) {
+	if cfg.Topology == nil {
+		return nil, fmt.Errorf("hybrid: nil topology")
+	}
+	if cfg.Timing == (negotiator.Timing{}) {
+		cfg.Timing = negotiator.DefaultTiming()
+	}
+	if cfg.HostRate == 0 {
+		cfg.HostRate = sim.Gbps(400)
+	}
+	if cfg.MiceBytes == 0 {
+		cfg.MiceBytes = metrics.MiceFlowBytes
+	}
+	if err := cfg.Timing.Validate(cfg.Topology); err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		cfg:         cfg,
+		top:         cfg.Topology,
+		timing:      cfg.Timing,
+		n:           cfg.Topology.N(),
+		s:           cfg.Topology.Ports(),
+		predefSlots: cfg.Topology.PredefinedSlots(),
+		miceBytes:   cfg.MiceBytes,
+	}
+	e.epochLn = e.timing.EpochLen(e.predefSlots)
+	e.payload = e.timing.DataPayloadBytes()
+	e.piggyBytes = e.timing.PiggybackBytes()
+	rng := sim.NewRNG(cfg.Seed)
+	e.matcher = match.NewNegotiator(e.top, rng.Split(1))
+	workers := cfg.Workers
+	if cfg.OnDeliver != nil || cfg.TrackReceiverBuffers {
+		workers = 1 // globally ordered delivery observation
+	}
+	fab, err := fabric.New(fabric.Config{
+		Topology:             cfg.Topology,
+		HostRate:             cfg.HostRate,
+		Workers:              workers,
+		RNG:                  rng,
+		PriorityQueues:       cfg.PriorityQueues,
+		Lanes:                true, // Lanes[dst] = mice VOQs
+		OnDeliver:            cfg.OnDeliver,
+		TrackReceiverBuffers: cfg.TrackReceiverBuffers,
+	})
+	if err != nil {
+		return nil, err
+	}
+	e.fab = fab
+	fab.Bind(e, e.admit)
+
+	e.tors = make([]*torCtl, e.n)
+	e.views = make([]torView, e.n)
+	for i := range e.tors {
+		t := &torCtl{
+			reqIn:   make([]match.Request, 0, e.n-1),
+			grantIn: make([]match.Grant, 0, e.n-1),
+			matches: make([]int32, e.s),
+		}
+		for p := range t.matches {
+			t.matches[p] = -1
+		}
+		e.tors[i] = t
+		e.views[i] = torView{e: e, i: i}
+	}
+	var handles []match.Matcher
+	if fab.Workers > 1 {
+		handles = e.matcher.(match.Sharded).Fork(fab.Workers)
+	}
+	e.shards = make([]*hyShard, fab.Workers)
+	for k := range e.shards {
+		fs := fab.Shards[k]
+		sh := &hyShard{e: e, k: k, lo: fs.Lo, hi: fs.Hi, fs: fs, matcher: e.matcher}
+		if handles != nil {
+			sh.matcher = handles[k]
+		}
+		sh.reqOut = make([][]match.Request, fab.Workers)
+		sh.grantOut = make([][]match.Grant, fab.Workers)
+		for r := range sh.reqOut {
+			sh.reqOut[r] = make([]match.Request, 0, (fs.Hi-fs.Lo)+1)
+			sh.grantOut[r] = make([]match.Grant, 0, (fs.Hi-fs.Lo)+1)
+		}
+		sh.initEmitters()
+		e.shards[k] = sh
+	}
+	e.stepRequest = func(k int) { e.shards[k].requestStep() }
+	e.stepGrant = func(k int) { e.shards[k].grantStep() }
+	e.stepTransmit = func(k int) { e.shards[k].transmitStep() }
+	return e, nil
+}
+
+// admit routes an arrival by class: mice to the round-robin queues,
+// elephants to the negotiated queues.
+func (e *Engine) admit(f *flows.Flow, at sim.Time) {
+	nd := e.fab.Nodes[f.Src]
+	if f.Size < e.miceBytes {
+		nd.Lanes[f.Dst].Push(f, at)
+		return
+	}
+	nd.Direct[f.Dst].Push(f, at)
+}
+
+func (e *Engine) Name() string                     { return "hybrid" }
+func (e *Engine) RoundLen() sim.Duration           { return e.epochLn }
+func (e *Engine) EpochLen() sim.Duration           { return e.epochLn }
+func (e *Engine) Now() sim.Time                    { return e.fab.Now() }
+func (e *Engine) Workers() int                     { return e.fab.Workers }
+func (e *Engine) SetWorkload(g workload.Generator) { e.fab.SetWorkload(g) }
+func (e *Engine) Run(d sim.Duration)               { e.fab.Run(d) }
+func (e *Engine) RunEpochs(k int)                  { e.fab.RunRounds(k) }
+func (e *Engine) runEpoch()                        { e.fab.RunRound() }
+func (e *Engine) Drain(maxEpochs int) bool         { return e.fab.Drain(maxEpochs) }
+
+// Results snapshots the run's measurements (idempotent, worker-count
+// independent — see fabric.Core).
+func (e *Engine) Results() Results {
+	return Results{
+		FCT:                e.fab.MergedFCT(),
+		Goodput:            e.fab.MergedGoodput(),
+		MatchRatio:         &e.matchRatio,
+		Tags:               e.fab.Tags,
+		Duration:           sim.Duration(e.fab.Now()),
+		EpochLen:           e.epochLn,
+		Epochs:             e.fab.Rounds(),
+		Injected:           e.fab.Ledger.Injected,
+		Delivered:          e.fab.Ledger.Delivered,
+		PeakReceiverBuffer: e.fab.PeakReceiverBuffer(),
+	}
+}
+
+// Round implements fabric.ControlPlane: one epoch as three barrier
+// phases — REQUEST emission, GRANT over merged requests, ACCEPT over
+// merged grants followed by transmission (mice on the predefined
+// round-robin, elephants on the matched scheduled connections).
+func (e *Engine) Round() {
+	e.epochStart = e.fab.Now()
+	e.fab.Inject(e.epochStart)
+	e.fab.ParDo(e.stepRequest)
+	e.fab.ParDo(e.stepGrant)
+	e.fab.ParDo(e.stepTransmit)
+	var accepts, grants int64
+	for _, sh := range e.shards {
+		accepts += sh.accepts
+		grants += sh.grants
+		sh.accepts, sh.grants = 0, 0
+	}
+	e.matchRatio.Observe(accepts, grants)
+}
+
+// CheckRound implements fabric.RoundChecker when invariant checking is on.
+func (e *Engine) CheckRound() {
+	if !e.cfg.CheckInvariants {
+		return
+	}
+	if err := e.fab.Ledger.Check(e.fab.QueuedInNodes()); err != nil {
+		panic(err)
+	}
+}
+
+// initEmitters prebuilds the per-shard closures so the steady-state epoch
+// performs no heap allocation.
+func (sh *hyShard) initEmitters() {
+	e := sh.e
+	sh.reqEmit = func(r match.Request) {
+		d := e.fab.ShardOf[r.Dst]
+		sh.reqOut[d] = append(sh.reqOut[d], r)
+	}
+	sh.grantEmit = func(g match.Grant) {
+		sh.grants++
+		r := e.fab.ShardOf[g.Src]
+		sh.grantOut[r] = append(sh.grantOut[r], g)
+	}
+	// Scheduled-phase (elephant) delivery: slot-timed like NegotiaToR.
+	sh.schedEmit = func(f *flows.Flow, n int64) {
+		f.NoteSent(n)
+		sh.txPos += n
+		endSlot := (sh.txPos + e.payload - 1) / e.payload
+		at := sh.txAt.Add(sim.Duration(endSlot) * e.timing.ScheduledSlot).Add(e.timing.PropDelay)
+		sh.fs.Deliver(f, sh.txDst, n, at)
+	}
+	// Predefined-phase (mice) delivery: fixed slot arrival time.
+	sh.miceEmit = func(f *flows.Flow, n int64) {
+		f.NoteSent(n)
+		sh.fs.Deliver(f, sh.txDst, n, sh.txAt)
+	}
+}
+
+// requestStep emits a request for every destination with elephant
+// backlog, bucketed by the destination's shard.
+func (sh *hyShard) requestStep() {
+	e := sh.e
+	for i := sh.lo; i < sh.hi; i++ {
+		sh.matcher.Requests(i, &e.views[i], e.epochStart, 0, sh.reqEmit)
+	}
+}
+
+// grantStep merges this shard's request buckets (sender order = shard
+// order = ToR-ascending) and runs the GRANT step at each of its ToRs.
+func (sh *hyShard) grantStep() {
+	e := sh.e
+	for _, src := range e.shards {
+		out := src.reqOut[sh.k]
+		for _, r := range out {
+			t := e.tors[r.Dst]
+			t.reqIn = append(t.reqIn, r)
+		}
+		src.reqOut[sh.k] = out[:0]
+	}
+	for j := sh.lo; j < sh.hi; j++ {
+		t := e.tors[j]
+		if len(t.reqIn) == 0 {
+			continue
+		}
+		sh.matcher.Grants(j, t.reqIn, sh.grantEmit)
+		t.reqIn = t.reqIn[:0]
+	}
+}
+
+// transmitStep merges the grant buckets, runs ACCEPT, and transmits: the
+// mice sweep over the predefined round-robin connections, then the
+// elephant drain over the matched scheduled connections.
+func (sh *hyShard) transmitStep() {
+	e := sh.e
+	for _, src := range e.shards {
+		out := src.grantOut[sh.k]
+		for _, g := range out {
+			t := e.tors[g.Src]
+			t.grantIn = append(t.grantIn, g)
+		}
+		src.grantOut[sh.k] = out[:0]
+	}
+	rot := int(e.fab.Rounds() % (1 << 30))
+	slotDur := e.timing.PredefinedSlot
+	phaseStart := e.epochStart.Add(e.timing.PredefinedLen(e.predefSlots))
+	capacity := e.payload * int64(e.timing.ScheduledSlots)
+	for i := sh.lo; i < sh.hi; i++ {
+		t := e.tors[i]
+		if len(t.grantIn) > 0 {
+			sh.matcher.Accepts(i, &e.views[i], t.grantIn, t.matches, nil)
+			t.grantIn = t.grantIn[:0]
+			for _, d := range t.matches {
+				if d >= 0 {
+					sh.accepts++
+				}
+			}
+		} else {
+			for p := range t.matches {
+				t.matches[p] = -1
+			}
+		}
+		nd := e.fab.Nodes[i]
+		// Mice ride the round-robin: one piggyback payload per connected
+		// pair, delivery fixed by the pair's predefined slot.
+		if e.piggyBytes > 0 {
+			for j := 0; j < e.n; j++ {
+				if j == i || nd.Lanes[j].Empty() {
+					continue
+				}
+				slot, _ := e.top.PredefinedSlotPort(i, j, rot)
+				sh.txDst = j
+				sh.txAt = e.epochStart.Add(sim.Duration(slot+1) * slotDur).Add(e.timing.PropDelay)
+				nd.Lanes[j].Take(e.piggyBytes, sh.miceEmit)
+			}
+		}
+		// Elephants use the negotiated connections.
+		for _, dj := range t.matches {
+			if dj < 0 {
+				continue
+			}
+			sh.txDst = int(dj)
+			sh.txPos = 0
+			sh.txAt = phaseStart
+			nd.Direct[int(dj)].Take(capacity, sh.schedEmit)
+		}
+	}
+}
+
+// Compile-time interface checks.
+var (
+	_ fabric.ControlPlane = (*Engine)(nil)
+	_ fabric.RoundChecker = (*Engine)(nil)
+)

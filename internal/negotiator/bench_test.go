@@ -76,7 +76,7 @@ func BenchmarkControlStep(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		e.controlStep(e.now)
+		e.controlStep(e.Now())
 	}
 }
 

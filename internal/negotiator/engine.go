@@ -2,14 +2,12 @@ package negotiator
 
 import (
 	"fmt"
-	"runtime"
 
+	"negotiator/internal/fabric"
 	"negotiator/internal/failure"
 	"negotiator/internal/flows"
 	"negotiator/internal/match"
 	"negotiator/internal/metrics"
-	"negotiator/internal/par"
-	"negotiator/internal/queue"
 	"negotiator/internal/sim"
 	"negotiator/internal/topo"
 	"negotiator/internal/workload"
@@ -69,21 +67,12 @@ type Config struct {
 	Workers int
 }
 
-// TagStat tracks one tagged application event (e.g. an incast): its start,
-// the completion time of its last flow, and flow counts.
-type TagStat struct {
-	Start sim.Time
-	End   sim.Time
-	Flows int
-	Done  int
-}
-
 // Results summarises a run.
 type Results struct {
 	FCT        *metrics.FCTStats
 	Goodput    *metrics.Goodput
 	MatchRatio *metrics.Ratio
-	Tags       map[int]*TagStat
+	Tags       map[int]*fabric.TagStat
 	Duration   sim.Duration
 	EpochLen   sim.Duration
 	Epochs     int64
@@ -95,10 +84,11 @@ type Results struct {
 	PeakReceiverBuffer int64
 }
 
-// tor holds one ToR's queues and scheduling mailboxes.
+// tor holds one ToR's control-plane state: scheduling mailboxes, this
+// epoch's matches, and the selective-relay plan. The data-plane state
+// (VOQs, relay FIFOs, loss records) lives in the shared fabric core's
+// Nodes, keyed by the same index.
 type tor struct {
-	queues      []*queue.DestQueue
-	cumInjected []int64
 	// Pipelined scheduling mailboxes: reqIn[g] holds requests received as
 	// a destination, grantIn[g] grants received as a source; g cycles
 	// through stageLag generations.
@@ -106,12 +96,7 @@ type tor struct {
 	grantIn [][]match.Grant
 	matches []int32 // this epoch's scheduled matches, per port
 
-	// Selective relay state (nil unless enabled).
-	relayQ     []*queue.FIFO // per final destination: bytes relayed through us
-	relayBytes int64         // total relay backlog
-	relayPlan  []relayPlan   // per intermediate: first-hop plan this epoch
-
-	losses []lossRec // bytes destroyed by failures, awaiting detection+requeue
+	relayPlan []relayPlan // per intermediate: first-hop plan this epoch (selective relay)
 }
 
 type relayPlan struct {
@@ -119,22 +104,17 @@ type relayPlan struct {
 	quota    int64
 }
 
-type lossRec struct {
-	f   *flows.Flow
-	dst int
-	off int64
-	n   int64
-	at  sim.Time
-}
-
-// Engine is the NegotiaToR fabric simulator.
+// Engine is the NegotiaToR control plane over the shared fabric core: it
+// decides, per epoch, which pairs connect (ACCEPT → GRANT/REQUEST over
+// the pipelined in-band mailboxes) and drives the predefined and
+// scheduled transmission phases, while the core owns queues, workload,
+// metrics, failure-loss bookkeeping and the round loop.
 type Engine struct {
 	cfg     Config
+	fab     *fabric.Core
 	top     topo.Topology
 	timing  Timing
 	n, s    int
-	epochs  int64
-	now     sim.Time
 	epochLn sim.Duration
 
 	predefSlots int
@@ -148,41 +128,27 @@ type Engine struct {
 	batch   match.BatchMatcher // non-nil for batch (iterative) matchers
 	future  [][][]int32        // batch path: future[d][src][port], ring by epoch
 
-	work        workload.Generator
-	pending     workload.Arrival
-	havePending bool
-	genDone     bool
-	flowSeq     int64
-
 	matchRatio metrics.Ratio
-	ledger     flows.Ledger
-	tags       map[int]*TagStat
-	lost       int64
 
 	actual, known *failure.State
 	relay         *relayState
-	rxBuffers     []*metrics.DrainBuffer // per-dst host-drain model, optional
-
-	rng *sim.RNG
 
 	// scratch
 	reqScratch []match.Request // batch path: stitched request snapshot
 
-	// Sharded epoch execution (see shard.go). The ToRs are split into
-	// len(shards) contiguous ranges; each epoch runs as barrier-separated
-	// phases over the shards, executed by the gang (nil when sequential).
-	// FCT, goodput and ledger deltas accumulate per shard and merge
-	// order-independently; cross-shard scheduling messages travel through
+	// Sharded epoch execution (see shard.go). The fabric core owns the
+	// shard ranges, gang and metric accumulators; each engineShard wraps
+	// one core shard with the control-plane context (matcher handle,
+	// outboxes, emitters). Cross-shard scheduling messages travel through
 	// per-shard outboxes merged in shard order, which reproduces the exact
 	// ToR-ascending mailbox order of a sequential epoch.
 	workers       int
 	shards        []*engineShard
-	shardOf       []int32 // ToR -> owning shard
-	gang          *par.Gang
 	curEpochStart sim.Time // set serially each epoch, read by phase steps
 
-	// Prebuilt phase-step closures, passed to gang.Do so the steady-state
-	// epoch performs no heap allocation regardless of worker count.
+	// Prebuilt phase-step closures, passed to the core's ParDo so the
+	// steady-state epoch performs no heap allocation regardless of worker
+	// count.
 	stepAccept        func(k int)
 	stepEmit          func(k int)
 	stepMergeOnly     func(k int)
@@ -225,8 +191,6 @@ func New(cfg Config) (*Engine, error) {
 		n:           cfg.Topology.N(),
 		s:           cfg.Topology.Ports(),
 		predefSlots: cfg.Topology.PredefinedSlots(),
-		rng:         sim.NewRNG(cfg.Seed),
-		tags:        make(map[int]*TagStat),
 	}
 	e.epochLn = e.timing.EpochLen(e.predefSlots)
 	e.stageLag = e.timing.StageLag(e.predefSlots)
@@ -236,10 +200,13 @@ func New(cfg Config) (*Engine, error) {
 		e.threshold = int64(cfg.RequestThresholdPkts) * e.piggyBytes
 	}
 
+	// The engine's randomness stream is shared with the core (the matcher
+	// split consumes one draw, exactly as before the core extraction).
+	rng := sim.NewRNG(cfg.Seed)
 	if cfg.NewMatcher != nil {
-		e.matcher = cfg.NewMatcher(e.top, e.timing, e.rng.Split(1))
+		e.matcher = cfg.NewMatcher(e.top, e.timing, rng.Split(1))
 	} else {
-		e.matcher = match.NewNegotiator(e.top, e.rng.Split(1))
+		e.matcher = match.NewNegotiator(e.top, rng.Split(1))
 	}
 	if b, ok := e.matcher.(match.BatchMatcher); ok {
 		e.batch = b
@@ -257,17 +224,29 @@ func New(cfg Config) (*Engine, error) {
 		}
 	}
 
+	fab, err := fabric.New(fabric.Config{
+		Topology:             cfg.Topology,
+		HostRate:             cfg.HostRate,
+		Workers:              e.resolveWorkers(),
+		RNG:                  rng,
+		PriorityQueues:       cfg.PriorityQueues,
+		Relay:                cfg.Relay != nil,
+		CumInjected:          true,
+		OnDeliver:            cfg.OnDeliver,
+		TrackReceiverBuffers: cfg.TrackReceiverBuffers,
+	})
+	if err != nil {
+		return nil, err
+	}
+	e.fab = fab
+	fab.Bind(e, e.admit)
+
 	e.tors = make([]*tor, e.n)
 	for i := range e.tors {
 		t := &tor{
-			queues:      make([]*queue.DestQueue, e.n),
-			cumInjected: make([]int64, e.n),
-			reqIn:       make([][]match.Request, e.stageLag),
-			grantIn:     make([][]match.Grant, e.stageLag),
-			matches:     make([]int32, e.s),
-		}
-		for j := range t.queues {
-			t.queues[j] = queue.NewDestQueue(cfg.PriorityQueues)
+			reqIn:   make([][]match.Request, e.stageLag),
+			grantIn: make([][]match.Grant, e.stageLag),
+			matches: make([]int32, e.s),
 		}
 		// Pre-size the pipelined mailboxes so typical epochs never grow
 		// them: a destination receives at most n-1 requests; a source
@@ -293,13 +272,16 @@ func New(cfg Config) (*Engine, error) {
 	if cfg.Relay != nil {
 		e.initRelay()
 	}
-	if cfg.TrackReceiverBuffers {
-		e.rxBuffers = make([]*metrics.DrainBuffer, e.n)
-		for i := range e.rxBuffers {
-			e.rxBuffers[i] = metrics.NewDrainBuffer(cfg.HostRate)
-		}
-	}
 	return e, nil
+}
+
+// admit is the core's arrival-admission hook: an injected flow lands in
+// the source's per-destination VOQ, and the cumulative-injected table
+// (stateful matcher view) advances.
+func (e *Engine) admit(f *flows.Flow, at sim.Time) {
+	nd := e.fab.Nodes[f.Src]
+	nd.Direct[f.Dst].Push(f, at)
+	nd.CumInjected[f.Dst] += f.Size
 }
 
 // resolveWorkers clamps the configured shard parallelism: never more
@@ -339,8 +321,7 @@ func (e *Engine) initHotPath() {
 	for i := range e.views {
 		e.views[i] = torView{e: e, i: i}
 	}
-	e.workers = e.resolveWorkers()
-	e.shardOf = make([]int32, e.n)
+	e.workers = e.fab.Workers
 	e.shards = make([]*engineShard, e.workers)
 
 	// Matcher handles: the sequential engine uses the matcher directly;
@@ -354,8 +335,8 @@ func (e *Engine) initHotPath() {
 		handles = e.matcher.(match.Sharded).Fork(e.workers)
 	}
 	for k := 0; k < e.workers; k++ {
-		lo, hi := par.Split(e.n, e.workers, k)
-		sh := &engineShard{e: e, k: k, lo: lo, hi: hi, goodput: metrics.NewGoodput(e.n)}
+		fs := e.fab.Shards[k]
+		sh := &engineShard{e: e, k: k, lo: fs.Lo, hi: fs.Hi, fs: fs}
 		if handles != nil {
 			sh.matcher = handles[k]
 		} else {
@@ -364,82 +345,53 @@ func (e *Engine) initHotPath() {
 		sh.reqOut = make([][]match.Request, e.workers)
 		sh.grantOut = make([][]match.Grant, e.workers)
 		for r := range sh.reqOut {
-			sh.reqOut[r] = make([]match.Request, 0, (hi-lo)+1)
-			sh.grantOut[r] = make([]match.Grant, 0, (hi-lo)+1)
+			sh.reqOut[r] = make([]match.Request, 0, (fs.Hi-fs.Lo)+1)
+			sh.grantOut[r] = make([]match.Grant, 0, (fs.Hi-fs.Lo)+1)
 		}
 		sh.initEmitters()
 		e.shards[k] = sh
-		for i := lo; i < hi; i++ {
-			e.shardOf[i] = int32(k)
-		}
 	}
 
-	// Phase-step closures, one per barrier phase, prebuilt so gang.Do
+	// Phase-step closures, one per barrier phase, prebuilt so ParDo
 	// never constructs a closure per epoch.
 	e.stepAccept = func(k int) { e.shards[k].acceptStep() }
 	e.stepEmit = func(k int) { e.shards[k].emitStep() }
 	e.stepMergeOnly = func(k int) { e.shards[k].mergeStep() }
 	e.stepMergeTransmit = func(k int) { e.shards[k].mergeTransmitStep() }
 	e.stepBatchPrep = func(k int) { e.shards[k].batchPrepStep() }
-
-	if e.workers > 1 {
-		e.gang = par.NewGang(e.workers)
-		// Engines have no Close; release the gang's background workers
-		// when the engine becomes unreachable. The gang does not reference
-		// the engine (workers hold only the transient phase closure while
-		// it runs), so the cleanup can fire.
-		runtime.AddCleanup(e, func(g *par.Gang) { g.Close() }, e.gang)
-	}
 }
 
-// parDo runs one barrier phase: fn(k) for every shard k, concurrently on
-// the gang when parallel, inline in shard order when sequential.
-func (e *Engine) parDo(fn func(k int)) {
-	if e.gang != nil {
-		e.gang.Do(fn)
-		return
-	}
-	for k := range e.shards {
-		fn(k)
-	}
-}
+// parDo runs one barrier phase over all shards (via the core's gang).
+func (e *Engine) parDo(fn func(k int)) { e.fab.ParDo(fn) }
 
 // SetWorkload attaches the arrival stream. Must be called before Run.
-func (e *Engine) SetWorkload(g workload.Generator) { e.work = g }
+func (e *Engine) SetWorkload(g workload.Generator) { e.fab.SetWorkload(g) }
+
+// Name identifies the control plane.
+func (e *Engine) Name() string { return "negotiator" }
 
 // EpochLen returns the epoch duration.
 func (e *Engine) EpochLen() sim.Duration { return e.epochLn }
 
+// RoundLen implements fabric.ControlPlane: one round is one epoch.
+func (e *Engine) RoundLen() sim.Duration { return e.epochLn }
+
 // Now returns the current simulated time (start of the next epoch).
-func (e *Engine) Now() sim.Time { return e.now }
+func (e *Engine) Now() sim.Time { return e.fab.Now() }
 
 // Run advances the simulation until at least d of simulated time has
 // elapsed (whole epochs).
-func (e *Engine) Run(d sim.Duration) {
-	end := sim.Time(d)
-	for e.now < end {
-		e.runEpoch()
-	}
-}
+func (e *Engine) Run(d sim.Duration) { e.fab.Run(d) }
 
 // RunEpochs advances exactly k epochs.
-func (e *Engine) RunEpochs(k int) {
-	for i := 0; i < k; i++ {
-		e.runEpoch()
-	}
-}
+func (e *Engine) RunEpochs(k int) { e.fab.RunRounds(k) }
+
+// runEpoch advances one epoch (test and benchmark hook).
+func (e *Engine) runEpoch() { e.fab.RunRound() }
 
 // Drain keeps running until all injected flows complete or maxEpochs pass,
 // returning true if fully drained. The workload must be exhausted first.
-func (e *Engine) Drain(maxEpochs int) bool {
-	for i := 0; i < maxEpochs; i++ {
-		if e.ledger.Queued() == 0 && e.genDone && !e.havePending {
-			return true
-		}
-		e.runEpoch()
-	}
-	return e.ledger.Queued() == 0
-}
+func (e *Engine) Drain(maxEpochs int) bool { return e.fab.Drain(maxEpochs) }
 
 // Workers reports the effective shard parallelism after clamping (see
 // Config.Workers).
@@ -450,34 +402,23 @@ func (e *Engine) Workers() int { return e.workers }
 // any worker count; the merge builds fresh accumulators, keeping Results
 // idempotent.
 func (e *Engine) Results() Results {
-	fct := &metrics.FCTStats{}
-	goodput := metrics.NewGoodput(e.n)
-	for _, sh := range e.shards {
-		fct.Merge(&sh.fct)
-		goodput.Merge(sh.goodput)
+	return Results{
+		FCT:                e.fab.MergedFCT(),
+		Goodput:            e.fab.MergedGoodput(),
+		MatchRatio:         &e.matchRatio,
+		Tags:               e.fab.Tags,
+		Duration:           sim.Duration(e.fab.Now()),
+		EpochLen:           e.epochLn,
+		Epochs:             e.fab.Rounds(),
+		Injected:           e.fab.Ledger.Injected,
+		Delivered:          e.fab.Ledger.Delivered,
+		LostBytes:          e.fab.Lost,
+		PeakReceiverBuffer: e.fab.PeakReceiverBuffer(),
 	}
-	r := Results{
-		FCT:        fct,
-		Goodput:    goodput,
-		MatchRatio: &e.matchRatio,
-		Tags:       e.tags,
-		Duration:   sim.Duration(e.now),
-		EpochLen:   e.epochLn,
-		Epochs:     e.epochs,
-		Injected:   e.ledger.Injected,
-		Delivered:  e.ledger.Delivered,
-		LostBytes:  e.lost,
-	}
-	for _, b := range e.rxBuffers {
-		if p := b.Peak(); p > r.PeakReceiverBuffer {
-			r.PeakReceiverBuffer = p
-		}
-	}
-	return r
 }
 
-// runEpoch advances one epoch through the barrier-synchronized shard
-// phases (paper Figure 4 per shard):
+// Round implements fabric.ControlPlane: one epoch through the
+// barrier-synchronized shard phases (paper Figure 4 per shard):
 //
 //	serial   failure bookkeeping, arrival injection
 //	phase A  ACCEPT over last epoch's grants (+ known-failure filter)
@@ -485,26 +426,26 @@ func (e *Engine) Results() Results {
 //	phase C  cross-shard mailbox exchange (outboxes merged in shard
 //	         order, reproducing ToR-ascending arrival order), then the
 //	         predefined and scheduled transmission phases shard-locally
-//	serial   deterministic merge: ledger deltas, tag completions, match
-//	         ratio, invariants
 //
-// The batch (iterative) matchers replace A and B with one request-
-// snapshot phase and a serial whole-fabric Match.
-func (e *Engine) runEpoch() {
-	epochStart := e.now
+// The core follows with the deterministic serial merge (ledger deltas,
+// tag completions) and the optional invariant check. The batch
+// (iterative) matchers replace A and B with one request-snapshot phase
+// and a serial whole-fabric Match.
+func (e *Engine) Round() {
+	epochStart := e.fab.Now()
 	e.curEpochStart = epochStart
 	if e.cfg.Failures != nil {
 		e.cfg.Failures.Fill(e.actual, epochStart)
 		e.cfg.Failures.Fill(e.known, epochStart.Add(-e.cfg.Failures.DetectDelay))
-		e.requeueDetectedLosses(epochStart)
+		e.fab.RequeueDetectedLosses(epochStart, e.cfg.Failures.DetectDelay)
 	}
-	e.inject(epochStart)
+	e.fab.Inject(epochStart)
 
 	// Mailbox generation g is consumed exactly stageLag epochs after it
 	// was filled; with a ring of stageLag slots that is the same slot the
 	// current epoch refills, so consumption (phases A/B) precedes
 	// production (phase C).
-	e.curGen = int(e.epochs) % e.stageLag
+	e.curGen = int(e.fab.Rounds()) % e.stageLag
 
 	if e.relay != nil {
 		e.planRelay() // sequential-only feature (workers == 1)
@@ -516,29 +457,14 @@ func (e *Engine) runEpoch() {
 	} else {
 		e.controlPhases(e.stepMergeTransmit)
 	}
+}
 
-	// Deterministic merge: fold shard deltas in shard order. Every fold is
-	// commutative (sums, max) so the result is worker-count-independent.
-	for _, sh := range e.shards {
-		e.ledger.Delivered += sh.delivered
-		sh.delivered = 0
-		e.ledger.Lost += sh.lostDelta
-		e.lost += sh.lostDelta
-		sh.lostDelta = 0
-		for _, f := range sh.tagged {
-			ts := e.tags[f.Tag]
-			ts.Done++
-			if f.Completed() > ts.End {
-				ts.End = f.Completed()
-			}
-		}
-		sh.tagged = sh.tagged[:0]
-	}
+// CheckRound implements fabric.RoundChecker (invoked after each round's
+// serial merge) when invariant checking is on.
+func (e *Engine) CheckRound() {
 	if e.cfg.CheckInvariants {
 		e.checkInvariants()
 	}
-	e.epochs++
-	e.now = epochStart.Add(e.epochLn)
 }
 
 // batchControl runs the batch-matcher control plane: the per-shard
@@ -550,7 +476,7 @@ func (e *Engine) batchControl() {
 	for _, sh := range e.shards {
 		e.reqScratch = append(e.reqScratch, sh.reqScratch...)
 	}
-	target := (int(e.epochs) + e.batch.MatchDelay()) % len(e.future)
+	target := (int(e.fab.Rounds()) + e.batch.MatchDelay()) % len(e.future)
 	var stats match.BatchStats
 	e.batch.Match(e.reqScratch, e.future[target], &stats)
 	e.matchRatio.Observe(stats.Accepts, stats.Grants)
@@ -575,12 +501,12 @@ func (e *Engine) controlPhases(phaseC func(k int)) {
 
 // controlStep runs one epoch's scheduling phases in isolation — ACCEPT,
 // GRANT and REQUEST plus the mailbox exchange, without data transmission
-// (and without runEpoch's relay planning, a sequential-only feature
-// outside the control plane). Benchmarks use it to measure the
-// distributed scheduling computation alone.
+// (and without Round's relay planning, a sequential-only feature outside
+// the control plane). Benchmarks use it to measure the distributed
+// scheduling computation alone.
 func (e *Engine) controlStep(epochStart sim.Time) {
 	e.curEpochStart = epochStart
-	e.curGen = int(e.epochs) % e.stageLag
+	e.curGen = int(e.fab.Rounds()) % e.stageLag
 	if e.batch != nil {
 		e.batchControl()
 		return
@@ -588,82 +514,9 @@ func (e *Engine) controlStep(epochStart sim.Time) {
 	e.controlPhases(e.stepMergeOnly)
 }
 
-// inject moves all arrivals at or before t into the source queues.
-func (e *Engine) inject(t sim.Time) {
-	if e.work == nil {
-		e.genDone = true
-		return
-	}
-	for {
-		if !e.havePending {
-			a, ok := e.work.Next()
-			if !ok {
-				e.genDone = true
-				return
-			}
-			e.pending, e.havePending = a, true
-		}
-		if e.pending.Time > t {
-			return
-		}
-		a := e.pending
-		e.havePending = false
-		e.flowSeq++
-		f := &flows.Flow{ID: e.flowSeq, Src: a.Src, Dst: a.Dst, Size: a.Size, Arrival: a.Time, Tag: a.Tag}
-		e.tors[a.Src].queues[a.Dst].Push(f, t)
-		e.tors[a.Src].cumInjected[a.Dst] += a.Size
-		e.ledger.Injected += a.Size
-		if a.Tag != 0 {
-			ts := e.tags[a.Tag]
-			if ts == nil {
-				ts = &TagStat{Start: a.Time}
-				e.tags[a.Tag] = ts
-			}
-			ts.Flows++
-			if a.Time < ts.Start {
-				ts.Start = a.Time
-			}
-		}
-	}
-}
-
-// requeueDetectedLosses returns failure-destroyed bytes to their source
-// queues once the detection delay has elapsed, modelling upper-layer
-// retransmission (§3.6.1).
-func (e *Engine) requeueDetectedLosses(now sim.Time) {
-	detect := e.cfg.Failures.DetectDelay
-	for _, t := range e.tors {
-		if len(t.losses) == 0 {
-			continue
-		}
-		kept := t.losses[:0]
-		for _, l := range t.losses {
-			if l.at.Add(detect) <= now {
-				l.f.Unsend(l.n)
-				t.queues[l.dst].PushBytes(l.f, l.n, l.off, now)
-				e.ledger.Lost -= l.n
-			} else {
-				kept = append(kept, l)
-			}
-		}
-		t.losses = kept
-	}
-}
-
 // checkInvariants asserts byte conservation and match conflict-freedom.
 func (e *Engine) checkInvariants() {
-	var inFabric int64
-	for _, t := range e.tors {
-		for _, q := range t.queues {
-			inFabric += q.Bytes()
-		}
-		if t.relayQ != nil {
-			for _, q := range t.relayQ {
-				inFabric += q.Bytes()
-			}
-		}
-	}
-	if err := e.ledger.Check(inFabric); err != nil {
+	if err := e.fab.Ledger.Check(e.fab.QueuedInNodes()); err != nil {
 		panic(err)
 	}
 	rx := make(map[[2]int32]int32)
@@ -683,3 +536,9 @@ func (e *Engine) checkInvariants() {
 		}
 	}
 }
+
+// Compile-time interface checks.
+var (
+	_ fabric.ControlPlane = (*Engine)(nil)
+	_ fabric.RoundChecker = (*Engine)(nil)
+)

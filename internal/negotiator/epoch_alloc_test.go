@@ -41,7 +41,7 @@ func steadyEngine(tb testing.TB, kind string, warmupEpochs int) *Engine {
 	// every queue stays deep enough to request every epoch.
 	e.SetWorkload(workload.NewAllToAll(128, 1<<30, 0))
 	e.RunEpochs(warmupEpochs)
-	if !e.genDone {
+	if !e.fab.WorkloadDone() {
 		tb.Fatal("steady state not reached: workload not exhausted")
 	}
 	return e

@@ -18,11 +18,11 @@ type torView struct {
 }
 
 func (v *torView) QueuedBytes(dst int) int64 {
-	t := v.e.tors[v.i]
-	b := t.queues[dst].Bytes()
-	if t.relayQ != nil {
-		b += t.relayQ[dst].Bytes()
-		if p := t.relayPlan[dst]; p.quota > 0 {
+	nd := v.e.fab.Nodes[v.i]
+	b := nd.Direct[dst].Bytes()
+	if nd.Relay != nil {
+		b += nd.Relay[dst].Bytes()
+		if p := v.e.tors[v.i].relayPlan[dst]; p.quota > 0 {
 			b += p.quota
 		}
 	}
@@ -30,11 +30,11 @@ func (v *torView) QueuedBytes(dst int) int64 {
 }
 
 func (v *torView) WeightedHoL(dst int, alpha float64) float64 {
-	return v.e.tors[v.i].queues[dst].WeightedHoL(v.e.now, alpha)
+	return v.e.fab.Nodes[v.i].Direct[dst].WeightedHoL(v.e.fab.Now(), alpha)
 }
 
 func (v *torView) CumInjected(dst int) int64 {
-	return v.e.tors[v.i].cumInjected[dst]
+	return v.e.fab.Nodes[v.i].CumInjected[dst]
 }
 
 // rotation returns the predefined-phase round-robin rotation for an epoch.

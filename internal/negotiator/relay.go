@@ -1,7 +1,6 @@
 package negotiator
 
 import (
-	"negotiator/internal/queue"
 	"negotiator/internal/topo"
 )
 
@@ -60,11 +59,9 @@ func (e *Engine) initRelay() {
 		rotate:   make([]int, e.n),
 		groupBuf: make([]int64, e.s),
 	}
+	// The relay FIFOs themselves live in the fabric core's nodes
+	// (fabric.Config.Relay); only the per-epoch plan is control-plane state.
 	for _, t := range e.tors {
-		t.relayQ = make([]*queue.FIFO, e.n)
-		for j := range t.relayQ {
-			t.relayQ[j] = &queue.FIFO{}
-		}
 		t.relayPlan = make([]relayPlan, e.n)
 	}
 }
@@ -76,6 +73,7 @@ func (e *Engine) initRelay() {
 func (e *Engine) planRelay() {
 	r := e.relay
 	for i, t := range e.tors {
+		nd := e.fab.Nodes[i]
 		for k := range t.relayPlan {
 			t.relayPlan[k] = relayPlan{finalDst: -1}
 		}
@@ -88,10 +86,10 @@ func (e *Engine) planRelay() {
 			if j == i {
 				continue
 			}
-			if b := t.queues[j].Bytes(); b > 0 {
+			if b := nd.Direct[j].Bytes(); b > 0 {
 				r.groupBuf[r.tc.PathPort(i, j)] += b
 			}
-			if t.queues[j].LowestPriorityBytes() > r.cfg.MinBytes {
+			if nd.Direct[j].LowestPriorityBytes() > r.cfg.MinBytes {
 				heavy = true
 			}
 		}
@@ -101,7 +99,7 @@ func (e *Engine) planRelay() {
 		rot := r.rotate[i]
 		r.rotate[i]++
 		for j := 0; j < e.n; j++ {
-			if j == i || t.queues[j].LowestPriorityBytes() <= r.cfg.MinBytes {
+			if j == i || nd.Direct[j].LowestPriorityBytes() <= r.cfg.MinBytes {
 				continue
 			}
 			// Find an intermediate k for the elephant i -> j.
@@ -119,8 +117,8 @@ func (e *Engine) planRelay() {
 				if t.relayPlan[k].quota > 0 {
 					continue
 				}
-				inter := e.tors[k]
-				headroom := r.cfg.BufferCap - inter.relayBytes
+				inter := e.fab.Nodes[k]
+				headroom := inter.RelayHeadroom(r.cfg.BufferCap)
 				if headroom <= 0 {
 					continue
 				}
@@ -129,7 +127,7 @@ func (e *Engine) planRelay() {
 				var kDirect int64
 				for _, d := range r.tc.PortDomain(k, s2) {
 					if d != k {
-						kDirect += inter.queues[d].Bytes()
+						kDirect += inter.Direct[d].Bytes()
 					}
 				}
 				if kDirect > r.cfg.DirectBusyBytes {
@@ -163,8 +161,8 @@ func (sh *engineShard) relayFirstHop(i, k int, budget int64) {
 		return
 	}
 	j := int(plan.finalDst)
-	inter := e.tors[k]
-	headroom := e.relay.cfg.BufferCap - inter.relayBytes
+	inter := e.fab.Nodes[k]
+	headroom := inter.RelayHeadroom(e.relay.cfg.BufferCap)
 	max := budget
 	if max > plan.quota {
 		max = plan.quota
@@ -177,6 +175,6 @@ func (sh *engineShard) relayFirstHop(i, k int, budget int64) {
 	}
 	sh.txDst = j
 	sh.txInter = inter
-	t.queues[j].TakeLowestOnly(max, sh.relayEmit)
+	e.fab.Nodes[i].Direct[j].TakeLowestOnly(max, sh.relayEmit)
 	t.relayPlan[k] = relayPlan{finalDst: -1}
 }

@@ -33,7 +33,7 @@ func steadyEngineAt(tb testing.TB, tors, ports, workers, warmupEpochs int) *Engi
 	}
 	e.SetWorkload(workload.NewAllToAll(tors, 1<<30, 0))
 	e.RunEpochs(warmupEpochs)
-	if !e.genDone {
+	if !e.fab.WorkloadDone() {
 		tb.Fatal("steady state not reached: workload not exhausted")
 	}
 	return e

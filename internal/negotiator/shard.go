@@ -1,21 +1,22 @@
 package negotiator
 
 import (
+	"negotiator/internal/fabric"
 	"negotiator/internal/flows"
 	"negotiator/internal/match"
-	"negotiator/internal/metrics"
 	"negotiator/internal/queue"
 	"negotiator/internal/sim"
 )
 
-// engineShard owns the execution context of one contiguous ToR range
-// [lo, hi): a scratch-private matcher handle, per-shard metric
-// accumulators, cross-shard message outboxes, and the transmission emitter
-// state with its prebuilt closures. An epoch's phases run over all shards
-// between barriers (see Engine.runEpoch); everything a phase writes is
-// either owned by this shard (its ToRs' queues, mailboxes and matches; its
-// accumulators) or deferred into an outbox that a later phase merges in
-// shard order.
+// engineShard owns the control-plane execution context of one contiguous
+// ToR range [lo, hi): a scratch-private matcher handle, cross-shard
+// message outboxes, and the transmission emitter state with its prebuilt
+// closures. Metric accumulation and delivery/loss accounting go through
+// the wrapped fabric core shard (fs). An epoch's phases run over all
+// shards between barriers (see Engine.Round); everything a phase writes
+// is either owned by this shard (its ToRs' queues, mailboxes and matches;
+// its accumulators) or deferred into an outbox that a later phase merges
+// in shard order.
 //
 // Determinism at any worker count follows from three properties:
 //
@@ -33,19 +34,18 @@ type engineShard struct {
 	k      int
 	lo, hi int // ToR range [lo, hi)
 
+	// fs is the fabric core shard carrying this range's FCT/goodput
+	// accumulators and delivery/loss accounting.
+	fs *fabric.Shard
+
 	// matcher is this shard's handle: a scratch-private fork when running
 	// parallel, the engine's matcher itself when sequential or batch.
 	matcher match.Matcher
 
-	// Per-shard accumulators, merged order-independently: fct/goodput at
-	// Results, the deltas and tag completions at each epoch's serial merge.
-	fct       metrics.FCTStats
-	goodput   *metrics.Goodput
-	delivered int64
-	lostDelta int64
-	accepts   int64
-	grants    int64
-	tagged    []*flows.Flow // completed tagged flows awaiting serial fold
+	// Per-shard accept/grant counters, folded into the match ratio at the
+	// end of each epoch's control phases.
+	accepts int64
+	grants  int64
 
 	// Outboxes for cross-shard scheduling messages, bucketed by receiving
 	// shard. Phase B fills them; phase C's receiving shard drains bucket
@@ -58,13 +58,13 @@ type engineShard struct {
 
 	// Transmission emitter state shared by the prebuilt closures below.
 	// Valid only during one queue drain.
-	txTor        *tor
+	txNode       *fabric.Node // transmitting ToR's node (loss records)
 	txDst        int
 	txLost       bool
 	txPos        int64    // scheduled-phase byte position (slot timing)
 	txAt         sim.Time // predefined-phase fixed arrival time
 	txPhaseStart sim.Time
-	txInter      *tor // relay first hop: receiving intermediate
+	txInter      *fabric.Node // relay first hop: receiving intermediate
 
 	feedbackFn func(match.Grant, bool)
 	grantEmit  func(match.Grant)
@@ -94,18 +94,18 @@ func (sh *engineShard) initEmitters() {
 		if e.known != nil && e.known.Count > 0 && !e.known.PathOK(g.Src, g.Dst, g.Port) {
 			return
 		}
-		if !e.msgPathOK(g.Dst, g.Src, e.epochs) {
+		if !e.msgPathOK(g.Dst, g.Src, e.fab.Rounds()) {
 			return
 		}
-		r := e.shardOf[g.Src]
+		r := e.fab.ShardOf[g.Src]
 		sh.grantOut[r] = append(sh.grantOut[r], g)
 	}
 	// REQUEST transport: the request message travels r.Src -> r.Dst.
 	sh.reqEmit = func(r match.Request) {
-		if !e.msgPathOK(r.Src, r.Dst, e.epochs) {
+		if !e.msgPathOK(r.Src, r.Dst, e.fab.Rounds()) {
 			return
 		}
-		d := e.shardOf[r.Dst]
+		d := e.fab.ShardOf[r.Dst]
 		sh.reqOut[d] = append(sh.reqOut[d], r)
 	}
 	sh.batchEmit = func(r match.Request) { sh.reqScratch = append(sh.reqScratch, r) }
@@ -117,20 +117,20 @@ func (sh *engineShard) initEmitters() {
 		sh.txPos += n
 		at := sh.slotArrival()
 		if sh.txLost {
-			sh.recordLoss(f, off, n, at)
+			sh.fs.RecordLoss(sh.txNode, f, sh.txDst, off, n, at)
 			return
 		}
-		sh.deliver(f, sh.txDst, n, at)
+		sh.fs.Deliver(f, sh.txDst, n, at)
 	}
 	// Predefined-phase (piggyback) delivery: fixed slot arrival time.
 	sh.pbEmit = func(f *flows.Flow, n int64) {
 		off := f.Sent()
 		f.NoteSent(n)
 		if sh.txLost {
-			sh.recordLoss(f, off, n, sh.txAt)
+			sh.fs.RecordLoss(sh.txNode, f, sh.txDst, off, n, sh.txAt)
 			return
 		}
-		sh.deliver(f, sh.txDst, n, sh.txAt)
+		sh.fs.Deliver(f, sh.txDst, n, sh.txAt)
 	}
 	// Relay first hop (sequential-only feature): bytes move into the
 	// intermediate's relay queue and stay "sent but not delivered" until
@@ -141,11 +141,10 @@ func (sh *engineShard) initEmitters() {
 		if sh.txLost {
 			off := f.Sent()
 			f.NoteSent(n)
-			sh.recordLoss(f, off, n, at)
+			sh.fs.RecordLoss(sh.txNode, f, sh.txDst, off, n, at)
 			return
 		}
-		sh.txInter.relayQ[sh.txDst].Push(queue.Segment{Flow: f, Bytes: n, Enqueued: at})
-		sh.txInter.relayBytes += n
+		sh.txInter.PushRelay(sh.txDst, queue.Segment{Flow: f, Bytes: n, Enqueued: at})
 	}
 }
 
@@ -156,37 +155,6 @@ func (sh *engineShard) slotArrival() sim.Time {
 	e := sh.e
 	endSlot := (sh.txPos + e.payload - 1) / e.payload
 	return sh.txPhaseStart.Add(sim.Duration(endSlot) * e.timing.ScheduledSlot).Add(e.timing.PropDelay)
-}
-
-// deliver accounts one run of payload bytes arriving at dst. The flow is
-// owned by this shard (its source ToR is local, and cross-ToR flow
-// movement — selective relay — forces sequential execution), so flow state
-// is race-free; everything else lands in per-shard accumulators.
-func (sh *engineShard) deliver(f *flows.Flow, dst int, n int64, at sim.Time) {
-	sh.delivered += n
-	sh.goodput.Deliver(dst, n)
-	if f.Deliver(n, at) {
-		sh.fct.Record(f.Size, f.FCT())
-		if f.Tag != 0 {
-			sh.tagged = append(sh.tagged, f)
-		}
-	}
-	e := sh.e
-	if e.rxBuffers != nil { // sequential-only feature
-		e.rxBuffers[dst].Add(at, n)
-	}
-	if e.cfg.OnDeliver != nil { // sequential-only feature
-		e.cfg.OnDeliver(dst, at, n)
-	}
-}
-
-// recordLoss books n bytes of f (starting at flow offset off) destroyed by
-// an actually-failed link on the current transmission (txTor -> txDst),
-// awaiting detection and source requeue (§3.6.1). The loss list is owned
-// by the transmitting ToR, hence by this shard.
-func (sh *engineShard) recordLoss(f *flows.Flow, off, n int64, at sim.Time) {
-	sh.lostDelta += n
-	sh.txTor.losses = append(sh.txTor.losses, lossRec{f: f, dst: sh.txDst, off: off, n: n, at: at})
 }
 
 // acceptStep is phase A: grants received during the previous epoch yield
@@ -290,7 +258,7 @@ func (sh *engineShard) mergeTransmitStep() {
 func (sh *engineShard) batchPrepStep() {
 	e := sh.e
 	depth := len(e.future)
-	slot := int(e.epochs) % depth
+	slot := int(e.fab.Rounds()) % depth
 	for i := sh.lo; i < sh.hi; i++ {
 		t := e.tors[i]
 		copy(t.matches, e.future[slot][i])
@@ -322,17 +290,17 @@ func (sh *engineShard) predefinedPhase(epochStart sim.Time) {
 	if e.piggyBytes <= 0 {
 		return
 	}
-	rot := e.rotation(e.epochs)
+	rot := e.rotation(e.fab.Rounds())
 	slotDur := e.timing.PredefinedSlot
 	for i := sh.lo; i < sh.hi; i++ {
-		t := e.tors[i]
+		nd := e.fab.Nodes[i]
 		for j := 0; j < e.n; j++ {
 			if j == i {
 				continue
 			}
-			q := t.queues[j]
+			q := nd.Direct[j]
 			hasDirect := !q.Empty()
-			hasRelay := t.relayQ != nil && t.relayQ[j].HeadReady(epochStart)
+			hasRelay := nd.Relay != nil && nd.Relay[j].HeadReady(epochStart)
 			if !hasDirect && !hasRelay {
 				continue
 			}
@@ -340,7 +308,7 @@ func (sh *engineShard) predefinedPhase(epochStart sim.Time) {
 			if e.known != nil && e.known.Count > 0 && !e.known.PathOK(i, j, port) {
 				continue // knowingly dead link: hold the data
 			}
-			sh.txTor, sh.txDst = t, j
+			sh.txNode, sh.txDst = nd, j
 			sh.txLost = e.actual != nil && e.actual.Count > 0 && !e.actual.PathOK(i, j, port)
 			sh.txAt = epochStart.Add(sim.Duration(slot+1) * slotDur).Add(e.timing.PropDelay)
 			budget := e.piggyBytes
@@ -350,7 +318,7 @@ func (sh *engineShard) predefinedPhase(epochStart sim.Time) {
 			if budget > 0 && hasRelay {
 				// Relay bytes piggyback too once they are at the
 				// intermediate: from there they are ordinary one-hop data.
-				t.relayBytes -= t.relayQ[j].TakeReady(budget, epochStart, sh.pbEmit)
+				nd.DrainRelay(j, budget, epochStart, sh.pbEmit)
 			}
 		}
 	}
@@ -367,22 +335,21 @@ func (sh *engineShard) scheduledPhase(epochStart sim.Time) {
 	capacity := e.payload * int64(e.timing.ScheduledSlots)
 	for i := sh.lo; i < sh.hi; i++ {
 		t := e.tors[i]
+		nd := e.fab.Nodes[i]
 		for p, dj := range t.matches {
 			if dj < 0 {
 				continue
 			}
 			j := int(dj)
-			sh.txTor, sh.txDst = t, j
+			sh.txNode, sh.txDst = nd, j
 			sh.txLost = e.actual != nil && e.actual.Count > 0 && !e.actual.PathOK(i, j, p)
 			sh.txPos = 0
 			sh.txPhaseStart = phaseStart
-			sent := t.queues[j].Take(capacity, sh.schedEmit)
-			if t.relayQ != nil && sent < capacity {
+			sent := nd.Direct[j].Take(capacity, sh.schedEmit)
+			if nd.Relay != nil && sent < capacity {
 				// Second hop: forward data relayed through us that has
 				// physically arrived by the start of this epoch.
-				fwd := t.relayQ[j].TakeReady(capacity-sent, epochStart, sh.schedEmit)
-				t.relayBytes -= fwd
-				sent += fwd
+				sent += nd.DrainRelay(j, capacity-sent, epochStart, sh.schedEmit)
 			}
 			if e.relay != nil && sent < capacity {
 				// First hop: ship planned relay data to intermediate j.

@@ -16,14 +16,13 @@ func TestSprayUniformity(t *testing.T) {
 	cfg := testConfig(t)
 	e, _ := New(cfg)
 	e.inject(0) // no workload: establishes genDone
-	src := e.tors[2]
+	src := e.fab.Nodes[2]
 	// Inject a large flow directly through the generator path.
-	e.work = workload.NewSinglePair(2, 9, 4<<20, 0)
-	e.genDone = false
+	e.SetWorkload(workload.NewSinglePair(2, 9, 4<<20, 0))
 	e.inject(0)
 	var total int64
 	counts := make([]int64, e.n)
-	for k, lane := range src.lanes {
+	for k, lane := range src.Lanes {
 		counts[k] = lane.Bytes()
 		total += lane.Bytes()
 	}
@@ -134,11 +133,10 @@ func TestChunkGranularityConfigurable(t *testing.T) {
 		t.Fatalf("default chunk = %d, want 4", e2.cfg.SprayChunkCells)
 	}
 	// Finer chunks spread a mid-size flow over more lanes.
-	e.work = workload.NewSinglePair(2, 9, 10*615*4, 0)
-	e.genDone = false
+	e.SetWorkload(workload.NewSinglePair(2, 9, 10*615*4, 0))
 	e.inject(0)
 	lanes1 := 0
-	for _, lane := range e.tors[2].lanes {
+	for _, lane := range e.fab.Nodes[2].Lanes {
 		if !lane.Empty() {
 			lanes1++
 		}

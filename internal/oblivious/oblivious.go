@@ -19,18 +19,18 @@
 // discipline (relay > direct > slot-time spray) and a relay-free
 // round-robin are kept as ablations.
 //
-// The engine is slot-synchronous (one decision per port per timeslot) and
-// shares the queueing, workload, metrics and failure substrates with the
-// NegotiaToR engine.
+// The engine is the round-robin/VLB control plane over the shared fabric
+// core (internal/fabric): the core owns queues, workload, ledger, metrics
+// and the slot-synchronous run loop; this package owns only the
+// per-timeslot service decisions (one decision per port per timeslot).
 package oblivious
 
 import (
 	"fmt"
-	"runtime"
 
+	"negotiator/internal/fabric"
 	"negotiator/internal/flows"
 	"negotiator/internal/metrics"
-	"negotiator/internal/par"
 	"negotiator/internal/queue"
 	"negotiator/internal/sim"
 	"negotiator/internal/topo"
@@ -146,19 +146,11 @@ type Config struct {
 	Workers int
 }
 
-// TagStat mirrors negotiator.TagStat for tagged application events.
-type TagStat struct {
-	Start sim.Time
-	End   sim.Time
-	Flows int
-	Done  int
-}
-
 // Results summarises a run.
 type Results struct {
 	FCT       *metrics.FCTStats
 	Goodput   *metrics.Goodput
-	Tags      map[int]*TagStat
+	Tags      map[int]*fabric.TagStat
 	Duration  sim.Duration
 	Slots     int64 // timeslots executed
 	Injected  int64
@@ -166,57 +158,29 @@ type Results struct {
 	Relayed   int64 // bytes that took a first hop (transit volume)
 }
 
-type tor struct {
-	// direct holds fresh data per final destination; used by the
-	// OpportunisticDirect and DirectOnly disciplines, whose spray target
-	// is decided at slot time.
-	direct []*queue.DestQueue
-	// lanes holds fresh data per pre-assigned intermediate (the default
-	// Sirius discipline): flows are sprayed across lanes in fixed-size
-	// chunks at arrival, and a slot to peer k can only carry lane k's
-	// data. PIAS priorities apply within a lane.
-	lanes []*queue.DestQueue
-	// relay holds in-transit data per final destination (the second-hop
-	// virtual output queues). Each VOQ is bounded; a full VOQ stalls the
-	// spraying lane head — Sirius's congestion control.
-	relay      []*queue.FIFO
-	relayBytes int64
-	sprayPtr   int // rotating lane/destination pointer
-}
-
-// Engine is the traffic-oblivious fabric simulator.
+// Engine is the traffic-oblivious control plane over the shared fabric
+// core. Per-ToR data-plane state maps onto fabric.Node: Direct holds
+// fresh data per final destination (the slot-time-spray disciplines),
+// Lanes holds fresh data per pre-assigned intermediate (the default
+// Sirius discipline), Relay holds the bounded second-hop VOQs.
 type Engine struct {
 	cfg    Config
+	fab    *fabric.Core
 	top    topo.Topology
 	timing Timing
 	n, s   int
 	slots  int // round-robin cycle length in slots
 	cell   int64
-	now    sim.Time
-	slotNo int64
+	lanes  bool
 
-	tors []*tor
-
-	work        workload.Generator
-	pending     workload.Arrival
-	havePending bool
-	genDone     bool
-	flowSeq     int64
-
-	fct     metrics.FCTStats
-	goodput *metrics.Goodput
-	ledger  flows.Ledger
-	tags    map[int]*TagStat
 	relayed int64
-	rng     *sim.RNG
 
 	// Sharded slot execution (see Config.Workers): per-slot context set
-	// serially, phase steps run over the shards via the gang (nil when
-	// sequential), and the shards' deferred effect records are applied in
-	// shard order by the serial merge.
+	// serially, phase steps run over the shards via the core's gang, and
+	// the shards' deferred effect records are applied in shard order by
+	// the serial merge.
 	workers    int
 	shards     []*obShard
-	gang       *par.Gang
 	stepDrain  func(k int)
 	stepServe  func(k int)
 	slotT      int      // round-robin slot within the cycle
@@ -306,8 +270,6 @@ func New(cfg Config) (*Engine, error) {
 		s:      cfg.Topology.Ports(),
 		slots:  cfg.Topology.PredefinedSlots(),
 		cell:   cfg.Timing.CellBytes(),
-		tags:   make(map[int]*TagStat),
-		rng:    sim.NewRNG(cfg.Seed),
 	}
 	if cfg.RelayCap == 0 {
 		e.cfg.RelayCap = 64 * e.cell
@@ -315,43 +277,59 @@ func New(cfg Config) (*Engine, error) {
 	if cfg.SprayChunkCells <= 0 {
 		e.cfg.SprayChunkCells = 4
 	}
-	lanes := !e.cfg.OpportunisticDirect && !e.cfg.DirectOnly
-	e.goodput = metrics.NewGoodput(e.n)
-	e.tors = make([]*tor, e.n)
-	for i := range e.tors {
-		t := &tor{
-			direct: make([]*queue.DestQueue, e.n),
-			relay:  make([]*queue.FIFO, e.n),
-		}
-		if lanes {
-			t.lanes = make([]*queue.DestQueue, e.n)
-		}
-		for j := range t.direct {
-			t.direct[j] = queue.NewDestQueue(cfg.PriorityQueues)
-			t.relay[j] = &queue.FIFO{}
-			if lanes {
-				t.lanes[j] = queue.NewDestQueue(cfg.PriorityQueues)
-			}
-		}
-		e.tors[i] = t
+	e.lanes = !e.cfg.OpportunisticDirect && !e.cfg.DirectOnly
+	fab, err := fabric.New(fabric.Config{
+		Topology:       cfg.Topology,
+		HostRate:       cfg.HostRate,
+		Workers:        cfg.Workers,
+		Seed:           cfg.Seed,
+		PriorityQueues: cfg.PriorityQueues,
+		Lanes:          e.lanes,
+		Relay:          true,
+		OnDeliver:      cfg.OnDeliver,
+	})
+	if err != nil {
+		return nil, err
 	}
+	e.fab = fab
+	fab.Bind(e, e.admit)
 	e.initShards()
 	return e, nil
 }
 
+// admit is the core's arrival-admission hook. Under the default Sirius
+// discipline a flow is sprayed across intermediates in fixed-size chunks,
+// each assigned a uniformly random intermediate at arrival as Sirius
+// sprays cells — randomness matters: deterministic assignment correlates
+// across sources and melts hot intermediates. The slot-time-spray
+// ablations enqueue per final destination instead.
+func (e *Engine) admit(f *flows.Flow, at sim.Time) {
+	nd := e.fab.Nodes[f.Src]
+	if e.lanes {
+		chunk := int64(e.cfg.SprayChunkCells) * e.cell
+		for off := int64(0); off < f.Size; off += chunk {
+			n := f.Size - off
+			if n > chunk {
+				n = chunk
+			}
+			k := e.fab.RNG.Intn(e.n - 1)
+			if k >= f.Src {
+				k++
+			}
+			nd.Lanes[k].PushBytes(f, n, off, at)
+		}
+		return
+	}
+	nd.Direct[f.Dst].Push(f, at)
+}
+
 // initShards builds the shard contexts and their prebuilt emitters.
 func (e *Engine) initShards() {
-	e.workers = e.cfg.Workers
-	if e.workers < 1 {
-		e.workers = 1
-	}
-	if e.workers > e.n {
-		e.workers = e.n
-	}
+	e.workers = e.fab.Workers
 	e.shards = make([]*obShard, e.workers)
 	for k := 0; k < e.workers; k++ {
-		lo, hi := par.Split(e.n, e.workers, k)
-		sh := &obShard{e: e, k: k, lo: lo, hi: hi, usedStamp: make([]int64, (hi-lo)*e.s)}
+		fs := e.fab.Shards[k]
+		sh := &obShard{e: e, k: k, lo: fs.Lo, hi: fs.Hi, usedStamp: make([]int64, (fs.Hi-fs.Lo)*e.s)}
 		sh.drainEmit = func(f *flows.Flow, n int64) {
 			sh.drainDelivs = append(sh.drainDelivs, obDeliv{f: f, dst: sh.txDst, n: n, at: e.slotArrive})
 		}
@@ -367,31 +345,22 @@ func (e *Engine) initShards() {
 	}
 	e.stepDrain = func(k int) { e.shards[k].drainStep() }
 	e.stepServe = func(k int) { e.shards[k].serveStep() }
-	if e.workers > 1 {
-		e.gang = par.NewGang(e.workers)
-		// Engines have no Close; release the gang's background workers
-		// when the engine becomes unreachable (the gang holds no engine
-		// reference, so the cleanup can fire).
-		runtime.AddCleanup(e, func(g *par.Gang) { g.Close() }, e.gang)
-	}
 }
 
-// parDo runs one barrier phase over all shards.
-func (e *Engine) parDo(fn func(k int)) {
-	if e.gang != nil {
-		e.gang.Do(fn)
-		return
-	}
-	for k := range e.shards {
-		fn(k)
-	}
-}
+// inject pumps pending arrivals (test hook; the run loop pumps per slot).
+func (e *Engine) inject(t sim.Time) { e.fab.Inject(t) }
 
 // Workers reports the effective shard parallelism.
 func (e *Engine) Workers() int { return e.workers }
 
 // SetWorkload attaches the arrival stream.
-func (e *Engine) SetWorkload(g workload.Generator) { e.work = g }
+func (e *Engine) SetWorkload(g workload.Generator) { e.fab.SetWorkload(g) }
+
+// Name identifies the control plane.
+func (e *Engine) Name() string { return "oblivious" }
+
+// RoundLen implements fabric.ControlPlane: one round is one timeslot.
+func (e *Engine) RoundLen() sim.Duration { return e.timing.Slot }
 
 // CycleLen returns the all-to-all round-robin cycle duration.
 func (e *Engine) CycleLen() sim.Duration {
@@ -402,50 +371,37 @@ func (e *Engine) CycleLen() sim.Duration {
 func (e *Engine) SlotsPerCycle() int { return e.slots }
 
 // Now returns the current simulated time.
-func (e *Engine) Now() sim.Time { return e.now }
+func (e *Engine) Now() sim.Time { return e.fab.Now() }
 
 // Run advances until at least d has elapsed.
-func (e *Engine) Run(d sim.Duration) {
-	for e.now < sim.Time(d) {
-		e.runSlot()
-	}
-}
+func (e *Engine) Run(d sim.Duration) { e.fab.Run(d) }
+
+// runSlot advances one timeslot (test and benchmark hook).
+func (e *Engine) runSlot() { e.fab.RunRound() }
 
 // RunCycles advances exactly k full round-robin cycles (the baseline's
 // epoch analogue: one all-to-all sweep of the predefined schedule).
-func (e *Engine) RunCycles(k int) {
-	for i := 0; i < k*e.slots; i++ {
-		e.runSlot()
-	}
-}
+func (e *Engine) RunCycles(k int) { e.fab.RunRounds(k * e.slots) }
 
 // Drain runs until all injected bytes are delivered or maxSlots elapse.
-func (e *Engine) Drain(maxSlots int) bool {
-	for i := 0; i < maxSlots; i++ {
-		if e.ledger.Queued() == 0 && e.genDone && !e.havePending {
-			return true
-		}
-		e.runSlot()
-	}
-	return e.ledger.Queued() == 0
-}
+func (e *Engine) Drain(maxSlots int) bool { return e.fab.Drain(maxSlots) }
 
 // Results snapshots the measurements.
 func (e *Engine) Results() Results {
 	return Results{
-		FCT:       &e.fct,
-		Goodput:   e.goodput,
-		Tags:      e.tags,
-		Duration:  sim.Duration(e.now),
-		Slots:     e.slotNo,
-		Injected:  e.ledger.Injected,
-		Delivered: e.ledger.Delivered,
+		FCT:       e.fab.MergedFCT(),
+		Goodput:   e.fab.MergedGoodput(),
+		Tags:      e.fab.Tags,
+		Duration:  sim.Duration(e.fab.Now()),
+		Slots:     e.fab.Rounds(),
+		Injected:  e.fab.Ledger.Injected,
+		Delivered: e.fab.Ledger.Delivered,
 		Relayed:   e.relayed,
 	}
 }
 
-// runSlot advances one timeslot through the barrier-synchronized shard
-// phases:
+// Round implements fabric.ControlPlane: one timeslot through the
+// barrier-synchronized shard phases:
 //
 //	serial   arrival injection, slot context
 //	phase A  second-hop relay drains — each shard drains its own ToRs'
@@ -460,16 +416,17 @@ func (e *Engine) Results() Results {
 //	         shard (= ToR-ascending) order, so FIFO contents, flow
 //	         completions and observer callbacks are identical at any
 //	         worker count
-func (e *Engine) runSlot() {
-	slotStart := e.now
-	e.inject(slotStart)
-	e.slotT = int(e.slotNo) % e.slots
-	e.slotRot = int(e.slotNo) / e.slots // rotate the rule every full cycle
+func (e *Engine) Round() {
+	slotStart := e.fab.Now()
+	e.fab.Inject(slotStart)
+	slotNo := e.fab.Rounds()
+	e.slotT = int(slotNo) % e.slots
+	e.slotRot = int(slotNo) / e.slots // rotate the rule every full cycle
 	e.slotStart = slotStart
 	e.slotArrive = slotStart.Add(e.timing.Slot).Add(e.timing.PropDelay)
 
-	e.parDo(e.stepDrain)
-	e.parDo(e.stepServe)
+	e.fab.ParDo(e.stepDrain)
+	e.fab.ParDo(e.stepServe)
 
 	// Separate sweeps per record class (drain deliveries, pushes, serve
 	// deliveries), each in shard order: the apply order — and with it the
@@ -478,15 +435,13 @@ func (e *Engine) runSlot() {
 	// exactly this order: all drains in ToR order, then all serves.
 	for _, sh := range e.shards {
 		for _, d := range sh.drainDelivs {
-			e.deliver(d.f, d.dst, d.n, d.at)
+			e.fab.Deliver(d.f, d.dst, d.n, d.at)
 		}
 		sh.drainDelivs = sh.drainDelivs[:0]
 	}
 	for _, sh := range e.shards {
 		for _, p := range sh.pushes {
-			inter := e.tors[p.inter]
-			inter.relay[p.dst].Push(queue.Segment{Flow: p.f, Bytes: p.n, Enqueued: p.at})
-			inter.relayBytes += p.n
+			e.fab.Nodes[p.inter].PushRelay(p.dst, queue.Segment{Flow: p.f, Bytes: p.n, Enqueued: p.at})
 			e.relayed += p.n
 		}
 		sh.pushes = sh.pushes[:0]
@@ -497,16 +452,23 @@ func (e *Engine) runSlot() {
 	}
 	for _, sh := range e.shards {
 		for _, d := range sh.serveDelivs {
-			e.deliver(d.f, d.dst, d.n, d.at)
+			e.fab.Deliver(d.f, d.dst, d.n, d.at)
 		}
 		sh.serveDelivs = sh.serveDelivs[:0]
 	}
+}
 
-	if e.cfg.CheckInvariants {
-		e.checkInvariants()
+// CheckRound implements fabric.RoundChecker when invariant checking is on.
+func (e *Engine) CheckRound() {
+	if !e.cfg.CheckInvariants {
+		return
 	}
-	e.slotNo++
-	e.now = slotStart.Add(e.timing.Slot)
+	for _, nd := range e.fab.Nodes {
+		nd.CheckRelayCounter()
+	}
+	if err := e.fab.Ledger.Check(e.fab.QueuedInNodes()); err != nil {
+		panic(err)
+	}
 }
 
 // drainStep is phase A for one shard: second-hop relay traffic destined to
@@ -514,20 +476,20 @@ func (e *Engine) runSlot() {
 // accumulate, so a connection carrying it is consumed for the slot.
 func (sh *obShard) drainStep() {
 	e := sh.e
+	slotNo := e.fab.Rounds()
 	for i := sh.lo; i < sh.hi; i++ {
-		src := e.tors[i]
+		src := e.fab.Nodes[i]
 		for s := 0; s < e.s; s++ {
 			j := e.top.PredefinedPeer(i, s, e.slotT, e.slotRot)
 			if j < 0 {
 				continue
 			}
-			if !src.relay[j].HeadReady(e.slotStart) {
+			if !src.Relay[j].HeadReady(e.slotStart) {
 				continue
 			}
 			sh.txDst = j
-			n := src.relay[j].TakeReady(e.cell, e.slotStart, sh.drainEmit)
-			src.relayBytes -= n
-			sh.usedStamp[(i-sh.lo)*e.s+s] = e.slotNo + 1
+			src.DrainRelay(j, e.cell, e.slotStart, sh.drainEmit)
+			sh.usedStamp[(i-sh.lo)*e.s+s] = slotNo + 1
 		}
 	}
 }
@@ -536,17 +498,18 @@ func (sh *obShard) drainStep() {
 // connections phase A left free.
 func (sh *obShard) serveStep() {
 	e := sh.e
+	slotNo := e.fab.Rounds()
 	for i := sh.lo; i < sh.hi; i++ {
-		src := e.tors[i]
+		src := e.fab.Nodes[i]
 		for s := 0; s < e.s; s++ {
-			if sh.usedStamp[(i-sh.lo)*e.s+s] == e.slotNo+1 {
+			if sh.usedStamp[(i-sh.lo)*e.s+s] == slotNo+1 {
 				continue
 			}
 			j := e.top.PredefinedPeer(i, s, e.slotT, e.slotRot)
 			if j < 0 {
 				continue
 			}
-			if src.lanes != nil {
+			if src.Lanes != nil {
 				sh.serveLanes(src, i, j)
 			} else {
 				sh.serve(src, i, j)
@@ -562,9 +525,9 @@ func (sh *obShard) serveStep() {
 // the post-drain slot-start occupancy, see Config.Workers — the slot is
 // wasted: the backpressure that, together with the doubled traffic volume,
 // caps the oblivious design's goodput under heavy load (paper §2).
-func (sh *obShard) serveLanes(src *tor, i, j int) {
+func (sh *obShard) serveLanes(src *fabric.Node, i, j int) {
 	e := sh.e
-	lane := src.lanes[j]
+	lane := src.Lanes[j]
 	d := lane.HeadDst()
 	if d < 0 {
 		return // idle slot
@@ -575,7 +538,7 @@ func (sh *obShard) serveLanes(src *tor, i, j int) {
 		lane.TakeHeadCell(e.cell, sh.sentEmit)
 		return
 	}
-	headroom := e.cfg.RelayCap - e.tors[j].relay[d].Bytes()
+	headroom := e.cfg.RelayCap - e.fab.Nodes[j].Relay[d].Bytes()
 	if headroom <= 0 {
 		return // VOQ full: the lane head stalls and the slot is wasted
 	}
@@ -593,13 +556,13 @@ func (sh *obShard) serveLanes(src *tor, i, j int) {
 // as [direct-to-j] > spray-from-any-queue, with the spray target decided
 // at slot time rather than pre-assigned (relay service already ran in
 // phase A).
-func (sh *obShard) serve(src *tor, i, j int) {
+func (sh *obShard) serve(src *fabric.Node, i, j int) {
 	e := sh.e
 	if e.cfg.OpportunisticDirect || e.cfg.DirectOnly {
 		// Direct traffic to j (source-side priority queues apply).
-		if !src.direct[j].Empty() {
+		if !src.Direct[j].Empty() {
 			sh.txDst = j
-			src.direct[j].Take(e.cell, sh.sentEmit)
+			src.Direct[j].Take(e.cell, sh.sentEmit)
 			return
 		}
 		if e.cfg.DirectOnly {
@@ -609,22 +572,22 @@ func (sh *obShard) serve(src *tor, i, j int) {
 	// First hop: spray one fresh cell via j, bounded by j's relay headroom
 	// (idealised backpressure standing in for Sirius's congestion
 	// control). Data already destined to j delivers in one hop.
-	inter := e.tors[j]
+	inter := e.fab.Nodes[j]
 	for scan := 0; scan < e.n; scan++ {
-		d := src.sprayPtr
-		src.sprayPtr++
-		if src.sprayPtr >= e.n {
-			src.sprayPtr = 0
+		d := src.SprayPtr
+		src.SprayPtr++
+		if src.SprayPtr >= e.n {
+			src.SprayPtr = 0
 		}
-		if d == i || src.direct[d].Empty() {
+		if d == i || src.Direct[d].Empty() {
 			continue
 		}
 		if d == j {
 			sh.txDst = j
-			src.direct[d].Take(e.cell, sh.sentEmit)
+			src.Direct[d].Take(e.cell, sh.sentEmit)
 			return
 		}
-		headroom := e.cfg.RelayCap - inter.relay[d].Bytes()
+		headroom := e.cfg.RelayCap - inter.Relay[d].Bytes()
 		if headroom <= 0 {
 			continue // that VOQ is full; try another destination's data
 		}
@@ -633,7 +596,7 @@ func (sh *obShard) serve(src *tor, i, j int) {
 			max = headroom
 		}
 		sh.txInter, sh.txDst = j, d
-		n := src.direct[d].Take(max, sh.pushEmit)
+		n := src.Direct[d].Take(max, sh.pushEmit)
 		sh.noteTransit(j, n)
 		return
 	}
@@ -648,101 +611,8 @@ func (sh *obShard) noteTransit(inter int, n int64) {
 	}
 }
 
-// deliver applies one delivery's accounting; called only from the serial
-// merge, in the same ToR-ascending order at any worker count.
-func (e *Engine) deliver(f *flows.Flow, dst int, n int64, at sim.Time) {
-	e.ledger.Delivered += n
-	e.goodput.Deliver(dst, n)
-	if f.Deliver(n, at) {
-		e.fct.Record(f.Size, f.FCT())
-		if f.Tag != 0 {
-			ts := e.tags[f.Tag]
-			ts.Done++
-			if f.Completed() > ts.End {
-				ts.End = f.Completed()
-			}
-		}
-	}
-	if e.cfg.OnDeliver != nil {
-		e.cfg.OnDeliver(dst, at, n)
-	}
-}
-
-func (e *Engine) inject(t sim.Time) {
-	if e.work == nil {
-		e.genDone = true
-		return
-	}
-	for {
-		if !e.havePending {
-			a, ok := e.work.Next()
-			if !ok {
-				e.genDone = true
-				return
-			}
-			e.pending, e.havePending = a, true
-		}
-		if e.pending.Time > t {
-			return
-		}
-		a := e.pending
-		e.havePending = false
-		e.flowSeq++
-		f := &flows.Flow{ID: e.flowSeq, Src: a.Src, Dst: a.Dst, Size: a.Size, Arrival: a.Time, Tag: a.Tag}
-		src := e.tors[a.Src]
-		if src.lanes != nil {
-			// Spray the flow across intermediates in fixed-size chunks,
-			// each assigned a uniformly random intermediate at arrival as
-			// Sirius sprays cells. Randomness matters: deterministic
-			// assignment correlates across sources and melts hot
-			// intermediates.
-			chunk := int64(e.cfg.SprayChunkCells) * e.cell
-			for off := int64(0); off < a.Size; off += chunk {
-				n := a.Size - off
-				if n > chunk {
-					n = chunk
-				}
-				k := e.rng.Intn(e.n - 1)
-				if k >= a.Src {
-					k++
-				}
-				src.lanes[k].PushBytes(f, n, off, t)
-			}
-		} else {
-			src.direct[a.Dst].Push(f, t)
-		}
-		e.ledger.Injected += a.Size
-		if a.Tag != 0 {
-			ts := e.tags[a.Tag]
-			if ts == nil {
-				ts = &TagStat{Start: a.Time}
-				e.tags[a.Tag] = ts
-			}
-			ts.Flows++
-			if a.Time < ts.Start {
-				ts.Start = a.Time
-			}
-		}
-	}
-}
-
-func (e *Engine) checkInvariants() {
-	var inFabric int64
-	for _, t := range e.tors {
-		var relayHere int64
-		for j := range t.direct {
-			inFabric += t.direct[j].Bytes()
-			relayHere += t.relay[j].Bytes()
-			if t.lanes != nil {
-				inFabric += t.lanes[j].Bytes()
-			}
-		}
-		inFabric += relayHere
-		if relayHere != t.relayBytes {
-			panic(fmt.Sprintf("oblivious: relay accounting drift: %d vs %d", relayHere, t.relayBytes))
-		}
-	}
-	if err := e.ledger.Check(inFabric); err != nil {
-		panic(err)
-	}
-}
+// Compile-time interface checks.
+var (
+	_ fabric.ControlPlane = (*Engine)(nil)
+	_ fabric.RoundChecker = (*Engine)(nil)
+)

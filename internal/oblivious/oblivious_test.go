@@ -147,8 +147,8 @@ func TestRelayCapBackpressure(t *testing.T) {
 	// one cell against the same headroom, so a VOQ can briefly overshoot
 	// by up to one cell per port.
 	slack := int64(e.s) * e.cell
-	for i, tor := range e.tors {
-		for d, voq := range tor.relay {
+	for i, nd := range e.fab.Nodes {
+		for d, voq := range nd.Relay {
 			if voq.Bytes() > cfg.RelayCap+slack {
 				t.Fatalf("tor %d VOQ[%d] backlog %d exceeds cap %d", i, d, voq.Bytes(), cfg.RelayCap)
 			}

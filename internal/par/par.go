@@ -19,6 +19,7 @@
 package par
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 )
@@ -91,6 +92,23 @@ type Gang struct {
 	work []chan func(int) // per background worker (index 1..n-1)
 	wg   sync.WaitGroup
 	once sync.Once
+
+	panicMu sync.Mutex
+	panics  []WorkerPanic // panics recovered during the current Do
+}
+
+// WorkerPanic carries a recovered worker panic to the caller: the original
+// panic value plus the stack captured at the panic site, so the failure
+// reads like the worker's own crash instead of a bare re-panic at the
+// barrier.
+type WorkerPanic struct {
+	Worker int
+	Value  any
+	Stack  []byte
+}
+
+func (p WorkerPanic) Error() string {
+	return fmt.Sprintf("par: worker %d panicked: %v\n\noriginal stack:\n%s", p.Worker, p.Value, p.Stack)
 }
 
 // NewGang returns a gang of size n (n < 1 is treated as 1), starting its
@@ -107,12 +125,29 @@ func NewGang(n int) *Gang {
 		shard := k
 		go func() {
 			for fn := range ch {
-				fn(shard)
+				g.runGuarded(shard, fn)
 				g.wg.Done()
 			}
 		}()
 	}
 	return g
+}
+
+// runGuarded executes fn(k), converting a panic into a recorded
+// WorkerPanic instead of crashing the worker goroutine (which would both
+// kill the process bypassing any caller recover and leave the barrier
+// permanently short one Done).
+func (g *Gang) runGuarded(k int, fn func(int)) {
+	defer func() {
+		if v := recover(); v != nil {
+			stack := make([]byte, 64<<10)
+			stack = stack[:runtime.Stack(stack, false)]
+			g.panicMu.Lock()
+			g.panics = append(g.panics, WorkerPanic{Worker: k, Value: v, Stack: stack})
+			g.panicMu.Unlock()
+		}
+	}()
+	fn(k)
 }
 
 // Size returns the number of workers (shards) in the gang.
@@ -121,17 +156,34 @@ func (g *Gang) Size() int { return g.n }
 // Do runs fn(k) for every worker k in [0, Size()) and returns when all
 // calls complete. fn(0) runs on the caller's goroutine. Reusing one
 // prebuilt fn across calls keeps Do allocation-free.
+//
+// A panic inside any fn(k) does not deadlock the barrier or crash the
+// process from a background goroutine: every worker finishes its phase,
+// and Do then re-panics on the caller with a WorkerPanic carrying the
+// original panic value and the stack captured at the panic site (the
+// lowest-indexed worker's, if several panicked). The gang remains usable
+// for subsequent Do calls.
 func (g *Gang) Do(fn func(k int)) {
 	if g.n == 1 {
-		fn(0)
+		fn(0) // inline: a panic already surfaces on the caller natively
 		return
 	}
 	g.wg.Add(g.n - 1)
 	for k := 1; k < g.n; k++ {
 		g.work[k] <- fn
 	}
-	fn(0)
+	g.runGuarded(0, fn)
 	g.wg.Wait()
+	if len(g.panics) > 0 {
+		first := g.panics[0]
+		for _, p := range g.panics[1:] {
+			if p.Worker < first.Worker {
+				first = p
+			}
+		}
+		g.panics = g.panics[:0]
+		panic(first)
+	}
 }
 
 // Close stops the background workers. The gang must be idle (no Do in

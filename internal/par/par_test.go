@@ -1,6 +1,7 @@
 package par
 
 import (
+	"strings"
 	"sync/atomic"
 	"testing"
 )
@@ -73,6 +74,73 @@ func TestGangWorkerIdentityStable(t *testing.T) {
 				t.Fatalf("worker identity drifted: %v on worker %d", v, k)
 			}
 		}
+	}
+}
+
+// gangPanicValue runs one Do in which the given workers panic and returns
+// the value recovered on the caller (nil if none surfaced).
+func gangPanicValue(t *testing.T, g *Gang, panicking map[int]bool) (v any) {
+	t.Helper()
+	defer func() { v = recover() }()
+	g.Do(func(k int) {
+		if panicking[k] {
+			panic("worker exploded in phase fn")
+		}
+	})
+	return nil
+}
+
+// TestGangPanicPropagation: a worker panic must surface on the caller with
+// the original panic value and stack, must not deadlock the barrier, and
+// must leave the gang usable for subsequent phases.
+func TestGangPanicPropagation(t *testing.T) {
+	for _, size := range []int{2, 4, 7} {
+		g := NewGang(size)
+		// Background-worker panic (worker != 0): before the fix this
+		// crashed the whole process from the worker goroutine.
+		v := gangPanicValue(t, g, map[int]bool{size - 1: true})
+		wp, ok := v.(WorkerPanic)
+		if !ok {
+			t.Fatalf("size=%d: recovered %T %v, want WorkerPanic", size, v, v)
+		}
+		if wp.Worker != size-1 || wp.Value != "worker exploded in phase fn" {
+			t.Fatalf("size=%d: WorkerPanic{Worker:%d Value:%v}", size, wp.Worker, wp.Value)
+		}
+		if !strings.Contains(string(wp.Stack), "gangPanicValue") {
+			t.Errorf("size=%d: stack does not reach the panic site:\n%s", size, wp.Stack)
+		}
+		if !strings.Contains(wp.Error(), "original stack") {
+			t.Errorf("size=%d: Error() omits the original stack", size)
+		}
+		// Caller-side panic (worker 0) surfaces the same way.
+		if v := gangPanicValue(t, g, map[int]bool{0: true}); v.(WorkerPanic).Worker != 0 {
+			t.Fatalf("size=%d: worker-0 panic did not surface as WorkerPanic", size)
+		}
+		// Several panicking workers: the lowest index wins, deterministically.
+		if size > 2 {
+			all := map[int]bool{}
+			for k := 0; k < size; k++ {
+				all[k] = true
+			}
+			if v := gangPanicValue(t, g, all); v.(WorkerPanic).Worker != 0 {
+				t.Fatalf("size=%d: multi-panic picked worker %d, want 0", size, v.(WorkerPanic).Worker)
+			}
+		}
+		// The barrier survives: later phases run on every worker.
+		var ran int32
+		for phase := 0; phase < 3; phase++ {
+			g.Do(func(k int) { atomic.AddInt32(&ran, 1) })
+		}
+		if ran != int32(3*size) {
+			t.Fatalf("size=%d: post-panic phases ran %d times, want %d", size, ran, 3*size)
+		}
+		g.Close()
+	}
+	// Sequential gang: the panic propagates inline with its native stack.
+	g := NewGang(1)
+	defer g.Close()
+	if v := gangPanicValue(t, g, map[int]bool{0: true}); v != "worker exploded in phase fn" {
+		t.Fatalf("size=1: recovered %v, want the raw panic value", v)
 	}
 }
 

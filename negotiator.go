@@ -28,6 +28,7 @@ import (
 	"fmt"
 
 	"negotiator/internal/failure"
+	"negotiator/internal/hybrid"
 	"negotiator/internal/match"
 	"negotiator/internal/metrics"
 	"negotiator/internal/negotiator"
@@ -132,6 +133,51 @@ func (s Scheduler) String() string {
 	}
 }
 
+// ControlPlaneKind selects the scheduling control plane driving the
+// shared fabric core (internal/fabric). All engines run over the same
+// physical substrate — queues, workload pump, metrics, shard-parallel
+// round loop — and differ only in how they decide which bytes move.
+type ControlPlaneKind int
+
+const (
+	// NegotiaToRPlane is the paper's on-demand negotiation control plane
+	// (the default).
+	NegotiaToRPlane ControlPlaneKind = iota
+	// ObliviousPlane is the traffic-oblivious Sirius-like round-robin/VLB
+	// baseline.
+	ObliviousPlane
+	// HybridPlane piggybacks mice flows on the oblivious round-robin
+	// schedule while elephants use on-demand negotiation (the §3.4.1
+	// mice-bypass idea pushed to its limit).
+	HybridPlane
+)
+
+func (k ControlPlaneKind) String() string {
+	switch k {
+	case ObliviousPlane:
+		return "oblivious"
+	case HybridPlane:
+		return "hybrid"
+	default:
+		return "negotiator"
+	}
+}
+
+// ControlPlanes lists every selectable control plane.
+func ControlPlanes() []ControlPlaneKind {
+	return []ControlPlaneKind{NegotiaToRPlane, ObliviousPlane, HybridPlane}
+}
+
+// ControlPlaneByName resolves a CLI name (see ControlPlaneKind.String).
+func ControlPlaneByName(name string) (ControlPlaneKind, bool) {
+	for _, k := range ControlPlanes() {
+		if k.String() == name {
+			return k, true
+		}
+	}
+	return 0, false
+}
+
 // Spec describes a fabric to build. The zero value is not useful; start
 // from DefaultSpec (the paper's §4.1 setup) and adjust.
 type Spec struct {
@@ -142,8 +188,13 @@ type Spec struct {
 	AWGRPorts int
 	// Topology picks the fabric layout.
 	Topology Topology
+	// ControlPlane picks the scheduling engine (NegotiaToR by default).
+	ControlPlane ControlPlaneKind
 	// Oblivious builds the traffic-oblivious Sirius-like baseline instead
 	// of NegotiaToR.
+	//
+	// Deprecated: set ControlPlane: ObliviousPlane. Kept for
+	// compatibility; true overrides a NegotiaToRPlane ControlPlane.
 	Oblivious bool
 	// Scheduler picks the NegotiaToR scheduling policy (ignored for the
 	// baseline).
@@ -295,6 +346,15 @@ func (s Spec) matcherFactory() func(topo.Topology, negotiator.Timing, *sim.RNG) 
 	}
 }
 
+// plane resolves the effective control plane (the deprecated Oblivious
+// flag maps onto ObliviousPlane).
+func (s Spec) plane() ControlPlaneKind {
+	if s.Oblivious && s.ControlPlane == NegotiaToRPlane {
+		return ObliviousPlane
+	}
+	return s.ControlPlane
+}
+
 // Build constructs the fabric described by the spec.
 func (s Spec) Build() (Fabric, error) {
 	top, err := s.buildTopology()
@@ -308,7 +368,33 @@ func (s Spec) Build() (Fabric, error) {
 			return nil, err
 		}
 	}
-	if s.Oblivious {
+	if s.plane() == HybridPlane {
+		if plan != nil {
+			return nil, fmt.Errorf("negotiator: failure injection is implemented for the NegotiaToR fabric (§4.3); the hybrid engine does not model it")
+		}
+		if s.Scheduler != Matching {
+			return nil, fmt.Errorf("negotiator: the hybrid engine uses NegotiaToR Matching; scheduler variants apply to the NegotiaToR fabric")
+		}
+		if s.SelectiveRelay {
+			return nil, fmt.Errorf("negotiator: selective relay is a NegotiaToR thin-clos extension")
+		}
+		e, err := hybrid.New(hybrid.Config{
+			Topology:             top,
+			Timing:               s.timing(),
+			HostRate:             s.HostRate,
+			PriorityQueues:       s.PriorityQueues,
+			Seed:                 s.Seed,
+			CheckInvariants:      s.CheckInvariants,
+			OnDeliver:            s.OnDeliver,
+			TrackReceiverBuffers: s.TrackReceiverBuffers,
+			Workers:              s.Workers,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return &hybridFabric{e: e, spec: s}, nil
+	}
+	if s.plane() == ObliviousPlane {
 		ot := oblivious.DefaultTiming()
 		ot.LinkRate = s.LinkRate
 		ot.PropDelay = s.PropDelay
@@ -568,3 +654,49 @@ func (f *obliviousFabric) Events() map[int]EventStat {
 }
 
 func (f *obliviousFabric) MatchRatioSeries() []float64 { return nil }
+
+type hybridFabric struct {
+	e    *hybrid.Engine
+	spec Spec
+}
+
+func (f *hybridFabric) SetWorkload(w Workload) { f.e.SetWorkload(w) }
+func (f *hybridFabric) Run(d Duration)         { f.e.Run(d) }
+func (f *hybridFabric) RunEpochs(k int)        { f.e.RunEpochs(k) }
+func (f *hybridFabric) Drain(budget int) bool  { return f.e.Drain(budget) }
+func (f *hybridFabric) Spec() Spec             { return f.spec }
+
+func (f *hybridFabric) Summary() Summary {
+	r := f.e.Results()
+	return Summary{
+		Flows:              r.FCT.Count(),
+		MiceFlows:          r.FCT.MiceCount(),
+		Mice99p:            r.FCT.MiceP(99),
+		MiceMean:           r.FCT.MiceMean(),
+		All99p:             r.FCT.P(99),
+		GoodputNormalized:  r.Goodput.Normalized(r.Duration, f.spec.HostRate),
+		MatchRatio:         r.MatchRatio.Mean(),
+		EpochLen:           r.EpochLen,
+		Epochs:             r.Epochs,
+		Injected:           r.Injected,
+		Delivered:          r.Delivered,
+		Duration:           r.Duration,
+		PeakReceiverBuffer: r.PeakReceiverBuffer,
+	}
+}
+
+func (f *hybridFabric) MiceCDF(points int) []metrics.CDFPoint {
+	return f.e.Results().FCT.MiceCDF(points)
+}
+
+func (f *hybridFabric) Events() map[int]EventStat {
+	out := make(map[int]EventStat)
+	for tag, ts := range f.e.Results().Tags {
+		out[tag] = EventStat{Start: ts.Start, End: ts.End, Flows: ts.Flows, Done: ts.Done}
+	}
+	return out
+}
+
+func (f *hybridFabric) MatchRatioSeries() []float64 {
+	return f.e.Results().MatchRatio.Series()
+}

@@ -59,6 +59,12 @@ func TestShardDeterminism(t *testing.T) {
 	obl.Oblivious = true
 	obl.Topology = negotiator.ThinClos
 	variants = append(variants, variant{"oblivious/thin-clos", obl})
+	for _, top := range []negotiator.Topology{negotiator.ParallelNetwork, negotiator.ThinClos} {
+		hyb := negotiator.SmallSpec()
+		hyb.ControlPlane = negotiator.HybridPlane
+		hyb.Topology = top
+		variants = append(variants, variant{fmt.Sprintf("hybrid/%v", top), hyb})
+	}
 
 	for _, v := range variants {
 		t.Run(v.name, func(t *testing.T) {
