@@ -29,6 +29,7 @@ import (
 	"negotiator/internal/flows"
 	"negotiator/internal/metrics"
 	"negotiator/internal/par"
+	"negotiator/internal/queue"
 	"negotiator/internal/sim"
 	"negotiator/internal/topo"
 	"negotiator/internal/workload"
@@ -143,6 +144,17 @@ type Core struct {
 	genDone     bool
 	flowSeq     int64
 	admit       func(f *flows.Flow, at sim.Time)
+
+	// pendingLosses counts loss records outstanding across all nodes
+	// (folded from the per-shard deltas), so failure-free rounds skip the
+	// requeue walk entirely.
+	pendingLosses int64
+	// flowPool recycles completed flow records for the arrival pump: churn
+	// workloads stop paying one allocation per flow once completions keep
+	// pace with arrivals. segPool does the same for queue segment arrays
+	// (growth happens only in serial phases; see queue.SegPool).
+	flowPool []*flows.Flow
+	segPool  queue.SegPool
 }
 
 // New builds a core. Bind must be called with the control plane before
@@ -167,7 +179,7 @@ func New(cfg Config) (*Core, error) {
 	}
 	c.Nodes = make([]*Node, c.N)
 	for i := range c.Nodes {
-		c.Nodes[i] = newNode(c.N, cfg)
+		c.Nodes[i] = newNode(c.N, cfg, &c.segPool)
 	}
 	c.Workers = cfg.Workers
 	if c.Workers < 1 {
@@ -272,7 +284,9 @@ func (c *Core) RunRounds(k int) {
 
 // Drain keeps running until all injected traffic is delivered or
 // maxRounds pass, returning true if fully drained. The workload must be
-// exhausted first.
+// exhausted first. The final check matches the loop's condition: an
+// arrival still buffered in the pump (or a non-exhausted generator) means
+// traffic remains even when the ledger reads zero.
 func (c *Core) Drain(maxRounds int) bool {
 	for i := 0; i < maxRounds; i++ {
 		if c.Ledger.Queued() == 0 && c.genDone && !c.havePending {
@@ -280,7 +294,7 @@ func (c *Core) Drain(maxRounds int) bool {
 		}
 		c.RunRound()
 	}
-	return c.Ledger.Queued() == 0
+	return c.Ledger.Queued() == 0 && c.genDone && !c.havePending
 }
 
 // mergeRound folds the per-shard deltas in shard order. Every fold is
@@ -292,6 +306,8 @@ func (c *Core) mergeRound() {
 		c.Ledger.Lost += sh.LostDelta
 		c.Lost += sh.LostDelta
 		sh.LostDelta = 0
+		c.pendingLosses += sh.LossRecs
+		sh.LossRecs = 0
 		for _, f := range sh.Tagged {
 			ts := c.Tags[f.Tag]
 			ts.Done++
@@ -299,8 +315,24 @@ func (c *Core) mergeRound() {
 				ts.End = f.Completed()
 			}
 		}
+		c.flowPool = append(c.flowPool, sh.Tagged...)
 		sh.Tagged = sh.Tagged[:0]
+		c.flowPool = append(c.flowPool, sh.Freed...)
+		sh.Freed = sh.Freed[:0]
 	}
+}
+
+// newFlow pops a recycled flow record or allocates a fresh one. Completed
+// flows reach the pool through the round merge; Inject overwrites every
+// field at reuse, so recycling is invisible to the simulation.
+func (c *Core) newFlow() *flows.Flow {
+	if k := len(c.flowPool) - 1; k >= 0 {
+		f := c.flowPool[k]
+		c.flowPool[k] = nil
+		c.flowPool = c.flowPool[:k]
+		return f
+	}
+	return &flows.Flow{}
 }
 
 // Inject moves all arrivals at or before t through the control plane's
@@ -326,7 +358,8 @@ func (c *Core) Inject(t sim.Time) {
 		a := c.pending
 		c.havePending = false
 		c.flowSeq++
-		f := &flows.Flow{ID: c.flowSeq, Src: a.Src, Dst: a.Dst, Size: a.Size, Arrival: a.Time, Tag: a.Tag}
+		f := c.newFlow()
+		*f = flows.Flow{ID: c.flowSeq, Src: a.Src, Dst: a.Dst, Size: a.Size, Arrival: a.Time, Tag: a.Tag}
 		c.admit(f, t)
 		c.Ledger.Injected += a.Size
 		if a.Tag != 0 {
@@ -345,8 +378,12 @@ func (c *Core) Inject(t sim.Time) {
 
 // RequeueDetectedLosses returns failure-destroyed bytes to their source
 // queues once the detection delay has elapsed, modelling upper-layer
-// retransmission.
+// retransmission. Failure-free rounds return immediately on the
+// outstanding-loss counter instead of walking every node.
 func (c *Core) RequeueDetectedLosses(now sim.Time, detect sim.Duration) {
+	if c.pendingLosses == 0 {
+		return
+	}
 	for _, nd := range c.Nodes {
 		if len(nd.Losses) == 0 {
 			continue
@@ -355,8 +392,9 @@ func (c *Core) RequeueDetectedLosses(now sim.Time, detect sim.Duration) {
 		for _, l := range nd.Losses {
 			if l.At.Add(detect) <= now {
 				l.F.Unsend(l.N)
-				nd.Direct[l.Dst].PushBytes(l.F, l.N, l.Off, now)
+				nd.PushDirectBytes(l.Dst, l.F, l.N, l.Off, now)
 				c.Ledger.Lost -= l.N
+				c.pendingLosses--
 			} else {
 				kept = append(kept, l)
 			}
@@ -403,19 +441,25 @@ func (c *Core) PeakReceiverBuffer() int64 {
 func (c *Core) QueuedInNodes() int64 {
 	var total int64
 	for _, nd := range c.Nodes {
-		for _, q := range nd.Direct {
-			total += q.Bytes()
+		for j := range nd.Direct {
+			total += nd.Direct[j].Bytes()
 		}
-		if nd.Lanes != nil {
-			for _, q := range nd.Lanes {
-				total += q.Bytes()
-			}
+		for j := range nd.Lanes {
+			total += nd.Lanes[j].Bytes()
 		}
-		if nd.Relay != nil {
-			for _, q := range nd.Relay {
-				total += q.Bytes()
-			}
+		for j := range nd.Relay {
+			total += nd.Relay[j].Bytes()
 		}
 	}
 	return total
+}
+
+// CheckOccupancy asserts every node's occupancy indexes, QueuedBytes
+// shadow and per-queue aggregate counters exactly mirror the queue
+// contents — the invariant the choke points maintain. Engines run it per
+// round under CheckInvariants; it costs O(N²), like the ledger check.
+func (c *Core) CheckOccupancy() {
+	for i, nd := range c.Nodes {
+		nd.checkOccupancy(i)
+	}
 }

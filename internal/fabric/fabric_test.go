@@ -1,0 +1,261 @@
+package fabric
+
+import (
+	"testing"
+
+	"negotiator/internal/flows"
+	"negotiator/internal/queue"
+	"negotiator/internal/sim"
+	"negotiator/internal/topo"
+	"negotiator/internal/workload"
+)
+
+// testPlane is a minimal control plane: each round it pumps arrivals and
+// serves up to `serve` bytes from every occupied direct VOQ, delivering
+// immediately.
+type testPlane struct {
+	c     *Core
+	serve int64
+}
+
+func (p *testPlane) Name() string           { return "test" }
+func (p *testPlane) RoundLen() sim.Duration { return 100 }
+func (p *testPlane) Round() {
+	c := p.c
+	now := c.Now()
+	c.Inject(now)
+	for i, nd := range c.Nodes {
+		sh := c.Shards[c.ShardOf[i]]
+		for j := nd.DirectOcc.Next(-1); j >= 0; j = nd.DirectOcc.Next(j) {
+			dst := j
+			nd.TakeDirect(dst, p.serve, func(f *flows.Flow, n int64) {
+				f.NoteSent(n)
+				sh.Deliver(f, dst, n, now)
+			})
+		}
+	}
+}
+
+func testCore(t *testing.T, g workload.Generator, serve int64) (*Core, *testPlane) {
+	t.Helper()
+	top, err := topo.NewParallel(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := New(Config{Topology: top, HostRate: sim.Gbps(400)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &testPlane{c: c, serve: serve}
+	c.Bind(p, func(f *flows.Flow, at sim.Time) { c.Nodes[f.Src].PushDirect(f.Dst, f, at) })
+	c.SetWorkload(g)
+	return c, p
+}
+
+// TestDrainReportsBufferedArrival is the regression test for the Drain
+// return value: an arrival still buffered in the pump (generator not
+// exhausted) means the fabric is NOT drained even when the ledger reads
+// zero. The pre-fix code returned true here.
+func TestDrainReportsBufferedArrival(t *testing.T) {
+	c, _ := testCore(t, workload.NewSinglePair(0, 1, 500, sim.Time(1000)), 1<<20)
+	if c.Drain(2) {
+		t.Fatal("Drain reported complete with an arrival still buffered in the pump")
+	}
+	if c.Ledger.Injected != 0 {
+		t.Fatalf("arrival admitted early: injected = %d", c.Ledger.Injected)
+	}
+	// Enough rounds to pass t=1000, admit and serve the flow.
+	if !c.Drain(20) {
+		t.Fatal("Drain did not complete after the arrival was served")
+	}
+	if c.Ledger.Delivered != 500 {
+		t.Fatalf("delivered = %d, want 500", c.Ledger.Delivered)
+	}
+}
+
+// TestDrainNoWorkload: with no generator attached, an empty fabric drains
+// immediately.
+func TestDrainNoWorkload(t *testing.T) {
+	c, _ := testCore(t, nil, 1<<20)
+	c.SetWorkload(nil)
+	if !c.Drain(1) {
+		t.Fatal("empty fabric did not drain")
+	}
+}
+
+// TestOutstandingLossCounter pins the loss bookkeeping: RecordLoss folds
+// into the core counter at the round merge, requeue decrements it, and a
+// zero counter short-circuits the walk.
+func TestOutstandingLossCounter(t *testing.T) {
+	c, _ := testCore(t, workload.NewSinglePair(0, 1, 1000, 0), 0)
+	c.RunRound() // admits the flow, serves nothing (serve=0)
+	if c.pendingLosses != 0 {
+		t.Fatalf("pendingLosses = %d before any loss", c.pendingLosses)
+	}
+	// Destroy 300 bytes in flight from ToR 0 toward dst 1.
+	nd := c.Nodes[0]
+	sh := c.Shards[0]
+	nd.TakeDirect(1, 300, func(f *flows.Flow, n int64) {
+		off := f.Sent()
+		f.NoteSent(n)
+		sh.RecordLoss(nd, f, 1, off, n, c.Now())
+	})
+	c.mergeRound()
+	if c.pendingLosses != 1 {
+		t.Fatalf("pendingLosses = %d after one recorded loss, want 1", c.pendingLosses)
+	}
+	if c.Ledger.Lost != 300 || c.Lost != 300 {
+		t.Fatalf("lost bytes = %d/%d, want 300", c.Ledger.Lost, c.Lost)
+	}
+	// Not yet detected: the record stays.
+	c.RequeueDetectedLosses(c.Now(), 1<<40)
+	if c.pendingLosses != 1 || len(nd.Losses) != 1 {
+		t.Fatal("loss requeued before the detection delay elapsed")
+	}
+	// Detected: bytes return to the source VOQ, counter hits zero.
+	c.RequeueDetectedLosses(c.Now().Add(10), 5)
+	if c.pendingLosses != 0 || len(nd.Losses) != 0 {
+		t.Fatalf("pendingLosses = %d, records = %d after requeue", c.pendingLosses, len(nd.Losses))
+	}
+	if got := nd.QueuedBytes[1]; got != 1000 {
+		t.Fatalf("source VOQ holds %d bytes after requeue, want 1000", got)
+	}
+	c.CheckOccupancy()
+	if err := c.Ledger.Check(c.QueuedInNodes()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestOccSet pins the bitset index: membership, ascending word-scan
+// iteration and the two-set union used by the predefined-phase sweep.
+func TestOccSet(t *testing.T) {
+	s := newOccSet(200)
+	for _, v := range []int{0, 1, 63, 64, 130, 199} {
+		s.Set(v)
+	}
+	s.Clear(1)
+	s.Clear(130)
+	want := []int{0, 63, 64, 199}
+	var got []int
+	for i := s.Next(-1); i >= 0; i = s.Next(i) {
+		got = append(got, i)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("iterated %v, want %v", got, want)
+	}
+	for k := range want {
+		if got[k] != want[k] {
+			t.Fatalf("iterated %v, want %v", got, want)
+		}
+	}
+	if s.Has(1) || !s.Has(63) {
+		t.Fatal("membership wrong after Set/Clear")
+	}
+	b := newOccSet(200)
+	b.Set(1)
+	b.Set(150)
+	wantU := []int{0, 1, 63, 64, 150, 199}
+	var gotU []int
+	for i := nextUnion(&s, &b, -1); i >= 0; i = nextUnion(&s, &b, i) {
+		gotU = append(gotU, i)
+	}
+	if len(gotU) != len(wantU) {
+		t.Fatalf("union iterated %v, want %v", gotU, wantU)
+	}
+	for k := range wantU {
+		if gotU[k] != wantU[k] {
+			t.Fatalf("union iterated %v, want %v", gotU, wantU)
+		}
+	}
+	if got := nextUnion(&s, nil, 63); got != 64 {
+		t.Fatalf("nil union next = %d, want 64", got)
+	}
+}
+
+// TestChokePointsMaintainIndexes drives every Node mutation path and
+// asserts the shadow array and occupancy indexes track exactly.
+func TestChokePointsMaintainIndexes(t *testing.T) {
+	top, err := topo.NewParallel(8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := New(Config{Topology: top, PriorityQueues: true, Lanes: true, Relay: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nd := c.Nodes[0]
+	f := &flows.Flow{ID: 1, Src: 0, Dst: 3, Size: 1 << 20}
+	discard := func(fl *flows.Flow, n int64) {}
+
+	nd.PushDirect(3, f, 0)
+	nd.PushDirectBytes(5, f, 0, 0, 0) // zero-byte push must not set the bit
+	nd.PushLaneBytes(2, f, 4096, 0, 0)
+	nd.PushRelay(6, queue.Segment{Flow: f, Bytes: 777, Enqueued: 5})
+	c.CheckOccupancy()
+	if !nd.DirectOcc.Has(3) || nd.DirectOcc.Has(5) || !nd.LanesOcc.Has(2) || !nd.RelayOcc.Has(6) {
+		t.Fatal("occupancy bits wrong after pushes")
+	}
+	if got := nd.NextDirectOrRelay(-1); got != 3 {
+		t.Fatalf("NextDirectOrRelay(-1) = %d, want 3", got)
+	}
+	if got := nd.NextDirectOrRelay(3); got != 6 {
+		t.Fatalf("NextDirectOrRelay(3) = %d, want 6", got)
+	}
+
+	// Partial take leaves the bit set; final take clears it.
+	nd.TakeDirect(3, 1<<19, discard)
+	c.CheckOccupancy()
+	if !nd.DirectOcc.Has(3) {
+		t.Fatal("partial take cleared the occupancy bit")
+	}
+	nd.TakeDirect(3, 1<<20, discard)
+	nd.TakeDirectLowest(3, 1, discard)
+	nd.TakeLane(2, 1<<20, discard)
+	nd.TakeLaneHeadCell(2, 1, discard)
+	c.CheckOccupancy()
+	if nd.DirectOcc.Has(3) || nd.LanesOcc.Has(2) {
+		t.Fatal("occupancy bit survived a draining take")
+	}
+
+	// Relay: a not-yet-arrived head drains nothing and keeps the bit; an
+	// arrived one drains and clears it.
+	if got := nd.DrainRelay(6, 1<<20, 0, discard); got != 0 {
+		t.Fatalf("drained %d not-yet-arrived bytes", got)
+	}
+	c.CheckOccupancy()
+	if !nd.RelayOcc.Has(6) {
+		t.Fatal("relay bit cleared by a zero-byte drain")
+	}
+	if got := nd.DrainRelay(6, 1<<20, 10, discard); got != 777 {
+		t.Fatalf("drained %d, want 777", got)
+	}
+	c.CheckOccupancy()
+	if nd.RelayOcc.Has(6) || nd.RelayBytes != 0 {
+		t.Fatal("relay bookkeeping wrong after full drain")
+	}
+}
+
+// TestFlowPoolRecycles: completed untagged flows return to the core pool
+// and the next injection reuses the record.
+func TestFlowPoolRecycles(t *testing.T) {
+	gen := workload.NewMerge(
+		workload.NewSinglePair(0, 1, 400, 0),
+		workload.NewSinglePair(2, 3, 400, sim.Time(500)),
+	)
+	c, _ := testCore(t, gen, 1<<20)
+	c.RunRound() // admits and completes the first flow
+	if c.Ledger.Delivered != 400 {
+		t.Fatalf("delivered = %d, want 400", c.Ledger.Delivered)
+	}
+	if len(c.flowPool) != 1 {
+		t.Fatalf("flow pool holds %d records, want 1", len(c.flowPool))
+	}
+	recycled := c.flowPool[0]
+	c.RunRounds(6) // passes t=500: admits the second flow
+	if c.Ledger.Delivered != 800 {
+		t.Fatalf("delivered = %d, want 800", c.Ledger.Delivered)
+	}
+	if len(c.flowPool) != 1 || c.flowPool[0] != recycled {
+		t.Fatal("second flow did not reuse the recycled record")
+	}
+}

@@ -12,19 +12,34 @@ import (
 // loss records awaiting failure detection. Control-plane state (scheduling
 // mailboxes, matches, relay plans) stays with the control plane, keyed by
 // the same ToR index.
+//
+// Queue sets are contiguous value slabs (one allocation per set, see
+// queue.NewSlab) shadowed by the dense QueuedBytes array and the
+// per-class occupancy indexes. Engines may READ the slabs freely
+// (Bytes/Empty/HeadDst/WeightedHoL/...), but every MUTATION must go
+// through the Push*/Take*/Drain* choke points below, which keep the
+// shadow and the indexes exact — the occupancy invariant engines assert
+// under CheckInvariants (Core.CheckOccupancy).
 type Node struct {
 	// Direct holds data per final destination: the NegotiaToR VOQs, the
 	// baseline's direct queues, the hybrid's elephant queues.
-	Direct []*queue.DestQueue
+	Direct []queue.DestQueue
 	// Lanes is the optional secondary VOQ set: per-intermediate VLB spray
 	// lanes for the baseline, per-destination mice queues for the hybrid.
-	Lanes []*queue.DestQueue
+	Lanes []queue.DestQueue
 	// Relay holds in-transit data per final destination (second-hop
 	// virtual output queues); RelayBytes is its single aggregate counter,
 	// maintained exclusively by PushRelay/DrainRelay below so no engine
 	// tallies it in two places.
-	Relay      []*queue.FIFO
+	Relay      []queue.FIFO
 	RelayBytes int64
+	// QueuedBytes shadows Direct[j].Bytes() in a dense array, so matcher
+	// demand views read 8-byte-strided memory instead of queue structs.
+	QueuedBytes []int64
+	// DirectOcc, LanesOcc and RelayOcc index the non-empty entries of the
+	// corresponding queue set; per-round sweeps iterate them in ascending
+	// destination order, making round cost O(active), not O(N).
+	DirectOcc, LanesOcc, RelayOcc OccSet
 	// CumInjected is the optional cumulative injected-bytes table per
 	// destination (stateful matcher view).
 	CumInjected []int64
@@ -34,6 +49,10 @@ type Node struct {
 	// Losses are bytes destroyed by failures, awaiting detection and
 	// source requeue.
 	Losses []Loss
+
+	// pool recycles segment arrays fabric-wide (the core's; see
+	// queue.SegPool for why it may be unsynchronised).
+	pool *queue.SegPool
 }
 
 // Loss books one run of failure-destroyed bytes: flow, destination, flow
@@ -46,34 +65,111 @@ type Loss struct {
 	At  sim.Time
 }
 
-func newNode(n int, cfg Config) *Node {
-	nd := &Node{Direct: make([]*queue.DestQueue, n)}
+func newNode(n int, cfg Config, pool *queue.SegPool) *Node {
+	nd := &Node{
+		Direct:      queue.NewSlab(n, cfg.PriorityQueues),
+		QueuedBytes: make([]int64, n),
+		DirectOcc:   newOccSet(n),
+		pool:        pool,
+	}
 	if cfg.Lanes {
-		nd.Lanes = make([]*queue.DestQueue, n)
+		nd.Lanes = queue.NewSlab(n, cfg.PriorityQueues)
+		nd.LanesOcc = newOccSet(n)
 	}
 	if cfg.Relay {
-		nd.Relay = make([]*queue.FIFO, n)
+		nd.Relay = make([]queue.FIFO, n)
+		nd.RelayOcc = newOccSet(n)
 	}
 	if cfg.CumInjected {
 		nd.CumInjected = make([]int64, n)
 	}
-	for j := range nd.Direct {
-		nd.Direct[j] = queue.NewDestQueue(cfg.PriorityQueues)
-		if nd.Lanes != nil {
-			nd.Lanes[j] = queue.NewDestQueue(cfg.PriorityQueues)
-		}
-		if nd.Relay != nil {
-			nd.Relay[j] = &queue.FIFO{}
-		}
-	}
 	return nd
 }
 
+// PushDirect enqueues all bytes of flow f for destination dst at time now.
+func (nd *Node) PushDirect(dst int, f *flows.Flow, at sim.Time) {
+	nd.PushDirectBytes(dst, f, f.Size, 0, at)
+}
+
+// PushDirectBytes enqueues n bytes of f (first byte at flow offset off)
+// for dst, maintaining the QueuedBytes shadow and the occupancy index.
+func (nd *Node) PushDirectBytes(dst int, f *flows.Flow, n, off int64, at sim.Time) {
+	if n <= 0 {
+		return
+	}
+	nd.Direct[dst].PushBytesPool(nd.pool, f, n, off, at)
+	nd.QueuedBytes[dst] += n
+	nd.DirectOcc.Set(dst)
+}
+
+// TakeDirect removes up to max bytes from the dst VOQ (priorities in
+// order, FIFO within each), returning the bytes taken.
+func (nd *Node) TakeDirect(dst int, max int64, emit func(f *flows.Flow, n int64)) int64 {
+	taken := nd.Direct[dst].Take(max, emit)
+	if taken > 0 {
+		if nd.QueuedBytes[dst] -= taken; nd.QueuedBytes[dst] == 0 {
+			nd.DirectOcc.Clear(dst)
+		}
+	}
+	return taken
+}
+
+// TakeDirectLowest removes up to max bytes from the dst VOQ's
+// lowest-priority (elephant) class only — the selective relay's first-hop
+// source drain.
+func (nd *Node) TakeDirectLowest(dst int, max int64, emit func(f *flows.Flow, n int64)) int64 {
+	taken := nd.Direct[dst].TakeLowestOnly(max, emit)
+	if taken > 0 {
+		if nd.QueuedBytes[dst] -= taken; nd.QueuedBytes[dst] == 0 {
+			nd.DirectOcc.Clear(dst)
+		}
+	}
+	return taken
+}
+
+// PushLane enqueues all bytes of flow f into lane dst at time now.
+func (nd *Node) PushLane(dst int, f *flows.Flow, at sim.Time) {
+	nd.PushLaneBytes(dst, f, f.Size, 0, at)
+}
+
+// PushLaneBytes enqueues n bytes of f (offset off) into lane dst.
+func (nd *Node) PushLaneBytes(dst int, f *flows.Flow, n, off int64, at sim.Time) {
+	if n <= 0 {
+		return
+	}
+	nd.Lanes[dst].PushBytesPool(nd.pool, f, n, off, at)
+	nd.LanesOcc.Set(dst)
+}
+
+// TakeLane removes up to max bytes from lane dst.
+func (nd *Node) TakeLane(dst int, max int64, emit func(f *flows.Flow, n int64)) int64 {
+	taken := nd.Lanes[dst].Take(max, emit)
+	if taken > 0 && nd.Lanes[dst].Empty() {
+		nd.LanesOcc.Clear(dst)
+	}
+	return taken
+}
+
+// TakeLaneHeadCell removes up to max bytes for a single destination from
+// lane dst's head (see queue.DestQueue.TakeHeadCell), returning the
+// destination served and the bytes taken.
+func (nd *Node) TakeLaneHeadCell(dst int, max int64, emit func(f *flows.Flow, n int64)) (int, int64) {
+	d, taken := nd.Lanes[dst].TakeHeadCell(max, emit)
+	if taken > 0 && nd.Lanes[dst].Empty() {
+		nd.LanesOcc.Clear(dst)
+	}
+	return d, taken
+}
+
 // PushRelay enqueues one in-transit segment for final destination dst and
-// maintains the aggregate relay counter.
+// maintains the aggregate relay counter and the occupancy index.
 func (nd *Node) PushRelay(dst int, s queue.Segment) {
-	nd.Relay[dst].Push(s)
+	if s.Bytes <= 0 {
+		return
+	}
+	nd.Relay[dst].PushPool(nd.pool, s)
 	nd.RelayBytes += s.Bytes
+	nd.RelayOcc.Set(dst)
 }
 
 // DrainRelay forwards up to max relay bytes for dst that have physically
@@ -81,8 +177,23 @@ func (nd *Node) PushRelay(dst int, s queue.Segment) {
 // taken.
 func (nd *Node) DrainRelay(dst int, max int64, now sim.Time, emit func(f *flows.Flow, n int64)) int64 {
 	taken := nd.Relay[dst].TakeReady(max, now, emit)
-	nd.RelayBytes -= taken
+	if taken > 0 {
+		nd.RelayBytes -= taken
+		if nd.Relay[dst].Empty() {
+			nd.RelayOcc.Clear(dst)
+		}
+	}
 	return taken
+}
+
+// NextDirectOrRelay returns the smallest destination strictly greater
+// than after with direct backlog or queued relay data, or -1 — the
+// ascending sweep order of the predefined transmission phase.
+func (nd *Node) NextDirectOrRelay(after int) int {
+	if nd.Relay == nil {
+		return nd.DirectOcc.Next(after)
+	}
+	return nextUnion(&nd.DirectOcc, &nd.RelayOcc, after)
 }
 
 // RelayHeadroom returns how many more relay bytes the node accepts under
@@ -96,10 +207,41 @@ func (nd *Node) CheckRelayCounter() {
 		return
 	}
 	var sum int64
-	for _, q := range nd.Relay {
-		sum += q.Bytes()
+	for j := range nd.Relay {
+		sum += nd.Relay[j].Bytes()
 	}
 	if sum != nd.RelayBytes {
 		panic(fmt.Sprintf("fabric: relay accounting drift: FIFOs hold %d, counter says %d", sum, nd.RelayBytes))
+	}
+}
+
+// checkOccupancy asserts the QueuedBytes shadow, the per-queue aggregate
+// counters and all three occupancy indexes exactly mirror queue contents.
+func (nd *Node) checkOccupancy(tor int) {
+	for j := range nd.Direct {
+		b := nd.Direct[j].Bytes()
+		if r := nd.Direct[j].Recount(); r != b {
+			panic(fmt.Sprintf("fabric: tor %d direct[%d] aggregate %d != recount %d", tor, j, b, r))
+		}
+		if nd.QueuedBytes[j] != b {
+			panic(fmt.Sprintf("fabric: tor %d QueuedBytes[%d] = %d, queue holds %d", tor, j, nd.QueuedBytes[j], b))
+		}
+		if nd.DirectOcc.Has(j) != (b > 0) {
+			panic(fmt.Sprintf("fabric: tor %d direct occupancy[%d] = %v, queue holds %d", tor, j, nd.DirectOcc.Has(j), b))
+		}
+	}
+	for j := range nd.Lanes {
+		b := nd.Lanes[j].Bytes()
+		if r := nd.Lanes[j].Recount(); r != b {
+			panic(fmt.Sprintf("fabric: tor %d lane[%d] aggregate %d != recount %d", tor, j, b, r))
+		}
+		if nd.LanesOcc.Has(j) != (b > 0) {
+			panic(fmt.Sprintf("fabric: tor %d lane occupancy[%d] = %v, queue holds %d", tor, j, nd.LanesOcc.Has(j), b))
+		}
+	}
+	for j := range nd.Relay {
+		if nd.RelayOcc.Has(j) != !nd.Relay[j].Empty() {
+			panic(fmt.Sprintf("fabric: tor %d relay occupancy[%d] = %v, queue holds %d", tor, j, nd.RelayOcc.Has(j), nd.Relay[j].Bytes()))
+		}
 	}
 }

@@ -1,0 +1,81 @@
+package fabric
+
+import "math/bits"
+
+// OccSet is a destination-occupancy index: a bitset over [0, n) with
+// deterministic ascending iteration by word-scan find-first-set (the same
+// structure as match.BitArbiter's candidate mask). Engines iterate it to
+// make per-round sweeps O(active destinations) instead of O(N):
+//
+//	for j := occ.Next(-1); j >= 0; j = occ.Next(j) { ... }
+//
+// Set/Clear are idempotent, so the choke points that maintain the index
+// never need to read queue state twice.
+type OccSet struct {
+	words []uint64
+}
+
+func newOccSet(n int) OccSet {
+	return OccSet{words: make([]uint64, (n+63)>>6)}
+}
+
+// Set marks destination i occupied.
+func (s *OccSet) Set(i int) { s.words[i>>6] |= 1 << (uint(i) & 63) }
+
+// Clear marks destination i empty.
+func (s *OccSet) Clear(i int) { s.words[i>>6] &^= 1 << (uint(i) & 63) }
+
+// Has reports whether destination i is marked occupied.
+func (s *OccSet) Has(i int) bool { return s.words[i>>6]&(1<<(uint(i)&63)) != 0 }
+
+// Next returns the smallest member strictly greater than after, or -1.
+// Next(-1) starts an ascending scan.
+func (s *OccSet) Next(after int) int {
+	i := after + 1
+	if i < 0 {
+		i = 0
+	}
+	w := i >> 6
+	if w >= len(s.words) {
+		return -1
+	}
+	mask := s.words[w] &^ (1<<(uint(i)&63) - 1)
+	for {
+		if mask != 0 {
+			return w<<6 + bits.TrailingZeros64(mask)
+		}
+		w++
+		if w >= len(s.words) {
+			return -1
+		}
+		mask = s.words[w]
+	}
+}
+
+// nextUnion returns the smallest index strictly greater than after that is
+// a member of a or b (b may be nil), scanning the OR of the two masks one
+// word at a time.
+func nextUnion(a, b *OccSet, after int) int {
+	if b == nil || b.words == nil {
+		return a.Next(after)
+	}
+	i := after + 1
+	if i < 0 {
+		i = 0
+	}
+	w := i >> 6
+	if w >= len(a.words) {
+		return -1
+	}
+	mask := (a.words[w] | b.words[w]) &^ (1<<(uint(i)&63) - 1)
+	for {
+		if mask != 0 {
+			return w<<6 + bits.TrailingZeros64(mask)
+		}
+		w++
+		if w >= len(a.words) {
+			return -1
+		}
+		mask = a.words[w] | b.words[w]
+	}
+}

@@ -19,13 +19,19 @@ type Shard struct {
 	Lo, Hi int
 
 	// Per-shard accumulators. FCT and Goodput merge at snapshot time
-	// (Core.MergedFCT/MergedGoodput); Delivered, LostDelta and Tagged are
-	// deltas folded by the core after every round.
+	// (Core.MergedFCT/MergedGoodput); Delivered, LostDelta, LossRecs,
+	// Tagged and Freed are deltas folded by the core after every round.
 	FCT       metrics.FCTStats
 	Goodput   *metrics.Goodput
 	Delivered int64
 	LostDelta int64
+	LossRecs  int64
 	Tagged    []*flows.Flow
+	// Freed collects untagged flows that completed this round; the merge
+	// hands them to the core's recycling pool (tagged flows follow after
+	// their tag accounting). A completed flow has no live queue segments
+	// or loss records, so recycling is safe.
+	Freed []*flows.Flow
 }
 
 // Deliver accounts one run of payload bytes arriving at dst: shard
@@ -39,6 +45,8 @@ func (sh *Shard) Deliver(f *flows.Flow, dst int, n int64, at sim.Time) {
 		sh.FCT.Record(f.Size, f.FCT())
 		if f.Tag != 0 {
 			sh.Tagged = append(sh.Tagged, f)
+		} else {
+			sh.Freed = append(sh.Freed, f)
 		}
 	}
 	if sh.c.RxBuffers != nil {
@@ -55,6 +63,7 @@ func (sh *Shard) Deliver(f *flows.Flow, dst int, n int64, at sim.Time) {
 // transmitting node, hence by the calling shard.
 func (sh *Shard) RecordLoss(nd *Node, f *flows.Flow, dst int, off, n int64, at sim.Time) {
 	sh.LostDelta += n
+	sh.LossRecs++
 	nd.Losses = append(nd.Losses, Loss{F: f, Dst: dst, Off: off, N: n, At: at})
 }
 

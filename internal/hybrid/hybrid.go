@@ -122,11 +122,17 @@ type torView struct {
 	i int
 }
 
-func (v *torView) QueuedBytes(dst int) int64 { return v.e.fab.Nodes[v.i].Direct[dst].Bytes() }
+func (v *torView) QueuedBytes(dst int) int64 { return v.e.fab.Nodes[v.i].QueuedBytes[dst] }
 func (v *torView) WeightedHoL(dst int, alpha float64) float64 {
 	return v.e.fab.Nodes[v.i].Direct[dst].WeightedHoL(v.e.fab.Now(), alpha)
 }
 func (v *torView) CumInjected(dst int) int64 { return 0 }
+
+// NextDemand iterates the elephant-VOQ occupancy index: the matcher's
+// request sweep is O(active destinations).
+func (v *torView) NextDemand(after int) int {
+	return v.e.fab.Nodes[v.i].DirectOcc.Next(after)
+}
 
 // hyShard is one contiguous ToR range's execution context: the matcher
 // handle, cross-shard message outboxes (bucketed by receiving shard,
@@ -247,10 +253,10 @@ func New(cfg Config) (*Engine, error) {
 func (e *Engine) admit(f *flows.Flow, at sim.Time) {
 	nd := e.fab.Nodes[f.Src]
 	if f.Size < e.miceBytes {
-		nd.Lanes[f.Dst].Push(f, at)
+		nd.PushLane(f.Dst, f, at)
 		return
 	}
-	nd.Direct[f.Dst].Push(f, at)
+	nd.PushDirect(f.Dst, f, at)
 }
 
 func (e *Engine) Name() string                     { return "hybrid" }
@@ -308,6 +314,7 @@ func (e *Engine) CheckRound() {
 	if err := e.fab.Ledger.Check(e.fab.QueuedInNodes()); err != nil {
 		panic(err)
 	}
+	e.fab.CheckOccupancy()
 }
 
 // initEmitters prebuilds the per-shard closures so the steady-state epoch
@@ -403,16 +410,18 @@ func (sh *hyShard) transmitStep() {
 		}
 		nd := e.fab.Nodes[i]
 		// Mice ride the round-robin: one piggyback payload per connected
-		// pair, delivery fixed by the pair's predefined slot.
+		// pair, delivery fixed by the pair's predefined slot. The sweep
+		// iterates the mice-queue occupancy index (ascending, exactly the
+		// non-empty lanes), so idle pairs cost nothing.
 		if e.piggyBytes > 0 {
-			for j := 0; j < e.n; j++ {
-				if j == i || nd.Lanes[j].Empty() {
+			for j := nd.LanesOcc.Next(-1); j >= 0; j = nd.LanesOcc.Next(j) {
+				if j == i {
 					continue
 				}
 				slot, _ := e.top.PredefinedSlotPort(i, j, rot)
 				sh.txDst = j
 				sh.txAt = e.epochStart.Add(sim.Duration(slot+1) * slotDur).Add(e.timing.PropDelay)
-				nd.Lanes[j].Take(e.piggyBytes, sh.miceEmit)
+				nd.TakeLane(j, e.piggyBytes, sh.miceEmit)
 			}
 		}
 		// Elephants use the negotiated connections.
@@ -423,7 +432,7 @@ func (sh *hyShard) transmitStep() {
 			sh.txDst = int(dj)
 			sh.txPos = 0
 			sh.txAt = phaseStart
-			nd.Direct[int(dj)].Take(capacity, sh.schedEmit)
+			nd.TakeDirect(int(dj), capacity, sh.schedEmit)
 		}
 	}
 }

@@ -1,0 +1,42 @@
+package hybrid
+
+import (
+	"fmt"
+	"testing"
+
+	"negotiator/internal/sim"
+	"negotiator/internal/topo"
+	"negotiator/internal/workload"
+)
+
+// TestOccupancyInvariant runs the hybrid plane with per-round invariant
+// checking on (byte conservation plus the occupancy-index/shadow
+// exactness of fabric.Core.CheckOccupancy): the mice sweep iterates
+// LanesOcc and the elephant demand view DirectOcc, so both index classes
+// are exercised under churn. Run in CI under -race at -cpu 1,2,4.
+func TestOccupancyInvariant(t *testing.T) {
+	for _, pq := range []bool{false, true} {
+		for _, workers := range []int{1, 4} {
+			t.Run(fmt.Sprintf("pq=%v/workers=%d", pq, workers), func(t *testing.T) {
+				top, err := topo.NewParallel(16, 4)
+				if err != nil {
+					t.Fatal(err)
+				}
+				e, err := New(Config{
+					Topology:        top,
+					PriorityQueues:  pq,
+					Seed:            1,
+					CheckInvariants: true,
+					Workers:         workers,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				e.SetWorkload(workload.NewPoisson(workload.Hadoop(), 16, 0.9, sim.Gbps(400), 7))
+				e.RunEpochs(120)
+				e.SetWorkload(nil)
+				e.Drain(4000)
+			})
+		}
+	}
+}

@@ -1,0 +1,54 @@
+package hybrid
+
+import (
+	"testing"
+
+	"negotiator/internal/sim"
+	"negotiator/internal/topo"
+	"negotiator/internal/workload"
+)
+
+// permWorkload is the saturated-but-sparse matrix: one enormous elephant
+// per ToR to its cyclic successor, 1023 of 1024 elephant queues empty and
+// every mice queue empty. The mice sweep and the elephant demand view are
+// exactly the paths that must be O(active destinations) here.
+type permWorkload struct {
+	n, i int
+	size int64
+}
+
+func (g *permWorkload) Next() (workload.Arrival, bool) {
+	if g.i >= g.n {
+		return workload.Arrival{}, false
+	}
+	a := workload.Arrival{Src: g.i, Dst: (g.i + 1) % g.n, Size: g.size}
+	g.i++
+	return a, true
+}
+
+// BenchmarkEpochSparse1024 measures the hybrid per-epoch cost at 1024 ToRs
+// with one active elephant destination per ToR (see BENCH_pr4.json).
+func BenchmarkEpochSparse1024(b *testing.B) {
+	top, err := topo.NewParallel(1024, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	e, err := New(Config{
+		Topology: top,
+		HostRate: sim.Gbps(400),
+		Seed:     1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	e.SetWorkload(&permWorkload{n: 1024, size: 1 << 32})
+	e.RunEpochs(4)
+	if !e.fab.WorkloadDone() {
+		b.Fatal("sparse steady state not reached: workload not exhausted")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.runEpoch()
+	}
+}

@@ -111,6 +111,41 @@ func TestBitArbiterEquivalentToRing(t *testing.T) {
 	}
 }
 
+// TestRingPickMaskEquivalentToPick pins the property the base matcher's
+// identity-domain fast path rests on: PickMask over a candidate bitmask
+// picks exactly what Pick with an is-set predicate picks, from any
+// pointer position.
+func TestRingPickMaskEquivalentToPick(t *testing.T) {
+	f := func(seed int64, nRaw uint8, rounds uint8) bool {
+		n := int(nRaw%130) + 1
+		rng := sim.NewRNG(seed)
+		ring := NewRing(n, rng)
+		members := make([]bool, n)
+		mask := make([]uint64, (n+63)>>6)
+		for r := 0; r < int(rounds%50)+1; r++ {
+			pos := rng.Intn(n)
+			if members[pos] {
+				members[pos] = false
+				mask[pos>>6] &^= 1 << (uint(pos) & 63)
+			} else {
+				members[pos] = true
+				mask[pos>>6] |= 1 << (uint(pos) & 63)
+			}
+			want := ring.Pick(func(p int) bool { return members[p] })
+			if got := ring.PickMask(mask); got != want {
+				return false
+			}
+			if want >= 0 {
+				ring.Advance(want)
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
 func TestBitArbiterFairness(t *testing.T) {
 	// With all candidates always set, winners rotate round-robin.
 	a := NewBitArbiter(5, 2)

@@ -2,6 +2,7 @@ package match
 
 import (
 	"fmt"
+	"slices"
 
 	"negotiator/internal/sim"
 	"negotiator/internal/topo"
@@ -38,6 +39,13 @@ func (k ArbiterKind) String() string {
 	}
 }
 
+// grantRec is one grant plus its domain position at the granting dst
+// (for iSLIP pointer feedback).
+type grantRec struct {
+	g   Grant
+	pos int
+}
+
 // Classic is an iterative matcher with a selectable arbitration discipline,
 // implementing the crossbar schedulers the paper cites transplanted to the
 // ToR-matching setting. Classic{RRM, iters:1} is exactly the paper's
@@ -50,8 +58,13 @@ type Classic struct {
 	rng   *sim.RNG
 
 	srcFree, dstFree [][]bool
-	want             []bool
 	cand             []int // scratch for PIM random choice
+	// Persistent Match scratch (see Iterative.Match): sorted distinct-ToR
+	// indexes so the grant/accept sweeps visit only active ToRs.
+	reqBy     [][]int32
+	reqDsts   []int32
+	grants    [][]grantRec
+	grantSrcs []int32
 }
 
 // NewClassic returns an iterative matcher with the given discipline and
@@ -73,7 +86,8 @@ func NewClassic(t topo.Topology, rng *sim.RNG, iters int, kind ArbiterKind) *Cla
 		m.srcFree[i] = make([]bool, s)
 		m.dstFree[i] = make([]bool, s)
 	}
-	m.want = make([]bool, n)
+	m.reqBy = make([][]int32, n)
+	m.grants = make([][]grantRec, n)
 	return m
 }
 
@@ -138,7 +152,9 @@ func (m *Classic) pickAccept(src, port int, dom []int, eligible func(dst int) bo
 }
 
 // Match implements BatchMatcher: iterated request/grant/accept over one
-// request snapshot.
+// request snapshot. Like Iterative.Match, the sweeps visit only requested
+// destinations and granted sources via sorted distinct-ToR indexes, with
+// epoch-stamped requester membership.
 func (m *Classic) Match(reqs []Request, matches [][]int32, stats *BatchStats) {
 	n, s := m.topo.N(), m.topo.Ports()
 	for i := 0; i < n; i++ {
@@ -148,26 +164,24 @@ func (m *Classic) Match(reqs []Request, matches [][]int32, stats *BatchStats) {
 			matches[i][p] = -1
 		}
 	}
-	reqBy := make([][]int32, n)
+	for _, dst := range m.reqDsts {
+		m.reqBy[dst] = m.reqBy[dst][:0]
+	}
+	m.reqDsts = m.reqDsts[:0]
 	for _, r := range reqs {
-		reqBy[r.Dst] = append(reqBy[r.Dst], int32(r.Src))
+		if len(m.reqBy[r.Dst]) == 0 {
+			m.reqDsts = append(m.reqDsts, int32(r.Dst))
+		}
+		m.reqBy[r.Dst] = append(m.reqBy[r.Dst], int32(r.Src))
 	}
-	type grantRec struct {
-		g   Grant
-		pos int // domain position at the granting dst (for iSLIP feedback)
-	}
-	grants := make([][]grantRec, n)
+	slices.Sort(m.reqDsts)
 	for iter := 0; iter < m.iters; iter++ {
 		granted := false
-		for dst := 0; dst < n; dst++ {
-			if len(reqBy[dst]) == 0 {
-				continue
-			}
-			for i := range m.want {
-				m.want[i] = false
-			}
-			for _, src := range reqBy[dst] {
-				m.want[int(src)] = true
+		for _, dst32 := range m.reqDsts {
+			dst := int(dst32)
+			m.stamp++
+			for _, src := range m.reqBy[dst] {
+				m.reqStamp[src] = m.stamp
 			}
 			for port := 0; port < s; port++ {
 				if !m.dstFree[dst][port] {
@@ -175,13 +189,16 @@ func (m *Classic) Match(reqs []Request, matches [][]int32, stats *BatchStats) {
 				}
 				dom := m.topo.PortDomain(dst, port)
 				pos := m.pickGrant(dst, port, dom, func(src int) bool {
-					return m.want[src] && src != dst && m.srcFree[src][port]
+					return m.reqStamp[src] == m.stamp && src != dst && m.srcFree[src][port]
 				})
 				if pos < 0 {
 					continue
 				}
 				src := dom[pos]
-				grants[src] = append(grants[src], grantRec{Grant{Dst: dst, Port: port, Src: src}, pos})
+				if len(m.grants[src]) == 0 {
+					m.grantSrcs = append(m.grantSrcs, int32(src))
+				}
+				m.grants[src] = append(m.grants[src], grantRec{Grant{Dst: dst, Port: port, Src: src}, pos})
 				if stats != nil {
 					stats.Grants++
 				}
@@ -191,11 +208,10 @@ func (m *Classic) Match(reqs []Request, matches [][]int32, stats *BatchStats) {
 		if !granted {
 			break
 		}
-		for src := 0; src < n; src++ {
-			gs := grants[src]
-			if len(gs) == 0 {
-				continue
-			}
+		slices.Sort(m.grantSrcs)
+		for _, src32 := range m.grantSrcs {
+			src := int(src32)
+			gs := m.grants[src]
 			for port := 0; port < s; port++ {
 				if !m.srcFree[src][port] {
 					continue
@@ -236,7 +252,8 @@ func (m *Classic) Match(reqs []Request, matches [][]int32, stats *BatchStats) {
 					m.acceptRings[src][port].Advance(pos)
 				}
 			}
-			grants[src] = grants[src][:0]
+			m.grants[src] = m.grants[src][:0]
 		}
+		m.grantSrcs = m.grantSrcs[:0]
 	}
 }

@@ -16,6 +16,12 @@ type QueueView interface {
 	// CumInjected returns the cumulative bytes ever enqueued for dst, used
 	// by the stateful variant to report newly arrived demand.
 	CumInjected(dst int) int64
+	// NextDemand returns the smallest destination strictly greater than
+	// after that may hold queued bytes, or -1. Iterating from -1 visits a
+	// superset of {dst : QueuedBytes(dst) > 0} in ascending order, so the
+	// REQUEST sweep costs O(active destinations) instead of O(N) — the
+	// engines back it with their occupancy indexes.
+	NextDemand(after int) int
 }
 
 // Request is a scheduling request from Src to Dst. The base algorithm uses
@@ -68,6 +74,13 @@ type Matcher interface {
 // stateless.
 type Negotiator struct {
 	topo topo.Topology
+	// identityDom marks topologies whose port domains are the identity
+	// (parallel network: domain position == ToR id). Grants and Accepts
+	// then run their ring arbitration as word-scan priority encoding over
+	// a candidate bitmask (Ring.PickMask) instead of an O(N) predicate
+	// scan — the structure a switch ASIC builds, and the O(active +
+	// N/64) software path the 1024-ToR sparse regime needs.
+	identityDom bool
 
 	// grantRings[dst]: length 1 (parallel, shared) or S (thin-clos,
 	// per-port). Ring positions index the port's domain.
@@ -83,6 +96,10 @@ type Negotiator struct {
 	reqStamp  []uint64
 	stamp     uint64
 	grantable [][]int32 // grantable[port] = dsts granting that port (scratch)
+	// candMask is the identityDom candidate bitmask scratch; every use
+	// sets exactly the candidate bits and clears them again after
+	// arbitration, so the mask is all-zero between calls.
+	candMask []uint64
 }
 
 // NewNegotiator returns the base matcher for the given topology. rng seeds
@@ -109,11 +126,13 @@ func NewNegotiator(t topo.Topology, rng *sim.RNG) *Negotiator {
 		}
 		m.acceptRings[i] = rings
 	}
+	m.identityDom = shared
 	m.reqStamp = make([]uint64, n)
 	m.grantable = make([][]int32, s)
 	for p := range m.grantable {
 		m.grantable[p] = make([]int32, 0, 8)
 	}
+	m.candMask = make([]uint64, (n+63)>>6)
 	return m
 }
 
@@ -122,10 +141,11 @@ func (m *Negotiator) MatchDelay() int { return 2 }
 
 // Requests implements the REQUEST step: a binary request to every
 // destination whose per-destination queue exceeds the threshold (§3.2.1
-// with the piggybacking adjustment of §3.4.1).
+// with the piggybacking adjustment of §3.4.1). The sweep follows the
+// view's demand index — ascending order, so emissions are identical to a
+// dense 0..N-1 scan, at O(active destinations) cost.
 func (m *Negotiator) Requests(src int, view QueueView, now sim.Time, threshold int64, emit func(Request)) {
-	n := m.topo.N()
-	for dst := 0; dst < n; dst++ {
+	for dst := view.NextDemand(-1); dst >= 0; dst = view.NextDemand(dst) {
 		if dst == src {
 			continue
 		}
@@ -138,6 +158,29 @@ func (m *Negotiator) Requests(src int, view QueueView, now sim.Time, threshold i
 // Grants implements the GRANT step at dst.
 func (m *Negotiator) Grants(dst int, reqs []Request, emit func(Grant)) {
 	if len(reqs) == 0 {
+		return
+	}
+	if m.identityDom {
+		// Word-scan path: the requester set as a bitmask, each port's
+		// pick a find-first-set from the shared ring's pointer. Winners
+		// stay candidates for later ports, exactly as the predicate scan
+		// leaves them.
+		for _, r := range reqs {
+			m.candMask[r.Src>>6] |= 1 << (uint(r.Src) & 63)
+		}
+		ring := m.grantRings[dst][0]
+		s := m.topo.Ports()
+		for port := 0; port < s; port++ {
+			pos := ring.PickMask(m.candMask)
+			if pos < 0 {
+				break
+			}
+			ring.Advance(pos)
+			emit(Grant{Dst: dst, Port: port, Src: pos})
+		}
+		for _, r := range reqs {
+			m.candMask[r.Src>>6] &^= 1 << (uint(r.Src) & 63)
+		}
 		return
 	}
 	m.stamp++
@@ -177,6 +220,23 @@ func (m *Negotiator) Accepts(src int, view QueueView, grants []Grant, matches []
 			continue
 		}
 		ring := m.acceptRings[src][port]
+		if m.identityDom {
+			// Word-scan path: granting dsts as a bitmask, one
+			// find-first-set from the per-port ring's pointer.
+			for _, c := range cand {
+				m.candMask[c>>6] |= 1 << (uint(c) & 63)
+			}
+			pos := ring.PickMask(m.candMask)
+			for _, c := range cand {
+				m.candMask[c>>6] &^= 1 << (uint(c) & 63)
+			}
+			if pos < 0 {
+				continue
+			}
+			ring.Advance(pos)
+			matches[port] = int32(pos)
+			continue
+		}
 		dom := m.topo.PortDomain(src, port) // symmetric: src's port peers
 		pos := ring.Pick(func(p int) bool {
 			d := int32(dom[p])

@@ -21,6 +21,18 @@ func (v *fakeView) WeightedHoL(dst int, alpha float64) float64 {
 }
 func (v *fakeView) CumInjected(dst int) int64 { return v.cum[dst] }
 
+// NextDemand iterates the queued map's keys in ascending order (a
+// superset of the positive-bytes destinations, as the contract requires).
+func (v *fakeView) NextDemand(after int) int {
+	next := -1
+	for dst := range v.queued {
+		if dst > after && (next < 0 || dst < next) {
+			next = dst
+		}
+	}
+	return next
+}
+
 func viewWith(queued map[int]int64) *fakeView {
 	return &fakeView{queued: queued, hol: map[int]float64{}, cum: map[int]int64{}}
 }

@@ -11,7 +11,11 @@
 // freely.
 package match
 
-import "negotiator/internal/sim"
+import (
+	"math/bits"
+
+	"negotiator/internal/sim"
+)
 
 // Ring is a round-robin arbiter over n participants (paper Figure 3b/3c).
 // The pointer marks the highest-priority participant; priority decreases
@@ -50,6 +54,39 @@ func (r *Ring) Pick(want func(pos int) bool) int {
 		}
 		if want(pos) {
 			return pos
+		}
+	}
+	return -1
+}
+
+// PickMask returns the first position at or after the pointer (cyclically)
+// whose bit is set in mask, or -1 when mask is empty — Ring.Pick with an
+// is-set predicate, executed as a word-scan priority encoder (the
+// BitArbiter structure). Bits at or above Size must not be set. Like Pick
+// it does not move the pointer.
+func (r *Ring) PickMask(mask []uint64) int {
+	if r.n == 0 {
+		return -1
+	}
+	w := r.ptr >> 6
+	// Upper segment: bits at or after the pointer.
+	for i := w; i < len(mask); i++ {
+		m := mask[i]
+		if i == w {
+			m &^= 1<<(uint(r.ptr)&63) - 1
+		}
+		if m != 0 {
+			return i<<6 + bits.TrailingZeros64(m)
+		}
+	}
+	// Wrap-around segment: bits before the pointer.
+	for i := 0; i <= w && i < len(mask); i++ {
+		m := mask[i]
+		if i == w {
+			m &= 1<<(uint(r.ptr)&63) - 1
+		}
+		if m != 0 {
+			return i<<6 + bits.TrailingZeros64(m)
 		}
 	}
 	return -1

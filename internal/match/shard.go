@@ -41,10 +41,12 @@ func (m *Negotiator) scratchClone() *Negotiator {
 	n, s := m.topo.N(), m.topo.Ports()
 	c := &Negotiator{
 		topo:        m.topo,
+		identityDom: m.identityDom,
 		grantRings:  m.grantRings,
 		acceptRings: m.acceptRings,
 		reqStamp:    make([]uint64, n),
 		grantable:   make([][]int32, s),
+		candMask:    make([]uint64, (n+63)>>6),
 	}
 	for p := range c.grantable {
 		c.grantable[p] = make([]int32, 0, 8)

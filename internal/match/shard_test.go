@@ -27,6 +27,14 @@ func (v *shardView) CumInjected(dst int) int64 {
 	return int64(v.round+1) * int64((v.src*7+dst*5)%9) * 100
 }
 
+// NextDemand is the dense fallback: every destination may hold bytes.
+func (v *shardView) NextDemand(after int) int {
+	if after+1 >= v.n {
+		return -1
+	}
+	return after + 1
+}
+
 // shardedFactories builds each Sharded matcher over the topology. Both
 // instances of a pair must be built from identically seeded RNGs so ring
 // init matches.

@@ -2,6 +2,7 @@ package match
 
 import (
 	"fmt"
+	"slices"
 
 	"negotiator/internal/sim"
 	"negotiator/internal/topo"
@@ -278,15 +279,15 @@ func (m *ProjecToR) Requests(src int, view QueueView, now sim.Time, threshold in
 }
 
 // Grants picks, per destination port, the largest-delay request bound to
-// that port.
+// that port. Requester membership is the epoch-stamped set, replacing the
+// O(N) port-table clear per granting destination.
 func (m *ProjecToR) Grants(dst int, reqs []Request, emit func(Grant)) {
 	if len(reqs) == 0 {
 		return
 	}
-	for i := range m.delay {
-		m.port[i] = -1
-	}
+	m.stamp++
 	for _, r := range reqs {
+		m.reqStamp[r.Src] = m.stamp
 		m.port[r.Src] = int32(r.Port)
 		m.delay[r.Src] = r.Delay
 	}
@@ -295,7 +296,7 @@ func (m *ProjecToR) Grants(dst int, reqs []Request, emit func(Grant)) {
 		dom := m.topo.PortDomain(dst, port)
 		best, bestSrc := -1.0, -1
 		for _, src := range dom {
-			if m.port[src] == int32(port) && m.delay[src] > best {
+			if m.reqStamp[src] == m.stamp && m.port[src] == int32(port) && m.delay[src] > best {
 				best, bestSrc = m.delay[src], src
 			}
 		}
@@ -357,7 +358,15 @@ type Iterative struct {
 	iters int
 
 	srcFree, dstFree [][]bool
-	want             []bool
+	// Persistent Match scratch: per-dst requester lists plus the sorted
+	// distinct-dst index, and per-src grant lists plus the sorted
+	// distinct-src index, so the grant/accept sweeps visit only active
+	// ToRs (ascending, identical order to the dense 0..N-1 scans) and
+	// the per-call slice allocations are gone.
+	reqBy     [][]int32
+	reqDsts   []int32
+	grants    [][]Grant
+	grantSrcs []int32
 }
 
 // NewIterative returns the iterative matcher with the given iteration
@@ -374,7 +383,8 @@ func NewIterative(t topo.Topology, rng *sim.RNG, iters int) *Iterative {
 		m.srcFree[i] = make([]bool, s)
 		m.dstFree[i] = make([]bool, s)
 	}
-	m.want = make([]bool, n)
+	m.reqBy = make([][]int32, n)
+	m.grants = make([][]Grant, n)
 	return m
 }
 
@@ -385,7 +395,11 @@ func (m *Iterative) Name() string { return fmt.Sprintf("iterative-%d", m.iters) 
 // enlarged by three epochs").
 func (m *Iterative) MatchDelay() int { return 2 + 3*(m.iters-1) }
 
-// Match runs the iterations over the request snapshot.
+// Match runs the iterations over the request snapshot. The grant sweep
+// visits only requested destinations and the accept sweep only sources
+// holding grants, both through sorted distinct-ToR indexes that reproduce
+// the dense ascending scans exactly; requester membership is an
+// epoch-stamped set (no O(N) clear per destination).
 func (m *Iterative) Match(reqs []Request, matches [][]int32, stats *BatchStats) {
 	n, s := m.topo.N(), m.topo.Ports()
 	for i := 0; i < n; i++ {
@@ -395,24 +409,25 @@ func (m *Iterative) Match(reqs []Request, matches [][]int32, stats *BatchStats) 
 			matches[i][p] = -1
 		}
 	}
-	// requested[dst] = set of srcs; rebuilt per call from reqs.
-	reqBy := make([][]int32, n)
-	for _, r := range reqs {
-		reqBy[r.Dst] = append(reqBy[r.Dst], int32(r.Src))
+	for _, dst := range m.reqDsts {
+		m.reqBy[dst] = m.reqBy[dst][:0]
 	}
-	grants := make([][]Grant, n) // grants received per src this iteration
+	m.reqDsts = m.reqDsts[:0]
+	for _, r := range reqs {
+		if len(m.reqBy[r.Dst]) == 0 {
+			m.reqDsts = append(m.reqDsts, int32(r.Dst))
+		}
+		m.reqBy[r.Dst] = append(m.reqBy[r.Dst], int32(r.Src))
+	}
+	slices.Sort(m.reqDsts)
 	for iter := 0; iter < m.iters; iter++ {
-		// GRANT at each dst over its free ports.
+		// GRANT at each requested dst over its free ports.
 		granted := false
-		for dst := 0; dst < n; dst++ {
-			if len(reqBy[dst]) == 0 {
-				continue
-			}
-			for i := range m.want {
-				m.want[i] = false
-			}
-			for _, src := range reqBy[dst] {
-				m.want[int(src)] = true
+		for _, dst32 := range m.reqDsts {
+			dst := int(dst32)
+			m.stamp++
+			for _, src := range m.reqBy[dst] {
+				m.reqStamp[src] = m.stamp
 			}
 			rings := m.grantRings[dst]
 			for port := 0; port < s; port++ {
@@ -426,14 +441,17 @@ func (m *Iterative) Match(reqs []Request, matches [][]int32, stats *BatchStats) 
 				dom := m.topo.PortDomain(dst, port)
 				pos := ring.Pick(func(p int) bool {
 					src := dom[p]
-					return m.want[src] && src != dst && m.srcFree[src][port]
+					return m.reqStamp[src] == m.stamp && src != dst && m.srcFree[src][port]
 				})
 				if pos < 0 {
 					continue
 				}
 				ring.Advance(pos)
 				src := dom[pos]
-				grants[src] = append(grants[src], Grant{Dst: dst, Port: port, Src: src})
+				if len(m.grants[src]) == 0 {
+					m.grantSrcs = append(m.grantSrcs, int32(src))
+				}
+				m.grants[src] = append(m.grants[src], Grant{Dst: dst, Port: port, Src: src})
 				if stats != nil {
 					stats.Grants++
 				}
@@ -443,12 +461,11 @@ func (m *Iterative) Match(reqs []Request, matches [][]int32, stats *BatchStats) 
 		if !granted {
 			break
 		}
-		// ACCEPT at each src over its free ports.
-		for src := 0; src < n; src++ {
-			gs := grants[src]
-			if len(gs) == 0 {
-				continue
-			}
+		// ACCEPT at each granted src over its free ports.
+		slices.Sort(m.grantSrcs)
+		for _, src32 := range m.grantSrcs {
+			src := int(src32)
+			gs := m.grants[src]
 			for port := 0; port < s; port++ {
 				if !m.srcFree[src][port] {
 					continue
@@ -476,7 +493,8 @@ func (m *Iterative) Match(reqs []Request, matches [][]int32, stats *BatchStats) 
 					stats.Accepts++
 				}
 			}
-			grants[src] = grants[src][:0]
+			m.grants[src] = m.grants[src][:0]
 		}
+		m.grantSrcs = m.grantSrcs[:0]
 	}
 }

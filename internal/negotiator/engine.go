@@ -97,6 +97,7 @@ type tor struct {
 	matches []int32 // this epoch's scheduled matches, per port
 
 	relayPlan []relayPlan // per intermediate: first-hop plan this epoch (selective relay)
+	planned   []int32     // intermediates planned last epoch, for O(planned) clearing
 }
 
 type relayPlan struct {
@@ -280,7 +281,7 @@ func New(cfg Config) (*Engine, error) {
 // (stateful matcher view) advances.
 func (e *Engine) admit(f *flows.Flow, at sim.Time) {
 	nd := e.fab.Nodes[f.Src]
-	nd.Direct[f.Dst].Push(f, at)
+	nd.PushDirect(f.Dst, f, at)
 	nd.CumInjected[f.Dst] += f.Size
 }
 
@@ -514,11 +515,13 @@ func (e *Engine) controlStep(epochStart sim.Time) {
 	e.controlPhases(e.stepMergeOnly)
 }
 
-// checkInvariants asserts byte conservation and match conflict-freedom.
+// checkInvariants asserts byte conservation, occupancy-index/shadow
+// exactness and match conflict-freedom.
 func (e *Engine) checkInvariants() {
 	if err := e.fab.Ledger.Check(e.fab.QueuedInNodes()); err != nil {
 		panic(err)
 	}
+	e.fab.CheckOccupancy()
 	rx := make(map[[2]int32]int32)
 	for i, t := range e.tors {
 		for p, dj := range t.matches {

@@ -1,0 +1,78 @@
+package negotiator
+
+import (
+	"fmt"
+	"testing"
+
+	"negotiator/internal/failure"
+	"negotiator/internal/sim"
+	"negotiator/internal/topo"
+	"negotiator/internal/workload"
+)
+
+// TestOccupancyInvariant runs the engine with per-round invariant
+// checking on (which asserts, after every epoch's merge, that the
+// occupancy indexes and the QueuedBytes shadow exactly match queue
+// contents — fabric.Core.CheckOccupancy) across the features that stress
+// the choke points: priority queues, failures with loss requeue, and the
+// selective relay's cross-ToR pushes. Run in CI under -race at
+// -cpu 1,2,4 together with the worker sweep here.
+func TestOccupancyInvariant(t *testing.T) {
+	ep := DefaultTiming().EpochLen(4) // 16x4 thin-clos epoch, for failure timing
+	cases := []struct {
+		name string
+		cfg  func(t *testing.T) Config
+	}{
+		{"piggyback-priority-parallel", func(t *testing.T) Config {
+			top, err := topo.NewParallel(16, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return Config{Topology: top, Piggyback: true, PriorityQueues: true, Seed: 1}
+		}},
+		{"failures-parallel", func(t *testing.T) Config {
+			top, err := topo.NewParallel(16, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return Config{
+				Topology:       top,
+				Piggyback:      true,
+				PriorityQueues: true,
+				Seed:           1,
+				Failures:       failure.Random(16, 4, 0.25, sim.Time(20*ep), sim.Time(60*ep), 3*ep, 9),
+			}
+		}},
+		{"relay-thinclos", func(t *testing.T) Config {
+			tc, err := topo.NewThinClos(16, 4, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return Config{Topology: tc, Piggyback: true, PriorityQueues: true, Seed: 1, Relay: &RelayConfig{}}
+		}},
+		{"plain-thinclos", func(t *testing.T) Config {
+			tc, err := topo.NewThinClos(16, 4, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return Config{Topology: tc, Seed: 1}
+		}},
+	}
+	for _, c := range cases {
+		for _, workers := range []int{1, 4} {
+			t.Run(fmt.Sprintf("%s/workers=%d", c.name, workers), func(t *testing.T) {
+				cfg := c.cfg(t)
+				cfg.CheckInvariants = true
+				cfg.Workers = workers
+				e, err := New(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				e.SetWorkload(workload.NewPoisson(workload.Hadoop(), 16, 0.9, sim.Gbps(400), 7))
+				e.RunEpochs(120)
+				e.SetWorkload(nil)
+				e.Drain(4000)
+			})
+		}
+	}
+}

@@ -19,7 +19,7 @@ type torView struct {
 
 func (v *torView) QueuedBytes(dst int) int64 {
 	nd := v.e.fab.Nodes[v.i]
-	b := nd.Direct[dst].Bytes()
+	b := nd.QueuedBytes[dst]
 	if nd.Relay != nil {
 		b += nd.Relay[dst].Bytes()
 		if p := v.e.tors[v.i].relayPlan[dst]; p.quota > 0 {
@@ -27,6 +27,22 @@ func (v *torView) QueuedBytes(dst int) int64 {
 		}
 	}
 	return b
+}
+
+// NextDemand iterates the source's direct-VOQ occupancy index — the exact
+// positive-bytes set when relaying is off. With selective relay enabled
+// (a sequential, small-scale extension) queued relay data and planned
+// quotas add demand the index cannot see, so the sweep falls back to the
+// dense superset.
+func (v *torView) NextDemand(after int) int {
+	nd := v.e.fab.Nodes[v.i]
+	if nd.Relay != nil {
+		if next := after + 1; next < v.e.n {
+			return next
+		}
+		return -1
+	}
+	return nd.DirectOcc.Next(after)
 }
 
 func (v *torView) WeightedHoL(dst int, alpha float64) float64 {

@@ -63,32 +63,37 @@ func (e *Engine) initRelay() {
 	// (fabric.Config.Relay); only the per-epoch plan is control-plane state.
 	for _, t := range e.tors {
 		t.relayPlan = make([]relayPlan, e.n)
+		for k := range t.relayPlan {
+			t.relayPlan[k] = relayPlan{finalDst: -1}
+		}
 	}
 }
 
 // planRelay selects, per source, which elephants to relay through which
 // intermediates this epoch (step 1 of A.2.2): only lowest-priority data
 // above the volume threshold, intermediates that share no busy direct link
-// on either hop and have relay buffer headroom.
+// on either hop and have relay buffer headroom. The demand scans iterate
+// the direct occupancy index (non-empty queues are exactly the candidates
+// both scans filter on), and plan clearing touches only the entries the
+// previous epoch planned.
 func (e *Engine) planRelay() {
 	r := e.relay
 	for i, t := range e.tors {
 		nd := e.fab.Nodes[i]
-		for k := range t.relayPlan {
+		for _, k := range t.planned {
 			t.relayPlan[k] = relayPlan{finalDst: -1}
 		}
+		t.planned = t.planned[:0]
 		// Direct traffic volume per egress port of i.
 		for p := range r.groupBuf {
 			r.groupBuf[p] = 0
 		}
 		heavy := false
-		for j := 0; j < e.n; j++ {
+		for j := nd.DirectOcc.Next(-1); j >= 0; j = nd.DirectOcc.Next(j) {
 			if j == i {
 				continue
 			}
-			if b := nd.Direct[j].Bytes(); b > 0 {
-				r.groupBuf[r.tc.PathPort(i, j)] += b
-			}
+			r.groupBuf[r.tc.PathPort(i, j)] += nd.QueuedBytes[j]
 			if nd.Direct[j].LowestPriorityBytes() > r.cfg.MinBytes {
 				heavy = true
 			}
@@ -98,7 +103,7 @@ func (e *Engine) planRelay() {
 		}
 		rot := r.rotate[i]
 		r.rotate[i]++
-		for j := 0; j < e.n; j++ {
+		for j := nd.DirectOcc.Next(-1); j >= 0; j = nd.DirectOcc.Next(j) {
 			if j == i || nd.Direct[j].LowestPriorityBytes() <= r.cfg.MinBytes {
 				continue
 			}
@@ -127,7 +132,7 @@ func (e *Engine) planRelay() {
 				var kDirect int64
 				for _, d := range r.tc.PortDomain(k, s2) {
 					if d != k {
-						kDirect += inter.Direct[d].Bytes()
+						kDirect += inter.QueuedBytes[d]
 					}
 				}
 				if kDirect > r.cfg.DirectBusyBytes {
@@ -138,6 +143,7 @@ func (e *Engine) planRelay() {
 					quota = headroom
 				}
 				t.relayPlan[k] = relayPlan{finalDst: int32(j), quota: quota}
+				t.planned = append(t.planned, int32(k))
 				break
 			}
 		}
@@ -175,6 +181,6 @@ func (sh *engineShard) relayFirstHop(i, k int, budget int64) {
 	}
 	sh.txDst = j
 	sh.txInter = inter
-	e.fab.Nodes[i].Direct[j].TakeLowestOnly(max, sh.relayEmit)
+	e.fab.Nodes[i].TakeDirectLowest(j, max, sh.relayEmit)
 	t.relayPlan[k] = relayPlan{finalDst: -1}
 }

@@ -284,7 +284,9 @@ func (sh *engineShard) batchPrepStep() {
 
 // predefinedPhase transmits piggybacked data over the round-robin
 // all-to-all connections (§3.4.1) for this shard's sources: every pair
-// moves up to one small payload, bypassing the scheduling delay.
+// moves up to one small payload, bypassing the scheduling delay. The
+// sweep iterates the occupancy indexes (direct ∪ relay, ascending) so a
+// mostly-idle ToR pays O(active destinations), not O(N).
 func (sh *engineShard) predefinedPhase(epochStart sim.Time) {
 	e := sh.e
 	if e.piggyBytes <= 0 {
@@ -294,12 +296,11 @@ func (sh *engineShard) predefinedPhase(epochStart sim.Time) {
 	slotDur := e.timing.PredefinedSlot
 	for i := sh.lo; i < sh.hi; i++ {
 		nd := e.fab.Nodes[i]
-		for j := 0; j < e.n; j++ {
+		for j := nd.NextDirectOrRelay(-1); j >= 0; j = nd.NextDirectOrRelay(j) {
 			if j == i {
 				continue
 			}
-			q := nd.Direct[j]
-			hasDirect := !q.Empty()
+			hasDirect := nd.QueuedBytes[j] > 0
 			hasRelay := nd.Relay != nil && nd.Relay[j].HeadReady(epochStart)
 			if !hasDirect && !hasRelay {
 				continue
@@ -313,7 +314,7 @@ func (sh *engineShard) predefinedPhase(epochStart sim.Time) {
 			sh.txAt = epochStart.Add(sim.Duration(slot+1) * slotDur).Add(e.timing.PropDelay)
 			budget := e.piggyBytes
 			if hasDirect {
-				budget -= q.Take(budget, sh.pbEmit)
+				budget -= nd.TakeDirect(j, budget, sh.pbEmit)
 			}
 			if budget > 0 && hasRelay {
 				// Relay bytes piggyback too once they are at the
@@ -345,7 +346,7 @@ func (sh *engineShard) scheduledPhase(epochStart sim.Time) {
 			sh.txLost = e.actual != nil && e.actual.Count > 0 && !e.actual.PathOK(i, j, p)
 			sh.txPos = 0
 			sh.txPhaseStart = phaseStart
-			sent := nd.Direct[j].Take(capacity, sh.schedEmit)
+			sent := nd.TakeDirect(j, capacity, sh.schedEmit)
 			if nd.Relay != nil && sent < capacity {
 				// Second hop: forward data relayed through us that has
 				// physically arrived by the start of this epoch.

@@ -1,0 +1,69 @@
+package negotiator
+
+import (
+	"testing"
+
+	"negotiator/internal/sim"
+	"negotiator/internal/topo"
+	"negotiator/internal/workload"
+)
+
+// permWorkload is a saturated-but-sparse traffic matrix: every ToR sends
+// one enormous flow to its cyclic successor at t=0, so each epoch has
+// exactly one active destination per source while 1023 of 1024 queues stay
+// empty. This is the regime where per-round work must be O(active), not
+// O(N): an N² sweep pays ~1M empty-queue reads per epoch for 1024 pairs
+// of actual demand.
+type permWorkload struct {
+	n, i int
+	size int64
+}
+
+func (g *permWorkload) Next() (workload.Arrival, bool) {
+	if g.i >= g.n {
+		return workload.Arrival{}, false
+	}
+	a := workload.Arrival{Src: g.i, Dst: (g.i + 1) % g.n, Size: g.size}
+	g.i++
+	return a, true
+}
+
+// sparseEngine1024 builds a 1024-ToR parallel-network engine saturated
+// with the permutation workload and runs it past the pipeline fill, so
+// every measured epoch exercises request/grant/accept and a full
+// scheduled phase on the single active destination per ToR.
+func sparseEngine1024(tb testing.TB, workers int) *Engine {
+	tb.Helper()
+	top, err := topo.NewParallel(1024, 8)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	e, err := New(Config{
+		Topology:  top,
+		HostRate:  sim.Gbps(400),
+		Piggyback: true,
+		Seed:      1,
+		Workers:   workers,
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	e.SetWorkload(&permWorkload{n: 1024, size: 1 << 32})
+	e.RunEpochs(8)
+	if !e.fab.WorkloadDone() {
+		tb.Fatal("sparse steady state not reached: workload not exhausted")
+	}
+	return e
+}
+
+// BenchmarkEpochSparse1024 measures the per-epoch cost at 1024 ToRs under
+// sparse traffic (1 active destination per ToR). BENCH_pr4.json records
+// the before/after trajectory of the occupancy-index port.
+func BenchmarkEpochSparse1024(b *testing.B) {
+	e := sparseEngine1024(b, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.runEpoch()
+	}
+}

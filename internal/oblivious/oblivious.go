@@ -316,11 +316,11 @@ func (e *Engine) admit(f *flows.Flow, at sim.Time) {
 			if k >= f.Src {
 				k++
 			}
-			nd.Lanes[k].PushBytes(f, n, off, at)
+			nd.PushLaneBytes(k, f, n, off, at)
 		}
 		return
 	}
-	nd.Direct[f.Dst].Push(f, at)
+	nd.PushDirect(f.Dst, f, at)
 }
 
 // initShards builds the shard contexts and their prebuilt emitters.
@@ -469,6 +469,7 @@ func (e *Engine) CheckRound() {
 	if err := e.fab.Ledger.Check(e.fab.QueuedInNodes()); err != nil {
 		panic(err)
 	}
+	e.fab.CheckOccupancy()
 }
 
 // drainStep is phase A for one shard: second-hop relay traffic destined to
@@ -527,15 +528,14 @@ func (sh *obShard) serveStep() {
 // caps the oblivious design's goodput under heavy load (paper §2).
 func (sh *obShard) serveLanes(src *fabric.Node, i, j int) {
 	e := sh.e
-	lane := src.Lanes[j]
-	d := lane.HeadDst()
+	d := src.Lanes[j].HeadDst()
 	if d < 0 {
 		return // idle slot
 	}
 	if d == j {
 		// The pre-assigned intermediate is the destination: one hop.
 		sh.txDst = j
-		lane.TakeHeadCell(e.cell, sh.sentEmit)
+		src.TakeLaneHeadCell(j, e.cell, sh.sentEmit)
 		return
 	}
 	headroom := e.cfg.RelayCap - e.fab.Nodes[j].Relay[d].Bytes()
@@ -547,7 +547,7 @@ func (sh *obShard) serveLanes(src *fabric.Node, i, j int) {
 		max = headroom
 	}
 	sh.txInter, sh.txDst = j, d
-	_, n := lane.TakeHeadCell(max, sh.pushEmit)
+	_, n := src.TakeLaneHeadCell(j, max, sh.pushEmit)
 	sh.noteTransit(j, n)
 }
 
@@ -560,9 +560,9 @@ func (sh *obShard) serve(src *fabric.Node, i, j int) {
 	e := sh.e
 	if e.cfg.OpportunisticDirect || e.cfg.DirectOnly {
 		// Direct traffic to j (source-side priority queues apply).
-		if !src.Direct[j].Empty() {
+		if src.QueuedBytes[j] > 0 {
 			sh.txDst = j
-			src.Direct[j].Take(e.cell, sh.sentEmit)
+			src.TakeDirect(j, e.cell, sh.sentEmit)
 			return
 		}
 		if e.cfg.DirectOnly {
@@ -572,33 +572,57 @@ func (sh *obShard) serve(src *fabric.Node, i, j int) {
 	// First hop: spray one fresh cell via j, bounded by j's relay headroom
 	// (idealised backpressure standing in for Sirius's congestion
 	// control). Data already destined to j delivers in one hop.
+	//
+	// The occupancy index replaces the dense SprayPtr walk: candidates are
+	// visited in the same cyclic order starting at SprayPtr, and the
+	// pointer lands one past the served destination — or stays put after a
+	// fruitless full scan — exactly where the dense walk left it, so the
+	// spray sequence is byte-identical at O(active) cost.
 	inter := e.fab.Nodes[j]
-	for scan := 0; scan < e.n; scan++ {
-		d := src.SprayPtr
-		src.SprayPtr++
-		if src.SprayPtr >= e.n {
-			src.SprayPtr = 0
+	start := src.SprayPtr
+	d := src.DirectOcc.Next(start - 1)
+	wrapped := false
+	for {
+		if d < 0 {
+			if wrapped {
+				return
+			}
+			wrapped = true
+			d = src.DirectOcc.Next(-1)
+			if d < 0 {
+				return
+			}
 		}
-		if d == i || src.Direct[d].Empty() {
-			continue
-		}
-		if d == j {
-			sh.txDst = j
-			src.Direct[d].Take(e.cell, sh.sentEmit)
+		if wrapped && d >= start {
 			return
 		}
-		headroom := e.cfg.RelayCap - inter.Relay[d].Bytes()
-		if headroom <= 0 {
-			continue // that VOQ is full; try another destination's data
+		if d != i {
+			if d == j {
+				sh.txDst = j
+				src.TakeDirect(d, e.cell, sh.sentEmit)
+				src.SprayPtr = d + 1
+				if src.SprayPtr >= e.n {
+					src.SprayPtr = 0
+				}
+				return
+			}
+			if headroom := e.cfg.RelayCap - inter.Relay[d].Bytes(); headroom > 0 {
+				max := e.cell
+				if max > headroom {
+					max = headroom
+				}
+				sh.txInter, sh.txDst = j, d
+				n := src.TakeDirect(d, max, sh.pushEmit)
+				sh.noteTransit(j, n)
+				src.SprayPtr = d + 1
+				if src.SprayPtr >= e.n {
+					src.SprayPtr = 0
+				}
+				return
+			}
+			// That VOQ is full; try another destination's data.
 		}
-		max := e.cell
-		if max > headroom {
-			max = headroom
-		}
-		sh.txInter, sh.txDst = j, d
-		n := src.Direct[d].Take(max, sh.pushEmit)
-		sh.noteTransit(j, n)
-		return
+		d = src.DirectOcc.Next(d)
 	}
 }
 

@@ -1,0 +1,42 @@
+package oblivious
+
+import (
+	"fmt"
+	"testing"
+
+	"negotiator/internal/sim"
+	"negotiator/internal/workload"
+)
+
+// TestOccupancyInvariant runs every service discipline with per-round
+// invariant checking on (relay counter, byte conservation, and the
+// occupancy-index/shadow exactness of fabric.Core.CheckOccupancy) across
+// worker counts. Run in CI under -race at -cpu 1,2,4.
+func TestOccupancyInvariant(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"sirius-lanes", func(c *Config) {}},
+		{"opportunistic", func(c *Config) { c.OpportunisticDirect = true }},
+		{"direct-only", func(c *Config) { c.DirectOnly = true }},
+		{"no-priority", func(c *Config) { c.PriorityQueues = false }},
+	}
+	for _, c := range cases {
+		for _, workers := range []int{1, 4} {
+			t.Run(fmt.Sprintf("%s/workers=%d", c.name, workers), func(t *testing.T) {
+				cfg := testConfig(t)
+				cfg.Workers = workers
+				c.mut(&cfg)
+				e, err := New(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				e.SetWorkload(workload.NewPoisson(workload.Hadoop(), 16, 0.9, cfg.HostRate, 7))
+				e.Run(100 * sim.Microsecond)
+				e.SetWorkload(nil)
+				e.Drain(20000)
+			})
+		}
+	}
+}

@@ -1,0 +1,59 @@
+package oblivious
+
+import (
+	"testing"
+
+	"negotiator/internal/sim"
+	"negotiator/internal/topo"
+	"negotiator/internal/workload"
+)
+
+// permWorkload is the saturated-but-sparse matrix: one enormous flow per
+// ToR to its cyclic successor. Under the slot-time-spray disciplines each
+// source holds exactly one non-empty destination queue, so the per-port
+// spray scan — which walks destinations looking for backlog — must be
+// O(active), not O(N).
+type permWorkload struct {
+	n, i int
+	size int64
+}
+
+func (g *permWorkload) Next() (workload.Arrival, bool) {
+	if g.i >= g.n {
+		return workload.Arrival{}, false
+	}
+	a := workload.Arrival{Src: g.i, Dst: (g.i + 1) % g.n, Size: g.size}
+	g.i++
+	return a, true
+}
+
+// BenchmarkSlotSparse1024 measures one timeslot at 1024 ToRs under sparse
+// traffic with the RotorLB-style opportunistic discipline (slot-time
+// spray over the per-destination queues). See BENCH_pr4.json.
+func BenchmarkSlotSparse1024(b *testing.B) {
+	top, err := topo.NewParallel(1024, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	e, err := New(Config{
+		Topology:            top,
+		HostRate:            sim.Gbps(400),
+		OpportunisticDirect: true,
+		Seed:                1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	e.SetWorkload(&permWorkload{n: 1024, size: 1 << 32})
+	for i := 0; i < 2*e.slots; i++ {
+		e.runSlot()
+	}
+	if !e.fab.WorkloadDone() {
+		b.Fatal("sparse steady state not reached: workload not exhausted")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.runSlot()
+	}
+}

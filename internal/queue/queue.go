@@ -19,6 +19,7 @@ package queue
 
 import (
 	"fmt"
+	"math/bits"
 
 	"negotiator/internal/flows"
 	"negotiator/internal/sim"
@@ -38,6 +39,51 @@ type Segment struct {
 	Enqueued sim.Time // when the segment entered this queue (for HoL stats)
 }
 
+// SegPool recycles the backing arrays FIFOs shed when they grow: a queue
+// deepening under flow churn reuses capacity another queue discarded
+// instead of allocating. Arrays are binned by power-of-two capacity and
+// cleared on return (no stale flow references). The pool is
+// unsynchronised: every queue GROWTH in the engines happens in a serial
+// phase (arrival admission, loss requeue, relay pushes in the serial
+// merge) — parallel phases only take, and takes never grow.
+type SegPool struct {
+	classes [33][][]Segment
+}
+
+// get returns an empty segment slice with capacity at least minCap. The
+// class granularity matches append's doubling, so pooled queues keep the
+// same compact arrays un-pooled queues would have — mostly-idle queues
+// must not be inflated to a larger class (cache footprint is the whole
+// point of the slab layout).
+func (p *SegPool) get(minCap int) []Segment {
+	if minCap < 2 {
+		minCap = 2
+	}
+	c := bits.Len(uint(minCap - 1)) // smallest c with 1<<c >= minCap
+	if free := p.classes[c]; len(free) > 0 {
+		arr := free[len(free)-1]
+		free[len(free)-1] = nil
+		p.classes[c] = free[:len(free)-1]
+		return arr
+	}
+	return make([]Segment, 0, 1<<c)
+}
+
+// put returns a discarded backing array to the pool, cleared.
+func (p *SegPool) put(arr []Segment) {
+	if cap(arr) < 2 {
+		return
+	}
+	arr = arr[:cap(arr)]
+	for i := range arr {
+		arr[i] = Segment{}
+	}
+	c := bits.Len(uint(cap(arr))) - 1 // largest c with 1<<c <= cap
+	if len(p.classes[c]) < 4096 {
+		p.classes[c] = append(p.classes[c], arr[:0])
+	}
+}
+
 // FIFO is a segment queue with O(1) amortised push/pop and no steady-state
 // allocation. The zero value is an empty queue ready for use.
 type FIFO struct {
@@ -47,13 +93,28 @@ type FIFO struct {
 }
 
 // Push appends a segment. Zero-byte segments are dropped.
-func (q *FIFO) Push(s Segment) {
+func (q *FIFO) Push(s Segment) { q.PushPool(nil, s) }
+
+// PushPool is Push with segment-array recycling: when the append would
+// grow the backing array and pool is non-nil, the replacement comes from
+// the pool and the old array is returned to it.
+func (q *FIFO) PushPool(pool *SegPool, s Segment) {
 	if s.Bytes <= 0 {
 		return
 	}
 	if q.head > 64 && q.head*2 >= len(q.segs) {
 		n := copy(q.segs, q.segs[q.head:])
 		q.segs = q.segs[:n]
+		q.head = 0
+	}
+	// Recycle only on genuine growth (cap 0 means the first push: plain
+	// append keeps the tiny-queue footprint identical to the unpooled
+	// path), doubling like append would.
+	if pool != nil && len(q.segs) == cap(q.segs) && cap(q.segs) > 0 {
+		grown := pool.get(2 * cap(q.segs))
+		grown = grown[:copy(grown[:cap(grown)], q.segs[q.head:])]
+		pool.put(q.segs)
+		q.segs = grown
 		q.head = 0
 	}
 	q.segs = append(q.segs, s)
@@ -174,10 +235,15 @@ func (q *FIFO) ReadyBytes(now sim.Time) int64 {
 }
 
 // DestQueue is the per-destination queue of one ToR: either a single FIFO
-// (priority queues disabled) or a PIAS multi-level feedback queue.
+// (priority queues disabled) or a PIAS multi-level feedback queue. The
+// aggregate byte counter is maintained by every push/take, so Bytes() and
+// Empty() are O(1) field reads — the per-round demand sweeps of the
+// engines read them N² times per epoch. DestQueue is embeddable by value:
+// NewSlab lays a whole VOQ set out contiguously.
 type DestQueue struct {
 	prios    []FIFO
 	priority bool
+	bytes    int64
 }
 
 // NewDestQueue returns a per-destination queue; priority selects the PIAS
@@ -188,6 +254,23 @@ func NewDestQueue(priority bool) *DestQueue {
 		n = NumPriorities
 	}
 	return &DestQueue{prios: make([]FIFO, n), priority: priority}
+}
+
+// NewSlab returns n per-destination queues laid out contiguously, with all
+// their priority FIFOs in one shared backing array: a node's whole VOQ set
+// is two allocations, and a dense sweep of Bytes()/Empty() walks
+// consecutive cache lines instead of chasing n heap pointers.
+func NewSlab(n int, priority bool) []DestQueue {
+	np := 1
+	if priority {
+		np = NumPriorities
+	}
+	fifos := make([]FIFO, n*np)
+	qs := make([]DestQueue, n)
+	for j := range qs {
+		qs[j] = DestQueue{prios: fifos[j*np : (j+1)*np : (j+1)*np], priority: priority}
+	}
+	return qs
 }
 
 // Push enqueues all bytes of flow f at time now, splitting across priority
@@ -201,11 +284,18 @@ func (d *DestQueue) Push(f *flows.Flow, now sim.Time) {
 // cumulative position in the flow, not by arrival order (a requeued byte
 // keeps its original priority).
 func (d *DestQueue) PushBytes(f *flows.Flow, n, off int64, now sim.Time) {
+	d.PushBytesPool(nil, f, n, off, now)
+}
+
+// PushBytesPool is PushBytes with segment-array recycling (see
+// FIFO.PushPool).
+func (d *DestQueue) PushBytesPool(pool *SegPool, f *flows.Flow, n, off int64, now sim.Time) {
 	if n <= 0 {
 		return
 	}
+	d.bytes += n
 	if !d.priority {
-		d.prios[0].Push(Segment{Flow: f, Bytes: n, Enqueued: now})
+		d.prios[0].PushPool(pool, Segment{Flow: f, Bytes: n, Enqueued: now})
 		return
 	}
 	bounds := [...]int64{DefaultPrio0Bytes, DefaultPrio1Bytes, 1 << 62}
@@ -217,7 +307,7 @@ func (d *DestQueue) PushBytes(f *flows.Flow, n, off int64, now sim.Time) {
 		if take > n {
 			take = n
 		}
-		d.prios[p].Push(Segment{Flow: f, Bytes: take, Enqueued: now})
+		d.prios[p].PushPool(pool, Segment{Flow: f, Bytes: take, Enqueued: now})
 		off += take
 		n -= take
 	}
@@ -226,8 +316,13 @@ func (d *DestQueue) PushBytes(f *flows.Flow, n, off int64, now sim.Time) {
 	}
 }
 
-// Bytes reports the total queued bytes across all priorities.
-func (d *DestQueue) Bytes() int64 {
+// Bytes reports the total queued bytes across all priorities (an O(1)
+// field read; the counter is maintained by push/take).
+func (d *DestQueue) Bytes() int64 { return d.bytes }
+
+// Recount sums the per-priority FIFO byte counters — the figure the
+// aggregate must match, for invariant checks.
+func (d *DestQueue) Recount() int64 {
 	var total int64
 	for i := range d.prios {
 		total += d.prios[i].bytes
@@ -236,7 +331,7 @@ func (d *DestQueue) Bytes() int64 {
 }
 
 // Empty reports whether no bytes are queued.
-func (d *DestQueue) Empty() bool { return d.Bytes() == 0 }
+func (d *DestQueue) Empty() bool { return d.bytes == 0 }
 
 // Take removes up to max bytes, serving priorities in order and FIFO within
 // each priority. It returns the bytes taken.
@@ -248,6 +343,7 @@ func (d *DestQueue) Take(max int64, emit func(f *flows.Flow, n int64)) int64 {
 		}
 		taken += d.prios[p].Take(max-taken, emit)
 	}
+	d.bytes -= taken
 	return taken
 }
 
@@ -269,7 +365,9 @@ func (d *DestQueue) HeadDst() int {
 func (d *DestQueue) TakeHeadCell(max int64, emit func(f *flows.Flow, n int64)) (dst int, taken int64) {
 	for p := range d.prios {
 		if !d.prios[p].Empty() {
-			return d.prios[p].TakeCell(max, emit)
+			dst, taken = d.prios[p].TakeCell(max, emit)
+			d.bytes -= taken
+			return dst, taken
 		}
 	}
 	return -1, 0
@@ -279,7 +377,9 @@ func (d *DestQueue) TakeHeadCell(max int64, emit func(f *flows.Flow, n int64)) (
 // (elephant) queue, used by the traffic-aware selective relay variant
 // (App. A.2.2), which relays only elephant-class data.
 func (d *DestQueue) TakeLowestOnly(max int64, emit func(f *flows.Flow, n int64)) int64 {
-	return d.prios[len(d.prios)-1].Take(max, emit)
+	taken := d.prios[len(d.prios)-1].Take(max, emit)
+	d.bytes -= taken
+	return taken
 }
 
 // LowestPriorityBytes reports the bytes queued at the lowest priority.
