@@ -1,0 +1,92 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+
+	negotiator "negotiator"
+)
+
+// The skewed/permutation traffic-matrix sweep (ROADMAP scenario-diversity
+// item): the paper evaluates uniform random endpoints only, but real
+// datacenter services concentrate traffic on a few hot services, and the
+// adversarial extreme of that concentration is a permutation matrix. This
+// sweep shows where each control plane's assumptions bend: destination
+// hotspots serialise the hot ToRs' downlinks (scheduling cannot create
+// receiver bandwidth), while the hybrid's mice-bandwidth cap and the
+// oblivious baseline's doubled volume shift relative to NegotiaToR as
+// skew grows.
+
+func init() {
+	register(Experiment{ID: "ext-skew", Title: "Extension: skewed and permutation traffic matrices (hotspot destinations, sparse permutation)", Run: runExtSkew})
+}
+
+// runExtSkew runs each control plane on the parallel network under
+// increasingly skewed matrices at a fixed 75% offered load: uniform,
+// half the traffic into N/8 hot ToRs, 80% into 2 hot ToRs, and the
+// saturated sparse permutation (one elephant per ToR to its successor,
+// sized to the run's offered load). One cell per (matrix, system).
+func runExtSkew(o Options, w io.Writer) error {
+	d := o.duration()
+	const load = 0.75
+	r := o.runner()
+	r.Header("%-16s | %-11s | %-12s | %-12s | %-8s", "matrix", "system", "mice99p(ms)", "all 99p(ms)", "goodput")
+	systems := []struct {
+		name  string
+		plane negotiator.ControlPlaneKind
+	}{
+		{"negotiator", negotiator.NegotiaToRPlane},
+		{"oblivious", negotiator.ObliviousPlane},
+		{"hybrid", negotiator.HybridPlane},
+	}
+	type matrix struct {
+		name string
+		gen  func(spec negotiator.Spec) (negotiator.Workload, error)
+	}
+	matrices := []matrix{
+		{"uniform", func(spec negotiator.Spec) (negotiator.Workload, error) {
+			return negotiator.PoissonWorkload(spec, negotiator.Hadoop, load, 7+o.Seed), nil
+		}},
+		{"hot-50%/N÷8", func(spec negotiator.Spec) (negotiator.Workload, error) {
+			hot := spec.ToRs / 8
+			if hot < 1 {
+				hot = 1
+			}
+			return negotiator.HotspotWorkload(spec, negotiator.Hadoop, load, hot, 0.5, 7+o.Seed)
+		}},
+		{"hot-80%/2", func(spec negotiator.Spec) (negotiator.Workload, error) {
+			return negotiator.HotspotWorkload(spec, negotiator.Hadoop, load, 2, 0.8, 7+o.Seed)
+		}},
+		{"permutation", func(spec negotiator.Spec) (negotiator.Workload, error) {
+			// One elephant per ToR, sized so the matrix offers ~load of
+			// each host link over the run.
+			size := int64(load * spec.HostRate.BytesPerSecond() * d.Seconds())
+			return negotiator.PermutationWorkload(spec, 0, size, 0)
+		}},
+	}
+	if o.Quick {
+		matrices = []matrix{matrices[0], matrices[2], matrices[3]}
+	}
+	for _, m := range matrices {
+		for _, sys := range systems {
+			m, sys := m, sys
+			r.Cell(func(w io.Writer) error {
+				spec := o.baseSpec()
+				spec.Topology = negotiator.ParallelNetwork
+				spec.ControlPlane = sys.plane
+				wl, err := m.gen(spec)
+				if err != nil {
+					return err
+				}
+				sum, err := run(spec, wl, d)
+				if err != nil {
+					return err
+				}
+				fmt.Fprintf(w, "%-16s | %-11s | %s | %s | %8.3f\n",
+					m.name, sys.name, fmtFCT(sum.Mice99p), fmtFCT(sum.All99p), sum.GoodputNormalized)
+				return nil
+			})
+		}
+	}
+	return r.Flush(w)
+}

@@ -177,9 +177,20 @@ func New(cfg Config) (*Core, error) {
 	if c.RNG == nil {
 		c.RNG = sim.NewRNG(cfg.Seed)
 	}
+	// Nodes are lazy: construction allocates only the node headers and
+	// the shared slab spec; queue slabs, shadows and occupancy indexes
+	// materialize per node (per class) on first push, so a mostly-idle
+	// 4096-ToR fabric costs O(active nodes), not O(N²) FIFOs.
+	spec := &nodeSpec{
+		n:           c.N,
+		priority:    cfg.PriorityQueues,
+		lanes:       cfg.Lanes,
+		relay:       cfg.Relay,
+		cumInjected: cfg.CumInjected,
+	}
 	c.Nodes = make([]*Node, c.N)
 	for i := range c.Nodes {
-		c.Nodes[i] = newNode(c.N, cfg, &c.segPool)
+		c.Nodes[i] = newNode(spec, &c.segPool)
 	}
 	c.Workers = cfg.Workers
 	if c.Workers < 1 {
@@ -456,10 +467,20 @@ func (c *Core) QueuedInNodes() int64 {
 
 // CheckOccupancy asserts every node's occupancy indexes, QueuedBytes
 // shadow and per-queue aggregate counters exactly mirror the queue
-// contents — the invariant the choke points maintain. Engines run it per
+// contents — the invariant the choke points maintain — and that
+// unmaterialized slabs report empty/zero everywhere. Engines run it per
 // round under CheckInvariants; it costs O(N²), like the ledger check.
 func (c *Core) CheckOccupancy() {
 	for i, nd := range c.Nodes {
 		nd.checkOccupancy(i)
+	}
+}
+
+// MaterializeAll eagerly allocates every node's configured slabs, exactly
+// as pre-PR-5 construction did. Lazy-vs-eager equivalence tests call it;
+// simulations never need to.
+func (c *Core) MaterializeAll() {
+	for _, nd := range c.Nodes {
+		nd.Materialize()
 	}
 }

@@ -259,3 +259,88 @@ func TestFlowPoolRecycles(t *testing.T) {
 		t.Fatal("second flow did not reuse the recycled record")
 	}
 }
+
+// TestLazyNodesReportEmpty pins the lazy-slab contract: a freshly built
+// core owns no queue memory, every unmaterialized node reads as
+// empty/zero through all accessors (including zero-takes), the first push
+// materializes exactly the touched class of the touched node, and
+// CheckOccupancy accepts every intermediate state.
+func TestLazyNodesReportEmpty(t *testing.T) {
+	top, err := topo.NewParallel(8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := New(Config{Topology: top, PriorityQueues: true, Lanes: true, Relay: true, CumInjected: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	discard := func(fl *flows.Flow, n int64) {}
+	for i, nd := range c.Nodes {
+		if nd.Direct != nil || nd.Lanes != nil || nd.Relay != nil || nd.QueuedBytes != nil || nd.CumInjected != nil {
+			t.Fatalf("node %d owns slab memory before any push", i)
+		}
+		if nd.DirectBytes != 0 || nd.LanesBytes != 0 || nd.RelayBytes != 0 {
+			t.Fatalf("node %d has non-zero aggregates before any push", i)
+		}
+		if nd.DirectQueuedBytes(3) != 0 || nd.RelayQueuedBytes(3) != 0 {
+			t.Fatalf("node %d accessor reports phantom bytes", i)
+		}
+		if nd.NextDirectOrRelay(-1) != -1 || nd.DirectOcc.Next(-1) != -1 {
+			t.Fatalf("node %d occupancy iterates while unmaterialized", i)
+		}
+		if nd.TakeDirect(1, 100, discard) != 0 || nd.TakeLane(1, 100, discard) != 0 ||
+			nd.DrainRelay(1, 100, 1<<40, discard) != 0 {
+			t.Fatalf("node %d take from unmaterialized slab returned bytes", i)
+		}
+		if d, n := nd.TakeLaneHeadCell(1, 100, discard); d != -1 || n != 0 {
+			t.Fatalf("node %d TakeLaneHeadCell on nil lanes = (%d, %d)", i, d, n)
+		}
+		if !nd.RelayEnabled() {
+			t.Fatalf("node %d: relay configured but RelayEnabled false", i)
+		}
+	}
+	c.CheckOccupancy()
+
+	// First direct push materializes Direct (+shadow, index, CumInjected)
+	// of node 2 only; lanes and relay stay nil until their first push.
+	f := &flows.Flow{ID: 1, Src: 2, Dst: 5, Size: 4096}
+	c.Nodes[2].PushDirect(5, f, 0)
+	if c.Nodes[2].Direct == nil || c.Nodes[2].QueuedBytes == nil || c.Nodes[2].CumInjected == nil {
+		t.Fatal("direct push did not materialize the direct class")
+	}
+	if c.Nodes[2].Lanes != nil || c.Nodes[2].Relay != nil {
+		t.Fatal("direct push materialized unrelated classes")
+	}
+	if c.Nodes[3].Direct != nil {
+		t.Fatal("push on node 2 materialized node 3")
+	}
+	c.Nodes[2].PushRelay(1, queue.Segment{Flow: f, Bytes: 100, Enqueued: 0})
+	if c.Nodes[2].Relay == nil || c.Nodes[2].Lanes != nil {
+		t.Fatal("relay push materialized the wrong classes")
+	}
+	c.CheckOccupancy()
+
+	// Regression: a RELAY-ONLY node (relay materialized, direct not) must
+	// still surface its queued relay data through the union sweep — the
+	// predefined phase walks NextDirectOrRelay, and lazy == eager demands
+	// the relay entry is visited even with DirectOcc unmaterialized.
+	c.Nodes[4].PushRelay(5, queue.Segment{Flow: f, Bytes: 64, Enqueued: 0})
+	if c.Nodes[4].Direct != nil {
+		t.Fatal("relay push materialized the direct class")
+	}
+	if got := c.Nodes[4].NextDirectOrRelay(-1); got != 5 {
+		t.Fatalf("relay-only node NextDirectOrRelay(-1) = %d, want 5", got)
+	}
+	if got := c.Nodes[4].NextDirectOrRelay(5); got != -1 {
+		t.Fatalf("relay-only node NextDirectOrRelay(5) = %d, want -1", got)
+	}
+
+	// MaterializeAll is the eager escape hatch tests compare against.
+	c.MaterializeAll()
+	for i, nd := range c.Nodes {
+		if nd.Direct == nil || nd.Lanes == nil || nd.Relay == nil {
+			t.Fatalf("node %d not fully materialized by MaterializeAll", i)
+		}
+	}
+	c.CheckOccupancy()
+}

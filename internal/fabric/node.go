@@ -15,11 +15,23 @@ import (
 //
 // Queue sets are contiguous value slabs (one allocation per set, see
 // queue.NewSlab) shadowed by the dense QueuedBytes array and the
-// per-class occupancy indexes. Engines may READ the slabs freely
-// (Bytes/Empty/HeadDst/WeightedHoL/...), but every MUTATION must go
-// through the Push*/Take*/Drain* choke points below, which keep the
-// shadow and the indexes exact — the occupancy invariant engines assert
-// under CheckInvariants (Core.CheckOccupancy).
+// per-class occupancy indexes. Slabs materialize LAZILY: a fresh node
+// owns no queue memory at all, and each class (Direct with its shadow
+// and index, Lanes, Relay) allocates on the first push into it — so a
+// fabric's footprint scales with the nodes (and classes) traffic
+// actually occupies, not with topology size. Every push happens in a
+// serial phase (arrival admission, loss requeue, the engines' serial
+// merges), so materialization never races with the parallel phases'
+// reads, and an unmaterialized class reads as empty/zero everywhere
+// (nil slab, zero aggregate, empty occupancy index).
+//
+// Engines may READ materialized slabs freely
+// (Bytes/Empty/HeadDst/WeightedHoL/...) but must tolerate nil slabs on
+// nodes they merely probe (use the *QueuedBytes/HeadReady accessors
+// below, or check the slab). Every MUTATION must go through the
+// Push*/Take*/Drain* choke points, which keep the shadow, the aggregates
+// and the indexes exact — the occupancy invariant engines assert under
+// CheckInvariants (Core.CheckOccupancy).
 type Node struct {
 	// Direct holds data per final destination: the NegotiaToR VOQs, the
 	// baseline's direct queues, the hybrid's elephant queues.
@@ -33,6 +45,12 @@ type Node struct {
 	// tallies it in two places.
 	Relay      []queue.FIFO
 	RelayBytes int64
+	// DirectBytes and LanesBytes are the per-class aggregate byte
+	// counters (RelayBytes' counterparts), maintained by the choke
+	// points: an engine skips a whole node's per-port round work with one
+	// O(1) read instead of scanning its occupancy words.
+	DirectBytes int64
+	LanesBytes  int64
 	// QueuedBytes shadows Direct[j].Bytes() in a dense array, so matcher
 	// demand views read 8-byte-strided memory instead of queue structs.
 	QueuedBytes []int64
@@ -50,9 +68,22 @@ type Node struct {
 	// source requeue.
 	Losses []Loss
 
+	// spec remembers the topology size and class configuration the lazy
+	// slabs materialize to (shared by every node of a core).
+	spec *nodeSpec
 	// pool recycles segment arrays fabric-wide (the core's; see
 	// queue.SegPool for why it may be unsynchronised).
 	pool *queue.SegPool
+}
+
+// nodeSpec is the shared recipe lazy materialization follows: the
+// per-class slab sizes and options of Config, captured once per core.
+type nodeSpec struct {
+	n           int
+	priority    bool
+	lanes       bool
+	relay       bool
+	cumInjected bool
 }
 
 // Loss books one run of failure-destroyed bytes: flow, destination, flow
@@ -65,26 +96,53 @@ type Loss struct {
 	At  sim.Time
 }
 
-func newNode(n int, cfg Config, pool *queue.SegPool) *Node {
-	nd := &Node{
-		Direct:      queue.NewSlab(n, cfg.PriorityQueues),
-		QueuedBytes: make([]int64, n),
-		DirectOcc:   newOccSet(n),
-		pool:        pool,
-	}
-	if cfg.Lanes {
-		nd.Lanes = queue.NewSlab(n, cfg.PriorityQueues)
-		nd.LanesOcc = newOccSet(n)
-	}
-	if cfg.Relay {
-		nd.Relay = make([]queue.FIFO, n)
-		nd.RelayOcc = newOccSet(n)
-	}
-	if cfg.CumInjected {
-		nd.CumInjected = make([]int64, n)
-	}
-	return nd
+func newNode(spec *nodeSpec, pool *queue.SegPool) *Node {
+	return &Node{spec: spec, pool: pool}
 }
+
+// materializeDirect allocates the direct VOQ slab with its QueuedBytes
+// shadow, occupancy index and (when configured) the cumulative-injected
+// table. Called from the push choke points on first use; pushes happen
+// only in serial phases, so growth never races with parallel reads.
+func (nd *Node) materializeDirect() {
+	nd.Direct = queue.NewSlab(nd.spec.n, nd.spec.priority)
+	nd.QueuedBytes = make([]int64, nd.spec.n)
+	nd.DirectOcc = newOccSet(nd.spec.n)
+	if nd.spec.cumInjected {
+		nd.CumInjected = make([]int64, nd.spec.n)
+	}
+}
+
+// materializeLanes allocates the secondary VOQ slab and its index.
+func (nd *Node) materializeLanes() {
+	nd.Lanes = queue.NewSlab(nd.spec.n, nd.spec.priority)
+	nd.LanesOcc = newOccSet(nd.spec.n)
+}
+
+// materializeRelay allocates the relay FIFO slab and its index.
+func (nd *Node) materializeRelay() {
+	nd.Relay = make([]queue.FIFO, nd.spec.n)
+	nd.RelayOcc = newOccSet(nd.spec.n)
+}
+
+// Materialize eagerly allocates every class the node's configuration
+// enables, as pre-PR-5 construction did. Tests use it to prove lazy and
+// eager fabrics produce byte-identical results.
+func (nd *Node) Materialize() {
+	if nd.Direct == nil {
+		nd.materializeDirect()
+	}
+	if nd.spec.lanes && nd.Lanes == nil {
+		nd.materializeLanes()
+	}
+	if nd.spec.relay && nd.Relay == nil {
+		nd.materializeRelay()
+	}
+}
+
+// RelayEnabled reports whether the node's configuration carries relay
+// FIFOs (whether or not they have materialized yet).
+func (nd *Node) RelayEnabled() bool { return nd.spec.relay }
 
 // PushDirect enqueues all bytes of flow f for destination dst at time now.
 func (nd *Node) PushDirect(dst int, f *flows.Flow, at sim.Time) {
@@ -97,16 +155,24 @@ func (nd *Node) PushDirectBytes(dst int, f *flows.Flow, n, off int64, at sim.Tim
 	if n <= 0 {
 		return
 	}
+	if nd.Direct == nil {
+		nd.materializeDirect()
+	}
 	nd.Direct[dst].PushBytesPool(nd.pool, f, n, off, at)
 	nd.QueuedBytes[dst] += n
+	nd.DirectBytes += n
 	nd.DirectOcc.Set(dst)
 }
 
 // TakeDirect removes up to max bytes from the dst VOQ (priorities in
 // order, FIFO within each), returning the bytes taken.
 func (nd *Node) TakeDirect(dst int, max int64, emit func(f *flows.Flow, n int64)) int64 {
+	if nd.Direct == nil {
+		return 0
+	}
 	taken := nd.Direct[dst].Take(max, emit)
 	if taken > 0 {
+		nd.DirectBytes -= taken
 		if nd.QueuedBytes[dst] -= taken; nd.QueuedBytes[dst] == 0 {
 			nd.DirectOcc.Clear(dst)
 		}
@@ -118,8 +184,12 @@ func (nd *Node) TakeDirect(dst int, max int64, emit func(f *flows.Flow, n int64)
 // lowest-priority (elephant) class only — the selective relay's first-hop
 // source drain.
 func (nd *Node) TakeDirectLowest(dst int, max int64, emit func(f *flows.Flow, n int64)) int64 {
+	if nd.Direct == nil {
+		return 0
+	}
 	taken := nd.Direct[dst].TakeLowestOnly(max, emit)
 	if taken > 0 {
+		nd.DirectBytes -= taken
 		if nd.QueuedBytes[dst] -= taken; nd.QueuedBytes[dst] == 0 {
 			nd.DirectOcc.Clear(dst)
 		}
@@ -137,15 +207,25 @@ func (nd *Node) PushLaneBytes(dst int, f *flows.Flow, n, off int64, at sim.Time)
 	if n <= 0 {
 		return
 	}
+	if nd.Lanes == nil {
+		nd.materializeLanes()
+	}
 	nd.Lanes[dst].PushBytesPool(nd.pool, f, n, off, at)
+	nd.LanesBytes += n
 	nd.LanesOcc.Set(dst)
 }
 
 // TakeLane removes up to max bytes from lane dst.
 func (nd *Node) TakeLane(dst int, max int64, emit func(f *flows.Flow, n int64)) int64 {
+	if nd.Lanes == nil {
+		return 0
+	}
 	taken := nd.Lanes[dst].Take(max, emit)
-	if taken > 0 && nd.Lanes[dst].Empty() {
-		nd.LanesOcc.Clear(dst)
+	if taken > 0 {
+		nd.LanesBytes -= taken
+		if nd.Lanes[dst].Empty() {
+			nd.LanesOcc.Clear(dst)
+		}
 	}
 	return taken
 }
@@ -154,9 +234,15 @@ func (nd *Node) TakeLane(dst int, max int64, emit func(f *flows.Flow, n int64)) 
 // lane dst's head (see queue.DestQueue.TakeHeadCell), returning the
 // destination served and the bytes taken.
 func (nd *Node) TakeLaneHeadCell(dst int, max int64, emit func(f *flows.Flow, n int64)) (int, int64) {
+	if nd.Lanes == nil {
+		return -1, 0
+	}
 	d, taken := nd.Lanes[dst].TakeHeadCell(max, emit)
-	if taken > 0 && nd.Lanes[dst].Empty() {
-		nd.LanesOcc.Clear(dst)
+	if taken > 0 {
+		nd.LanesBytes -= taken
+		if nd.Lanes[dst].Empty() {
+			nd.LanesOcc.Clear(dst)
+		}
 	}
 	return d, taken
 }
@@ -167,6 +253,9 @@ func (nd *Node) PushRelay(dst int, s queue.Segment) {
 	if s.Bytes <= 0 {
 		return
 	}
+	if nd.Relay == nil {
+		nd.materializeRelay()
+	}
 	nd.Relay[dst].PushPool(nd.pool, s)
 	nd.RelayBytes += s.Bytes
 	nd.RelayOcc.Set(dst)
@@ -176,6 +265,9 @@ func (nd *Node) PushRelay(dst int, s queue.Segment) {
 // arrived by now, maintaining the aggregate counter. It returns the bytes
 // taken.
 func (nd *Node) DrainRelay(dst int, max int64, now sim.Time, emit func(f *flows.Flow, n int64)) int64 {
+	if nd.Relay == nil {
+		return 0
+	}
 	taken := nd.Relay[dst].TakeReady(max, now, emit)
 	if taken > 0 {
 		nd.RelayBytes -= taken
@@ -200,6 +292,25 @@ func (nd *Node) NextDirectOrRelay(after int) int {
 // the given aggregate cap.
 func (nd *Node) RelayHeadroom(cap int64) int64 { return cap - nd.RelayBytes }
 
+// RelayQueuedBytes reports the relay backlog for dst, zero when the relay
+// slab has not materialized — the nil-safe read engines use to probe
+// OTHER nodes (a spray source checking an intermediate's VOQ headroom).
+func (nd *Node) RelayQueuedBytes(dst int) int64 {
+	if nd.Relay == nil {
+		return 0
+	}
+	return nd.Relay[dst].Bytes()
+}
+
+// DirectQueuedBytes reports the direct backlog for dst, zero when the
+// direct slab has not materialized.
+func (nd *Node) DirectQueuedBytes(dst int) int64 {
+	if nd.QueuedBytes == nil {
+		return 0
+	}
+	return nd.QueuedBytes[dst]
+}
+
 // CheckRelayCounter asserts the aggregate counter matches the FIFO
 // contents (per-round invariant of relay-carrying control planes).
 func (nd *Node) CheckRelayCounter() {
@@ -215,9 +326,27 @@ func (nd *Node) CheckRelayCounter() {
 	}
 }
 
-// checkOccupancy asserts the QueuedBytes shadow, the per-queue aggregate
-// counters and all three occupancy indexes exactly mirror queue contents.
+// checkOccupancy asserts the QueuedBytes shadow, the per-queue and
+// per-class aggregate counters and all three occupancy indexes exactly
+// mirror queue contents — including that unmaterialized classes report
+// empty/zero everywhere (nil slab, nil shadow, zero aggregate).
 func (nd *Node) checkOccupancy(tor int) {
+	if nd.Direct == nil {
+		if nd.DirectBytes != 0 || nd.QueuedBytes != nil || nd.DirectOcc.words != nil || nd.CumInjected != nil {
+			panic(fmt.Sprintf("fabric: tor %d unmaterialized direct slab with residue (bytes=%d)", tor, nd.DirectBytes))
+		}
+	}
+	if nd.Lanes == nil {
+		if nd.LanesBytes != 0 || nd.LanesOcc.words != nil {
+			panic(fmt.Sprintf("fabric: tor %d unmaterialized lane slab with residue (bytes=%d)", tor, nd.LanesBytes))
+		}
+	}
+	if nd.Relay == nil {
+		if nd.RelayBytes != 0 || nd.RelayOcc.words != nil {
+			panic(fmt.Sprintf("fabric: tor %d unmaterialized relay slab with residue (bytes=%d)", tor, nd.RelayBytes))
+		}
+	}
+	var direct, lanes int64
 	for j := range nd.Direct {
 		b := nd.Direct[j].Bytes()
 		if r := nd.Direct[j].Recount(); r != b {
@@ -229,6 +358,7 @@ func (nd *Node) checkOccupancy(tor int) {
 		if nd.DirectOcc.Has(j) != (b > 0) {
 			panic(fmt.Sprintf("fabric: tor %d direct occupancy[%d] = %v, queue holds %d", tor, j, nd.DirectOcc.Has(j), b))
 		}
+		direct += b
 	}
 	for j := range nd.Lanes {
 		b := nd.Lanes[j].Bytes()
@@ -238,10 +368,17 @@ func (nd *Node) checkOccupancy(tor int) {
 		if nd.LanesOcc.Has(j) != (b > 0) {
 			panic(fmt.Sprintf("fabric: tor %d lane occupancy[%d] = %v, queue holds %d", tor, j, nd.LanesOcc.Has(j), b))
 		}
+		lanes += b
 	}
 	for j := range nd.Relay {
 		if nd.RelayOcc.Has(j) != !nd.Relay[j].Empty() {
 			panic(fmt.Sprintf("fabric: tor %d relay occupancy[%d] = %v, queue holds %d", tor, j, nd.RelayOcc.Has(j), nd.Relay[j].Bytes()))
 		}
+	}
+	if direct != nd.DirectBytes {
+		panic(fmt.Sprintf("fabric: tor %d DirectBytes = %d, queues hold %d", tor, nd.DirectBytes, direct))
+	}
+	if lanes != nd.LanesBytes {
+		panic(fmt.Sprintf("fabric: tor %d LanesBytes = %d, queues hold %d", tor, nd.LanesBytes, lanes))
 	}
 }

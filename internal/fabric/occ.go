@@ -53,11 +53,17 @@ func (s *OccSet) Next(after int) int {
 }
 
 // nextUnion returns the smallest index strictly greater than after that is
-// a member of a or b (b may be nil), scanning the OR of the two masks one
-// word at a time.
+// a member of a or b (either may be empty/unmaterialized), scanning the OR
+// of the two masks one word at a time. Materialized sets of one node share
+// one size, so a single bound covers the joint scan.
 func nextUnion(a, b *OccSet, after int) int {
 	if b == nil || b.words == nil {
 		return a.Next(after)
+	}
+	if a.words == nil {
+		// Relay-only node: the direct set never materialized, but queued
+		// relay data must still be visited (lazy == eager).
+		return b.Next(after)
 	}
 	i := after + 1
 	if i < 0 {

@@ -114,6 +114,10 @@ type torCtl struct {
 	reqIn   []match.Request
 	grantIn []match.Grant
 	matches []int32
+	// hasMatches is false only when matches is all -1 (see the NegotiaToR
+	// engine's tor.hasMatches): idle ToRs skip the O(S) clear and the
+	// elephant port walk.
+	hasMatches bool
 }
 
 // torView exposes elephant demand only to the matcher.
@@ -122,9 +126,13 @@ type torView struct {
 	i int
 }
 
-func (v *torView) QueuedBytes(dst int) int64 { return v.e.fab.Nodes[v.i].QueuedBytes[dst] }
+func (v *torView) QueuedBytes(dst int) int64 { return v.e.fab.Nodes[v.i].DirectQueuedBytes(dst) }
 func (v *torView) WeightedHoL(dst int, alpha float64) float64 {
-	return v.e.fab.Nodes[v.i].Direct[dst].WeightedHoL(v.e.fab.Now(), alpha)
+	nd := v.e.fab.Nodes[v.i]
+	if nd.Direct == nil {
+		return 0
+	}
+	return nd.Direct[dst].WeightedHoL(v.e.fab.Now(), alpha)
 }
 func (v *torView) CumInjected(dst int) int64 { return 0 }
 
@@ -211,11 +219,11 @@ func New(cfg Config) (*Engine, error) {
 	e.tors = make([]*torCtl, e.n)
 	e.views = make([]torView, e.n)
 	for i := range e.tors {
-		t := &torCtl{
-			reqIn:   make([]match.Request, 0, e.n-1),
-			grantIn: make([]match.Grant, 0, e.n-1),
-			matches: make([]int32, e.s),
-		}
+		// Mailboxes grow on demand (capacity retained via in[:0]), so a
+		// ToR's footprint follows received traffic instead of pre-paying
+		// n-1 slots — the same O(N²) construction floor the fabric's
+		// lazy node slabs remove.
+		t := &torCtl{matches: make([]int32, e.s)}
 		for p := range t.matches {
 			t.matches[p] = -1
 		}
@@ -398,15 +406,19 @@ func (sh *hyShard) transmitStep() {
 		if len(t.grantIn) > 0 {
 			sh.matcher.Accepts(i, &e.views[i], t.grantIn, t.matches, nil)
 			t.grantIn = t.grantIn[:0]
+			any := false
 			for _, d := range t.matches {
 				if d >= 0 {
 					sh.accepts++
+					any = true
 				}
 			}
-		} else {
+			t.hasMatches = any
+		} else if t.hasMatches {
 			for p := range t.matches {
 				t.matches[p] = -1
 			}
+			t.hasMatches = false
 		}
 		nd := e.fab.Nodes[i]
 		// Mice ride the round-robin: one piggyback payload per connected
@@ -425,14 +437,16 @@ func (sh *hyShard) transmitStep() {
 			}
 		}
 		// Elephants use the negotiated connections.
-		for _, dj := range t.matches {
-			if dj < 0 {
-				continue
+		if t.hasMatches {
+			for _, dj := range t.matches {
+				if dj < 0 {
+					continue
+				}
+				sh.txDst = int(dj)
+				sh.txPos = 0
+				sh.txAt = phaseStart
+				nd.TakeDirect(int(dj), capacity, sh.schedEmit)
 			}
-			sh.txDst = int(dj)
-			sh.txPos = 0
-			sh.txAt = phaseStart
-			nd.TakeDirect(int(dj), capacity, sh.schedEmit)
 		}
 	}
 }

@@ -39,4 +39,32 @@ func TestOccupancyInvariant(t *testing.T) {
 			})
 		}
 	}
+
+	// Sparse permutation leaving most nodes unmaterialized: each
+	// per-round CheckOccupancy also asserts the lazy-slab contract.
+	t.Run("sparse-lazy", func(t *testing.T) {
+		top, err := topo.NewParallel(64, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, err := New(Config{Topology: top, Seed: 1, CheckInvariants: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		perm, err := workload.NewPermutation(64, 16, 1<<20, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e.SetWorkload(perm)
+		e.RunEpochs(40)
+		e.SetWorkload(nil)
+		if !e.Drain(4000) {
+			t.Fatal("sparse permutation did not drain")
+		}
+		for i := 16; i < 64; i++ {
+			if e.fab.Nodes[i].Direct != nil || e.fab.Nodes[i].Lanes != nil {
+				t.Fatalf("idle node %d materialized", i)
+			}
+		}
+	})
 }

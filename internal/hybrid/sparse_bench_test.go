@@ -8,30 +8,17 @@ import (
 	"negotiator/internal/workload"
 )
 
-// permWorkload is the saturated-but-sparse matrix: one enormous elephant
-// per ToR to its cyclic successor, 1023 of 1024 elephant queues empty and
+// The sparse benchmarks run workload.Permutation: one enormous elephant
+// per active ToR to its cyclic successor, every other elephant queue and
 // every mice queue empty. The mice sweep and the elephant demand view are
-// exactly the paths that must be O(active destinations) here.
-type permWorkload struct {
-	n, i int
-	size int64
-}
+// exactly the paths that must be O(active destinations) here; at 4096
+// ToRs the lazy node slabs additionally keep memory O(active nodes).
 
-func (g *permWorkload) Next() (workload.Arrival, bool) {
-	if g.i >= g.n {
-		return workload.Arrival{}, false
-	}
-	a := workload.Arrival{Src: g.i, Dst: (g.i + 1) % g.n, Size: g.size}
-	g.i++
-	return a, true
-}
-
-// BenchmarkEpochSparse1024 measures the hybrid per-epoch cost at 1024 ToRs
-// with one active elephant destination per ToR (see BENCH_pr4.json).
-func BenchmarkEpochSparse1024(b *testing.B) {
-	top, err := topo.NewParallel(1024, 8)
+func sparseEngine(tb testing.TB, n, active int) *Engine {
+	tb.Helper()
+	top, err := topo.NewParallel(n, 8)
 	if err != nil {
-		b.Fatal(err)
+		tb.Fatal(err)
 	}
 	e, err := New(Config{
 		Topology: top,
@@ -39,13 +26,35 @@ func BenchmarkEpochSparse1024(b *testing.B) {
 		Seed:     1,
 	})
 	if err != nil {
-		b.Fatal(err)
+		tb.Fatal(err)
 	}
-	e.SetWorkload(&permWorkload{n: 1024, size: 1 << 32})
+	perm, err := workload.NewPermutation(n, active, 1<<32, 0)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	e.SetWorkload(perm)
 	e.RunEpochs(4)
 	if !e.fab.WorkloadDone() {
-		b.Fatal("sparse steady state not reached: workload not exhausted")
+		tb.Fatal("sparse steady state not reached: workload not exhausted")
 	}
+	return e
+}
+
+// BenchmarkEpochSparse1024 measures the hybrid per-epoch cost at 1024
+// ToRs with one active elephant destination per ToR (see BENCH_pr4.json).
+func BenchmarkEpochSparse1024(b *testing.B) {
+	e := sparseEngine(b, 1024, 1024)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.runEpoch()
+	}
+}
+
+// BenchmarkEpochSparse4096 is the lazy-slab scale tier: 4096 ToRs, 256
+// active (see the NegotiaToR engine's BenchmarkEpochSparse4096).
+func BenchmarkEpochSparse4096(b *testing.B) {
+	e := sparseEngine(b, 4096, 256)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

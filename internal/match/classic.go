@@ -57,8 +57,7 @@ type Classic struct {
 	iters int
 	rng   *sim.RNG
 
-	srcFree, dstFree [][]bool
-	cand             []int // scratch for PIM random choice
+	b batchScratch
 	// Persistent Match scratch (see Iterative.Match): sorted distinct-ToR
 	// indexes so the grant/accept sweeps visit only active ToRs.
 	reqBy     [][]int32
@@ -80,12 +79,7 @@ func NewClassic(t topo.Topology, rng *sim.RNG, iters int, kind ArbiterKind) *Cla
 		iters:      iters,
 		rng:        rng.Split(77),
 	}
-	m.srcFree = make([][]bool, n)
-	m.dstFree = make([][]bool, n)
-	for i := 0; i < n; i++ {
-		m.srcFree[i] = make([]bool, s)
-		m.dstFree[i] = make([]bool, s)
-	}
+	m.b = newBatchScratch(n, s)
 	m.reqBy = make([][]int32, n)
 	m.grants = make([][]grantRec, n)
 	return m
@@ -97,30 +91,25 @@ func (m *Classic) Name() string { return fmt.Sprintf("%s-%d", m.kind, m.iters) }
 // extra iteration (Appendix A.2.1).
 func (m *Classic) MatchDelay() int { return 2 + 3*(m.iters-1) }
 
-// pickGrant chooses a requester for (dst, port) among eligible domain
-// positions, returning the domain position or -1. advance reports whether
-// the ring pointer may move now (RRM) or must wait for accept feedback
-// (iSLIP); PIM has no pointer.
-func (m *Classic) pickGrant(dst, port int, dom []int, eligible func(src int) bool) int {
+// pickGrant chooses a requester for (dst, port) among the candidate
+// domain positions (ascending, as the dense domain scan collected them),
+// returning the chosen position or -1. RRM advances the ring pointer now;
+// iSLIP waits for accept feedback; PIM has no pointer and picks uniformly
+// at random. Ring picks run as Ring.PickMask word-scans (pickPositions).
+func (m *Classic) pickGrant(dst, port int, cands []int32) int {
 	switch m.kind {
 	case PIM:
-		m.cand = m.cand[:0]
-		for p, src := range dom {
-			if eligible(src) {
-				m.cand = append(m.cand, p)
-			}
-		}
-		if len(m.cand) == 0 {
+		if len(cands) == 0 {
 			return -1
 		}
-		return m.cand[m.rng.Intn(len(m.cand))]
+		return int(cands[m.rng.Intn(len(cands))])
 	default:
 		rings := m.grantRings[dst]
 		ring := rings[0]
 		if len(rings) > 1 {
 			ring = rings[port]
 		}
-		pos := ring.Pick(func(p int) bool { return eligible(dom[p]) })
+		pos := m.pickPositions(ring, port, cands)
 		if pos >= 0 && m.kind == RRM {
 			ring.Advance(pos)
 		}
@@ -128,22 +117,16 @@ func (m *Classic) pickGrant(dst, port int, dom []int, eligible func(src int) boo
 	}
 }
 
-func (m *Classic) pickAccept(src, port int, dom []int, eligible func(dst int) bool) int {
+func (m *Classic) pickAccept(src, port int, cands []int32) int {
 	switch m.kind {
 	case PIM:
-		m.cand = m.cand[:0]
-		for p, dst := range dom {
-			if eligible(dst) {
-				m.cand = append(m.cand, p)
-			}
-		}
-		if len(m.cand) == 0 {
+		if len(cands) == 0 {
 			return -1
 		}
-		return m.cand[m.rng.Intn(len(m.cand))]
+		return int(cands[m.rng.Intn(len(cands))])
 	default:
 		ring := m.acceptRings[src][port]
-		pos := ring.Pick(func(p int) bool { return eligible(dom[p]) })
+		pos := m.pickPositions(ring, port, cands)
 		if pos >= 0 && m.kind == RRM {
 			ring.Advance(pos)
 		}
@@ -153,17 +136,14 @@ func (m *Classic) pickAccept(src, port int, dom []int, eligible func(dst int) bo
 
 // Match implements BatchMatcher: iterated request/grant/accept over one
 // request snapshot. Like Iterative.Match, the sweeps visit only requested
-// destinations and granted sources via sorted distinct-ToR indexes, with
-// epoch-stamped requester membership.
-func (m *Classic) Match(reqs []Request, matches [][]int32, stats *BatchStats) {
-	n, s := m.topo.N(), m.topo.Ports()
-	for i := 0; i < n; i++ {
-		for p := 0; p < s; p++ {
-			m.srcFree[i][p] = true
-			m.dstFree[i][p] = true
-			matches[i][p] = -1
-		}
-	}
+// destinations and granted sources via sorted distinct-ToR indexes, port
+// busyness is epoch-stamped (no O(N·S) clear per call), ring picks are
+// word-scans over the candidates' domain positions, and only touched
+// sources' match rows are written (see BatchMatcher.Match).
+func (m *Classic) Match(reqs []Request, matches [][]int32, stats *BatchStats) []int32 {
+	s := m.topo.Ports()
+	b := &m.b
+	b.begin()
 	for _, dst := range m.reqDsts {
 		m.reqBy[dst] = m.reqBy[dst][:0]
 	}
@@ -179,22 +159,26 @@ func (m *Classic) Match(reqs []Request, matches [][]int32, stats *BatchStats) {
 		granted := false
 		for _, dst32 := range m.reqDsts {
 			dst := int(dst32)
-			m.stamp++
-			for _, src := range m.reqBy[dst] {
-				m.reqStamp[src] = m.stamp
-			}
 			for port := 0; port < s; port++ {
-				if !m.dstFree[dst][port] {
+				if b.dstBusy[dst*s+port] == b.stamp {
 					continue
 				}
-				dom := m.topo.PortDomain(dst, port)
-				pos := m.pickGrant(dst, port, dom, func(src int) bool {
-					return m.reqStamp[src] == m.stamp && src != dst && m.srcFree[src][port]
-				})
+				b.candPos = b.candPos[:0]
+				for _, src32 := range m.reqBy[dst] {
+					src := int(src32)
+					if src == dst || b.srcBusy[src*s+port] == b.stamp {
+						continue
+					}
+					if pos := m.domainPos(dst, port, src); pos >= 0 {
+						b.candPos = append(b.candPos, int32(pos))
+					}
+				}
+				pos := m.pickGrant(dst, port, b.candPos)
 				if pos < 0 {
 					continue
 				}
-				src := dom[pos]
+				src := m.topo.PortDomain(dst, port)[pos]
+				b.touch(src, matches)
 				if len(m.grants[src]) == 0 {
 					m.grantSrcs = append(m.grantSrcs, int32(src))
 				}
@@ -213,25 +197,26 @@ func (m *Classic) Match(reqs []Request, matches [][]int32, stats *BatchStats) {
 			src := int(src32)
 			gs := m.grants[src]
 			for port := 0; port < s; port++ {
-				if !m.srcFree[src][port] {
+				if b.srcBusy[src*s+port] == b.stamp {
 					continue
 				}
-				dom := m.topo.PortDomain(src, port)
-				pos := m.pickAccept(src, port, dom, func(dst int) bool {
-					for _, g := range gs {
-						if g.g.Port == port && g.g.Dst == dst {
-							return true
-						}
+				b.candPos = b.candPos[:0]
+				for _, g := range gs {
+					if g.g.Port != port {
+						continue
 					}
-					return false
-				})
+					if pos := m.domainPos(src, port, g.g.Dst); pos >= 0 {
+						b.candPos = append(b.candPos, int32(pos))
+					}
+				}
+				pos := m.pickAccept(src, port, b.candPos)
 				if pos < 0 {
 					continue
 				}
-				dst := dom[pos]
+				dst := m.topo.PortDomain(src, port)[pos]
 				matches[src][port] = int32(dst)
-				m.srcFree[src][port] = false
-				m.dstFree[dst][port] = false
+				b.srcBusy[src*s+port] = b.stamp
+				b.dstBusy[dst*s+port] = b.stamp
 				if stats != nil {
 					stats.Accepts++
 				}
@@ -256,4 +241,5 @@ func (m *Classic) Match(reqs []Request, matches [][]int32, stats *BatchStats) {
 		}
 		m.grantSrcs = m.grantSrcs[:0]
 	}
+	return b.touched
 }

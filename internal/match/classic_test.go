@@ -21,7 +21,7 @@ func runClassic(t *testing.T, kind ArbiterKind, iters, n, s int, epochs int) (ma
 		for src := 0; src < n; src++ {
 			m.Requests(src, view, 0, 0, func(r Request) { reqs = append(reqs, r) })
 		}
-		m.Match(reqs, matches, nil)
+		denseMatch(m, reqs, matches, nil)
 		for _, row := range matches {
 			for _, d := range row {
 				if d >= 0 {
@@ -106,7 +106,7 @@ func TestClassicConflictFreedom(t *testing.T) {
 		for i := range matches {
 			matches[i] = make([]int32, 4)
 		}
-		m.Match(reqs, matches, nil)
+		denseMatch(m, reqs, matches, nil)
 		rx := map[[2]int32]bool{}
 		for src := range matches {
 			for port, dst := range matches[src] {
@@ -139,7 +139,7 @@ func TestClassicStatsConsistency(t *testing.T) {
 		matches[i] = make([]int32, 4)
 	}
 	var stats BatchStats
-	m.Match(reqs, matches, &stats)
+	denseMatch(m, reqs, matches, &stats)
 	var matched int64
 	for _, row := range matches {
 		for _, d := range row {

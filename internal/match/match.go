@@ -89,17 +89,24 @@ type Negotiator struct {
 	// port's reachable destination group (thin-clos domain size).
 	acceptRings [][]*Ring
 
-	// scratch, reused across calls. reqSet is an epoch-stamped membership
-	// set: entry src is "set" iff reqStamp[src] == stamp. Bumping stamp
-	// clears the whole set in O(1), replacing the O(n) clear-and-scan that
-	// dominated the GRANT step at scale.
-	reqStamp  []uint64
-	stamp     uint64
+	// scratch, reused across calls.
 	grantable [][]int32 // grantable[port] = dsts granting that port (scratch)
 	// candMask is the identityDom candidate bitmask scratch; every use
 	// sets exactly the candidate bits and clears them again after
 	// arbitration, so the mask is all-zero between calls.
 	candMask []uint64
+	// domMask is the non-identity counterpart: one candidate bitmask per
+	// port, in that port's DOMAIN-POSITION space (topo.DomainPos), so the
+	// thin-clos grant/accept rings arbitrate by the same Ring.PickMask
+	// word-scan the parallel network uses instead of an O(domain)
+	// predicate walk. Like candMask, every use clears the bits it set.
+	domMask [][]uint64
+	// grp/pos are the thin-clos group and local-index tables (nil on
+	// other topologies): port(src→dst) = (grp[src]+grp[dst]) mod S and
+	// domain position = pos[src], turning the mask-building request
+	// sweeps into table lookups — no divisions, no interface calls — so
+	// the dense regime pays no more than the old stamp stores did.
+	grp, pos []int32
 }
 
 // NewNegotiator returns the base matcher for the given topology. rng seeds
@@ -127,13 +134,52 @@ func NewNegotiator(t topo.Topology, rng *sim.RNG) *Negotiator {
 		m.acceptRings[i] = rings
 	}
 	m.identityDom = shared
-	m.reqStamp = make([]uint64, n)
 	m.grantable = make([][]int32, s)
 	for p := range m.grantable {
 		m.grantable[p] = make([]int32, 0, 8)
 	}
 	m.candMask = make([]uint64, (n+63)>>6)
+	if !shared {
+		m.domMask = newDomMask(t)
+		if tc, ok := t.(*topo.ThinClos); ok {
+			w := tc.W()
+			m.grp = make([]int32, n)
+			m.pos = make([]int32, n)
+			for i := 0; i < n; i++ {
+				m.grp[i] = int32(i / w)
+				m.pos[i] = int32(i % w)
+			}
+		}
+	}
 	return m
+}
+
+// portAndPos returns the port src reaches dst on and src's domain
+// position there: table lookups on thin-clos, the Topology interface
+// otherwise. (-1, -1) when src cannot reach dst on a unique port.
+func (m *Negotiator) portAndPos(dst, src int) (int32, int32) {
+	if m.grp != nil {
+		if src == dst {
+			return -1, -1
+		}
+		p := m.grp[src] + m.grp[dst]
+		if s := int32(len(m.domMask)); p >= s {
+			p -= s
+		}
+		return p, m.pos[src]
+	}
+	p, pos := m.topo.PortAndDomainPos(dst, src)
+	return int32(p), int32(pos)
+}
+
+// newDomMask allocates per-port candidate masks in domain-position space.
+func newDomMask(t topo.Topology) [][]uint64 {
+	s := t.Ports()
+	masks := make([][]uint64, s)
+	for p := 0; p < s; p++ {
+		masks[p] = make([]uint64, (len(t.PortDomain(0, p))+63)>>6)
+	}
+	return masks
 }
 
 func (m *Negotiator) Name() string    { return "negotiator" }
@@ -183,9 +229,18 @@ func (m *Negotiator) Grants(dst int, reqs []Request, emit func(Grant)) {
 		}
 		return
 	}
-	m.stamp++
+	// Per-port word-scan path: each requester reaches dst on exactly one
+	// port (thin-clos single paths), so one pass over the requests builds
+	// every port's candidate mask in domain-position space, and each
+	// port's pick is a Ring.PickMask find-first-set instead of an
+	// O(domain) ring.Pick predicate walk. The masks are zeroed wholesale
+	// afterwards (S·⌈W/64⌉ words — cheaper than a second request pass).
 	for _, r := range reqs {
-		m.reqStamp[r.Src] = m.stamp
+		p, pos := m.portAndPos(dst, r.Src)
+		if p < 0 {
+			continue
+		}
+		m.domMask[p][pos>>6] |= 1 << (uint(pos) & 63)
 	}
 	s := m.topo.Ports()
 	rings := m.grantRings[dst]
@@ -194,13 +249,23 @@ func (m *Negotiator) Grants(dst int, reqs []Request, emit func(Grant)) {
 		if len(rings) > 1 {
 			ring = rings[port]
 		}
-		dom := m.topo.PortDomain(dst, port)
-		pos := ring.Pick(func(p int) bool { return m.reqStamp[dom[p]] == m.stamp })
+		pos := ring.PickMask(m.domMask[port])
 		if pos < 0 {
 			continue
 		}
 		ring.Advance(pos)
-		emit(Grant{Dst: dst, Port: port, Src: dom[pos]})
+		emit(Grant{Dst: dst, Port: port, Src: m.topo.PortDomain(dst, port)[pos]})
+	}
+	m.zeroDomMasks()
+}
+
+// zeroDomMasks restores the all-zero between-calls state of the per-port
+// candidate masks.
+func (m *Negotiator) zeroDomMasks() {
+	for _, mask := range m.domMask {
+		for i := range mask {
+			mask[i] = 0
+		}
 	}
 }
 
@@ -237,21 +302,33 @@ func (m *Negotiator) Accepts(src int, view QueueView, grants []Grant, matches []
 			matches[port] = int32(pos)
 			continue
 		}
-		dom := m.topo.PortDomain(src, port) // symmetric: src's port peers
-		pos := ring.Pick(func(p int) bool {
-			d := int32(dom[p])
+		// Word-scan path in the port's domain-position space: granting
+		// dsts as a bitmask, one find-first-set from the ring's pointer.
+		mask := m.domMask[port]
+		if m.pos != nil {
+			// Grants arrive on the pair's unique port, so membership in
+			// this port's domain is implied and the position is a table
+			// read.
 			for _, c := range cand {
-				if c == d {
-					return true
+				pos := m.pos[c]
+				mask[pos>>6] |= 1 << (uint(pos) & 63)
+			}
+		} else {
+			for _, c := range cand {
+				if pos := m.topo.DomainPos(src, port, int(c)); pos >= 0 {
+					mask[pos>>6] |= 1 << (uint(pos) & 63)
 				}
 			}
-			return false
-		})
+		}
+		pos := ring.PickMask(mask)
+		for i := range mask {
+			mask[i] = 0
+		}
 		if pos < 0 {
 			continue
 		}
 		ring.Advance(pos)
-		matches[port] = int32(dom[pos])
+		matches[port] = int32(m.topo.PortDomain(src, port)[pos])
 	}
 	if feedback != nil {
 		for _, g := range grants {

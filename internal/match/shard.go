@@ -44,12 +44,15 @@ func (m *Negotiator) scratchClone() *Negotiator {
 		identityDom: m.identityDom,
 		grantRings:  m.grantRings,
 		acceptRings: m.acceptRings,
-		reqStamp:    make([]uint64, n),
 		grantable:   make([][]int32, s),
 		candMask:    make([]uint64, (n+63)>>6),
 	}
 	for p := range c.grantable {
 		c.grantable[p] = make([]int32, 0, 8)
+	}
+	if !m.identityDom {
+		c.domMask = newDomMask(m.topo)
+		c.grp, c.pos = m.grp, m.pos // read-only tables, shared
 	}
 	return c
 }
@@ -71,7 +74,7 @@ func (m *Informative) Fork(p int) []Matcher {
 		out[k] = &Informative{
 			Negotiator: m.Negotiator.scratchClone(),
 			kind:       m.kind,
-			prio:       make([]float64, m.topo.N()),
+			portReqs:   make([][]int32, m.topo.Ports()),
 		}
 	}
 	return out
@@ -95,17 +98,17 @@ func (m *Stateful) Fork(p int) []Matcher {
 }
 
 // Fork implements Sharded: handles share the per-source port rotation
-// (only Requests(src) touches rotate[src]), each owns its delay/port
+// (only Requests(src) touches rotate[src]), each owns its per-port best
 // scratch.
 func (m *ProjecToR) Fork(p int) []Matcher {
-	n := m.topo.N()
+	s := m.topo.Ports()
 	out := make([]Matcher, p)
 	for k := range out {
 		out[k] = &ProjecToR{
 			Negotiator: m.Negotiator.scratchClone(),
 			rotate:     m.rotate,
-			delay:      make([]float64, n),
-			port:       make([]int32, n),
+			bestDelay:  make([]float64, s),
+			bestSrc:    make([]int32, s),
 		}
 	}
 	return out

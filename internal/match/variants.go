@@ -30,19 +30,19 @@ type Informative struct {
 	*Negotiator
 	kind priorityKind
 
-	prio []float64 // scratch: per-source priority at the granting dst
+	portReqs [][]int32 // scratch: per-port request indexes (thin-clos buckets)
 }
 
 // NewDataSize returns the goodput-oriented data-size priority matcher.
 func NewDataSize(t topo.Topology, rng *sim.RNG) *Informative {
 	return &Informative{Negotiator: NewNegotiator(t, rng), kind: prioDataSize,
-		prio: make([]float64, t.N())}
+		portReqs: make([][]int32, t.Ports())}
 }
 
 // NewHoLDelay returns the FCT-oriented weighted-HoL-delay priority matcher.
 func NewHoLDelay(t topo.Topology, rng *sim.RNG) *Informative {
 	return &Informative{Negotiator: NewNegotiator(t, rng), kind: prioHoLDelay,
-		prio: make([]float64, t.N())}
+		portReqs: make([][]int32, t.Ports())}
 }
 
 func (m *Informative) Name() string {
@@ -68,47 +68,89 @@ func (m *Informative) Requests(src int, view QueueView, now sim.Time, threshold 
 	})
 }
 
+// prioOf extracts a request's carried priority.
+func (m *Informative) prioOf(r Request) float64 {
+	if m.kind == prioDataSize {
+		return float64(r.Size)
+	}
+	return r.Delay
+}
+
 // Grants picks, per port, the requester with the highest priority; the ring
-// is still advanced past the winner so ties rotate fairly.
+// is still advanced past the winner so ties rotate fairly. The scans run
+// over the REQUESTS (O(active) per port), tracking cyclic distance from the
+// ring pointer so ties resolve to exactly the candidate the dense
+// ring-order domain walk picked first.
 func (m *Informative) Grants(dst int, reqs []Request, emit func(Grant)) {
 	if len(reqs) == 0 {
 		return
 	}
-	m.stamp++
-	for _, r := range reqs {
-		m.reqStamp[r.Src] = m.stamp
-		p := r.Delay
-		if m.kind == prioDataSize {
-			p = float64(r.Size)
-		}
-		m.prio[r.Src] = p
-	}
 	s := m.topo.Ports()
 	rings := m.grantRings[dst]
+	if m.identityDom {
+		// One shared domain: position == ToR id, every requester is a
+		// candidate on every port.
+		ring := rings[0]
+		n := ring.Size()
+		for port := 0; port < s; port++ {
+			start := ring.Pointer()
+			best, bestPos, bestDist := -1.0, -1, 0
+			for _, r := range reqs {
+				dist := r.Src - start
+				if dist < 0 {
+					dist += n
+				}
+				if p := m.prioOf(r); p > best || (p == best && dist < bestDist) {
+					best, bestPos, bestDist = p, r.Src, dist
+				}
+			}
+			if bestPos < 0 {
+				continue
+			}
+			ring.Advance(bestPos)
+			emit(Grant{Dst: dst, Port: port, Src: bestPos})
+		}
+		return
+	}
+	// Thin-clos: each requester reaches dst on exactly one port; bucket
+	// the requests per port, then pick per port in domain-position space.
+	for i, r := range reqs {
+		if p := m.topo.PathPort(r.Src, dst); p >= 0 {
+			m.portReqs[p] = append(m.portReqs[p], int32(i))
+		}
+	}
 	for port := 0; port < s; port++ {
+		cand := m.portReqs[port]
+		if len(cand) == 0 {
+			continue
+		}
 		ring := rings[0]
 		if len(rings) > 1 {
 			ring = rings[port]
 		}
-		dom := m.topo.PortDomain(dst, port)
-		best, bestPos := -1.0, -1
-		// Scan in ring order so equal priorities round-robin.
+		w := ring.Size()
 		start := ring.Pointer()
-		for k := 0; k < len(dom); k++ {
-			pos := start + k
-			if pos >= len(dom) {
-				pos -= len(dom)
+		best, bestPos, bestDist := -1.0, -1, 0
+		for _, ri := range cand {
+			r := reqs[ri]
+			pos := m.topo.DomainPos(dst, port, r.Src)
+			if pos < 0 {
+				continue
 			}
-			src := dom[pos]
-			if m.reqStamp[src] == m.stamp && m.prio[src] > best {
-				best, bestPos = m.prio[src], pos
+			dist := pos - start
+			if dist < 0 {
+				dist += w
+			}
+			if p := m.prioOf(r); p > best || (p == best && dist < bestDist) {
+				best, bestPos, bestDist = p, pos, dist
 			}
 		}
+		m.portReqs[port] = cand[:0]
 		if bestPos < 0 {
 			continue
 		}
 		ring.Advance(bestPos)
-		emit(Grant{Dst: dst, Port: port, Src: dom[bestPos]})
+		emit(Grant{Dst: dst, Port: port, Src: m.topo.PortDomain(dst, port)[bestPos]})
 	}
 }
 
@@ -182,41 +224,71 @@ func (m *Stateful) Requests(src int, view QueueView, now sim.Time, threshold int
 }
 
 // Grants updates the matrix from the requests, then grants only to sources
-// with matrix-positive demand, temporarily decrementing per grant.
+// with matrix-positive demand, temporarily decrementing per grant. The
+// candidate set lives in a bitmask (ToR space on the parallel network,
+// domain-position space per port on thin-clos), so every pick is a
+// Ring.PickMask word-scan and a drained source is removed by clearing its
+// bit — no O(domain) predicate walks.
 func (m *Stateful) Grants(dst int, reqs []Request, emit func(Grant)) {
 	if len(reqs) == 0 {
 		return
 	}
-	m.stamp++
 	row := m.matrix[dst]
+	s := m.topo.Ports()
+	rings := m.grantRings[dst]
+	if m.identityDom {
+		for _, r := range reqs {
+			row[r.Src] += r.NewBytes
+			if row[r.Src] > 0 {
+				m.candMask[r.Src>>6] |= 1 << (uint(r.Src) & 63)
+			}
+		}
+		ring := rings[0]
+		for port := 0; port < s; port++ {
+			pos := ring.PickMask(m.candMask)
+			if pos < 0 {
+				continue
+			}
+			ring.Advance(pos)
+			// Temporary decrement; reverted on reject via Feedback. A
+			// drained source leaves the candidate mask.
+			row[pos] -= m.epochBytes
+			if row[pos] <= 0 {
+				m.candMask[pos>>6] &^= 1 << (uint(pos) & 63)
+			}
+			emit(Grant{Dst: dst, Port: port, Src: pos})
+		}
+		for _, r := range reqs {
+			m.candMask[r.Src>>6] &^= 1 << (uint(r.Src) & 63)
+		}
+		return
+	}
 	for _, r := range reqs {
 		row[r.Src] += r.NewBytes
 		if row[r.Src] > 0 {
-			m.reqStamp[r.Src] = m.stamp
+			if p, pos := m.portAndPos(dst, r.Src); p >= 0 {
+				m.domMask[p][pos>>6] |= 1 << (uint(pos) & 63)
+			}
 		}
 	}
-	s := m.topo.Ports()
-	rings := m.grantRings[dst]
 	for port := 0; port < s; port++ {
 		ring := rings[0]
 		if len(rings) > 1 {
 			ring = rings[port]
 		}
-		dom := m.topo.PortDomain(dst, port)
-		pos := ring.Pick(func(p int) bool { return m.reqStamp[dom[p]] == m.stamp })
+		pos := ring.PickMask(m.domMask[port])
 		if pos < 0 {
 			continue
 		}
 		ring.Advance(pos)
-		src := dom[pos]
-		// Temporary decrement; reverted on reject via Feedback. Stamp 0 is
-		// never current (the stamp pre-increments), so it unsets the entry.
+		src := m.topo.PortDomain(dst, port)[pos]
 		row[src] -= m.epochBytes
 		if row[src] <= 0 {
-			m.reqStamp[src] = 0
+			m.domMask[port][pos>>6] &^= 1 << (uint(pos) & 63)
 		}
 		emit(Grant{Dst: dst, Port: port, Src: src})
 	}
+	m.zeroDomMasks()
 }
 
 // Feedback reverts the temporary matrix decrement of rejected grants and
@@ -243,8 +315,8 @@ type ProjecToR struct {
 	*Negotiator
 	rotate []int // per-source rotating first port, spreading port bindings
 
-	delay []float64 // scratch: per-source delay at the granting dst
-	port  []int32   // scratch: per-source requested port at dst
+	bestDelay []float64 // scratch: per-PORT best delay at the granting dst
+	bestSrc   []int32   // scratch: per-PORT best source at the granting dst
 }
 
 // NewProjecToR returns the ProjecToR-style matcher.
@@ -252,8 +324,8 @@ func NewProjecToR(t topo.Topology, rng *sim.RNG) *ProjecToR {
 	return &ProjecToR{
 		Negotiator: NewNegotiator(t, rng),
 		rotate:     make([]int, t.N()),
-		delay:      make([]float64, t.N()),
-		port:       make([]int32, t.N()),
+		bestDelay:  make([]float64, t.Ports()),
+		bestSrc:    make([]int32, t.Ports()),
 	}
 }
 
@@ -279,31 +351,33 @@ func (m *ProjecToR) Requests(src int, view QueueView, now sim.Time, threshold in
 }
 
 // Grants picks, per destination port, the largest-delay request bound to
-// that port. Requester membership is the epoch-stamped set, replacing the
-// O(N) port-table clear per granting destination.
+// that port — one pass over the REQUESTS into per-port bests, replacing
+// the O(N) domain walk per port (requests already carry their bound port,
+// so the port table reduces to S running maxima; ties resolve to the
+// smallest source, exactly as the ascending domain scan did).
 func (m *ProjecToR) Grants(dst int, reqs []Request, emit func(Grant)) {
 	if len(reqs) == 0 {
 		return
 	}
-	m.stamp++
-	for _, r := range reqs {
-		m.reqStamp[r.Src] = m.stamp
-		m.port[r.Src] = int32(r.Port)
-		m.delay[r.Src] = r.Delay
-	}
 	s := m.topo.Ports()
-	for port := 0; port < s; port++ {
-		dom := m.topo.PortDomain(dst, port)
-		best, bestSrc := -1.0, -1
-		for _, src := range dom {
-			if m.reqStamp[src] == m.stamp && m.port[src] == int32(port) && m.delay[src] > best {
-				best, bestSrc = m.delay[src], src
-			}
-		}
-		if bestSrc < 0 {
+	for p := 0; p < s; p++ {
+		m.bestDelay[p] = -1
+		m.bestSrc[p] = -1
+	}
+	for _, r := range reqs {
+		p := r.Port
+		if p < 0 || p >= s {
 			continue
 		}
-		emit(Grant{Dst: dst, Port: port, Src: bestSrc})
+		if r.Delay > m.bestDelay[p] || (r.Delay == m.bestDelay[p] && m.bestSrc[p] >= 0 && int32(r.Src) < m.bestSrc[p]) {
+			m.bestDelay[p], m.bestSrc[p] = r.Delay, int32(r.Src)
+		}
+	}
+	for port := 0; port < s; port++ {
+		if m.bestSrc[port] < 0 {
+			continue
+		}
+		emit(Grant{Dst: dst, Port: port, Src: int(m.bestSrc[port])})
 	}
 }
 
@@ -345,8 +419,100 @@ type BatchStats struct {
 // MatchDelay.
 type BatchMatcher interface {
 	Matcher
-	// Match fills matches[src][port] with the matched destination or -1.
-	Match(reqs []Request, matches [][]int32, stats *BatchStats)
+	// Match writes matches[src][port] (the matched destination, or -1)
+	// for every source it returns in touched — the sources that received
+	// at least one grant. Rows of sources NOT in touched are left
+	// untouched and must be treated as all-unmatched by the caller; this
+	// is what keeps a sparse epoch's Match O(active), with no O(N·S)
+	// clear of the whole matrix. touched is unsorted scratch, valid only
+	// until the next Match call.
+	Match(reqs []Request, matches [][]int32, stats *BatchStats) (touched []int32)
+}
+
+// batchScratch is the O(active) bookkeeping the batch matchers share.
+// The per-(ToR, port) busy sets are epoch-stamped — bumping the stamp
+// clears both in O(1), replacing the O(N·S) srcFree/dstFree sweep that
+// used to open every Match — and the touched list records which sources'
+// match rows were written (each row is cleared to -1 once, when its
+// source first appears in a grant).
+type batchScratch struct {
+	stamp            uint64
+	srcBusy, dstBusy []uint64 // busy iff entry == stamp; index tor*S+port
+	touchStamp       []uint64 // matches row cleared this call iff == stamp
+	touched          []int32
+	candPos          []int32 // candidate domain positions of one pick
+}
+
+func newBatchScratch(n, s int) batchScratch {
+	return batchScratch{
+		srcBusy:    make([]uint64, n*s),
+		dstBusy:    make([]uint64, n*s),
+		touchStamp: make([]uint64, n),
+	}
+}
+
+// begin opens a Match call: clears both busy sets and the touched list.
+func (b *batchScratch) begin() {
+	b.stamp++
+	b.touched = b.touched[:0]
+}
+
+// touch clears src's match row on its first grant of this call.
+func (b *batchScratch) touch(src int, matches [][]int32) {
+	if b.touchStamp[src] == b.stamp {
+		return
+	}
+	b.touchStamp[src] = b.stamp
+	b.touched = append(b.touched, int32(src))
+	row := matches[src]
+	for p := range row {
+		row[p] = -1
+	}
+}
+
+// domainPos maps a ToR to its position in PortDomain(owner, port): the id
+// itself on the shared identity domain, a table read on thin-clos (with
+// the membership check ports imply), topo.DomainPos otherwise.
+func (m *Negotiator) domainPos(owner, port, tor int) int {
+	if m.identityDom {
+		return tor
+	}
+	if m.grp != nil {
+		p := m.grp[tor] + m.grp[owner]
+		if s := int32(len(m.domMask)); p >= s {
+			p -= s
+		}
+		if int(p) != port {
+			return -1
+		}
+		return int(m.pos[tor])
+	}
+	return m.topo.DomainPos(owner, port, tor)
+}
+
+// pickPositions arbitrates among candidate domain positions with the
+// ring: the candidates become a bitmask (ToR space for the identity
+// domain, the port's domain-position space otherwise) and the pick is a
+// Ring.PickMask word-scan from the pointer — O(candidates + words)
+// instead of an O(domain) predicate walk. The mask is cleared before
+// returning. The pointer does not move; callers Advance per their
+// discipline.
+func (m *Negotiator) pickPositions(ring *Ring, port int, cands []int32) int {
+	if len(cands) == 0 {
+		return -1
+	}
+	mask := m.candMask
+	if !m.identityDom {
+		mask = m.domMask[port]
+	}
+	for _, p := range cands {
+		mask[p>>6] |= 1 << (uint(p) & 63)
+	}
+	pos := ring.PickMask(mask)
+	for _, p := range cands {
+		mask[p>>6] &^= 1 << (uint(p) & 63)
+	}
+	return pos
 }
 
 // Iterative is the iterative variant of NegotiaToR Matching
@@ -357,7 +523,7 @@ type Iterative struct {
 	*Negotiator
 	iters int
 
-	srcFree, dstFree [][]bool
+	b batchScratch
 	// Persistent Match scratch: per-dst requester lists plus the sorted
 	// distinct-dst index, and per-src grant lists plus the sorted
 	// distinct-src index, so the grant/accept sweeps visit only active
@@ -377,12 +543,7 @@ func NewIterative(t topo.Topology, rng *sim.RNG, iters int) *Iterative {
 	}
 	n, s := t.N(), t.Ports()
 	m := &Iterative{Negotiator: NewNegotiator(t, rng), iters: iters}
-	m.srcFree = make([][]bool, n)
-	m.dstFree = make([][]bool, n)
-	for i := 0; i < n; i++ {
-		m.srcFree[i] = make([]bool, s)
-		m.dstFree[i] = make([]bool, s)
-	}
+	m.b = newBatchScratch(n, s)
 	m.reqBy = make([][]int32, n)
 	m.grants = make([][]Grant, n)
 	return m
@@ -398,17 +559,14 @@ func (m *Iterative) MatchDelay() int { return 2 + 3*(m.iters-1) }
 // Match runs the iterations over the request snapshot. The grant sweep
 // visits only requested destinations and the accept sweep only sources
 // holding grants, both through sorted distinct-ToR indexes that reproduce
-// the dense ascending scans exactly; requester membership is an
-// epoch-stamped set (no O(N) clear per destination).
-func (m *Iterative) Match(reqs []Request, matches [][]int32, stats *BatchStats) {
-	n, s := m.topo.N(), m.topo.Ports()
-	for i := 0; i < n; i++ {
-		for p := 0; p < s; p++ {
-			m.srcFree[i][p] = true
-			m.dstFree[i][p] = true
-			matches[i][p] = -1
-		}
-	}
+// the dense ascending scans exactly; port busyness is epoch-stamped (no
+// O(N·S) clear per call), every ring pick is a Ring.PickMask word-scan
+// over the candidates' domain positions, and only touched sources' match
+// rows are written (see BatchMatcher.Match).
+func (m *Iterative) Match(reqs []Request, matches [][]int32, stats *BatchStats) []int32 {
+	s := m.topo.Ports()
+	b := &m.b
+	b.begin()
 	for _, dst := range m.reqDsts {
 		m.reqBy[dst] = m.reqBy[dst][:0]
 	}
@@ -425,29 +583,32 @@ func (m *Iterative) Match(reqs []Request, matches [][]int32, stats *BatchStats) 
 		granted := false
 		for _, dst32 := range m.reqDsts {
 			dst := int(dst32)
-			m.stamp++
-			for _, src := range m.reqBy[dst] {
-				m.reqStamp[src] = m.stamp
-			}
 			rings := m.grantRings[dst]
 			for port := 0; port < s; port++ {
-				if !m.dstFree[dst][port] {
+				if b.dstBusy[dst*s+port] == b.stamp {
 					continue
 				}
 				ring := rings[0]
 				if len(rings) > 1 {
 					ring = rings[port]
 				}
-				dom := m.topo.PortDomain(dst, port)
-				pos := ring.Pick(func(p int) bool {
-					src := dom[p]
-					return m.reqStamp[src] == m.stamp && src != dst && m.srcFree[src][port]
-				})
+				b.candPos = b.candPos[:0]
+				for _, src32 := range m.reqBy[dst] {
+					src := int(src32)
+					if src == dst || b.srcBusy[src*s+port] == b.stamp {
+						continue
+					}
+					if pos := m.domainPos(dst, port, src); pos >= 0 {
+						b.candPos = append(b.candPos, int32(pos))
+					}
+				}
+				pos := m.pickPositions(ring, port, b.candPos)
 				if pos < 0 {
 					continue
 				}
 				ring.Advance(pos)
-				src := dom[pos]
+				src := m.topo.PortDomain(dst, port)[pos]
+				b.touch(src, matches)
 				if len(m.grants[src]) == 0 {
 					m.grantSrcs = append(m.grantSrcs, int32(src))
 				}
@@ -467,28 +628,28 @@ func (m *Iterative) Match(reqs []Request, matches [][]int32, stats *BatchStats) 
 			src := int(src32)
 			gs := m.grants[src]
 			for port := 0; port < s; port++ {
-				if !m.srcFree[src][port] {
+				if b.srcBusy[src*s+port] == b.stamp {
 					continue
 				}
-				ring := m.acceptRings[src][port]
-				dom := m.topo.PortDomain(src, port)
-				pos := ring.Pick(func(p int) bool {
-					d := int32(dom[p])
-					for _, g := range gs {
-						if g.Port == port && int32(g.Dst) == d {
-							return true
-						}
+				b.candPos = b.candPos[:0]
+				for _, g := range gs {
+					if g.Port != port {
+						continue
 					}
-					return false
-				})
+					if pos := m.domainPos(src, port, g.Dst); pos >= 0 {
+						b.candPos = append(b.candPos, int32(pos))
+					}
+				}
+				ring := m.acceptRings[src][port]
+				pos := m.pickPositions(ring, port, b.candPos)
 				if pos < 0 {
 					continue
 				}
 				ring.Advance(pos)
-				dst := dom[pos]
+				dst := m.topo.PortDomain(src, port)[pos]
 				matches[src][port] = int32(dst)
-				m.srcFree[src][port] = false
-				m.dstFree[dst][port] = false
+				b.srcBusy[src*s+port] = b.stamp
+				b.dstBusy[dst*s+port] = b.stamp
 				if stats != nil {
 					stats.Accepts++
 				}
@@ -497,4 +658,5 @@ func (m *Iterative) Match(reqs []Request, matches [][]int32, stats *BatchStats) 
 		}
 		m.grantSrcs = m.grantSrcs[:0]
 	}
+	return b.touched
 }

@@ -2,6 +2,7 @@ package negotiator
 
 import (
 	"fmt"
+	"slices"
 
 	"negotiator/internal/fabric"
 	"negotiator/internal/failure"
@@ -95,6 +96,12 @@ type tor struct {
 	reqIn   [][]match.Request
 	grantIn [][]match.Grant
 	matches []int32 // this epoch's scheduled matches, per port
+	// hasMatches is false only when matches is all -1: the scheduled
+	// phase and the per-epoch clears skip idle ToRs on this one flag, so
+	// a sparse epoch costs O(matched ToRs · S) instead of O(N · S). The
+	// flag may be conservatively true for an all--1 row; it must never be
+	// false for a row holding a match.
+	hasMatches bool
 
 	relayPlan []relayPlan // per intermediate: first-hop plan this epoch (selective relay)
 	planned   []int32     // intermediates planned last epoch, for O(planned) clearing
@@ -128,6 +135,10 @@ type Engine struct {
 	matcher match.Matcher
 	batch   match.BatchMatcher // non-nil for batch (iterative) matchers
 	future  [][][]int32        // batch path: future[d][src][port], ring by epoch
+	// futureTouched[d] lists, ascending, the sources whose future[d] rows
+	// the batch Match wrote; all other rows are all -1. batchPrepStep
+	// copies and resets only these rows.
+	futureTouched [][]int32
 
 	matchRatio metrics.Ratio
 
@@ -223,6 +234,7 @@ func New(cfg Config) (*Engine, error) {
 				e.future[d][i] = row
 			}
 		}
+		e.futureTouched = make([][]int32, depth)
 	}
 
 	fab, err := fabric.New(fabric.Config{
@@ -249,17 +261,12 @@ func New(cfg Config) (*Engine, error) {
 			grantIn: make([][]match.Grant, e.stageLag),
 			matches: make([]int32, e.s),
 		}
-		// Pre-size the pipelined mailboxes so typical epochs never grow
-		// them: a destination receives at most n-1 requests; a source
-		// usually receives far fewer than n-1 grants (the theoretical
-		// worst case is (n-1)*s under extreme skew — growth past the
-		// pre-size is one-time, since capacity is retained via in[:0]).
-		for g := range t.reqIn {
-			t.reqIn[g] = make([]match.Request, 0, e.n-1)
-		}
-		for g := range t.grantIn {
-			t.grantIn[g] = make([]match.Grant, 0, e.n-1)
-		}
+		// Mailboxes start empty and grow on demand, retaining capacity
+		// via in[:0]: a ToR's mailbox footprint follows the traffic it
+		// actually receives instead of pre-paying n-1 slots per
+		// generation (O(N²) across the fabric — at 4096 ToRs that
+		// pre-size alone dwarfed the queue slabs). Growth is one-time
+		// warm-up; the steady state stays allocation-free.
 		for p := range t.matches {
 			t.matches[p] = -1
 		}
@@ -479,7 +486,12 @@ func (e *Engine) batchControl() {
 	}
 	target := (int(e.fab.Rounds()) + e.batch.MatchDelay()) % len(e.future)
 	var stats match.BatchStats
-	e.batch.Match(e.reqScratch, e.future[target], &stats)
+	touched := e.batch.Match(e.reqScratch, e.future[target], &stats)
+	// Keep a sorted private copy: the matcher's list is scratch reused by
+	// the next Match, and batchPrepStep's shards merge-join it against
+	// their ascending ToR ranges MatchDelay epochs from now.
+	e.futureTouched[target] = append(e.futureTouched[target][:0], touched...)
+	slices.Sort(e.futureTouched[target])
 	e.matchRatio.Observe(stats.Accepts, stats.Grants)
 }
 

@@ -75,4 +75,43 @@ func TestOccupancyInvariant(t *testing.T) {
 			})
 		}
 	}
+
+	// Sparse permutation over a quarter of the fabric: most nodes never
+	// materialize, so every per-round CheckOccupancy pass also asserts
+	// the lazy-slab contract (unmaterialized nodes report empty/zero
+	// everywhere) while matched ToRs exercise the occupancy paths.
+	for _, workers := range []int{1, 4} {
+		t.Run(fmt.Sprintf("sparse-lazy/workers=%d", workers), func(t *testing.T) {
+			top, err := topo.NewParallel(64, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			e, err := New(Config{
+				Topology:        top,
+				Piggyback:       true,
+				PriorityQueues:  true,
+				Seed:            1,
+				CheckInvariants: true,
+				Workers:         workers,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			perm, err := workload.NewPermutation(64, 16, 1<<20, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			e.SetWorkload(perm)
+			e.RunEpochs(40)
+			e.SetWorkload(nil)
+			if !e.Drain(4000) {
+				t.Fatal("sparse permutation did not drain")
+			}
+			for i := 16; i < 64; i++ {
+				if e.fab.Nodes[i].Direct != nil {
+					t.Fatalf("idle node %d materialized", i)
+				}
+			}
+		})
+	}
 }

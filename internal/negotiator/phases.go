@@ -19,9 +19,9 @@ type torView struct {
 
 func (v *torView) QueuedBytes(dst int) int64 {
 	nd := v.e.fab.Nodes[v.i]
-	b := nd.QueuedBytes[dst]
-	if nd.Relay != nil {
-		b += nd.Relay[dst].Bytes()
+	b := nd.DirectQueuedBytes(dst)
+	if v.e.cfg.Relay != nil {
+		b += nd.RelayQueuedBytes(dst)
 		if p := v.e.tors[v.i].relayPlan[dst]; p.quota > 0 {
 			b += p.quota
 		}
@@ -30,27 +30,36 @@ func (v *torView) QueuedBytes(dst int) int64 {
 }
 
 // NextDemand iterates the source's direct-VOQ occupancy index — the exact
-// positive-bytes set when relaying is off. With selective relay enabled
-// (a sequential, small-scale extension) queued relay data and planned
-// quotas add demand the index cannot see, so the sweep falls back to the
-// dense superset.
+// positive-bytes set when relaying is off (an unmaterialized node's empty
+// index ends the sweep immediately). With selective relay enabled (a
+// sequential, small-scale extension) queued relay data and planned quotas
+// add demand the index cannot see, so the sweep falls back to the dense
+// superset — gated on the configuration, not on slab materialization, so
+// lazy construction cannot change which destinations are visited.
 func (v *torView) NextDemand(after int) int {
-	nd := v.e.fab.Nodes[v.i]
-	if nd.Relay != nil {
+	if v.e.cfg.Relay != nil {
 		if next := after + 1; next < v.e.n {
 			return next
 		}
 		return -1
 	}
-	return nd.DirectOcc.Next(after)
+	return v.e.fab.Nodes[v.i].DirectOcc.Next(after)
 }
 
 func (v *torView) WeightedHoL(dst int, alpha float64) float64 {
-	return v.e.fab.Nodes[v.i].Direct[dst].WeightedHoL(v.e.fab.Now(), alpha)
+	nd := v.e.fab.Nodes[v.i]
+	if nd.Direct == nil {
+		return 0
+	}
+	return nd.Direct[dst].WeightedHoL(v.e.fab.Now(), alpha)
 }
 
 func (v *torView) CumInjected(dst int) int64 {
-	return v.e.fab.Nodes[v.i].CumInjected[dst]
+	nd := v.e.fab.Nodes[v.i]
+	if nd.CumInjected == nil {
+		return 0
+	}
+	return nd.CumInjected[dst]
 }
 
 // rotation returns the predefined-phase round-robin rotation for an epoch.

@@ -1,0 +1,5 @@
+//go:build !race
+
+package negotiator
+
+const raceEnabled = false

@@ -1,0 +1,8 @@
+//go:build race
+
+package negotiator
+
+// raceEnabled reports whether the race detector is compiled in; the
+// 4096-ToR lazy-vs-eager test skips under race (the EAGER side's slabs
+// times the detector's shadow memory would dominate CI memory).
+const raceEnabled = true

@@ -132,7 +132,7 @@ func (e *Engine) planRelay() {
 				var kDirect int64
 				for _, d := range r.tc.PortDomain(k, s2) {
 					if d != k {
-						kDirect += inter.QueuedBytes[d]
+						kDirect += inter.DirectQueuedBytes(d)
 					}
 				}
 				if kDirect > r.cfg.DirectBusyBytes {

@@ -1,6 +1,8 @@
 package negotiator
 
 import (
+	"slices"
+
 	"negotiator/internal/fabric"
 	"negotiator/internal/flows"
 	"negotiator/internal/match"
@@ -169,23 +171,35 @@ func (sh *engineShard) acceptStep() {
 		t := e.tors[i]
 		in := t.grantIn[prev]
 		if len(in) == 0 {
-			for p := range t.matches {
-				t.matches[p] = -1
+			// No grants this epoch: the match row must read all -1, but
+			// it already does unless last epoch matched — clear lazily on
+			// the flag, so an idle ToR costs O(1), not O(S).
+			if t.hasMatches {
+				for p := range t.matches {
+					t.matches[p] = -1
+				}
+				t.hasMatches = false
 			}
 			continue
 		}
 		sh.matcher.Accepts(i, &e.views[i], in, t.matches, sh.feedbackFn)
 		t.grantIn[prev] = in[:0]
+		any := false
 		for _, d := range t.matches {
 			if d >= 0 {
 				sh.accepts++
+				any = true
 			}
 		}
+		t.hasMatches = any
 	}
 	// Known failures exclude links from transmission at use time.
 	if e.known != nil && e.known.Count > 0 {
 		for i := sh.lo; i < sh.hi; i++ {
 			t := e.tors[i]
+			if !t.hasMatches {
+				continue
+			}
 			for p, dj := range t.matches {
 				if dj >= 0 && !e.known.PathOK(i, int(dj), p) {
 					t.matches[p] = -1
@@ -255,20 +269,47 @@ func (sh *engineShard) mergeTransmitStep() {
 // from the future ring, then the shard snapshots its ToRs' requests for
 // the serial whole-fabric Match (run on the original matcher; only the
 // Requests step runs on the shard handles).
+//
+// Only the slot's TOUCHED rows (the sources Match granted; everything
+// else is all -1) are copied and reset, merge-joining the sorted touched
+// list against this shard's ascending range — O(range + touched·S), with
+// the lazy hasMatches clear covering ToRs matched last epoch but not now.
 func (sh *engineShard) batchPrepStep() {
 	e := sh.e
 	depth := len(e.future)
 	slot := int(e.fab.Rounds()) % depth
+	touched := e.futureTouched[slot]
+	ti, _ := slices.BinarySearch(touched, int32(sh.lo))
 	for i := sh.lo; i < sh.hi; i++ {
 		t := e.tors[i]
-		copy(t.matches, e.future[slot][i])
-		for p := range e.future[slot][i] {
-			e.future[slot][i][p] = -1
+		if ti < len(touched) && int(touched[ti]) == i {
+			ti++
+			row := e.future[slot][i]
+			copy(t.matches, row)
+			for p := range row {
+				row[p] = -1
+			}
+			any := false
+			for _, d := range t.matches {
+				if d >= 0 {
+					any = true
+					break
+				}
+			}
+			t.hasMatches = any
+		} else if t.hasMatches {
+			for p := range t.matches {
+				t.matches[p] = -1
+			}
+			t.hasMatches = false
 		}
 	}
 	if e.known != nil && e.known.Count > 0 {
 		for i := sh.lo; i < sh.hi; i++ {
 			t := e.tors[i]
+			if !t.hasMatches {
+				continue
+			}
 			for p, dj := range t.matches {
 				if dj >= 0 && !e.known.PathOK(i, int(dj), p) {
 					t.matches[p] = -1
@@ -300,7 +341,7 @@ func (sh *engineShard) predefinedPhase(epochStart sim.Time) {
 			if j == i {
 				continue
 			}
-			hasDirect := nd.QueuedBytes[j] > 0
+			hasDirect := nd.DirectQueuedBytes(j) > 0
 			hasRelay := nd.Relay != nil && nd.Relay[j].HeadReady(epochStart)
 			if !hasDirect && !hasRelay {
 				continue
@@ -336,6 +377,9 @@ func (sh *engineShard) scheduledPhase(epochStart sim.Time) {
 	capacity := e.payload * int64(e.timing.ScheduledSlots)
 	for i := sh.lo; i < sh.hi; i++ {
 		t := e.tors[i]
+		if !t.hasMatches {
+			continue // all ports unmatched: skip the O(S) port walk
+		}
 		nd := e.fab.Nodes[i]
 		for p, dj := range t.matches {
 			if dj < 0 {

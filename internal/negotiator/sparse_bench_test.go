@@ -8,33 +8,23 @@ import (
 	"negotiator/internal/workload"
 )
 
-// permWorkload is a saturated-but-sparse traffic matrix: every ToR sends
-// one enormous flow to its cyclic successor at t=0, so each epoch has
-// exactly one active destination per source while 1023 of 1024 queues stay
-// empty. This is the regime where per-round work must be O(active), not
-// O(N): an N² sweep pays ~1M empty-queue reads per epoch for 1024 pairs
-// of actual demand.
-type permWorkload struct {
-	n, i int
-	size int64
-}
+// The sparse benchmarks run the saturated-but-sparse permutation matrix
+// (workload.Permutation): every active ToR sends one enormous flow to its
+// cyclic successor at t=0, so each epoch has exactly one active
+// destination per active source while every other queue stays empty. This
+// is the regime where per-round work must be O(active), not O(N) — an N²
+// sweep pays ~1M empty-queue reads per epoch for 1024 pairs of actual
+// demand — and, at 4096 ToRs, where fabric memory must follow occupancy:
+// eager construction allocates ~50M FIFOs before the first flow arrives,
+// while lazy slabs materialize only the active nodes.
 
-func (g *permWorkload) Next() (workload.Arrival, bool) {
-	if g.i >= g.n {
-		return workload.Arrival{}, false
-	}
-	a := workload.Arrival{Src: g.i, Dst: (g.i + 1) % g.n, Size: g.size}
-	g.i++
-	return a, true
-}
-
-// sparseEngine1024 builds a 1024-ToR parallel-network engine saturated
-// with the permutation workload and runs it past the pipeline fill, so
-// every measured epoch exercises request/grant/accept and a full
-// scheduled phase on the single active destination per ToR.
-func sparseEngine1024(tb testing.TB, workers int) *Engine {
+// sparseEngine builds an n-ToR parallel-network engine saturated with the
+// permutation workload over the first `active` ToRs and runs it past the
+// pipeline fill, so every measured epoch exercises request/grant/accept
+// and a full scheduled phase on the single active destination per source.
+func sparseEngine(tb testing.TB, n, active, workers int) *Engine {
 	tb.Helper()
-	top, err := topo.NewParallel(1024, 8)
+	top, err := topo.NewParallel(n, 8)
 	if err != nil {
 		tb.Fatal(err)
 	}
@@ -48,7 +38,11 @@ func sparseEngine1024(tb testing.TB, workers int) *Engine {
 	if err != nil {
 		tb.Fatal(err)
 	}
-	e.SetWorkload(&permWorkload{n: 1024, size: 1 << 32})
+	perm, err := workload.NewPermutation(n, active, 1<<32, 0)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	e.SetWorkload(perm)
 	e.RunEpochs(8)
 	if !e.fab.WorkloadDone() {
 		tb.Fatal("sparse steady state not reached: workload not exhausted")
@@ -58,9 +52,24 @@ func sparseEngine1024(tb testing.TB, workers int) *Engine {
 
 // BenchmarkEpochSparse1024 measures the per-epoch cost at 1024 ToRs under
 // sparse traffic (1 active destination per ToR). BENCH_pr4.json records
-// the before/after trajectory of the occupancy-index port.
+// the before/after trajectory of the occupancy-index port, BENCH_pr5.json
+// the lazy-slab parity check.
 func BenchmarkEpochSparse1024(b *testing.B) {
-	e := sparseEngine1024(b, 1)
+	e := sparseEngine(b, 1024, 1024, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.runEpoch()
+	}
+}
+
+// BenchmarkEpochSparse4096 is the scale tier lazy node slabs open: a
+// 4096-ToR priority-queue fabric with 256 active ToRs. Eager construction
+// would allocate ~2 GB of queue slabs (plus ~1.5 GB of pre-sized
+// mailboxes) before the first arrival; lazily, only the 256 active nodes
+// materialize and the per-epoch cost stays O(active).
+func BenchmarkEpochSparse4096(b *testing.B) {
+	e := sparseEngine(b, 4096, 256, 1)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

@@ -480,6 +480,13 @@ func (sh *obShard) drainStep() {
 	slotNo := e.fab.Rounds()
 	for i := sh.lo; i < sh.hi; i++ {
 		src := e.fab.Nodes[i]
+		// A node with no relay backlog (in particular one whose relay slab
+		// never materialized) has nothing to drain: one O(1) aggregate
+		// read skips its whole port loop, keeping the slot's drain phase
+		// O(relay-active nodes · S) instead of O(N · S).
+		if src.RelayBytes == 0 {
+			continue
+		}
 		for s := 0; s < e.s; s++ {
 			j := e.top.PredefinedPeer(i, s, e.slotT, e.slotRot)
 			if j < 0 {
@@ -502,6 +509,17 @@ func (sh *obShard) serveStep() {
 	slotNo := e.fab.Rounds()
 	for i := sh.lo; i < sh.hi; i++ {
 		src := e.fab.Nodes[i]
+		// One O(1) aggregate read skips a node with no fresh data in the
+		// class this discipline serves — the O(active)-nodes counterpart
+		// of the drain-phase skip. Connections phase A consumed need no
+		// masking here: an idle node set no usedStamp entries.
+		if e.lanes {
+			if src.LanesBytes == 0 {
+				continue
+			}
+		} else if src.DirectBytes == 0 {
+			continue
+		}
 		for s := 0; s < e.s; s++ {
 			if sh.usedStamp[(i-sh.lo)*e.s+s] == slotNo+1 {
 				continue
@@ -538,7 +556,7 @@ func (sh *obShard) serveLanes(src *fabric.Node, i, j int) {
 		src.TakeLaneHeadCell(j, e.cell, sh.sentEmit)
 		return
 	}
-	headroom := e.cfg.RelayCap - e.fab.Nodes[j].Relay[d].Bytes()
+	headroom := e.cfg.RelayCap - e.fab.Nodes[j].RelayQueuedBytes(d)
 	if headroom <= 0 {
 		return // VOQ full: the lane head stalls and the slot is wasted
 	}
@@ -606,7 +624,7 @@ func (sh *obShard) serve(src *fabric.Node, i, j int) {
 				}
 				return
 			}
-			if headroom := e.cfg.RelayCap - inter.Relay[d].Bytes(); headroom > 0 {
+			if headroom := e.cfg.RelayCap - inter.RelayQueuedBytes(d); headroom > 0 {
 				max := e.cell
 				if max > headroom {
 					max = headroom

@@ -39,4 +39,32 @@ func TestOccupancyInvariant(t *testing.T) {
 			})
 		}
 	}
+
+	// Sparse permutation with the opportunistic discipline: idle sources
+	// never materialize direct slabs and spray intermediates materialize
+	// relay slabs only, so each per-round CheckOccupancy also asserts the
+	// lazy-slab contract (unmaterialized classes report empty/zero).
+	t.Run("sparse-lazy", func(t *testing.T) {
+		cfg := testConfig(t)
+		cfg.OpportunisticDirect = true
+		perm, err := workload.NewPermutation(16, 4, 1<<18, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e.SetWorkload(perm)
+		e.Run(100 * sim.Microsecond)
+		e.SetWorkload(nil)
+		if !e.Drain(20000) {
+			t.Fatal("sparse permutation did not drain")
+		}
+		for i := 4; i < 16; i++ {
+			if e.fab.Nodes[i].Direct != nil {
+				t.Fatalf("idle source %d materialized a direct slab", i)
+			}
+		}
+	})
 }

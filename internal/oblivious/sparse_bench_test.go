@@ -8,32 +8,20 @@ import (
 	"negotiator/internal/workload"
 )
 
-// permWorkload is the saturated-but-sparse matrix: one enormous flow per
-// ToR to its cyclic successor. Under the slot-time-spray disciplines each
-// source holds exactly one non-empty destination queue, so the per-port
-// spray scan — which walks destinations looking for backlog — must be
-// O(active), not O(N).
-type permWorkload struct {
-	n, i int
-	size int64
-}
+// The sparse benchmarks run workload.Permutation: one enormous flow per
+// active ToR to its cyclic successor. Under the slot-time-spray
+// disciplines each active source holds exactly one non-empty destination
+// queue, so the per-port spray scan — which walks destinations looking
+// for backlog — must be O(active), not O(N), and idle nodes must be
+// skipped by the O(1) per-class aggregates rather than walked port by
+// port. (Intermediates still materialize relay slabs as spray traffic
+// reaches them — memory follows real occupancy.)
 
-func (g *permWorkload) Next() (workload.Arrival, bool) {
-	if g.i >= g.n {
-		return workload.Arrival{}, false
-	}
-	a := workload.Arrival{Src: g.i, Dst: (g.i + 1) % g.n, Size: g.size}
-	g.i++
-	return a, true
-}
-
-// BenchmarkSlotSparse1024 measures one timeslot at 1024 ToRs under sparse
-// traffic with the RotorLB-style opportunistic discipline (slot-time
-// spray over the per-destination queues). See BENCH_pr4.json.
-func BenchmarkSlotSparse1024(b *testing.B) {
-	top, err := topo.NewParallel(1024, 8)
+func sparseEngine(tb testing.TB, n, active int) *Engine {
+	tb.Helper()
+	top, err := topo.NewParallel(n, 8)
 	if err != nil {
-		b.Fatal(err)
+		tb.Fatal(err)
 	}
 	e, err := New(Config{
 		Topology:            top,
@@ -42,15 +30,39 @@ func BenchmarkSlotSparse1024(b *testing.B) {
 		Seed:                1,
 	})
 	if err != nil {
-		b.Fatal(err)
+		tb.Fatal(err)
 	}
-	e.SetWorkload(&permWorkload{n: 1024, size: 1 << 32})
+	perm, err := workload.NewPermutation(n, active, 1<<32, 0)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	e.SetWorkload(perm)
 	for i := 0; i < 2*e.slots; i++ {
 		e.runSlot()
 	}
 	if !e.fab.WorkloadDone() {
-		b.Fatal("sparse steady state not reached: workload not exhausted")
+		tb.Fatal("sparse steady state not reached: workload not exhausted")
 	}
+	return e
+}
+
+// BenchmarkSlotSparse1024 measures one timeslot at 1024 ToRs under sparse
+// traffic with the RotorLB-style opportunistic discipline (slot-time
+// spray over the per-destination queues). See BENCH_pr4.json.
+func BenchmarkSlotSparse1024(b *testing.B) {
+	e := sparseEngine(b, 1024, 1024)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.runSlot()
+	}
+}
+
+// BenchmarkSlotSparse4096 is the lazy-slab scale tier: 4096 ToRs, 256
+// active sources. The warm-up runs two full round-robin cycles, so the
+// steady state includes the relay slabs spray traffic has materialized.
+func BenchmarkSlotSparse4096(b *testing.B) {
+	e := sparseEngine(b, 4096, 256)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

@@ -1,0 +1,115 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"negotiator/internal/sim"
+)
+
+// Permutation generates the saturated-but-sparse traffic matrix the
+// sparse-scale benchmarks use (promoted from the PR-4 inline bench
+// generators): the first `active` ToRs each send one size-byte flow to
+// their cyclic successor within the active set at time t, and the other
+// n-active ToRs stay idle. With active == n this is the classic full
+// permutation (one active destination per source); with active << n it is
+// the regime where fabric memory and per-round cost must follow occupancy,
+// not topology size.
+type Permutation struct {
+	n, active, i int
+	size         int64
+	t            sim.Time
+}
+
+// NewPermutation returns the generator. active == 0 means all n ToRs.
+func NewPermutation(n, active int, size int64, t sim.Time) (*Permutation, error) {
+	if active == 0 {
+		active = n
+	}
+	if active < 2 || active > n {
+		return nil, fmt.Errorf("workload: permutation needs 2 <= active <= n, got active=%d n=%d", active, n)
+	}
+	return &Permutation{n: n, active: active, size: size, t: t}, nil
+}
+
+// Next implements Generator.
+func (g *Permutation) Next() (Arrival, bool) {
+	if g.i >= g.active {
+		return Arrival{}, false
+	}
+	a := Arrival{Time: g.t, Src: g.i, Dst: (g.i + 1) % g.active, Size: g.size}
+	g.i++
+	return a, true
+}
+
+// Hotspot generates skewed background traffic: the same Poisson arrival
+// process and flow-size distribution as Poisson, but a fraction hotFrac
+// of flows target one of the first hotTors destinations (the "hot set"),
+// modelling the popularity skew real datacenter services exhibit. The
+// remaining flows choose uniformly among all ToRs. Sources stay uniform,
+// so the offered network load is the same L = F/(R·N·τ) as the uniform
+// workload — only the destination matrix tilts.
+type Hotspot struct {
+	dist    SizeDist
+	n       int
+	hotTors int
+	hotFrac float64
+	meanNs  float64
+	rng     *sim.RNG
+	clock   float64
+}
+
+// NewHotspot returns a skewed Poisson generator. hotTors must be in
+// [1, n-1]; hotFrac in [0, 1] (0 degenerates to the uniform workload).
+func NewHotspot(dist SizeDist, n int, load float64, hostRate sim.Rate, hotTors int, hotFrac float64, seed int64) (*Hotspot, error) {
+	if hotTors < 1 || hotTors >= n {
+		return nil, fmt.Errorf("workload: hotspot needs 1 <= hotTors < n, got %d (n=%d)", hotTors, n)
+	}
+	if hotFrac < 0 || hotFrac > 1 {
+		return nil, fmt.Errorf("workload: hotFrac %v outside [0, 1]", hotFrac)
+	}
+	g := &Hotspot{dist: dist, n: n, hotTors: hotTors, hotFrac: hotFrac, rng: sim.NewRNG(seed)}
+	if load > 0 {
+		tauSec := dist.Mean() / (hostRate.BytesPerSecond() * float64(n) * load)
+		g.meanNs = tauSec * 1e9
+	} else {
+		g.meanNs = 1e18
+	}
+	g.advance()
+	return g, nil
+}
+
+func (g *Hotspot) advance() {
+	u := g.rng.Float64()
+	for u == 0 {
+		u = g.rng.Float64()
+	}
+	g.clock += -math.Log(u) * g.meanNs
+}
+
+// Next implements Generator. The process is unbounded.
+func (g *Hotspot) Next() (Arrival, bool) {
+	src := g.rng.Intn(g.n)
+	var dst int
+	// A hot pick that cannot avoid src (single-ToR hot set containing
+	// src) falls through to the uniform draw, keeping dst != src without
+	// rejection sampling.
+	if g.rng.Float64() < g.hotFrac && !(g.hotTors == 1 && src == 0) {
+		if src < g.hotTors {
+			dst = g.rng.Intn(g.hotTors - 1)
+			if dst >= src {
+				dst++
+			}
+		} else {
+			dst = g.rng.Intn(g.hotTors)
+		}
+	} else {
+		dst = g.rng.Intn(g.n - 1)
+		if dst >= src {
+			dst++
+		}
+	}
+	a := Arrival{Time: sim.Time(g.clock), Src: src, Dst: dst, Size: g.dist.Sample(g.rng)}
+	g.advance()
+	return a, true
+}

@@ -86,6 +86,22 @@ func MixedIncastWorkload(spec Spec, trace Trace, load float64, degree int, size 
 	return workload.NewMerge(bg, inc)
 }
 
+// PermutationWorkload generates the saturated-but-sparse permutation
+// matrix: the first active ToRs (0 means all) each send one size-byte
+// flow to their cyclic successor within the active set at time at. This
+// is the sparse-scale benchmark regime promoted into the workload layer.
+func PermutationWorkload(spec Spec, active int, size int64, at Time) (Workload, error) {
+	return workload.NewPermutation(spec.ToRs, active, size, at)
+}
+
+// HotspotWorkload is PoissonWorkload with destination skew: a fraction
+// hotFrac of flows target one of the first hotTors destinations, the rest
+// choose uniformly. Sources stay uniform, so the offered load equation is
+// unchanged — only the traffic matrix tilts.
+func HotspotWorkload(spec Spec, trace Trace, load float64, hotTors int, hotFrac float64, seed int64) (Workload, error) {
+	return workload.NewHotspot(trace.dist(), spec.ToRs, load, spec.HostRate, hotTors, hotFrac, seed)
+}
+
 // MergeWorkloads combines arrival streams in time order.
 func MergeWorkloads(ws ...Workload) Workload {
 	gens := make([]workload.Generator, len(ws))
