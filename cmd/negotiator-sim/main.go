@@ -9,6 +9,8 @@
 //	negotiator-sim -engine oblivious -trace websearch -load 0.5
 //	negotiator-sim -engine hybrid -load 1.0     # mice on round-robin, elephants negotiated
 //	negotiator-sim -scheduler stateful -tors 64 -no-pq
+//	negotiator-sim -fail-frac 0.05 -fail-detect 3us   # 5% links down forever
+//	negotiator-sim -engine hybrid -fail-scenario tor-down -fail-tor 3 -fail-at 100us -fail-recover 400us
 //	negotiator-sim -runs 8 -parallel 4   # 8 seed replicates, 4 at a time
 //	negotiator-sim -tors 512 -workers 0  # one big run, sharded over all cores
 //
@@ -60,28 +62,38 @@ var traceNames = []struct {
 
 func main() {
 	var (
-		tors      = flag.Int("tors", 128, "number of ToRs")
-		ports     = flag.Int("ports", 8, "uplink ports per ToR")
-		awgr      = flag.Int("awgr", 16, "thin-clos AWGR port count W (ToRs must equal ports*W)")
-		topology  = flag.String("topology", "parallel", "parallel | thin-clos")
-		engine    = flag.String("engine", "negotiator", "control plane: negotiator | oblivious | hybrid (see -list)")
-		oblivious = flag.Bool("oblivious", false, "deprecated alias for -engine oblivious")
-		scheduler = flag.String("scheduler", "matching", "NegotiaToR scheduling policy (see -list)")
-		trace     = flag.String("trace", "hadoop", "hadoop | websearch | google")
-		load      = flag.Float64("load", 0.5, "network load L = F/(R*N*tau)")
-		duration  = flag.Duration("duration", 6*time.Millisecond, "simulated duration")
-		linkGbps  = flag.Int64("link-gbps", 100, "per-port line rate (Gbps)")
-		hostGbps  = flag.Int64("host-gbps", 400, "per-ToR host aggregate (Gbps)")
-		reconfig  = flag.Duration("reconfig", 10*time.Nanosecond, "reconfiguration delay / guardband")
-		schedLen  = flag.Int("sched-slots", 30, "scheduled phase length in timeslots")
-		noPB      = flag.Bool("no-pb", false, "disable data piggybacking")
-		noPQ      = flag.Bool("no-pq", false, "disable priority queues")
-		relay     = flag.Bool("relay", false, "enable traffic-aware selective relay (thin-clos)")
-		seed      = flag.Int64("seed", 1, "random seed")
-		runs      = flag.Int("runs", 1, "number of seed replicates (seeds seed..seed+runs-1)")
-		parallel  = flag.Int("parallel", 0, "max concurrent runs (0 = GOMAXPROCS, 1 = sequential)")
-		workers   = flag.Int("workers", 1, "ToR shards per run (intra-run parallelism; 0 = GOMAXPROCS, 1 = sequential). Results are identical at any value")
-		list      = flag.Bool("list", false, "list engines, schedulers, topologies and traces, then exit")
+		tors       = flag.Int("tors", 128, "number of ToRs")
+		ports      = flag.Int("ports", 8, "uplink ports per ToR")
+		awgr       = flag.Int("awgr", 16, "thin-clos AWGR port count W (ToRs must equal ports*W)")
+		topology   = flag.String("topology", "parallel", "parallel | thin-clos")
+		engine     = flag.String("engine", "negotiator", "control plane: negotiator | oblivious | hybrid (see -list)")
+		oblivious  = flag.Bool("oblivious", false, "deprecated alias for -engine oblivious")
+		scheduler  = flag.String("scheduler", "matching", "NegotiaToR scheduling policy (see -list)")
+		trace      = flag.String("trace", "hadoop", "hadoop | websearch | google")
+		load       = flag.Float64("load", 0.5, "network load L = F/(R*N*tau)")
+		duration   = flag.Duration("duration", 6*time.Millisecond, "simulated duration")
+		linkGbps   = flag.Int64("link-gbps", 100, "per-port line rate (Gbps)")
+		hostGbps   = flag.Int64("host-gbps", 400, "per-ToR host aggregate (Gbps)")
+		reconfig   = flag.Duration("reconfig", 10*time.Nanosecond, "reconfiguration delay / guardband")
+		schedLen   = flag.Int("sched-slots", 30, "scheduled phase length in timeslots")
+		noPB       = flag.Bool("no-pb", false, "disable data piggybacking")
+		noPQ       = flag.Bool("no-pq", false, "disable priority queues")
+		relay      = flag.Bool("relay", false, "enable traffic-aware selective relay (thin-clos)")
+		failScen   = flag.String("fail-scenario", "", "failure scenario: random | flapping | port-group | tor-down (empty = no failures unless -fail-frac is set)")
+		failFrac   = flag.Float64("fail-frac", 0, "fraction of directed port-links to fail (random, flapping)")
+		failAt     = flag.Duration("fail-at", 0, "when links go down (flapping: first cycle start)")
+		failRec    = flag.Duration("fail-recover", 0, "when links come back (<= -fail-at means never)")
+		failDetect = flag.Duration("fail-detect", 0, "failure detection lag (0 = three epochs at default timing)")
+		failPeriod = flag.Duration("fail-period", 0, "flapping cycle period (required for -fail-scenario flapping)")
+		failDown   = flag.Duration("fail-down", 0, "flapping downtime per cycle (0 = half the period)")
+		failCycles = flag.Int("fail-cycles", 0, "flapping cycle count (0 = 8)")
+		failPort   = flag.Int("fail-port", 0, "AWGR port index to kill on every ToR (port-group)")
+		failToR    = flag.Int("fail-tor", 0, "ToR index to power down (tor-down)")
+		seed       = flag.Int64("seed", 1, "random seed")
+		runs       = flag.Int("runs", 1, "number of seed replicates (seeds seed..seed+runs-1)")
+		parallel   = flag.Int("parallel", 0, "max concurrent runs (0 = GOMAXPROCS, 1 = sequential)")
+		workers    = flag.Int("workers", 1, "ToR shards per run (intra-run parallelism; 0 = GOMAXPROCS, 1 = sequential). Results are identical at any value")
+		list       = flag.Bool("list", false, "list engines, schedulers, topologies and traces, then exit")
 	)
 	flag.Parse()
 
@@ -157,6 +169,53 @@ func main() {
 		fatalListf("unknown trace %q; available traces:\n%s", *trace, traceList())
 	}
 
+	failFlagSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if strings.HasPrefix(f.Name, "fail-") {
+			failFlagSet = true
+		}
+	})
+	if failFlagSet {
+		scen := negotiator.RandomLinks
+		if *failScen != "" {
+			var ok bool
+			scen, ok = negotiator.FailureScenarioByName(strings.ToLower(*failScen))
+			if !ok {
+				fatalListf("unknown failure scenario %q; available scenarios:\n%s", *failScen, scenarioList())
+			}
+		}
+		switch scen {
+		case negotiator.RandomLinks, negotiator.FlappingLinks:
+			if *failFrac <= 0 || *failFrac > 1 {
+				fatalListf("-fail-scenario %s needs -fail-frac in (0, 1], got %v", scen, *failFrac)
+			}
+			if scen == negotiator.FlappingLinks && *failPeriod <= 0 {
+				fatalListf("-fail-scenario flapping needs -fail-period > 0")
+			}
+		case negotiator.PortGroupFailure:
+			if *failPort < 0 || *failPort >= *ports {
+				fatalListf("-fail-port %d out of range [0, %d)", *failPort, *ports)
+			}
+		case negotiator.ToRFailure:
+			if *failToR < 0 || *failToR >= *tors {
+				fatalListf("-fail-tor %d out of range [0, %d)", *failToR, *tors)
+			}
+		}
+		spec.Failures = &negotiator.FailurePlan{
+			Scenario:    scen,
+			Fraction:    *failFrac,
+			FailAt:      negotiator.Time((*failAt).Nanoseconds()),
+			RecoverAt:   negotiator.Time((*failRec).Nanoseconds()),
+			DetectDelay: negotiator.Duration((*failDetect).Nanoseconds()),
+			Period:      negotiator.Duration((*failPeriod).Nanoseconds()),
+			DownFor:     negotiator.Duration((*failDown).Nanoseconds()),
+			Cycles:      *failCycles,
+			Port:        *failPort,
+			ToR:         *failToR,
+			Seed:        *seed,
+		}
+	}
+
 	runOne := func(runSeed int64, w io.Writer) error {
 		sp := spec
 		sp.Seed = runSeed
@@ -182,6 +241,9 @@ func main() {
 			fmt.Fprintf(w, "  epoch length:      %v\n", sum.EpochLen)
 		}
 		fmt.Fprintf(w, "  bytes delivered:   %d of %d injected\n", sum.Delivered, sum.Injected)
+		if sp.Failures != nil {
+			fmt.Fprintf(w, "  bytes lost:        %d (destroyed by failed links, pre-requeue)\n", sum.LostBytes)
+		}
 		return nil
 	}
 
@@ -236,11 +298,26 @@ func traceList() string {
 	return strings.TrimRight(b.String(), "\n")
 }
 
+func scenarioList() string {
+	var b strings.Builder
+	desc := map[negotiator.FailureScenario]string{
+		negotiator.RandomLinks:      "random directed links down over [-fail-at, -fail-recover)",
+		negotiator.FlappingLinks:    "links cycle down/up every -fail-period",
+		negotiator.PortGroupFailure: "one AWGR dies: -fail-port on every ToR",
+		negotiator.ToRFailure:       "-fail-tor powers down entirely",
+	}
+	for _, sc := range negotiator.FailureScenarios() {
+		fmt.Fprintf(&b, "  %-12s %s\n", sc, desc[sc])
+	}
+	return strings.TrimRight(b.String(), "\n")
+}
+
 func printLists(w io.Writer) {
 	fmt.Fprintf(w, "engines (-engine):\n%s\n", engineList())
 	fmt.Fprintf(w, "schedulers (-scheduler, NegotiaToR engine only):\n%s\n", schedulerList())
 	fmt.Fprintf(w, "topologies (-topology):\n  parallel\n  thin-clos\n")
 	fmt.Fprintf(w, "traces (-trace):\n%s\n", traceList())
+	fmt.Fprintf(w, "failure scenarios (-fail-scenario):\n%s\n", scenarioList())
 }
 
 func fatalf(format string, args ...interface{}) {

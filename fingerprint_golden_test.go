@@ -74,6 +74,42 @@ func fingerprintCases() []struct {
 	relay.Topology = negotiator.ThinClos
 	relay.SelectiveRelay = true
 	add("negotiator/relay/thin-clos", relay)
+	// Failure injection on the other planes (PR 6): same plan as the
+	// NegotiaToR failure combo, locking the fabric-core-owned loss and
+	// requeue paths of the oblivious and hybrid engines.
+	for _, plane := range []negotiator.ControlPlaneKind{negotiator.ObliviousPlane, negotiator.HybridPlane} {
+		spec := negotiator.SmallSpec()
+		spec.ControlPlane = plane
+		spec.Failures = &negotiator.FailurePlan{
+			Fraction:  0.25,
+			FailAt:    0,
+			RecoverAt: negotiator.Time(200 * negotiator.Microsecond),
+			Seed:      3,
+		}
+		add(fmt.Sprintf("%v/failures/parallel", plane), spec)
+	}
+	// Scenario vocabulary: flapping links on NegotiaToR, a whole-ToR
+	// power cycle on the oblivious baseline.
+	flap := negotiator.SmallSpec()
+	flap.Failures = &negotiator.FailurePlan{
+		Scenario: negotiator.FlappingLinks,
+		Fraction: 0.2,
+		Period:   60 * negotiator.Microsecond,
+		Seed:     3,
+	}
+	add("negotiator/flapping/parallel", flap)
+	tdown := negotiator.SmallSpec()
+	tdown.ControlPlane = negotiator.ObliviousPlane
+	tdown.Failures = &negotiator.FailurePlan{
+		Scenario: negotiator.ToRFailure,
+		ToR:      5,
+		// The oblivious 120-round window spans ~29µs; the power cycle
+		// must land inside it.
+		FailAt:      negotiator.Time(5 * negotiator.Microsecond),
+		RecoverAt:   negotiator.Time(20 * negotiator.Microsecond),
+		DetectDelay: 2 * negotiator.Microsecond,
+	}
+	add("oblivious/tor-down/parallel", tdown)
 	return cases
 }
 

@@ -1,0 +1,81 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+
+	negotiator "negotiator"
+	"negotiator/internal/sim"
+)
+
+// The failure-resilience sweep (PR 6 robustness item): Figure 10 measures
+// bandwidth recovery for NegotiaToR alone, but the fabric core now owns
+// failure state, so every control plane degrades under the same plan and
+// the same requeue-on-detect semantics. This sweep compares how the three
+// planes absorb random link failures as the failed fraction and the
+// detection lag grow: NegotiaToR reroutes around known-down pairs at the
+// next negotiation, the oblivious baseline keeps spraying into black holes
+// until detection, and the hybrid splits the difference (mice ride the
+// fixed schedule, elephants renegotiate).
+
+func init() {
+	register(Experiment{ID: "ext-failures", Title: "Extension: failure fraction x detection delay across all three control planes", Run: runExtFailures})
+}
+
+// runExtFailures fails a fraction of directed links for the middle half of
+// the run and sweeps the detection lag, on each control plane. One cell
+// per (fraction, detect, system); load is fixed at 75% Hadoop.
+func runExtFailures(o Options, w io.Writer) error {
+	d := o.duration()
+	const load = 0.75
+	fractions := []float64{0.01, 0.05}
+	// Detection lags in epochs: near-immediate, the default three, and a
+	// sluggish monitoring plane.
+	detects := []int{1, 3, 10}
+	if o.Quick {
+		fractions = []float64{0.05}
+		detects = []int{1, 10}
+	}
+	systems := []struct {
+		name  string
+		plane negotiator.ControlPlaneKind
+	}{
+		{"negotiator", negotiator.NegotiaToRPlane},
+		{"oblivious", negotiator.ObliviousPlane},
+		{"hybrid", negotiator.HybridPlane},
+	}
+	epoch := negotiatorEpoch(o.baseSpec())
+	r := o.runner()
+	r.Header("%-10s | %-13s | %-11s | %-12s | %-12s | %-8s | %-10s",
+		"failed(%)", "detect(epoch)", "system", "mice99p(ms)", "all 99p(ms)", "goodput", "lost(KB)")
+	for _, frac := range fractions {
+		for _, det := range detects {
+			for _, sys := range systems {
+				frac, det, sys := frac, det, sys
+				r.Cell(func(w io.Writer) error {
+					spec := o.baseSpec()
+					spec.Topology = negotiator.ParallelNetwork
+					spec.ControlPlane = sys.plane
+					// Links fail a quarter in and recover at three
+					// quarters, so the run sees both transitions.
+					spec.Failures = &negotiator.FailurePlan{
+						Fraction:    frac,
+						FailAt:      sim.Time(d / 4),
+						RecoverAt:   sim.Time(3 * d / 4),
+						DetectDelay: sim.Duration(det) * epoch,
+						Seed:        17 + o.Seed,
+					}
+					sum, err := run(spec, negotiator.PoissonWorkload(spec, negotiator.Hadoop, load, 7+o.Seed), d)
+					if err != nil {
+						return err
+					}
+					fmt.Fprintf(w, "%-10.0f | %-13d | %-11s | %s | %s | %8.3f | %10.1f\n",
+						frac*100, det, sys.name, fmtFCT(sum.Mice99p), fmtFCT(sum.All99p),
+						sum.GoodputNormalized, float64(sum.LostBytes)/1024)
+					return nil
+				})
+			}
+		}
+	}
+	return r.Flush(w)
+}

@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"runtime"
 
+	"negotiator/internal/failure"
 	"negotiator/internal/flows"
 	"negotiator/internal/metrics"
 	"negotiator/internal/par"
@@ -103,6 +104,13 @@ type Config struct {
 	// TrackReceiverBuffers models receiver-side ToR-to-host drain buffers
 	// and reports their peak occupancy.
 	TrackReceiverBuffers bool
+	// Failures optionally injects link failures: the core owns the actual
+	// and known link-state snapshots, advances them by event-transition
+	// cursor at each round start, and requeues detected losses before the
+	// control plane's phases run. Planes read the snapshots through
+	// ActualFailures/KnownFailures — known state excludes links from
+	// scheduling, actual state destroys bits at transmission choke points.
+	Failures *failure.Plan
 }
 
 // Core is the shared fabric substrate. Exported fields are the stable
@@ -144,6 +152,15 @@ type Core struct {
 	genDone     bool
 	flowSeq     int64
 	admit       func(f *flows.Flow, at sim.Time)
+
+	// Failure subsystem: the plan, the two cursor-maintained snapshots
+	// (actual link state, and the detection-lagged state the fabric
+	// knows), and the cumulative requeued-byte counter. Quiet epochs cost
+	// one O(1) cursor probe each, not a dense state rebuild.
+	failPlan  *failure.Plan
+	actualCur *failure.Cursor
+	knownCur  *failure.Cursor
+	requeued  int64
 
 	// pendingLosses counts loss records outstanding across all nodes
 	// (folded from the per-shard deltas), so failure-free rounds skip the
@@ -221,7 +238,49 @@ func New(cfg Config) (*Core, error) {
 			c.RxBuffers[i] = metrics.NewDrainBuffer(cfg.HostRate)
 		}
 	}
+	if cfg.Failures != nil {
+		c.failPlan = cfg.Failures
+		c.actualCur = failure.NewCursor(cfg.Failures, c.N, c.S)
+		c.knownCur = failure.NewCursor(cfg.Failures, c.N, c.S)
+	}
 	return c, nil
+}
+
+// Failures returns the active failure plan, nil without fault injection.
+func (c *Core) Failures() *failure.Plan { return c.failPlan }
+
+// ActualFailures returns the live actual link-state snapshot (nil without
+// a plan). The pointer is stable for the core's lifetime; the core
+// advances it once per round, before the control plane's phases.
+func (c *Core) ActualFailures() *failure.State {
+	if c.actualCur == nil {
+		return nil
+	}
+	return c.actualCur.State()
+}
+
+// KnownFailures returns the detection-lagged link-state snapshot the
+// fabric schedules against (nil without a plan). Stable pointer, like
+// ActualFailures.
+func (c *Core) KnownFailures() *failure.State {
+	if c.knownCur == nil {
+		return nil
+	}
+	return c.knownCur.State()
+}
+
+// Requeued returns the cumulative bytes returned to source queues by
+// detected-loss requeue.
+func (c *Core) Requeued() int64 { return c.requeued }
+
+// advanceFailures moves both snapshots to the round start (known state
+// lagging by the plan's detection delay) and requeues every loss whose
+// detection delay has elapsed. Rounds with no transitions and no
+// outstanding losses do O(1) work.
+func (c *Core) advanceFailures(t sim.Time) {
+	c.actualCur.AdvanceTo(t)
+	c.knownCur.AdvanceTo(t.Add(-c.failPlan.DetectDelay))
+	c.RequeueDetectedLosses(t, c.failPlan.DetectDelay)
 }
 
 // Bind attaches the control plane and its arrival-admission hook (which
@@ -264,10 +323,14 @@ func (c *Core) ParDo(fn func(k int)) {
 	}
 }
 
-// RunRound executes one scheduling round: the control plane's phases,
-// then the deterministic serial merge of per-shard deltas, the optional
-// invariant check, and the time/round-counter advance.
+// RunRound executes one scheduling round: failure-state advance and
+// detected-loss requeue (when a plan is configured), the control plane's
+// phases, then the deterministic serial merge of per-shard deltas, the
+// optional invariant check, and the time/round-counter advance.
 func (c *Core) RunRound() {
+	if c.failPlan != nil {
+		c.advanceFailures(c.now)
+	}
 	c.plane.Round()
 	c.mergeRound()
 	if c.check != nil {
@@ -387,10 +450,12 @@ func (c *Core) Inject(t sim.Time) {
 	}
 }
 
-// RequeueDetectedLosses returns failure-destroyed bytes to their source
-// queues once the detection delay has elapsed, modelling upper-layer
-// retransmission. Failure-free rounds return immediately on the
-// outstanding-loss counter instead of walking every node.
+// RequeueDetectedLosses returns failure-destroyed bytes to the recording
+// node's queues once the detection delay has elapsed, modelling
+// upper-layer retransmission. The loss's requeue class picks the queue
+// set (direct VOQ, spray/mice lane, relay FIFO — see RequeueClass).
+// Failure-free rounds return immediately on the outstanding-loss counter
+// instead of walking every node.
 func (c *Core) RequeueDetectedLosses(now sim.Time, detect sim.Duration) {
 	if c.pendingLosses == 0 {
 		return
@@ -402,9 +467,21 @@ func (c *Core) RequeueDetectedLosses(now sim.Time, detect sim.Duration) {
 		kept := nd.Losses[:0]
 		for _, l := range nd.Losses {
 			if l.At.Add(detect) <= now {
-				l.F.Unsend(l.N)
-				nd.PushDirectBytes(l.Dst, l.F, l.N, l.Off, now)
+				switch l.Class {
+				case RequeueDirect:
+					l.F.Unsend(l.N)
+					nd.PushDirectBytes(l.Dst, l.F, l.N, l.Off, now)
+				case RequeueLane:
+					l.F.Unsend(l.N)
+					nd.PushLaneBytes(int(l.Via), l.F, l.N, l.Off, now)
+				case RequeueRelay:
+					// Second-hop bytes were already noted sent at their
+					// first hop and relay delivery never re-notes them, so
+					// the flow's sent cursor stays put.
+					nd.PushRelay(l.Dst, queue.Segment{Flow: l.F, Bytes: l.N, Enqueued: now})
+				}
 				c.Ledger.Lost -= l.N
+				c.requeued += l.N
 				c.pendingLosses--
 			} else {
 				kept = append(kept, l)
@@ -473,6 +550,36 @@ func (c *Core) QueuedInNodes() int64 {
 func (c *Core) CheckOccupancy() {
 	for i, nd := range c.Nodes {
 		nd.checkOccupancy(i)
+	}
+}
+
+// CheckConservation asserts byte conservation under failures, beyond the
+// plain ledger identity (injected == delivered + queued + Lost): the
+// outstanding loss records must sum to Ledger.Lost and match the
+// pending-loss counter, and cumulative destroyed bytes must equal the
+// ledger's live losses plus everything requeued — so injected ==
+// delivered + queued + Lost − requeued holds with Lost read as the
+// cumulative destruction figure (Core.Lost). Failure tests of every
+// control plane run it per round.
+func (c *Core) CheckConservation() {
+	if err := c.Ledger.Check(c.QueuedInNodes()); err != nil {
+		panic(err)
+	}
+	var sum, recs int64
+	for _, nd := range c.Nodes {
+		for _, l := range nd.Losses {
+			sum += l.N
+			recs++
+		}
+	}
+	if sum != c.Ledger.Lost {
+		panic(fmt.Sprintf("fabric: outstanding loss records hold %d bytes, ledger says %d", sum, c.Ledger.Lost))
+	}
+	if recs != c.pendingLosses {
+		panic(fmt.Sprintf("fabric: %d outstanding loss records, counter says %d", recs, c.pendingLosses))
+	}
+	if c.Lost != c.Ledger.Lost+c.requeued {
+		panic(fmt.Sprintf("fabric: destroyed %d != live lost %d + requeued %d", c.Lost, c.Ledger.Lost, c.requeued))
 	}
 }
 

@@ -86,14 +86,37 @@ type nodeSpec struct {
 	cumInjected bool
 }
 
+// RequeueClass selects how Core.RequeueDetectedLosses returns a detected
+// loss to the recording node's queues — each control plane records losses
+// in the class whose queue set its discipline actually serves.
+type RequeueClass uint8
+
+const (
+	// RequeueDirect rewinds the flow's sent cursor and re-enqueues into
+	// the recording node's direct VOQ for Dst — the NegotiaToR semantics
+	// (and the zero value, so plain RecordLoss keeps them).
+	RequeueDirect RequeueClass = iota
+	// RequeueLane rewinds the sent cursor and re-enqueues into lane Via
+	// (a VLB spray lane, the hybrid's mice queue): disciplines whose
+	// sources never serve the direct set must not strand bytes there.
+	RequeueLane
+	// RequeueRelay re-enqueues the bytes into the recording node's relay
+	// FIFO for Dst without rewinding the flow: second-hop bytes were
+	// already noted sent at their first hop, and relay delivery does not
+	// note them again.
+	RequeueRelay
+)
+
 // Loss books one run of failure-destroyed bytes: flow, destination, flow
-// offset, byte count and destruction time.
+// offset, byte count, destruction time and how to requeue on detection.
 type Loss struct {
-	F   *flows.Flow
-	Dst int
-	Off int64
-	N   int64
-	At  sim.Time
+	F     *flows.Flow
+	Dst   int
+	Off   int64
+	N     int64
+	At    sim.Time
+	Class RequeueClass
+	Via   int32 // lane index for RequeueLane
 }
 
 func newNode(spec *nodeSpec, pool *queue.SegPool) *Node {

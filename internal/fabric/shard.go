@@ -62,9 +62,15 @@ func (sh *Shard) Deliver(f *flows.Flow, dst int, n int64, at sim.Time) {
 // detection and source requeue. The loss list is owned by the
 // transmitting node, hence by the calling shard.
 func (sh *Shard) RecordLoss(nd *Node, f *flows.Flow, dst int, off, n int64, at sim.Time) {
+	sh.RecordLossClass(nd, f, dst, off, n, at, RequeueDirect, -1)
+}
+
+// RecordLossClass is RecordLoss with an explicit requeue class: via names
+// the lane index for RequeueLane losses (ignored otherwise).
+func (sh *Shard) RecordLossClass(nd *Node, f *flows.Flow, dst int, off, n int64, at sim.Time, class RequeueClass, via int) {
 	sh.LostDelta += n
 	sh.LossRecs++
-	nd.Losses = append(nd.Losses, Loss{F: f, Dst: dst, Off: off, N: n, At: at})
+	nd.Losses = append(nd.Losses, Loss{F: f, Dst: dst, Off: off, N: n, At: at, Class: class, Via: int32(via)})
 }
 
 // Deliver applies one delivery's accounting from serial context (a

@@ -1,0 +1,66 @@
+package failure
+
+import (
+	"testing"
+
+	"negotiator/internal/sim"
+)
+
+// The quiescent-epoch guard: once a plan's transitions are exhausted (or
+// simply between transitions), advancing the cursor must cost O(1) —
+// independent of fabric size — where the dense Fill rebuild pays O(N·S)
+// every epoch. Compare:
+//
+//	go test -bench 'Quiet' -benchtime 100000x ./internal/failure/
+//
+// BenchmarkCursorQuietEpoch must stay flat as N·S grows (a few ns);
+// BenchmarkFillQuietEpoch scales with the 4096x16 bitmap it rewrites.
+const benchToRs, benchPorts = 4096, 16
+
+func quietPlan() *Plan {
+	// All dynamics in the first microsecond; everything after is quiet.
+	return Random(benchToRs, benchPorts, 0.05, 0, sim.Time(sim.Microsecond), sim.Microsecond, 7)
+}
+
+func BenchmarkCursorQuietEpoch(b *testing.B) {
+	p := quietPlan()
+	c := NewCursor(p, benchToRs, benchPorts)
+	c.AdvanceTo(sim.Time(2 * sim.Microsecond)) // cross every transition once
+	epoch := sim.Duration(3 * sim.Microsecond)
+	t := sim.Time(2 * sim.Microsecond)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t = t.Add(epoch)
+		c.AdvanceTo(t)
+	}
+}
+
+func BenchmarkFillQuietEpoch(b *testing.B) {
+	p := quietPlan()
+	st := NewState(benchToRs, benchPorts)
+	epoch := sim.Duration(3 * sim.Microsecond)
+	t := sim.Time(2 * sim.Microsecond)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t = t.Add(epoch)
+		p.Fill(st, t)
+	}
+}
+
+// TestQuietAdvanceDoesNoWork pins the O(1) claim mechanically: past the
+// last transition, AdvanceTo neither allocates nor touches the bitmap.
+func TestQuietAdvanceDoesNoWork(t *testing.T) {
+	p := quietPlan()
+	c := NewCursor(p, benchToRs, benchPorts)
+	c.AdvanceTo(sim.Time(2 * sim.Microsecond))
+	if c.Pending() != 0 {
+		t.Fatalf("plan not exhausted: %d transitions pending", c.Pending())
+	}
+	at := sim.Time(3 * sim.Microsecond)
+	if allocs := testing.AllocsPerRun(100, func() {
+		at = at.Add(sim.Microsecond)
+		c.AdvanceTo(at)
+	}); allocs != 0 {
+		t.Errorf("quiet advance allocates (%v allocs/op)", allocs)
+	}
+}

@@ -121,17 +121,8 @@ func (st *State) PathOK(src, dst, port int) bool {
 // simultaneously at failAt and recovering them at recoverAt, the scenario
 // of the paper's Figure 10.
 func Random(n, s int, fraction float64, failAt, recoverAt sim.Time, detect sim.Duration, seed int64) *Plan {
-	total := 2 * n * s
-	k := int(fraction*float64(total) + 0.5)
-	if k > total {
-		k = total
-	}
-	rng := sim.NewRNG(seed)
-	perm := make([]int, total)
-	rng.Perm(perm)
 	p := &Plan{DetectDelay: detect}
-	for _, idx := range perm[:k] {
-		l := Link{ToR: (idx / 2) / s, Port: (idx / 2) % s, Ingress: idx%2 == 1}
+	for _, l := range randomLinks(n, s, fraction, seed) {
 		p.Events = append(p.Events, Event{Link: l, FailAt: failAt, RecoverAt: recoverAt})
 	}
 	return p

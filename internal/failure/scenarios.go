@@ -1,0 +1,75 @@
+package failure
+
+import "negotiator/internal/sim"
+
+// randomLinks picks fraction of all 2·n·s directed links, the selection
+// underlying Random. Kept separate so scenario builders share the exact
+// sampling (same seed → same links regardless of event shape).
+func randomLinks(n, s int, fraction float64, seed int64) []Link {
+	total := 2 * n * s
+	k := int(fraction*float64(total) + 0.5)
+	if k > total {
+		k = total
+	}
+	rng := sim.NewRNG(seed)
+	perm := make([]int, total)
+	rng.Perm(perm)
+	links := make([]Link, 0, k)
+	for _, idx := range perm[:k] {
+		links = append(links, Link{ToR: (idx / 2) / s, Port: (idx / 2) % s, Ingress: idx%2 == 1})
+	}
+	return links
+}
+
+// Flapping builds a plan where fraction of all directed links flap: each
+// selected link goes down for downFor at the start of every period, for
+// cycles periods beginning at failAt. Flapping exercises recovery-detection
+// lag — the fabric keeps scheduling onto a link that just dropped, and
+// keeps avoiding one that just came back.
+func Flapping(n, s int, fraction float64, failAt sim.Time, period, downFor sim.Duration, cycles int, detect sim.Duration, seed int64) *Plan {
+	if downFor <= 0 || downFor > period {
+		downFor = period
+	}
+	p := &Plan{DetectDelay: detect}
+	for _, l := range randomLinks(n, s, fraction, seed) {
+		for c := 0; c < cycles; c++ {
+			at := failAt.Add(sim.Duration(c) * period)
+			p.Events = append(p.Events, Event{Link: l, FailAt: at, RecoverAt: at.Add(downFor)})
+		}
+	}
+	return p
+}
+
+// PortGroup builds a correlated scenario: one AWGR dies, taking out the
+// same port index on every ToR in both directions over [failAt, recoverAt).
+// Unlike Random, the survivors form a structured subgraph — every ToR pair
+// loses exactly the predefined slots that map to that port.
+func PortGroup(n, s, port int, failAt, recoverAt sim.Time, detect sim.Duration) *Plan {
+	p := &Plan{DetectDelay: detect}
+	if port < 0 || port >= s {
+		return p
+	}
+	for i := 0; i < n; i++ {
+		l := Link{ToR: i, Port: port}
+		p.Events = append(p.Events,
+			Event{Link: l, FailAt: failAt, RecoverAt: recoverAt},
+			Event{Link: Link{ToR: i, Port: port, Ingress: true}, FailAt: failAt, RecoverAt: recoverAt})
+	}
+	return p
+}
+
+// ToRDown powers one ToR down over [failAt, recoverAt): every port, both
+// directions. Traffic destined to it is lost until detection; traffic from
+// it stops at the source. Restart is modelled by recovery.
+func ToRDown(n, s, tor int, failAt, recoverAt sim.Time, detect sim.Duration) *Plan {
+	p := &Plan{DetectDelay: detect}
+	if tor < 0 || tor >= n {
+		return p
+	}
+	for port := 0; port < s; port++ {
+		p.Events = append(p.Events,
+			Event{Link: Link{ToR: tor, Port: port}, FailAt: failAt, RecoverAt: recoverAt},
+			Event{Link: Link{ToR: tor, Port: port, Ingress: true}, FailAt: failAt, RecoverAt: recoverAt})
+	}
+	return p
+}

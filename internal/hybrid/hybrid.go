@@ -23,6 +23,7 @@ import (
 	"fmt"
 
 	"negotiator/internal/fabric"
+	"negotiator/internal/failure"
 	"negotiator/internal/flows"
 	"negotiator/internal/match"
 	"negotiator/internal/metrics"
@@ -50,6 +51,16 @@ type Config struct {
 	MiceBytes int64
 	// Seed drives the matcher's ring randomness.
 	Seed int64
+	// Failures optionally injects link failures (owned and advanced by the
+	// fabric core). Both traffic classes are exposed: mice riding a
+	// known-down predefined pair are held for a later rotation, elephants
+	// lose the match's port; links down but not yet detected destroy the
+	// bytes sent across them, requeued on detection (mice back into their
+	// mice queue, elephants into their VOQ). The idealised same-epoch
+	// request/grant/accept exchange itself is assumed reliable — only the
+	// data plane degrades, an upper bound matching the engine's
+	// instant-control-plane idealisation.
+	Failures *failure.Plan
 	// CheckInvariants enables per-epoch byte-conservation assertions.
 	CheckInvariants bool
 	// OnDeliver, when set, observes every payload delivery at its
@@ -76,6 +87,7 @@ type Results struct {
 	Epochs     int64
 	Injected   int64
 	Delivered  int64
+	LostBytes  int64 // bytes destroyed by failures (before requeue), cumulative
 	// PeakReceiverBuffer is the largest receiver-side backlog; zero
 	// unless TrackReceiverBuffers is set.
 	PeakReceiverBuffer int64
@@ -101,6 +113,10 @@ type Engine struct {
 	views      []torView
 	shards     []*hyShard
 	epochStart sim.Time
+
+	// Core-owned failure snapshots (stable pointers, advanced by the core
+	// before each Round; nil without a plan).
+	actual, known *failure.State
 
 	stepRequest  func(k int)
 	stepGrant    func(k int)
@@ -159,6 +175,8 @@ type hyShard struct {
 	txDst     int
 	txPos     int64
 	txAt      sim.Time
+	txNode    *fabric.Node
+	txLost    bool // current connection's link down but undetected
 	schedEmit func(*flows.Flow, int64)
 	miceEmit  func(*flows.Flow, int64)
 	grantEmit func(match.Grant)
@@ -209,12 +227,15 @@ func New(cfg Config) (*Engine, error) {
 		Lanes:                true, // Lanes[dst] = mice VOQs
 		OnDeliver:            cfg.OnDeliver,
 		TrackReceiverBuffers: cfg.TrackReceiverBuffers,
+		Failures:             cfg.Failures,
 	})
 	if err != nil {
 		return nil, err
 	}
 	e.fab = fab
 	fab.Bind(e, e.admit)
+	e.actual = fab.ActualFailures()
+	e.known = fab.KnownFailures()
 
 	e.tors = make([]*torCtl, e.n)
 	e.views = make([]torView, e.n)
@@ -291,6 +312,7 @@ func (e *Engine) Results() Results {
 		Epochs:             e.fab.Rounds(),
 		Injected:           e.fab.Ledger.Injected,
 		Delivered:          e.fab.Ledger.Delivered,
+		LostBytes:          e.fab.Lost,
 		PeakReceiverBuffer: e.fab.PeakReceiverBuffer(),
 	}
 }
@@ -319,7 +341,9 @@ func (e *Engine) CheckRound() {
 	if !e.cfg.CheckInvariants {
 		return
 	}
-	if err := e.fab.Ledger.Check(e.fab.QueuedInNodes()); err != nil {
+	if e.cfg.Failures != nil {
+		e.fab.CheckConservation() // ledger check plus loss-record identities
+	} else if err := e.fab.Ledger.Check(e.fab.QueuedInNodes()); err != nil {
 		panic(err)
 	}
 	e.fab.CheckOccupancy()
@@ -339,16 +363,29 @@ func (sh *hyShard) initEmitters() {
 		sh.grantOut[r] = append(sh.grantOut[r], g)
 	}
 	// Scheduled-phase (elephant) delivery: slot-timed like NegotiaToR.
+	// With the connection's link down but undetected, the bytes are
+	// destroyed in flight and booked for requeue into the elephant VOQ.
 	sh.schedEmit = func(f *flows.Flow, n int64) {
+		off := f.Sent()
 		f.NoteSent(n)
 		sh.txPos += n
 		endSlot := (sh.txPos + e.payload - 1) / e.payload
 		at := sh.txAt.Add(sim.Duration(endSlot) * e.timing.ScheduledSlot).Add(e.timing.PropDelay)
+		if sh.txLost {
+			sh.fs.RecordLossClass(sh.txNode, f, sh.txDst, off, n, at, fabric.RequeueDirect, -1)
+			return
+		}
 		sh.fs.Deliver(f, sh.txDst, n, at)
 	}
-	// Predefined-phase (mice) delivery: fixed slot arrival time.
+	// Predefined-phase (mice) delivery: fixed slot arrival time; losses
+	// requeue into the mice queue (lane) they were taken from.
 	sh.miceEmit = func(f *flows.Flow, n int64) {
+		off := f.Sent()
 		f.NoteSent(n)
+		if sh.txLost {
+			sh.fs.RecordLossClass(sh.txNode, f, sh.txDst, off, n, sh.txAt, fabric.RequeueLane, sh.txDst)
+			return
+		}
 		sh.fs.Deliver(f, sh.txDst, n, sh.txAt)
 	}
 }
@@ -425,26 +462,39 @@ func (sh *hyShard) transmitStep() {
 		// pair, delivery fixed by the pair's predefined slot. The sweep
 		// iterates the mice-queue occupancy index (ascending, exactly the
 		// non-empty lanes), so idle pairs cost nothing.
+		sh.txNode = nd
+		sh.txLost = false
 		if e.piggyBytes > 0 {
 			for j := nd.LanesOcc.Next(-1); j >= 0; j = nd.LanesOcc.Next(j) {
 				if j == i {
 					continue
 				}
-				slot, _ := e.top.PredefinedSlotPort(i, j, rot)
+				slot, port := e.top.PredefinedSlotPort(i, j, rot)
+				// A pair whose predefined link the fabric knows is down
+				// holds its mice for a later rotation (a different port);
+				// an undetected failure transmits into the void.
+				if e.known != nil && e.known.Count > 0 && !e.known.PathOK(i, j, port) {
+					continue
+				}
 				sh.txDst = j
 				sh.txAt = e.epochStart.Add(sim.Duration(slot+1) * slotDur).Add(e.timing.PropDelay)
+				sh.txLost = e.actual != nil && e.actual.Count > 0 && !e.actual.PathOK(i, j, port)
 				nd.TakeLane(j, e.piggyBytes, sh.miceEmit)
 			}
 		}
 		// Elephants use the negotiated connections.
 		if t.hasMatches {
-			for _, dj := range t.matches {
+			for p, dj := range t.matches {
 				if dj < 0 {
 					continue
+				}
+				if e.known != nil && e.known.Count > 0 && !e.known.PathOK(i, int(dj), p) {
+					continue // match rides a link known down: forfeited
 				}
 				sh.txDst = int(dj)
 				sh.txPos = 0
 				sh.txAt = phaseStart
+				sh.txLost = e.actual != nil && e.actual.Count > 0 && !e.actual.PathOK(i, int(dj), p)
 				nd.TakeDirect(int(dj), capacity, sh.schedEmit)
 			}
 		}

@@ -247,6 +247,7 @@ func New(cfg Config) (*Engine, error) {
 		CumInjected:          true,
 		OnDeliver:            cfg.OnDeliver,
 		TrackReceiverBuffers: cfg.TrackReceiverBuffers,
+		Failures:             cfg.Failures,
 	})
 	if err != nil {
 		return nil, err
@@ -273,10 +274,10 @@ func New(cfg Config) (*Engine, error) {
 		e.tors[i] = t
 	}
 	e.initHotPath()
-	if cfg.Failures != nil {
-		e.actual = failure.NewState(e.n, e.s)
-		e.known = failure.NewState(e.n, e.s)
-	}
+	// The core owns failure state (cursor-advanced at each round start);
+	// the engine caches the stable snapshot pointers for its hot paths.
+	e.actual = fab.ActualFailures()
+	e.known = fab.KnownFailures()
 	if cfg.Relay != nil {
 		e.initRelay()
 	}
@@ -440,13 +441,10 @@ func (e *Engine) Results() Results {
 // (iterative) matchers replace A and B with one request-snapshot phase
 // and a serial whole-fabric Match.
 func (e *Engine) Round() {
+	// Failure bookkeeping (snapshot advance, detected-loss requeue) has
+	// already run: the core owns it, before any plane's Round.
 	epochStart := e.fab.Now()
 	e.curEpochStart = epochStart
-	if e.cfg.Failures != nil {
-		e.cfg.Failures.Fill(e.actual, epochStart)
-		e.cfg.Failures.Fill(e.known, epochStart.Add(-e.cfg.Failures.DetectDelay))
-		e.fab.RequeueDetectedLosses(epochStart, e.cfg.Failures.DetectDelay)
-	}
 	e.fab.Inject(epochStart)
 
 	// Mailbox generation g is consumed exactly stageLag epochs after it
@@ -530,7 +528,9 @@ func (e *Engine) controlStep(epochStart sim.Time) {
 // checkInvariants asserts byte conservation, occupancy-index/shadow
 // exactness and match conflict-freedom.
 func (e *Engine) checkInvariants() {
-	if err := e.fab.Ledger.Check(e.fab.QueuedInNodes()); err != nil {
+	if e.cfg.Failures != nil {
+		e.fab.CheckConservation() // ledger check plus loss-record identities
+	} else if err := e.fab.Ledger.Check(e.fab.QueuedInNodes()); err != nil {
 		panic(err)
 	}
 	e.fab.CheckOccupancy()

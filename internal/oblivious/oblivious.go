@@ -29,6 +29,7 @@ import (
 	"fmt"
 
 	"negotiator/internal/fabric"
+	"negotiator/internal/failure"
 	"negotiator/internal/flows"
 	"negotiator/internal/metrics"
 	"negotiator/internal/queue"
@@ -119,6 +120,15 @@ type Config struct {
 	OpportunisticDirect bool
 	// Seed drives the spray randomness.
 	Seed int64
+	// Failures optionally injects link failures (owned and advanced by the
+	// fabric core): known-down links are excluded from service — relay,
+	// lane and spray alike, since every transmission in slot (i, s) rides
+	// the same physical fibre pair — while links that are down but not yet
+	// detected silently destroy the bytes sent across them, to be requeued
+	// at the source once the detection delay elapses. Lane-discipline
+	// losses requeue into the lane they came from (the source never serves
+	// its direct set), relay second hops back into the relay FIFO.
+	Failures *failure.Plan
 	// CheckInvariants enables byte-conservation assertions.
 	CheckInvariants bool
 	// OnDeliver observes final-destination deliveries.
@@ -156,6 +166,7 @@ type Results struct {
 	Injected  int64
 	Delivered int64
 	Relayed   int64 // bytes that took a first hop (transit volume)
+	LostBytes int64 // bytes destroyed by failures (before requeue), cumulative
 }
 
 // Engine is the traffic-oblivious control plane over the shared fabric
@@ -172,6 +183,11 @@ type Engine struct {
 	slots  int // round-robin cycle length in slots
 	cell   int64
 	lanes  bool
+
+	// Core-owned failure snapshots (stable pointers, advanced by the core
+	// before each Round; nil without a plan). Known state gates service,
+	// actual state destroys bits.
+	actual, known *failure.State
 
 	relayed int64
 
@@ -200,6 +216,7 @@ type obShard struct {
 	e      *Engine
 	k      int
 	lo, hi int
+	fs     *fabric.Shard
 
 	// usedStamp marks connections phase A consumed ((tor-lo)*s + port,
 	// stamped with slotNo+1 so no per-slot clearing is needed).
@@ -217,8 +234,16 @@ type obShard struct {
 	transits    []obTransit
 
 	// Emitter context + prebuilt closures (no per-take closure allocs).
+	// txLost marks the current connection's actual link state down
+	// (undetected): the emitters then book the bytes as destroyed instead
+	// of delivered/pushed — lossClass picking the requeue set the
+	// discipline serves (lanes vs direct), txVia the lane index.
 	txDst     int
 	txInter   int
+	txNode    *fabric.Node
+	txLost    bool
+	txVia     int
+	lossClass fabric.RequeueClass
 	drainEmit func(*flows.Flow, int64) // relay second hop: no NoteSent
 	sentEmit  func(*flows.Flow, int64) // direct delivery: NoteSent + record
 	pushEmit  func(*flows.Flow, int64) // first hop: NoteSent + push record
@@ -287,12 +312,15 @@ func New(cfg Config) (*Engine, error) {
 		Lanes:          e.lanes,
 		Relay:          true,
 		OnDeliver:      cfg.OnDeliver,
+		Failures:       cfg.Failures,
 	})
 	if err != nil {
 		return nil, err
 	}
 	e.fab = fab
 	fab.Bind(e, e.admit)
+	e.actual = fab.ActualFailures()
+	e.known = fab.KnownFailures()
 	e.initShards()
 	return e, nil
 }
@@ -329,16 +357,38 @@ func (e *Engine) initShards() {
 	e.shards = make([]*obShard, e.workers)
 	for k := 0; k < e.workers; k++ {
 		fs := e.fab.Shards[k]
-		sh := &obShard{e: e, k: k, lo: fs.Lo, hi: fs.Hi, usedStamp: make([]int64, (fs.Hi-fs.Lo)*e.s)}
+		sh := &obShard{e: e, k: k, lo: fs.Lo, hi: fs.Hi, fs: fs, usedStamp: make([]int64, (fs.Hi-fs.Lo)*e.s), txVia: -1}
+		// Losses requeue into the queue set the discipline actually
+		// serves: lanes under Sirius spray, direct under the ablations.
+		sh.lossClass = fabric.RequeueDirect
+		if e.lanes {
+			sh.lossClass = fabric.RequeueLane
+		}
 		sh.drainEmit = func(f *flows.Flow, n int64) {
+			if sh.txLost {
+				// Second hop destroyed: back into the relay FIFO on
+				// detection, no sent-cursor rewind (see RequeueRelay).
+				sh.fs.RecordLossClass(sh.txNode, f, sh.txDst, 0, n, e.slotArrive, fabric.RequeueRelay, -1)
+				return
+			}
 			sh.drainDelivs = append(sh.drainDelivs, obDeliv{f: f, dst: sh.txDst, n: n, at: e.slotArrive})
 		}
 		sh.sentEmit = func(f *flows.Flow, n int64) {
+			off := f.Sent()
 			f.NoteSent(n)
+			if sh.txLost {
+				sh.fs.RecordLossClass(sh.txNode, f, sh.txDst, off, n, e.slotArrive, sh.lossClass, sh.txVia)
+				return
+			}
 			sh.serveDelivs = append(sh.serveDelivs, obDeliv{f: f, dst: sh.txDst, n: n, at: e.slotArrive})
 		}
 		sh.pushEmit = func(f *flows.Flow, n int64) {
+			off := f.Sent()
 			f.NoteSent(n)
+			if sh.txLost {
+				sh.fs.RecordLossClass(sh.txNode, f, sh.txDst, off, n, e.slotArrive, sh.lossClass, sh.txVia)
+				return
+			}
 			sh.pushes = append(sh.pushes, obPush{f: f, inter: sh.txInter, dst: sh.txDst, n: n, at: e.slotArrive})
 		}
 		e.shards[k] = sh
@@ -397,6 +447,7 @@ func (e *Engine) Results() Results {
 		Injected:  e.fab.Ledger.Injected,
 		Delivered: e.fab.Ledger.Delivered,
 		Relayed:   e.relayed,
+		LostBytes: e.fab.Lost,
 	}
 }
 
@@ -466,7 +517,9 @@ func (e *Engine) CheckRound() {
 	for _, nd := range e.fab.Nodes {
 		nd.CheckRelayCounter()
 	}
-	if err := e.fab.Ledger.Check(e.fab.QueuedInNodes()); err != nil {
+	if e.cfg.Failures != nil {
+		e.fab.CheckConservation() // ledger check plus loss-record identities
+	} else if err := e.fab.Ledger.Check(e.fab.QueuedInNodes()); err != nil {
 		panic(err)
 	}
 	e.fab.CheckOccupancy()
@@ -492,10 +545,18 @@ func (sh *obShard) drainStep() {
 			if j < 0 {
 				continue
 			}
+			// A link the fabric knows is down is excluded from service
+			// (the slot is not scheduled, so serve keeps it gated too); a
+			// link that is down but undetected transmits into the void.
+			if e.known != nil && e.known.Count > 0 && !e.known.PathOK(i, j, s) {
+				continue
+			}
 			if !src.Relay[j].HeadReady(e.slotStart) {
 				continue
 			}
 			sh.txDst = j
+			sh.txNode = src
+			sh.txLost = e.actual != nil && e.actual.Count > 0 && !e.actual.PathOK(i, j, s)
 			src.DrainRelay(j, e.cell, e.slotStart, sh.drainEmit)
 			sh.usedStamp[(i-sh.lo)*e.s+s] = slotNo + 1
 		}
@@ -528,6 +589,14 @@ func (sh *obShard) serveStep() {
 			if j < 0 {
 				continue
 			}
+			// Every transmission of slot (i, s) rides the same fibre pair,
+			// so the known-failure gate and the actual-loss flag apply to
+			// the connection as a whole (see drainStep).
+			if e.known != nil && e.known.Count > 0 && !e.known.PathOK(i, j, s) {
+				continue
+			}
+			sh.txNode = src
+			sh.txLost = e.actual != nil && e.actual.Count > 0 && !e.actual.PathOK(i, j, s)
 			if src.Lanes != nil {
 				sh.serveLanes(src, i, j)
 			} else {
@@ -553,6 +622,7 @@ func (sh *obShard) serveLanes(src *fabric.Node, i, j int) {
 	if d == j {
 		// The pre-assigned intermediate is the destination: one hop.
 		sh.txDst = j
+		sh.txVia = j
 		src.TakeLaneHeadCell(j, e.cell, sh.sentEmit)
 		return
 	}
@@ -565,8 +635,11 @@ func (sh *obShard) serveLanes(src *fabric.Node, i, j int) {
 		max = headroom
 	}
 	sh.txInter, sh.txDst = j, d
+	sh.txVia = j
 	_, n := src.TakeLaneHeadCell(j, max, sh.pushEmit)
-	sh.noteTransit(j, n)
+	if !sh.txLost {
+		sh.noteTransit(j, n) // destroyed cells never reach the intermediate
+	}
 }
 
 // serve fills the slot for the slot-time-spray disciplines
@@ -631,7 +704,9 @@ func (sh *obShard) serve(src *fabric.Node, i, j int) {
 				}
 				sh.txInter, sh.txDst = j, d
 				n := src.TakeDirect(d, max, sh.pushEmit)
-				sh.noteTransit(j, n)
+				if !sh.txLost {
+					sh.noteTransit(j, n)
+				}
 				src.SprayPtr = d + 1
 				if src.SprayPtr >= e.n {
 					src.SprayPtr = 0

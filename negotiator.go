@@ -369,9 +369,6 @@ func (s Spec) Build() (Fabric, error) {
 		}
 	}
 	if s.plane() == HybridPlane {
-		if plan != nil {
-			return nil, fmt.Errorf("negotiator: failure injection is implemented for the NegotiaToR fabric (§4.3); the hybrid engine does not model it")
-		}
 		if s.Scheduler != Matching {
 			return nil, fmt.Errorf("negotiator: the hybrid engine uses NegotiaToR Matching; scheduler variants apply to the NegotiaToR fabric")
 		}
@@ -384,6 +381,7 @@ func (s Spec) Build() (Fabric, error) {
 			HostRate:             s.HostRate,
 			PriorityQueues:       s.PriorityQueues,
 			Seed:                 s.Seed,
+			Failures:             plan,
 			CheckInvariants:      s.CheckInvariants,
 			OnDeliver:            s.OnDeliver,
 			TrackReceiverBuffers: s.TrackReceiverBuffers,
@@ -402,15 +400,13 @@ func (s Spec) Build() (Fabric, error) {
 			ot.Slot = ot.Slot - ot.Guardband + s.ReconfigDelay
 			ot.Guardband = s.ReconfigDelay
 		}
-		if plan != nil {
-			return nil, fmt.Errorf("negotiator: failure injection is implemented for the NegotiaToR fabric (§4.3); the baseline does not model it")
-		}
 		e, err := oblivious.New(oblivious.Config{
 			Topology:        top,
 			Timing:          ot,
 			HostRate:        s.HostRate,
 			PriorityQueues:  s.PriorityQueues,
 			Seed:            s.Seed,
+			Failures:        plan,
 			CheckInvariants: s.CheckInvariants,
 			OnDeliver:       s.OnDeliver,
 			OnTransit:       s.OnTransit,
@@ -446,21 +442,85 @@ func (s Spec) Build() (Fabric, error) {
 	return &negotiatorFabric{e: e, spec: s}, nil
 }
 
+// FailureScenario selects the shape of a failure plan. The vocabulary
+// covers the paper's random simultaneous cuts (Figure 10) plus correlated
+// patterns real deployments see: links that flap, one AWGR dying (the
+// same port index across every ToR), and whole-ToR power events.
+type FailureScenario int
+
+const (
+	// RandomLinks fails Fraction of all directed links (or the explicit
+	// Links) over [FailAt, RecoverAt) — the default, and the paper's
+	// Figure 10 scenario.
+	RandomLinks FailureScenario = iota
+	// FlappingLinks fails Fraction of links periodically: down for
+	// DownFor at the start of each Period, for Cycles periods from
+	// FailAt. Exercises recovery-detection lag in both directions.
+	FlappingLinks
+	// PortGroupFailure takes out one AWGR: port index Port on every ToR,
+	// both directions, over [FailAt, RecoverAt).
+	PortGroupFailure
+	// ToRFailure powers ToR down over [FailAt, RecoverAt): every port,
+	// both directions.
+	ToRFailure
+)
+
+func (sc FailureScenario) String() string {
+	switch sc {
+	case FlappingLinks:
+		return "flapping"
+	case PortGroupFailure:
+		return "port-group"
+	case ToRFailure:
+		return "tor-down"
+	default:
+		return "random"
+	}
+}
+
+// FailureScenarios lists every selectable scenario.
+func FailureScenarios() []FailureScenario {
+	return []FailureScenario{RandomLinks, FlappingLinks, PortGroupFailure, ToRFailure}
+}
+
+// FailureScenarioByName resolves a CLI name (see FailureScenario.String).
+func FailureScenarioByName(name string) (FailureScenario, bool) {
+	for _, sc := range FailureScenarios() {
+		if sc.String() == name {
+			return sc, true
+		}
+	}
+	return 0, false
+}
+
 // FailurePlan describes link failures for the fault-tolerance experiments
-// (§4.3, Appendix A.4).
+// (§4.3, Appendix A.4). Plans run on every control plane: the fabric core
+// owns the failure state and requeue semantics.
 type FailurePlan struct {
-	// Fraction of all directed port-links to fail simultaneously (Figure
-	// 10). Mutually exclusive with Links.
+	// Scenario picks the plan shape; the zero value is RandomLinks.
+	Scenario FailureScenario
+	// Fraction of all directed port-links to fail (RandomLinks, Figure
+	// 10) or flap (FlappingLinks). Mutually exclusive with Links.
 	Fraction float64
-	// Links lists explicit failures (Figure 19). Each entry is
-	// (tor, port, ingress).
+	// Links lists explicit failures (Figure 19, RandomLinks only). Each
+	// entry is (tor, port, ingress).
 	Links []FailedLink
-	// FailAt and RecoverAt bound the outage.
+	// FailAt and RecoverAt bound the outage (RecoverAt <= FailAt means
+	// never recovers). FlappingLinks uses FailAt as the first cycle start.
 	FailAt, RecoverAt Time
 	// DetectDelay is the fabric's detection lag; zero means three epochs
 	// at default timing.
 	DetectDelay Duration
-	// Seed selects which links fail for Fraction plans.
+	// Period, DownFor and Cycles shape FlappingLinks: each selected link
+	// is down for DownFor at the start of each Period, Cycles times. Zero
+	// DownFor means Period/2; zero Cycles means 8.
+	Period, DownFor Duration
+	Cycles          int
+	// Port is the AWGR port index PortGroupFailure kills on every ToR.
+	Port int
+	// ToR is the ToR index ToRFailure powers down.
+	ToR int
+	// Seed selects which links fail for Fraction-based plans.
 	Seed int64
 }
 
@@ -474,6 +534,34 @@ func (p *FailurePlan) compile(s Spec) (*failure.Plan, error) {
 	detect := p.DetectDelay
 	if detect == 0 {
 		detect = 3 * negotiator.DefaultTiming().EpochLen(16)
+	}
+	switch p.Scenario {
+	case FlappingLinks:
+		if p.Fraction <= 0 {
+			return nil, fmt.Errorf("negotiator: FailurePlan: flapping needs Fraction > 0")
+		}
+		if p.Period <= 0 {
+			return nil, fmt.Errorf("negotiator: FailurePlan: flapping needs Period > 0")
+		}
+		down := p.DownFor
+		if down == 0 {
+			down = p.Period / 2
+		}
+		cycles := p.Cycles
+		if cycles == 0 {
+			cycles = 8
+		}
+		return failure.Flapping(s.ToRs, s.Ports, p.Fraction, p.FailAt, p.Period, down, cycles, detect, p.Seed), nil
+	case PortGroupFailure:
+		if p.Port < 0 || p.Port >= s.Ports {
+			return nil, fmt.Errorf("negotiator: FailurePlan: port %d out of range [0, %d)", p.Port, s.Ports)
+		}
+		return failure.PortGroup(s.ToRs, s.Ports, p.Port, p.FailAt, p.RecoverAt, detect), nil
+	case ToRFailure:
+		if p.ToR < 0 || p.ToR >= s.ToRs {
+			return nil, fmt.Errorf("negotiator: FailurePlan: tor %d out of range [0, %d)", p.ToR, s.ToRs)
+		}
+		return failure.ToRDown(s.ToRs, s.Ports, p.ToR, p.FailAt, p.RecoverAt, detect), nil
 	}
 	if p.Fraction > 0 && len(p.Links) > 0 {
 		return nil, fmt.Errorf("negotiator: FailurePlan: set Fraction or Links, not both")
@@ -511,8 +599,8 @@ type Summary struct {
 	// Injected and Delivered are total bytes.
 	Injected, Delivered int64
 	// LostBytes are bytes destroyed by link failures before their source
-	// requeue, cumulative over the run; zero without failure injection
-	// (and always zero for the baseline, which does not model failures).
+	// requeue, cumulative over the run; zero without failure injection.
+	// All three control planes report it.
 	LostBytes int64
 	// Duration is the simulated time covered.
 	Duration Duration
@@ -637,6 +725,7 @@ func (f *obliviousFabric) Summary() Summary {
 		Epochs:            r.Slots / int64(f.e.SlotsPerCycle()),
 		Injected:          r.Injected,
 		Delivered:         r.Delivered,
+		LostBytes:         r.LostBytes,
 		Duration:          r.Duration,
 	}
 }
@@ -680,6 +769,7 @@ func (f *hybridFabric) Summary() Summary {
 		Epochs:             r.Epochs,
 		Injected:           r.Injected,
 		Delivered:          r.Delivered,
+		LostBytes:          r.LostBytes,
 		Duration:           r.Duration,
 		PeakReceiverBuffer: r.PeakReceiverBuffer,
 	}

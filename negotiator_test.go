@@ -56,8 +56,29 @@ func TestBuildValidation(t *testing.T) {
 	spec = negotiator.SmallSpec()
 	spec.Oblivious = true
 	spec.Failures = &negotiator.FailurePlan{Fraction: 0.1}
+	if _, err := spec.Build(); err != nil {
+		t.Errorf("failure plan on oblivious baseline rejected: %v", err)
+	}
+	spec = negotiator.SmallSpec()
+	spec.ControlPlane = negotiator.HybridPlane
+	spec.Failures = &negotiator.FailurePlan{Fraction: 0.1}
+	if _, err := spec.Build(); err != nil {
+		t.Errorf("failure plan on hybrid rejected: %v", err)
+	}
+	spec = negotiator.SmallSpec()
+	spec.Failures = &negotiator.FailurePlan{Scenario: negotiator.FlappingLinks, Fraction: 0.1}
 	if _, err := spec.Build(); err == nil {
-		t.Error("failure plan on baseline accepted")
+		t.Error("flapping plan without Period accepted")
+	}
+	spec = negotiator.SmallSpec()
+	spec.Failures = &negotiator.FailurePlan{Scenario: negotiator.PortGroupFailure, Port: 99}
+	if _, err := spec.Build(); err == nil {
+		t.Error("port-group plan with out-of-range port accepted")
+	}
+	spec = negotiator.SmallSpec()
+	spec.Failures = &negotiator.FailurePlan{Scenario: negotiator.ToRFailure, ToR: -1}
+	if _, err := spec.Build(); err == nil {
+		t.Error("tor-down plan with out-of-range ToR accepted")
 	}
 	spec = negotiator.SmallSpec()
 	spec.Failures = &negotiator.FailurePlan{
