@@ -110,6 +110,19 @@ func fingerprintCases() []struct {
 		DetectDelay: 2 * negotiator.Microsecond,
 	}
 	add("oblivious/tor-down/parallel", tdown)
+	// Event-skip off (PR 7): the run loop optimization must be
+	// semantically invisible, so a ticking negotiator and a ticking
+	// oblivious run are locked in the corpus too. Their fingerprints
+	// equal the corresponding default combos' byte for byte — the full
+	// matrix is cross-checked by TestEventSkipEquivalence; these two pin
+	// the DisableEventSkip plumbing itself against the golden file.
+	noskip := negotiator.SmallSpec()
+	noskip.DisableEventSkip = true
+	add("negotiator/noskip/parallel", noskip)
+	obNoskip := negotiator.SmallSpec()
+	obNoskip.ControlPlane = negotiator.ObliviousPlane
+	obNoskip.DisableEventSkip = true
+	add("oblivious/noskip/parallel", obNoskip)
 	return cases
 }
 

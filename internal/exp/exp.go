@@ -112,7 +112,7 @@ func order(id string) int {
 		"fig11", "fig12a", "fig12b", "fig13a", "fig13b", "fig13c",
 		"fig14", "fig15", "table3", "table4", "table5", "table6",
 		"fig17", "fig18", "fig19", "ext-arbiters", "ext-threshold", "ext-buffers", "ext-sync",
-		"ext-hybrid", "ext-skew", "ext-failures", "scale-sweep",
+		"ext-hybrid", "ext-skew", "ext-failures", "ext-diurnal", "scale-sweep",
 	} {
 		if k == id {
 			return i

@@ -1,0 +1,78 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	negotiator "negotiator"
+)
+
+// The diurnal quiet-time sweep (ROADMAP event-skip item): real fabrics
+// spend most of a day far below peak load, and a tick-every-round
+// simulator pays full price for every quiet epoch. This experiment drives
+// all three control planes through a day/night load cycle twice — once
+// with the event-skip run loop, once forced to tick — asserts the two runs
+// are result-identical, and reports the measured wall-clock speedup.
+
+func init() {
+	register(Experiment{
+		ID:        "ext-diurnal",
+		Title:     "Extension: diurnal load cycle — event-skip wall-clock speedup at identical results",
+		Run:       runExtDiurnal,
+		WallClock: true, // speedup columns are wall-clock-derived
+	})
+}
+
+// runExtDiurnal runs each control plane under a sinusoidal day/night load
+// (two cycles per run, 50% peak load, 0.05% trough) with the event-skip
+// run loop on and off. The simulated metrics of both runs must match
+// exactly — the experiment fails otherwise — so the speedup column is the
+// only difference skipping makes. Wall-clock numbers are meaningful when
+// cells run sequentially (-parallel 1).
+func runExtDiurnal(o Options, w io.Writer) error {
+	d := o.duration()
+	r := o.runner()
+	r.Header("%-11s | %-11s | %-12s | %-8s | %-9s | %-9s | %-7s", "system", "mice99p(ms)", "all 99p(ms)", "goodput", "skip(ms)", "tick(ms)", "speedup")
+	systems := []struct {
+		name  string
+		plane negotiator.ControlPlaneKind
+	}{
+		{"negotiator", negotiator.NegotiaToRPlane},
+		{"oblivious", negotiator.ObliviousPlane},
+		{"hybrid", negotiator.HybridPlane},
+	}
+	for _, sys := range systems {
+		sys := sys
+		r.Cell(func(w io.Writer) error {
+			var sums [2]negotiator.Summary
+			var wall [2]time.Duration
+			for i, noskip := range []bool{false, true} {
+				spec := o.baseSpec()
+				spec.Topology = negotiator.ParallelNetwork
+				spec.ControlPlane = sys.plane
+				spec.DisableEventSkip = noskip
+				wl, err := negotiator.DiurnalWorkload(spec, negotiator.Hadoop, 0.001, d/2, 0.01, 7+o.Seed)
+				if err != nil {
+					return err
+				}
+				start := time.Now()
+				sum, err := run(spec, wl, d)
+				if err != nil {
+					return err
+				}
+				wall[i] = time.Since(start)
+				sums[i] = sum
+			}
+			if sums[0] != sums[1] {
+				return fmt.Errorf("ext-diurnal: %s: event-skip changed results:\n  skip: %+v\n  tick: %+v", sys.name, sums[0], sums[1])
+			}
+			speedup := float64(wall[1]) / float64(wall[0])
+			fmt.Fprintf(w, "%-11s | %s | %s | %8.3f | %9.2f | %9.2f | %6.2fx\n",
+				sys.name, fmtFCT(sums[0].Mice99p), fmtFCT(sums[0].All99p), sums[0].GoodputNormalized,
+				float64(wall[0].Microseconds())/1000, float64(wall[1].Microseconds())/1000, speedup)
+			return nil
+		})
+	}
+	return r.Flush(w)
+}

@@ -19,7 +19,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig11", "fig12a", "fig12b", "fig13a", "fig13b", "fig13c",
 		"fig14", "fig15", "table3", "table4", "table5", "table6",
 		"fig17", "fig18", "fig19", "ext-arbiters", "ext-threshold", "ext-buffers", "ext-sync",
-		"ext-hybrid", "ext-skew", "ext-failures", "scale-sweep",
+		"ext-hybrid", "ext-skew", "ext-failures", "ext-diurnal", "scale-sweep",
 	}
 	all := All()
 	if len(all) != len(want) {

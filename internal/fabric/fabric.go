@@ -111,6 +111,10 @@ type Config struct {
 	// ActualFailures/KnownFailures — known state excludes links from
 	// scheduling, actual state destroys bits at transmission choke points.
 	Failures *failure.Plan
+	// DisableEventSkip forces the run loop to tick every round even when
+	// the fabric is provably idle and the plane implements IdlePlane —
+	// the cross-check knob skip-on == skip-off equality tests flip.
+	DisableEventSkip bool
 }
 
 // Core is the shared fabric substrate. Exported fields are the stable
@@ -145,6 +149,13 @@ type Core struct {
 	gang     *par.Gang
 	now      sim.Time
 	rounds   int64
+
+	// Event-skip state: the plane's optional idle capability, the
+	// configuration override, and the fast-forwarded round count (see
+	// skip.go).
+	idle          IdlePlane
+	skipOff       bool
+	skippedRounds int64
 
 	work        workload.Generator
 	pending     workload.Arrival
@@ -220,11 +231,21 @@ func New(cfg Config) (*Core, error) {
 	c.Shards = make([]*Shard, c.Workers)
 	for k := 0; k < c.Workers; k++ {
 		lo, hi := par.Split(c.N, c.Workers, k)
-		c.Shards[k] = &Shard{c: c, K: k, Lo: lo, Hi: hi, Goodput: metrics.NewGoodput(c.N)}
+		sh := &Shard{c: c, K: k, Lo: lo, Hi: hi, Goodput: metrics.NewGoodput(c.N)}
+		sh.ActiveDirect = newOccSet(hi - lo)
+		sh.ActiveLanes = newOccSet(hi - lo)
+		sh.ActiveRelay = newOccSet(hi - lo)
+		c.Shards[k] = sh
 		for i := lo; i < hi; i++ {
 			c.ShardOf[i] = int32(k)
+			nd := c.Nodes[i]
+			nd.actDirect = &sh.ActiveDirect
+			nd.actLanes = &sh.ActiveLanes
+			nd.actRelay = &sh.ActiveRelay
+			nd.actBit = i - lo
 		}
 	}
+	c.skipOff = cfg.DisableEventSkip
 	if c.Workers > 1 {
 		c.gang = par.NewGang(c.Workers)
 		// Cores have no Close; release the gang's background workers when
@@ -291,6 +312,7 @@ func (c *Core) Bind(plane ControlPlane, admit func(f *flows.Flow, at sim.Time)) 
 	c.roundLen = plane.RoundLen()
 	c.admit = admit
 	c.check, _ = plane.(RoundChecker)
+	c.idle, _ = plane.(IdlePlane)
 }
 
 // SetWorkload attaches (or replaces) the arrival stream; replacing one
@@ -341,18 +363,29 @@ func (c *Core) RunRound() {
 }
 
 // Run advances the simulation until at least d of simulated time has
-// elapsed (whole rounds).
+// elapsed (whole rounds). Provably-idle spans are fast-forwarded when the
+// plane supports it (see skip.go); the remaining-round budget bounds each
+// jump, so the final Now and round count match the ticking loop exactly.
 func (c *Core) Run(d sim.Duration) {
 	end := sim.Time(d)
+	rl := int64(c.roundLen)
 	for c.now < end {
+		if c.skipQuiet((int64(end)-int64(c.now)+rl-1)/rl) > 0 {
+			continue
+		}
 		c.RunRound()
 	}
 }
 
-// RunRounds advances exactly k rounds.
+// RunRounds advances exactly k rounds (skipped rounds count).
 func (c *Core) RunRounds(k int) {
-	for i := 0; i < k; i++ {
+	for done := int64(0); done < int64(k); {
+		if s := c.skipQuiet(int64(k) - done); s > 0 {
+			done += s
+			continue
+		}
 		c.RunRound()
+		done++
 	}
 }
 
@@ -362,11 +395,16 @@ func (c *Core) RunRounds(k int) {
 // arrival still buffered in the pump (or a non-exhausted generator) means
 // traffic remains even when the ledger reads zero.
 func (c *Core) Drain(maxRounds int) bool {
-	for i := 0; i < maxRounds; i++ {
+	for i := int64(0); i < int64(maxRounds); {
 		if c.Ledger.Queued() == 0 && c.genDone && !c.havePending {
 			return true
 		}
+		if s := c.skipQuiet(int64(maxRounds) - i); s > 0 {
+			i += s
+			continue
+		}
 		c.RunRound()
+		i++
 	}
 	return c.Ledger.Queued() == 0 && c.genDone && !c.havePending
 }
@@ -550,6 +588,22 @@ func (c *Core) QueuedInNodes() int64 {
 func (c *Core) CheckOccupancy() {
 	for i, nd := range c.Nodes {
 		nd.checkOccupancy(i)
+	}
+	// The per-shard active-node sets must exactly mirror the per-class
+	// aggregates the node choke points maintain.
+	for _, sh := range c.Shards {
+		for i := sh.Lo; i < sh.Hi; i++ {
+			nd := c.Nodes[i]
+			if sh.ActiveDirect.Has(i-sh.Lo) != (nd.DirectBytes > 0) {
+				panic(fmt.Sprintf("fabric: shard %d active-direct[%d] = %v, node holds %d", sh.K, i, sh.ActiveDirect.Has(i-sh.Lo), nd.DirectBytes))
+			}
+			if sh.ActiveLanes.Has(i-sh.Lo) != (nd.LanesBytes > 0) {
+				panic(fmt.Sprintf("fabric: shard %d active-lanes[%d] = %v, node holds %d", sh.K, i, sh.ActiveLanes.Has(i-sh.Lo), nd.LanesBytes))
+			}
+			if sh.ActiveRelay.Has(i-sh.Lo) != (nd.RelayBytes > 0) {
+				panic(fmt.Sprintf("fabric: shard %d active-relay[%d] = %v, node holds %d", sh.K, i, sh.ActiveRelay.Has(i-sh.Lo), nd.RelayBytes))
+			}
+		}
 	}
 }
 

@@ -68,6 +68,19 @@ type Node struct {
 	// source requeue.
 	Losses []Loss
 
+	// demandVer counts mutations of the node's direct demand (every push
+	// into or take from the Direct set). Matcher request caches compare it
+	// to decide whether a source's cached emissions can be replayed; a
+	// round that neither pushes nor takes leaves it untouched, so the
+	// comparison alone proves the demand row unchanged.
+	demandVer int64
+
+	// actDirect/actLanes/actRelay point at the owning shard's active-node
+	// sets, with actBit the node's shard-local bit. The choke points flip
+	// the bit exactly on the per-class aggregate's 0<->nonzero transitions.
+	actDirect, actLanes, actRelay *OccSet
+	actBit                        int
+
 	// spec remembers the topology size and class configuration the lazy
 	// slabs materialize to (shared by every node of a core).
 	spec *nodeSpec
@@ -183,8 +196,12 @@ func (nd *Node) PushDirectBytes(dst int, f *flows.Flow, n, off int64, at sim.Tim
 	}
 	nd.Direct[dst].PushBytesPool(nd.pool, f, n, off, at)
 	nd.QueuedBytes[dst] += n
+	if nd.DirectBytes == 0 && nd.actDirect != nil {
+		nd.actDirect.Set(nd.actBit)
+	}
 	nd.DirectBytes += n
 	nd.DirectOcc.Set(dst)
+	nd.demandVer++
 }
 
 // TakeDirect removes up to max bytes from the dst VOQ (priorities in
@@ -195,10 +212,13 @@ func (nd *Node) TakeDirect(dst int, max int64, emit func(f *flows.Flow, n int64)
 	}
 	taken := nd.Direct[dst].Take(max, emit)
 	if taken > 0 {
-		nd.DirectBytes -= taken
+		if nd.DirectBytes -= taken; nd.DirectBytes == 0 && nd.actDirect != nil {
+			nd.actDirect.Clear(nd.actBit)
+		}
 		if nd.QueuedBytes[dst] -= taken; nd.QueuedBytes[dst] == 0 {
 			nd.DirectOcc.Clear(dst)
 		}
+		nd.demandVer++
 	}
 	return taken
 }
@@ -212,10 +232,13 @@ func (nd *Node) TakeDirectLowest(dst int, max int64, emit func(f *flows.Flow, n 
 	}
 	taken := nd.Direct[dst].TakeLowestOnly(max, emit)
 	if taken > 0 {
-		nd.DirectBytes -= taken
+		if nd.DirectBytes -= taken; nd.DirectBytes == 0 && nd.actDirect != nil {
+			nd.actDirect.Clear(nd.actBit)
+		}
 		if nd.QueuedBytes[dst] -= taken; nd.QueuedBytes[dst] == 0 {
 			nd.DirectOcc.Clear(dst)
 		}
+		nd.demandVer++
 	}
 	return taken
 }
@@ -234,6 +257,9 @@ func (nd *Node) PushLaneBytes(dst int, f *flows.Flow, n, off int64, at sim.Time)
 		nd.materializeLanes()
 	}
 	nd.Lanes[dst].PushBytesPool(nd.pool, f, n, off, at)
+	if nd.LanesBytes == 0 && nd.actLanes != nil {
+		nd.actLanes.Set(nd.actBit)
+	}
 	nd.LanesBytes += n
 	nd.LanesOcc.Set(dst)
 }
@@ -245,7 +271,9 @@ func (nd *Node) TakeLane(dst int, max int64, emit func(f *flows.Flow, n int64)) 
 	}
 	taken := nd.Lanes[dst].Take(max, emit)
 	if taken > 0 {
-		nd.LanesBytes -= taken
+		if nd.LanesBytes -= taken; nd.LanesBytes == 0 && nd.actLanes != nil {
+			nd.actLanes.Clear(nd.actBit)
+		}
 		if nd.Lanes[dst].Empty() {
 			nd.LanesOcc.Clear(dst)
 		}
@@ -262,7 +290,9 @@ func (nd *Node) TakeLaneHeadCell(dst int, max int64, emit func(f *flows.Flow, n 
 	}
 	d, taken := nd.Lanes[dst].TakeHeadCell(max, emit)
 	if taken > 0 {
-		nd.LanesBytes -= taken
+		if nd.LanesBytes -= taken; nd.LanesBytes == 0 && nd.actLanes != nil {
+			nd.actLanes.Clear(nd.actBit)
+		}
 		if nd.Lanes[dst].Empty() {
 			nd.LanesOcc.Clear(dst)
 		}
@@ -280,6 +310,9 @@ func (nd *Node) PushRelay(dst int, s queue.Segment) {
 		nd.materializeRelay()
 	}
 	nd.Relay[dst].PushPool(nd.pool, s)
+	if nd.RelayBytes == 0 && nd.actRelay != nil {
+		nd.actRelay.Set(nd.actBit)
+	}
 	nd.RelayBytes += s.Bytes
 	nd.RelayOcc.Set(dst)
 }
@@ -293,7 +326,9 @@ func (nd *Node) DrainRelay(dst int, max int64, now sim.Time, emit func(f *flows.
 	}
 	taken := nd.Relay[dst].TakeReady(max, now, emit)
 	if taken > 0 {
-		nd.RelayBytes -= taken
+		if nd.RelayBytes -= taken; nd.RelayBytes == 0 && nd.actRelay != nil {
+			nd.actRelay.Clear(nd.actBit)
+		}
 		if nd.Relay[dst].Empty() {
 			nd.RelayOcc.Clear(dst)
 		}
@@ -333,6 +368,12 @@ func (nd *Node) DirectQueuedBytes(dst int) int64 {
 	}
 	return nd.QueuedBytes[dst]
 }
+
+// DemandVer returns the node's direct-demand mutation counter. Two equal
+// readings bracket a span with no push into and no take from the Direct
+// set — the condition under which a matcher's cached request emissions
+// for this source are still exact.
+func (nd *Node) DemandVer() int64 { return nd.demandVer }
 
 // CheckRelayCounter asserts the aggregate counter matches the FIFO
 // contents (per-round invariant of relay-carrying control planes).

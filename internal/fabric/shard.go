@@ -18,6 +18,18 @@ type Shard struct {
 	K      int
 	Lo, Hi int
 
+	// ActiveDirect, ActiveLanes and ActiveRelay index the shard's nodes
+	// with a non-zero per-class aggregate (bit i-Lo set iff node i holds
+	// bytes of that class). They are the node-level analogue of the
+	// per-node destination occupancy sets: a slot/epoch loop iterates the
+	// shard's active nodes directly instead of probing all Hi-Lo
+	// aggregates. Maintained by the node choke points; every mutation of
+	// node i happens either in a serial phase or in shard-of-i's own
+	// parallel step, so the shard-local words never race.
+	ActiveDirect OccSet
+	ActiveLanes  OccSet
+	ActiveRelay  OccSet
+
 	// Per-shard accumulators. FCT and Goodput merge at snapshot time
 	// (Core.MergedFCT/MergedGoodput); Delivered, LostDelta, LossRecs,
 	// Tagged and Freed are deltas folded by the core after every round.

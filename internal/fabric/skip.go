@@ -1,0 +1,117 @@
+package fabric
+
+import (
+	"math"
+
+	"negotiator/internal/sim"
+)
+
+// Event-skip: when the fabric is provably idle — no byte queued anywhere,
+// no loss record awaiting detection, no arrival buffered before the next
+// wake event — ticking rounds one by one is pure overhead: an idle round
+// of an IdlePlane mutates nothing, draws no randomness and records no
+// metric sample. The run loop therefore jumps the clock and the round
+// counter straight to the earliest future event (next workload arrival,
+// next failure-cursor transition on either snapshot, or plane-declared
+// future work) and resumes ticking there. Because every piece of
+// round-derived state (pipeline generation, rotation, batch slot) is
+// computed from the round counter rather than incremented per round, the
+// landing round proceeds exactly as it would have after ticking through
+// the idle span — skip-on == skip-off byte identity is pinned by the
+// golden fingerprints and TestEventSkipEquivalence.
+
+// HorizonInfinite is the IdleHorizon of a plane with no self-scheduled
+// future work at all: given no new arrivals and no failure transitions,
+// none of its future rounds would do anything.
+const HorizonInfinite = sim.Time(math.MaxInt64)
+
+// IdlePlane is optionally implemented by control planes whose rounds are
+// provable no-ops while the fabric holds no bytes. IdleHorizon reports
+// the earliest simulated time at which the plane itself may have work to
+// do — in-flight control messages, a pending future-ring match, a relay
+// plan — given its current state. Returning any time at or before
+// Core.Now declares "not provably idle this round" and disables skipping
+// (the conservative default for planes that do not implement the
+// interface at all); HorizonInfinite declares no plane-side work ever.
+//
+// The contract: if IdleHorizon returns T > Now while Ledger.Queued()==0
+// and no losses are outstanding, then every round starting before T —
+// absent arrivals and failure transitions, which the core bounds
+// separately — must leave the plane's observable state (queues, matcher
+// state, randomness stream, metric series used in results) exactly as a
+// ticked idle round would.
+type IdlePlane interface {
+	IdleHorizon() sim.Time
+}
+
+// SkippedRounds reports how many rounds the run loop fast-forwarded over
+// instead of executing. The rounds still count in Rounds() and Now().
+func (c *Core) SkippedRounds() int64 { return c.skippedRounds }
+
+// skipQuiet jumps over provably-idle rounds, advancing the clock and the
+// round counter without invoking the plane, and returns how many rounds
+// were consumed (0 when the next round must execute). maxRounds is the
+// caller's remaining round budget: clamping to it keeps Run/RunRounds/
+// Drain semantics identical to the ticking loop even when the next event
+// lies beyond the caller's horizon.
+func (c *Core) skipQuiet(maxRounds int64) int64 {
+	if c.idle == nil || c.skipOff || maxRounds <= 0 {
+		return 0
+	}
+	if c.Ledger.Queued() != 0 || c.pendingLosses != 0 {
+		return 0
+	}
+	wake := c.idle.IdleHorizon()
+	if wake <= c.now {
+		return 0
+	}
+	// The arrival horizon is the pump's buffered arrival. When none is
+	// buffered and the generator is not exhausted, the next arrival time
+	// is unknown — tick the round instead: its Inject buffers the next
+	// arrival (or exhausts the generator), and skipping resumes after.
+	// That costs at most one executed round per idle span and keeps the
+	// pump state evolving exactly as in the ticking loop, which is what
+	// makes Drain's stopping round identical with skip on and off.
+	if !c.genDone && !c.havePending {
+		return 0
+	}
+	if c.havePending && c.pending.Time < wake {
+		wake = c.pending.Time
+	}
+	if c.failPlan != nil {
+		// Wake for cursor transitions on both snapshots: the actual cursor
+		// flips at the event time, the known (detection-lagged) cursor
+		// becomes visible DetectDelay later.
+		if at, ok := c.actualCur.NextTransition(); ok && at < wake {
+			wake = at
+		}
+		if at, ok := c.knownCur.NextTransition(); ok {
+			if t := at.Add(c.failPlan.DetectDelay); t < wake {
+				wake = t
+			}
+		}
+	}
+	if wake <= c.now {
+		return 0
+	}
+	// The first round that can observe the wake event is the first round
+	// START at or after it; every round starting strictly before is a
+	// no-op. now is always a whole number of rounds, so the skip count is
+	// the ceiling division of the gap (guarding the HorizonInfinite case
+	// against overflow by clamping through the budget first).
+	rl := int64(c.roundLen)
+	delta := int64(wake) - int64(c.now)
+	var k int64
+	if delta/rl >= maxRounds {
+		k = maxRounds
+	} else {
+		k = (delta + rl - 1) / rl
+	}
+	if k <= 0 {
+		return 0
+	}
+	c.rounds += k
+	c.now = c.now.Add(sim.Duration(k) * c.roundLen)
+	c.skippedRounds += k
+	return k
+}

@@ -104,3 +104,14 @@ func (c *Cursor) AdvanceTo(t sim.Time) *State {
 // Pending reports how many transitions the cursor has not yet applied —
 // zero once the plan's dynamics are exhausted.
 func (c *Cursor) Pending() int { return len(c.trans) - c.next }
+
+// NextTransition reports the time of the earliest unapplied transition.
+// ok is false once the plan's dynamics are exhausted — the snapshot will
+// never change again, so an event-skipping run loop needs no further
+// failure wake-ups.
+func (c *Cursor) NextTransition() (at sim.Time, ok bool) {
+	if c.next >= len(c.trans) {
+		return 0, false
+	}
+	return c.trans[c.next].at, true
+}

@@ -63,6 +63,15 @@ type Config struct {
 	Failures *failure.Plan
 	// CheckInvariants enables per-epoch byte-conservation assertions.
 	CheckInvariants bool
+	// DisableEventSkip forces the run loop to tick every epoch even when
+	// the fabric is provably idle. Results are byte-identical either way;
+	// the knob exists for A/B benchmarks and equivalence tests.
+	DisableEventSkip bool
+	// DisableIncremental forces a from-scratch elephant REQUEST sweep
+	// every epoch instead of replaying the demand-versioned request cache
+	// of sources whose elephant VOQs did not change. Byte-identical either
+	// way; for A/B benchmarks and cache-equivalence tests.
+	DisableIncremental bool
 	// OnDeliver, when set, observes every payload delivery at its
 	// destination (forces sequential execution, like the NegotiaToR
 	// engine).
@@ -114,6 +123,13 @@ type Engine struct {
 	shards     []*hyShard
 	epochStart sim.Time
 
+	// incremental: replay each source's cached elephant request emissions
+	// while its direct-demand version is unchanged (the engine's matcher
+	// is always the base binary-request policy, whose Requests is a pure
+	// function of the demand row).
+	incremental bool
+	caches      []reqCache
+
 	// Core-owned failure snapshots (stable pointers, advanced by the core
 	// before each Round; nil without a plan).
 	actual, known *failure.State
@@ -121,6 +137,21 @@ type Engine struct {
 	stepRequest  func(k int)
 	stepGrant    func(k int)
 	stepTransmit func(k int)
+}
+
+// reqCache holds one source's elephant REQUEST emissions from its last
+// fresh sweep, stamped with the node's direct-demand version at capture
+// time (mice pushes do not touch the version — the matcher's view reads
+// elephant VOQs only). While the version is unchanged the sweep would
+// re-emit exactly this list, so the epoch replays it instead. Capture is
+// lazy, as in the NegotiaToR engine: a sweep tees into reqs only after
+// the version has held stable across an epoch, so rows that drain every
+// epoch never pay the tee.
+type reqCache struct {
+	reqs  []match.Request
+	ver   int64
+	seen  bool
+	valid bool
 }
 
 // torCtl is one ToR's control state: single-generation mailboxes (the
@@ -181,6 +212,14 @@ type hyShard struct {
 	miceEmit  func(*flows.Flow, int64)
 	grantEmit func(match.Grant)
 	reqEmit   func(match.Request)
+
+	// Incremental request-cache plumbing (see reqCache): the tee captures
+	// a fresh sweep's emissions into the source's cache while forwarding
+	// them; the verify tee feeds the replay-equals-fresh invariant.
+	curCache  *reqCache
+	teeEmit   func(match.Request)
+	verifyBuf []match.Request
+	verifyTee func(match.Request)
 }
 
 // New builds the hybrid engine.
@@ -214,6 +253,10 @@ func New(cfg Config) (*Engine, error) {
 	e.piggyBytes = e.timing.PiggybackBytes()
 	rng := sim.NewRNG(cfg.Seed)
 	e.matcher = match.NewNegotiator(e.top, rng.Split(1))
+	e.incremental = !cfg.DisableIncremental
+	if e.incremental {
+		e.caches = make([]reqCache, e.n)
+	}
 	workers := cfg.Workers
 	if cfg.OnDeliver != nil || cfg.TrackReceiverBuffers {
 		workers = 1 // globally ordered delivery observation
@@ -228,6 +271,7 @@ func New(cfg Config) (*Engine, error) {
 		OnDeliver:            cfg.OnDeliver,
 		TrackReceiverBuffers: cfg.TrackReceiverBuffers,
 		Failures:             cfg.Failures,
+		DisableEventSkip:     cfg.DisableEventSkip,
 	})
 	if err != nil {
 		return nil, err
@@ -336,6 +380,15 @@ func (e *Engine) Round() {
 	e.matchRatio.Observe(accepts, grants)
 }
 
+// IdleHorizon implements fabric.IdlePlane: the idealised negotiation
+// produces and consumes its mailboxes within a single Round, the matcher
+// draws randomness only at construction, and the lazily-cleared match rows
+// of the last busy epoch are wiped at the next executed epoch exactly as
+// they would be under ticking — so with no byte queued anywhere (the
+// core's precondition) every future epoch is a no-op until new bytes
+// arrive.
+func (e *Engine) IdleHorizon() sim.Time { return fabric.HorizonInfinite }
+
 // CheckRound implements fabric.RoundChecker when invariant checking is on.
 func (e *Engine) CheckRound() {
 	if !e.cfg.CheckInvariants {
@@ -357,6 +410,11 @@ func (sh *hyShard) initEmitters() {
 		d := e.fab.ShardOf[r.Dst]
 		sh.reqOut[d] = append(sh.reqOut[d], r)
 	}
+	sh.teeEmit = func(r match.Request) {
+		sh.curCache.reqs = append(sh.curCache.reqs, r)
+		sh.reqEmit(r)
+	}
+	sh.verifyTee = func(r match.Request) { sh.verifyBuf = append(sh.verifyBuf, r) }
 	sh.grantEmit = func(g match.Grant) {
 		sh.grants++
 		r := e.fab.ShardOf[g.Src]
@@ -391,11 +449,66 @@ func (sh *hyShard) initEmitters() {
 }
 
 // requestStep emits a request for every destination with elephant
-// backlog, bucketed by the destination's shard.
+// backlog, bucketed by the destination's shard. The sweep walks the
+// shard's non-empty elephant-VOQ occupancy set — a source outside it has
+// no demand, and the base matcher's Requests on such a source is a no-op —
+// so the phase is O(active sources), in the same ascending order as a
+// dense walk.
 func (sh *hyShard) requestStep() {
+	occ := &sh.fs.ActiveDirect
+	for bit := occ.Next(-1); bit >= 0; bit = occ.Next(bit) {
+		sh.sourceRequests(sh.lo + bit)
+	}
+}
+
+// sourceRequests emits one source's requests: a cached replay when the
+// source's direct-demand version is unchanged since the last fresh sweep,
+// a fresh sweep otherwise. A fresh sweep tees into the cache only once
+// the version has been observed stable across an epoch (see reqCache).
+// Under CheckInvariants every replay is shadowed by a fresh sweep and
+// compared element-wise.
+func (sh *hyShard) sourceRequests(i int) {
 	e := sh.e
-	for i := sh.lo; i < sh.hi; i++ {
+	if !e.incremental {
 		sh.matcher.Requests(i, &e.views[i], e.epochStart, 0, sh.reqEmit)
+		return
+	}
+	c := &e.caches[i]
+	ver := e.fab.Nodes[i].DemandVer()
+	if !c.seen || c.ver != ver {
+		c.ver, c.seen, c.valid = ver, true, false
+		sh.matcher.Requests(i, &e.views[i], e.epochStart, 0, sh.reqEmit)
+		return
+	}
+	if c.valid {
+		if e.cfg.CheckInvariants {
+			sh.verifyReplay(i, c)
+		}
+		for _, r := range c.reqs {
+			sh.reqEmit(r)
+		}
+		return
+	}
+	c.reqs = c.reqs[:0]
+	sh.curCache = c
+	sh.matcher.Requests(i, &e.views[i], e.epochStart, 0, sh.teeEmit)
+	sh.curCache = nil
+	c.valid = true
+}
+
+// verifyReplay asserts a source's cached request list matches a fresh
+// sweep (sound to run twice: the base matcher's Requests is pure).
+func (sh *hyShard) verifyReplay(i int, c *reqCache) {
+	e := sh.e
+	sh.verifyBuf = sh.verifyBuf[:0]
+	sh.matcher.Requests(i, &e.views[i], e.epochStart, 0, sh.verifyTee)
+	if len(sh.verifyBuf) != len(c.reqs) {
+		panic(fmt.Sprintf("hybrid: request cache diverged at ToR %d: %d cached vs %d fresh", i, len(c.reqs), len(sh.verifyBuf)))
+	}
+	for k := range sh.verifyBuf {
+		if sh.verifyBuf[k] != c.reqs[k] {
+			panic(fmt.Sprintf("hybrid: request cache diverged at ToR %d request %d: cached %+v fresh %+v", i, k, c.reqs[k], sh.verifyBuf[k]))
+		}
 	}
 }
 
@@ -464,7 +577,9 @@ func (sh *hyShard) transmitStep() {
 		// non-empty lanes), so idle pairs cost nothing.
 		sh.txNode = nd
 		sh.txLost = false
-		if e.piggyBytes > 0 {
+		// One O(1) aggregate read skips the occupancy-index word scan
+		// entirely for ToRs holding no mice at all.
+		if e.piggyBytes > 0 && nd.LanesBytes != 0 {
 			for j := nd.LanesOcc.Next(-1); j >= 0; j = nd.LanesOcc.Next(j) {
 				if j == i {
 					continue
@@ -505,4 +620,5 @@ func (sh *hyShard) transmitStep() {
 var (
 	_ fabric.ControlPlane = (*Engine)(nil)
 	_ fabric.RoundChecker = (*Engine)(nil)
+	_ fabric.IdlePlane    = (*Engine)(nil)
 )

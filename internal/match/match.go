@@ -67,6 +67,35 @@ type Matcher interface {
 	Feedback(g Grant, accepted bool)
 }
 
+// RequestTraits declares what an engine may assume about a matcher's
+// Requests step. Both properties gate request-side fast paths; a matcher
+// that does not implement the interface gets the conservative (false,
+// false) reading from TraitsOf and keeps the dense from-scratch scan.
+type RequestTraits interface {
+	// RequestsIdleSafe reports that Requests on a source with no queued
+	// demand emits nothing and mutates no matcher state — so an engine may
+	// skip the call entirely for demand-free sources (O(active-source)
+	// request loops) and a fully idle round may be fast-forwarded without
+	// invoking the matcher at all.
+	RequestsIdleSafe() bool
+	// RequestsPure reports that Requests is a pure function of the view's
+	// queued-bytes state and the threshold: it reads no clock-dependent
+	// signal (WeightedHoL) and mutates no matcher state. An engine may
+	// then cache a source's emissions and replay them byte-for-byte while
+	// the source's demand row is unchanged. Pure implies idle-safe.
+	RequestsPure() bool
+}
+
+// TraitsOf reads a matcher's request-step capabilities, defaulting to the
+// conservative (false, false) for matchers that do not declare them.
+func TraitsOf(m Matcher) (idleSafe, pure bool) {
+	t, ok := m.(RequestTraits)
+	if !ok {
+		return false, false
+	}
+	return t.RequestsIdleSafe(), t.RequestsPure()
+}
+
 // Negotiator is the paper's NegotiaToR Matching: binary ToR-level requests,
 // port-level grants via round-robin rings (one shared ring per destination
 // on the parallel network, one ring per destination port on thin-clos,
@@ -184,6 +213,14 @@ func newDomMask(t topo.Topology) [][]uint64 {
 
 func (m *Negotiator) Name() string    { return "negotiator" }
 func (m *Negotiator) MatchDelay() int { return 2 }
+
+// RequestsIdleSafe: the base REQUEST sweep emits only for queued demand
+// and touches no matcher state. Embedders inherit both traits; variants
+// whose Requests reads the clock or mutates state override them.
+func (m *Negotiator) RequestsIdleSafe() bool { return true }
+
+// RequestsPure: binary requests depend only on queued bytes vs threshold.
+func (m *Negotiator) RequestsPure() bool { return true }
 
 // Requests implements the REQUEST step: a binary request to every
 // destination whose per-destination queue exceeds the threshold (§3.2.1

@@ -68,6 +68,12 @@ func (m *Informative) Requests(src int, view QueueView, now sim.Time, threshold 
 	})
 }
 
+// RequestsPure: the data-size priority is the queued-bytes figure the
+// demand row already determines, but the HoL-delay key reads the queues'
+// head-of-line ages against the clock — replaying a cached request would
+// freeze the age it carried.
+func (m *Informative) RequestsPure() bool { return m.kind == prioDataSize }
+
 // prioOf extracts a request's carried priority.
 func (m *Informative) prioOf(r Request) float64 {
 	if m.kind == prioDataSize {
@@ -213,6 +219,11 @@ func NewStateful(t topo.Topology, rng *sim.RNG, epochBytes int64) *Stateful {
 
 func (m *Stateful) Name() string { return "stateful" }
 
+// RequestsPure: each emitted request advances the reported-bytes cursor,
+// and its NewBytes field depends on that cursor — a cached emission would
+// re-report bytes the destination's matrix already counted.
+func (m *Stateful) RequestsPure() bool { return false }
+
 // Requests reports newly arrived bytes along with each binary request.
 func (m *Stateful) Requests(src int, view QueueView, now sim.Time, threshold int64, emit func(Request)) {
 	m.Negotiator.Requests(src, view, now, threshold, func(r Request) {
@@ -330,6 +341,15 @@ func NewProjecToR(t topo.Topology, rng *sim.RNG) *ProjecToR {
 }
 
 func (m *ProjecToR) Name() string { return "projector" }
+
+// RequestsIdleSafe: the rotating first-port cursor advances on EVERY
+// Requests call, demand or not — skipping calls for idle sources (or
+// idle rounds) would change later port bindings.
+func (m *ProjecToR) RequestsIdleSafe() bool { return false }
+
+// RequestsPure: Requests mutates the rotation cursor and carries a
+// clock-dependent waiting delay.
+func (m *ProjecToR) RequestsPure() bool { return false }
 
 // Requests binds each demanded destination to a specific source port
 // up-front (rotating round-robin across ports), attaching the pair's

@@ -47,6 +47,16 @@ type Config struct {
 	// CheckInvariants enables per-epoch conflict-freedom and byte
 	// conservation assertions (used by tests; costs O(N²) per epoch).
 	CheckInvariants bool
+	// DisableEventSkip forces the run loop to tick every round even when
+	// the fabric is provably idle. Results are byte-identical either way
+	// (pinned by the golden fingerprints); the knob exists for A/B
+	// benchmarks and the skip-equivalence tests.
+	DisableEventSkip bool
+	// DisableIncremental forces a from-scratch REQUEST sweep every epoch
+	// instead of replaying the demand-versioned request cache of sources
+	// whose queues did not change. Results are byte-identical either way;
+	// the knob exists for A/B benchmarks and the cache-equivalence tests.
+	DisableIncremental bool
 	// OnDeliver, when set, observes every payload delivery at its
 	// destination (receiver-bandwidth micro-observations).
 	OnDeliver func(dst int, at sim.Time, n int64)
@@ -112,6 +122,38 @@ type relayPlan struct {
 	quota    int64
 }
 
+// reqCache holds one source's REQUEST emissions from its last fresh sweep,
+// stamped with the node's demand version at capture time. While the
+// version is unchanged no push or take touched any of the source's VOQs,
+// so a pure matcher's sweep would re-emit exactly this list — the epoch
+// replays it instead of re-walking the occupancy index and re-reading
+// queue depths. Capture is lazy: the first sweep at a new version only
+// records the version (seen), the next sweep at the same version tees its
+// emissions into reqs (valid), and only then do epochs replay. Rows whose
+// demand changes every epoch — the dense saturated regime — therefore
+// never pay the tee, only a version read and a branch. Cached requests
+// are pre-transport: replay feeds them through the same emit path as a
+// fresh sweep, so the per-epoch failure filtering (msgPathOK) still
+// applies at current-epoch rotation.
+type reqCache struct {
+	reqs  []match.Request
+	segs  []reqSeg
+	ver   int64
+	seen  bool
+	valid bool
+}
+
+// reqSeg marks the end (exclusive, into reqCache.reqs) of a run of
+// consecutive requests whose destinations live on one shard. Emissions
+// are ascending by destination and shards are contiguous ToR ranges, so
+// a cached row splits into at most one segment per shard — replay with
+// no failures active appends each segment to its outbox wholesale
+// instead of re-running the per-request emit closure (whose only
+// epoch-dependent work, msgPathOK, is the identity without failures).
+type reqSeg struct {
+	shard, end int32
+}
+
 // Engine is the NegotiaToR control plane over the shared fabric core: it
 // decides, per epoch, which pairs connect (ACCEPT → GRANT/REQUEST over
 // the pipelined in-band mailboxes) and drives the predefined and
@@ -133,8 +175,23 @@ type Engine struct {
 
 	tors    []*tor
 	matcher match.Matcher
-	batch   match.BatchMatcher // non-nil for batch (iterative) matchers
-	future  [][][]int32        // batch path: future[d][src][port], ring by epoch
+	// Matcher capability traits (see match.RequestTraits), resolved once:
+	// idle-safety gates both the event-skip horizon and the O(active)
+	// request sweep; purity gates the incremental request cache.
+	matcherIdleSafe bool
+	matcherPure     bool
+	// sparseReq: the per-shard REQUEST sweep may iterate the non-empty
+	// direct-VOQ occupancy set instead of every source — sound only when
+	// skipping a zero-demand source is a matcher no-op and no relay demand
+	// hides outside the direct queues.
+	sparseReq bool
+	// incremental: replay each source's cached request emissions while its
+	// demand version is unchanged (see reqCache); requires a pure Requests
+	// and no relay demand.
+	incremental bool
+	caches      []reqCache
+	batch       match.BatchMatcher // non-nil for batch (iterative) matchers
+	future      [][][]int32        // batch path: future[d][src][port], ring by epoch
 	// futureTouched[d] lists, ascending, the sources whose future[d] rows
 	// the batch Match wrote; all other rows are all -1. batchPrepStep
 	// copies and resets only these rows.
@@ -220,6 +277,12 @@ func New(cfg Config) (*Engine, error) {
 	} else {
 		e.matcher = match.NewNegotiator(e.top, rng.Split(1))
 	}
+	e.matcherIdleSafe, e.matcherPure = match.TraitsOf(e.matcher)
+	e.sparseReq = e.matcherIdleSafe && cfg.Relay == nil
+	e.incremental = e.matcherPure && cfg.Relay == nil && !cfg.DisableIncremental
+	if e.incremental {
+		e.caches = make([]reqCache, e.n)
+	}
 	if b, ok := e.matcher.(match.BatchMatcher); ok {
 		e.batch = b
 		depth := b.MatchDelay() + 1
@@ -248,6 +311,7 @@ func New(cfg Config) (*Engine, error) {
 		OnDeliver:            cfg.OnDeliver,
 		TrackReceiverBuffers: cfg.TrackReceiverBuffers,
 		Failures:             cfg.Failures,
+		DisableEventSkip:     cfg.DisableEventSkip,
 	})
 	if err != nil {
 		return nil, err
@@ -465,6 +529,30 @@ func (e *Engine) Round() {
 	}
 }
 
+// IdleHorizon implements fabric.IdlePlane: with no byte queued anywhere
+// (the core's precondition), an epoch still does work only if control
+// messages are in flight toward a future generation's mailboxes, a batch
+// match is pending in the future ring, the relay extension is planning, or
+// the matcher's REQUEST step has per-call side effects even on idle
+// sources. When none of those hold, every future epoch is a no-op until
+// new bytes arrive — report no self-scheduled work at all.
+func (e *Engine) IdleHorizon() sim.Time {
+	if e.relay != nil || !e.matcherIdleSafe {
+		return e.fab.Now()
+	}
+	for _, sh := range e.shards {
+		if sh.inflight != 0 {
+			return e.fab.Now()
+		}
+	}
+	for _, touched := range e.futureTouched {
+		if len(touched) != 0 {
+			return e.fab.Now()
+		}
+	}
+	return fabric.HorizonInfinite
+}
+
 // CheckRound implements fabric.RoundChecker (invoked after each round's
 // serial merge) when invariant checking is on.
 func (e *Engine) CheckRound() {
@@ -478,6 +566,13 @@ func (e *Engine) CheckRound() {
 // Match into the future ring.
 func (e *Engine) batchControl() {
 	e.parDo(e.stepBatchPrep)
+	// The slot batchPrepStep just consumed is spent: its rows are all -1
+	// again, so its touched list must read empty — both for the idle
+	// horizon below (a stale non-empty list would block event-skip
+	// forever) and for the slot's next read, should the ring not be
+	// rewritten first.
+	spent := int(e.fab.Rounds()) % len(e.future)
+	e.futureTouched[spent] = e.futureTouched[spent][:0]
 	e.reqScratch = e.reqScratch[:0]
 	for _, sh := range e.shards {
 		e.reqScratch = append(e.reqScratch, sh.reqScratch...)
@@ -556,4 +651,5 @@ func (e *Engine) checkInvariants() {
 var (
 	_ fabric.ControlPlane = (*Engine)(nil)
 	_ fabric.RoundChecker = (*Engine)(nil)
+	_ fabric.IdlePlane    = (*Engine)(nil)
 )

@@ -1,6 +1,7 @@
 package negotiator
 
 import (
+	"fmt"
 	"slices"
 
 	"negotiator/internal/fabric"
@@ -49,6 +50,14 @@ type engineShard struct {
 	accepts int64
 	grants  int64
 
+	// inflight counts scheduling messages delivered into this shard's
+	// ToRs' mailbox generations and not yet consumed (requests and grants
+	// ride the stageLag-deep pipeline). mergeStep raises it, acceptStep
+	// and emitStep lower it — all shard-local, so the engine's IdleHorizon
+	// may sum the counters racelessly between rounds: zero everywhere
+	// means no control message will surface in any future epoch.
+	inflight int64
+
 	// Outboxes for cross-shard scheduling messages, bucketed by receiving
 	// shard. Phase B fills them; phase C's receiving shard drains bucket
 	// [k] of every sender in shard order and resets it. Buckets retain
@@ -75,6 +84,17 @@ type engineShard struct {
 	schedEmit  func(*flows.Flow, int64)
 	pbEmit     func(*flows.Flow, int64)
 	relayEmit  func(*flows.Flow, int64)
+
+	// Incremental request-cache plumbing (see reqCache): a fresh sweep
+	// tees every emission into the source's cache before forwarding it to
+	// the real emitter; the verify tee captures a shadow sweep for the
+	// replay-equals-fresh invariant. Valid only during one sourceRequests
+	// call.
+	curCache  *reqCache
+	curEmit   func(match.Request)
+	teeEmit   func(match.Request)
+	verifyBuf []match.Request
+	verifyTee func(match.Request)
 }
 
 // initEmitters builds the closures the per-epoch path reuses. All per-call
@@ -111,6 +131,11 @@ func (sh *engineShard) initEmitters() {
 		sh.reqOut[d] = append(sh.reqOut[d], r)
 	}
 	sh.batchEmit = func(r match.Request) { sh.reqScratch = append(sh.reqScratch, r) }
+	sh.teeEmit = func(r match.Request) {
+		sh.curCache.reqs = append(sh.curCache.reqs, r)
+		sh.curEmit(r)
+	}
+	sh.verifyTee = func(r match.Request) { sh.verifyBuf = append(sh.verifyBuf, r) }
 	// Scheduled-phase delivery: bytes land slot by slot after the
 	// predefined phase.
 	sh.schedEmit = func(f *flows.Flow, n int64) {
@@ -183,6 +208,7 @@ func (sh *engineShard) acceptStep() {
 			continue
 		}
 		sh.matcher.Accepts(i, &e.views[i], in, t.matches, sh.feedbackFn)
+		sh.inflight -= int64(len(in))
 		t.grantIn[prev] = in[:0]
 		any := false
 		for _, d := range t.matches {
@@ -223,10 +249,121 @@ func (sh *engineShard) emitStep() {
 			continue
 		}
 		sh.matcher.Grants(j, in, sh.grantEmit)
+		sh.inflight -= int64(len(in))
 		t.reqIn[prev] = in[:0]
 	}
+	sh.requestSweep(sh.reqEmit, bulkOut)
+}
+
+// Bulk-replay targets for a cached row (see sourceRequests): where the
+// emit closure's output would land, so replay can append the cached list
+// wholesale when no failures are active and skip the per-request call.
+const (
+	bulkNone    = iota // unknown emitter — always replay per emission
+	bulkOut            // reqEmit: per-destination-shard outbox buckets
+	bulkScratch        // batchEmit: the flat reqScratch list
+)
+
+// requestSweep runs the REQUEST step over this shard's sources into emit.
+// When the matcher tolerates skipping zero-demand sources (and no relay
+// demand hides outside the direct VOQs), the sweep walks the shard's
+// non-empty-node occupancy set — O(active sources) — instead of the dense
+// range; the occupancy bit is exactly "some direct VOQ holds bytes", a
+// superset of "some VOQ exceeds the request threshold", so emissions are
+// identical to the dense walk, in the same ascending order.
+func (sh *engineShard) requestSweep(emit func(match.Request), bulk int) {
+	e := sh.e
+	if e.sparseReq {
+		occ := &sh.fs.ActiveDirect
+		for bit := occ.Next(-1); bit >= 0; bit = occ.Next(bit) {
+			sh.sourceRequests(sh.lo+bit, emit, bulk)
+		}
+		return
+	}
 	for i := sh.lo; i < sh.hi; i++ {
-		sh.matcher.Requests(i, &e.views[i], e.curEpochStart, e.threshold, sh.reqEmit)
+		sh.sourceRequests(i, emit, bulk)
+	}
+}
+
+// sourceRequests emits one source's requests: a cached replay when the
+// incremental path is on and the source's demand version is unchanged
+// since the last fresh sweep, a fresh sweep otherwise. A fresh sweep tees
+// its emissions into the cache only once the version has already been
+// observed stable across an epoch (see reqCache) — a row that changes
+// every epoch emits straight through the real emitter. With no failures
+// active the emit closures are epoch-independent (msgPathOK is the
+// identity), so replay bypasses them and appends the cached list to the
+// target wholesale — per pre-computed shard segment for the outbox
+// buckets, in one append for the batch scratch list. Under
+// CheckInvariants every replay is shadowed by a fresh sweep and compared
+// element-wise — the incremental path must be invisible.
+func (sh *engineShard) sourceRequests(i int, emit func(match.Request), bulk int) {
+	e := sh.e
+	if !e.incremental {
+		sh.matcher.Requests(i, &e.views[i], e.curEpochStart, e.threshold, emit)
+		return
+	}
+	c := &e.caches[i]
+	ver := e.fab.Nodes[i].DemandVer()
+	if !c.seen || c.ver != ver {
+		// Demand moved since the last sweep (or first visit): plain sweep,
+		// no capture — replay next epoch is not yet possible anyway.
+		c.ver, c.seen, c.valid = ver, true, false
+		sh.matcher.Requests(i, &e.views[i], e.curEpochStart, e.threshold, emit)
+		return
+	}
+	if c.valid {
+		if e.cfg.CheckInvariants {
+			sh.verifyReplay(i, c)
+		}
+		if bulk != bulkNone && (e.actual == nil || e.actual.Count == 0) {
+			if bulk == bulkScratch {
+				sh.reqScratch = append(sh.reqScratch, c.reqs...)
+				return
+			}
+			a := int32(0)
+			for _, s := range c.segs {
+				sh.reqOut[s.shard] = append(sh.reqOut[s.shard], c.reqs[a:s.end]...)
+				a = s.end
+			}
+			return
+		}
+		for _, r := range c.reqs {
+			emit(r)
+		}
+		return
+	}
+	// Version held stable for a full epoch: capture this sweep so the
+	// next one can replay it.
+	c.reqs = c.reqs[:0]
+	sh.curCache, sh.curEmit = c, emit
+	sh.matcher.Requests(i, &e.views[i], e.curEpochStart, e.threshold, sh.teeEmit)
+	sh.curCache, sh.curEmit = nil, nil
+	c.segs = c.segs[:0]
+	for k, r := range c.reqs {
+		s := e.fab.ShardOf[r.Dst]
+		if n := len(c.segs); n == 0 || c.segs[n-1].shard != s {
+			c.segs = append(c.segs, reqSeg{shard: s})
+		}
+		c.segs[len(c.segs)-1].end = int32(k + 1)
+	}
+	c.valid = true
+}
+
+// verifyReplay asserts that a source's cached request list matches what a
+// fresh sweep would emit right now (sound to run twice: the incremental
+// path requires a pure Requests).
+func (sh *engineShard) verifyReplay(i int, c *reqCache) {
+	e := sh.e
+	sh.verifyBuf = sh.verifyBuf[:0]
+	sh.matcher.Requests(i, &e.views[i], e.curEpochStart, e.threshold, sh.verifyTee)
+	if len(sh.verifyBuf) != len(c.reqs) {
+		panic(fmt.Sprintf("negotiator: request cache diverged at ToR %d: %d cached vs %d fresh", i, len(c.reqs), len(sh.verifyBuf)))
+	}
+	for k := range sh.verifyBuf {
+		if sh.verifyBuf[k] != c.reqs[k] {
+			panic(fmt.Sprintf("negotiator: request cache diverged at ToR %d request %d: cached %+v fresh %+v", i, k, c.reqs[k], sh.verifyBuf[k]))
+		}
 	}
 }
 
@@ -243,12 +380,14 @@ func (sh *engineShard) mergeStep() {
 			t := e.tors[g.Src]
 			t.grantIn[cur] = append(t.grantIn[cur], g)
 		}
+		sh.inflight += int64(len(gout))
 		src.grantOut[sh.k] = gout[:0]
 		rout := src.reqOut[sh.k]
 		for _, r := range rout {
 			t := e.tors[r.Dst]
 			t.reqIn[cur] = append(t.reqIn[cur], r)
 		}
+		sh.inflight += int64(len(rout))
 		src.reqOut[sh.k] = rout[:0]
 	}
 }
@@ -318,9 +457,7 @@ func (sh *engineShard) batchPrepStep() {
 		}
 	}
 	sh.reqScratch = sh.reqScratch[:0]
-	for i := sh.lo; i < sh.hi; i++ {
-		sh.matcher.Requests(i, &e.views[i], e.curEpochStart, e.threshold, sh.batchEmit)
-	}
+	sh.requestSweep(sh.batchEmit, bulkScratch)
 }
 
 // predefinedPhase transmits piggybacked data over the round-robin

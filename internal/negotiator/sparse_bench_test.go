@@ -1,6 +1,7 @@
 package negotiator
 
 import (
+	"runtime"
 	"testing"
 
 	"negotiator/internal/sim"
@@ -75,4 +76,28 @@ func BenchmarkEpochSparse4096(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		e.runEpoch()
 	}
+}
+
+// BenchmarkEpochSparse8192 is the scale tier PR 5 opened but never
+// measured: 8192 ToRs, 256 active. The memory ceiling is a hard
+// assertion, not a report — construction plus steady-state warm-up must
+// stay under 512 MB of cumulative allocation (lazy slabs put it around
+// an order of magnitude below that; the eager layout needed ~16 GB at
+// this size and would abort the benchmark here).
+func BenchmarkEpochSparse8192(b *testing.B) {
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	e := sparseEngine(b, 8192, 256, 1)
+	runtime.ReadMemStats(&after)
+	total := after.TotalAlloc - before.TotalAlloc
+	if total > 512<<20 {
+		b.Fatalf("8192-ToR sparse setup allocated %d MB, ceiling 512 MB: per-destination state is eager again", total>>20)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.runEpoch()
+	}
+	// After the loop: ResetTimer discards metrics reported before it.
+	b.ReportMetric(float64(total)/8192, "setup-bytes/ToR")
 }

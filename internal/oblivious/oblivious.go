@@ -131,6 +131,10 @@ type Config struct {
 	Failures *failure.Plan
 	// CheckInvariants enables byte-conservation assertions.
 	CheckInvariants bool
+	// DisableEventSkip forces the run loop to tick every timeslot even
+	// when the fabric is provably idle. Results are byte-identical either
+	// way; the knob exists for A/B benchmarks and equivalence tests.
+	DisableEventSkip bool
 	// OnDeliver observes final-destination deliveries.
 	OnDeliver func(dst int, at sim.Time, n int64)
 	// OnTransit observes first-hop (intermediate) arrivals, the "light
@@ -304,15 +308,16 @@ func New(cfg Config) (*Engine, error) {
 	}
 	e.lanes = !e.cfg.OpportunisticDirect && !e.cfg.DirectOnly
 	fab, err := fabric.New(fabric.Config{
-		Topology:       cfg.Topology,
-		HostRate:       cfg.HostRate,
-		Workers:        cfg.Workers,
-		Seed:           cfg.Seed,
-		PriorityQueues: cfg.PriorityQueues,
-		Lanes:          e.lanes,
-		Relay:          true,
-		OnDeliver:      cfg.OnDeliver,
-		Failures:       cfg.Failures,
+		Topology:         cfg.Topology,
+		HostRate:         cfg.HostRate,
+		Workers:          cfg.Workers,
+		Seed:             cfg.Seed,
+		PriorityQueues:   cfg.PriorityQueues,
+		Lanes:            e.lanes,
+		Relay:            true,
+		OnDeliver:        cfg.OnDeliver,
+		Failures:         cfg.Failures,
+		DisableEventSkip: cfg.DisableEventSkip,
 	})
 	if err != nil {
 		return nil, err
@@ -509,6 +514,14 @@ func (e *Engine) Round() {
 	}
 }
 
+// IdleHorizon implements fabric.IdlePlane: the round-robin schedule keeps
+// no cross-slot control state outside the node queues — the slot index and
+// rotation derive from the round counter, the spray RNG draws only at
+// admission, and an empty fabric's slot touches nothing — so with no byte
+// queued anywhere (the core's precondition) every future slot is a no-op
+// until new bytes arrive.
+func (e *Engine) IdleHorizon() sim.Time { return fabric.HorizonInfinite }
+
 // CheckRound implements fabric.RoundChecker when invariant checking is on.
 func (e *Engine) CheckRound() {
 	if !e.cfg.CheckInvariants {
@@ -531,15 +544,14 @@ func (e *Engine) CheckRound() {
 func (sh *obShard) drainStep() {
 	e := sh.e
 	slotNo := e.fab.Rounds()
-	for i := sh.lo; i < sh.hi; i++ {
+	// The shard's relay occupancy set walks straight to the nodes holding
+	// relay backlog, so the drain phase is O(relay-active nodes · S) with
+	// no dense scan at all; draining a node empty clears its own bit,
+	// which is safe mid-iteration (Next only looks ahead).
+	occ := &sh.fs.ActiveRelay
+	for bit := occ.Next(-1); bit >= 0; bit = occ.Next(bit) {
+		i := sh.lo + bit
 		src := e.fab.Nodes[i]
-		// A node with no relay backlog (in particular one whose relay slab
-		// never materialized) has nothing to drain: one O(1) aggregate
-		// read skips its whole port loop, keeping the slot's drain phase
-		// O(relay-active nodes · S) instead of O(N · S).
-		if src.RelayBytes == 0 {
-			continue
-		}
 		for s := 0; s < e.s; s++ {
 			j := e.top.PredefinedPeer(i, s, e.slotT, e.slotRot)
 			if j < 0 {
@@ -568,19 +580,18 @@ func (sh *obShard) drainStep() {
 func (sh *obShard) serveStep() {
 	e := sh.e
 	slotNo := e.fab.Rounds()
-	for i := sh.lo; i < sh.hi; i++ {
+	// The occupancy set of the class this discipline serves walks straight
+	// to the nodes holding fresh data — the O(active)-nodes counterpart of
+	// the drain-phase walk. Connections phase A consumed need no masking
+	// here: an idle node set no usedStamp entries. Every visited node has
+	// bytes in its class, so the lanes dispatch below needs no nil check.
+	occ := &sh.fs.ActiveDirect
+	if e.lanes {
+		occ = &sh.fs.ActiveLanes
+	}
+	for bit := occ.Next(-1); bit >= 0; bit = occ.Next(bit) {
+		i := sh.lo + bit
 		src := e.fab.Nodes[i]
-		// One O(1) aggregate read skips a node with no fresh data in the
-		// class this discipline serves — the O(active)-nodes counterpart
-		// of the drain-phase skip. Connections phase A consumed need no
-		// masking here: an idle node set no usedStamp entries.
-		if e.lanes {
-			if src.LanesBytes == 0 {
-				continue
-			}
-		} else if src.DirectBytes == 0 {
-			continue
-		}
 		for s := 0; s < e.s; s++ {
 			if sh.usedStamp[(i-sh.lo)*e.s+s] == slotNo+1 {
 				continue
@@ -732,4 +743,5 @@ func (sh *obShard) noteTransit(inter int, n int64) {
 var (
 	_ fabric.ControlPlane = (*Engine)(nil)
 	_ fabric.RoundChecker = (*Engine)(nil)
+	_ fabric.IdlePlane    = (*Engine)(nil)
 )

@@ -1,6 +1,7 @@
 package oblivious
 
 import (
+	"runtime"
 	"testing"
 
 	"negotiator/internal/sim"
@@ -68,4 +69,30 @@ func BenchmarkSlotSparse4096(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		e.runSlot()
 	}
+}
+
+// BenchmarkSlotSparse8192 is the scale tier PR 5 opened but never
+// measured: 8192 ToRs, 256 active sources, opportunistic spray. The
+// memory ceiling is a hard assertion. Spray traffic reaches every
+// intermediate, and each touched node materializes an N-wide relay slab,
+// so this discipline's floor at 8192 ToRs is ~2.9 GB (node-lazy but
+// destination-eager — the next slab-granularity rung on the ROADMAP);
+// the 4 GB ceiling locks that floor and still fails fast if the
+// construction-time eager layout (~17 GB here) returns.
+func BenchmarkSlotSparse8192(b *testing.B) {
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	e := sparseEngine(b, 8192, 256)
+	runtime.ReadMemStats(&after)
+	total := after.TotalAlloc - before.TotalAlloc
+	if total > 4096<<20 {
+		b.Fatalf("8192-ToR sparse setup allocated %d MB, ceiling 4096 MB: relay-slab memory no longer follows node occupancy", total>>20)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.runSlot()
+	}
+	// After the loop: ResetTimer discards metrics reported before it.
+	b.ReportMetric(float64(total)/8192, "setup-bytes/ToR")
 }

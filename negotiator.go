@@ -234,6 +234,18 @@ type Spec struct {
 	Seed int64
 	// CheckInvariants enables per-epoch conservation/conflict assertions.
 	CheckInvariants bool
+	// DisableEventSkip forces the run loop to tick every round even when
+	// the fabric is provably idle, instead of jumping the clock to the
+	// next event. Results are byte-identical either way (pinned by the
+	// golden fingerprints); the knob exists for A/B benchmarks and the
+	// skip-equivalence tests.
+	DisableEventSkip bool
+	// DisableIncremental forces a from-scratch REQUEST sweep every epoch
+	// instead of replaying the cached emissions of sources whose demand
+	// did not change. Byte-identical either way; for A/B benchmarks and
+	// cache-equivalence tests. Ignored by the oblivious baseline, which
+	// has no request step.
+	DisableIncremental bool
 	// OnDeliver and OnTransit observe deliveries (and, for the baseline,
 	// first-hop transit arrivals).
 	OnDeliver func(dst int, at Time, n int64)
@@ -386,6 +398,8 @@ func (s Spec) Build() (Fabric, error) {
 			OnDeliver:            s.OnDeliver,
 			TrackReceiverBuffers: s.TrackReceiverBuffers,
 			Workers:              s.Workers,
+			DisableEventSkip:     s.DisableEventSkip,
+			DisableIncremental:   s.DisableIncremental,
 		})
 		if err != nil {
 			return nil, err
@@ -401,16 +415,17 @@ func (s Spec) Build() (Fabric, error) {
 			ot.Guardband = s.ReconfigDelay
 		}
 		e, err := oblivious.New(oblivious.Config{
-			Topology:        top,
-			Timing:          ot,
-			HostRate:        s.HostRate,
-			PriorityQueues:  s.PriorityQueues,
-			Seed:            s.Seed,
-			Failures:        plan,
-			CheckInvariants: s.CheckInvariants,
-			OnDeliver:       s.OnDeliver,
-			OnTransit:       s.OnTransit,
-			Workers:         s.Workers,
+			Topology:         top,
+			Timing:           ot,
+			HostRate:         s.HostRate,
+			PriorityQueues:   s.PriorityQueues,
+			Seed:             s.Seed,
+			Failures:         plan,
+			CheckInvariants:  s.CheckInvariants,
+			OnDeliver:        s.OnDeliver,
+			OnTransit:        s.OnTransit,
+			Workers:          s.Workers,
+			DisableEventSkip: s.DisableEventSkip,
 		})
 		if err != nil {
 			return nil, err
@@ -431,6 +446,8 @@ func (s Spec) Build() (Fabric, error) {
 		OnDeliver:            s.OnDeliver,
 		TrackReceiverBuffers: s.TrackReceiverBuffers,
 		Workers:              s.Workers,
+		DisableEventSkip:     s.DisableEventSkip,
+		DisableIncremental:   s.DisableIncremental,
 	}
 	if s.SelectiveRelay {
 		cfg.Relay = &negotiator.RelayConfig{}

@@ -1,0 +1,53 @@
+package negotiator_test
+
+import (
+	"testing"
+
+	negotiator "negotiator"
+)
+
+// BenchmarkQuietRounds* measures the cost of simulating one millisecond
+// of completely quiet fabric (no workload attached) at the paper's
+// 128-ToR scale — the regime a diurnal trough or a mostly-idle overnight
+// run spends its wall-clock in. The "skip" sub-benchmark uses the default
+// event-skip run loop (one clock jump per call); "tick" forces the
+// pre-PR-7 behavior of executing every empty round (~270 epochs or ~16k
+// timeslots per simulated ms). BENCH_pr7.json records both alongside the
+// PR 6 tree's numbers.
+func benchQuietRounds(b *testing.B, plane negotiator.ControlPlaneKind) {
+	for _, bc := range []struct {
+		name string
+		tick bool
+	}{{"skip", false}, {"tick", true}} {
+		b.Run(bc.name, func(b *testing.B) {
+			spec := negotiator.DefaultSpec()
+			spec.ControlPlane = plane
+			spec.DisableEventSkip = bc.tick
+			fab, err := spec.Build()
+			if err != nil {
+				b.Fatal(err)
+			}
+			// One warm-up ms retires the nil workload generator.
+			fab.Run(negotiator.Millisecond)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				// Run's horizon is absolute simulated time: each iteration
+				// extends it by one quiet millisecond.
+				fab.Run(negotiator.Duration(i+2) * negotiator.Millisecond)
+			}
+		})
+	}
+}
+
+func BenchmarkQuietRoundsNegotiator(b *testing.B) {
+	benchQuietRounds(b, negotiator.NegotiaToRPlane)
+}
+
+func BenchmarkQuietRoundsOblivious(b *testing.B) {
+	benchQuietRounds(b, negotiator.ObliviousPlane)
+}
+
+func BenchmarkQuietRoundsHybrid(b *testing.B) {
+	benchQuietRounds(b, negotiator.HybridPlane)
+}

@@ -102,6 +102,15 @@ func HotspotWorkload(spec Spec, trace Trace, load float64, hotTors int, hotFrac 
 	return workload.NewHotspot(trace.dist(), spec.ToRs, load, spec.HostRate, hotTors, hotFrac, seed)
 }
 
+// DiurnalWorkload is PoissonWorkload with a day/night cycle: the offered
+// load swings sinusoidally between floor·peakLoad (at the start of each
+// period) and peakLoad (at each half period). Most of a real fabric's day
+// is spent far below peak; this is the workload that makes the event-skip
+// run loop's quiet-time savings visible end to end.
+func DiurnalWorkload(spec Spec, trace Trace, peakLoad float64, period Duration, floor float64, seed int64) (Workload, error) {
+	return workload.NewDiurnal(trace.dist(), spec.ToRs, peakLoad, spec.HostRate, period, floor, seed)
+}
+
 // MergeWorkloads combines arrival streams in time order.
 func MergeWorkloads(ws ...Workload) Workload {
 	gens := make([]workload.Generator, len(ws))
