@@ -112,7 +112,13 @@ func main() {
 	spec.PriorityQueues = !*noPQ
 	spec.SelectiveRelay = *relay
 	spec.Seed = *seed
+	if *workers > *tors {
+		fatalUsagef("-workers %d exceeds -tors %d: each worker shards a non-empty contiguous ToR range; lower -workers or use 0 for auto", *workers, *tors)
+	}
 	spec.Workers = exp.EffectiveParallelism(*workers)
+	if spec.Workers > *tors {
+		spec.Workers = *tors // auto (-workers 0) on a small fabric: one shard per ToR
+	}
 
 	engineSet := false
 	flag.Visit(func(f *flag.Flag) {
@@ -328,6 +334,14 @@ func fatalf(format string, args ...interface{}) {
 // fatalListf rejects an unknown name: the error plus the valid list, and
 // a non-zero exit so scripts cannot silently run the wrong thing.
 func fatalListf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "negotiator-sim: "+format+"\n", args...)
+	os.Exit(2)
+}
+
+// fatalUsagef rejects an invalid flag combination with the conventional
+// usage-error status 2, so scripts can tell a bad invocation from a run
+// that failed.
+func fatalUsagef(format string, args ...interface{}) {
 	fmt.Fprintf(os.Stderr, "negotiator-sim: "+format+"\n", args...)
 	os.Exit(2)
 }

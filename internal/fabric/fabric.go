@@ -183,6 +183,10 @@ type Core struct {
 	// (growth happens only in serial phases; see queue.SegPool).
 	flowPool []*flows.Flow
 	segPool  queue.SegPool
+	// pagePool recycles released queue pages (see queue.PagePool); like
+	// segPool it is unsynchronised — pages are taken at push-time
+	// materialization (serial phases) and returned by the serial merge.
+	pagePool queue.PagePool
 }
 
 // New builds a core. Bind must be called with the control plane before
@@ -218,7 +222,7 @@ func New(cfg Config) (*Core, error) {
 	}
 	c.Nodes = make([]*Node, c.N)
 	for i := range c.Nodes {
-		c.Nodes[i] = newNode(spec, &c.segPool)
+		c.Nodes[i] = newNode(spec, &c.segPool, &c.pagePool)
 	}
 	c.Workers = cfg.Workers
 	if c.Workers < 1 {
@@ -243,6 +247,8 @@ func New(cfg Config) (*Core, error) {
 			nd.actLanes = &sh.ActiveLanes
 			nd.actRelay = &sh.ActiveRelay
 			nd.actBit = i - lo
+			nd.id = int32(i)
+			nd.relq = &sh.relq
 		}
 	}
 	c.skipOff = cfg.DisableEventSkip
@@ -431,6 +437,50 @@ func (c *Core) mergeRound() {
 		sh.Tagged = sh.Tagged[:0]
 		c.flowPool = append(c.flowPool, sh.Freed...)
 		sh.Freed = sh.Freed[:0]
+		c.releasePages(sh)
+	}
+}
+
+// pageReleaseAge is how many rounds an empty-page candidate must sit
+// unrefuted before its page returns to the pool. The hysteresis keeps
+// churning pages (emptied and refilled within a few rounds — the page's
+// touch version moves, refuting the candidate) permanently materialized,
+// so steady state never pays a release/re-materialize cycle; pages the
+// workload has abandoned are reclaimed a few rounds after their last
+// byte drains.
+const pageReleaseAge = 8
+
+// releasePages stamps the shard's new empty-page candidates with the
+// current round, then applies every candidate old enough: the page is
+// released only if it is still empty AND untouched since the candidate
+// was recorded (queue.DestSlab.ReleaseIfEmpty). Runs in the serial
+// merge, the only place pages may be taken from or returned to the
+// unsynchronised pool besides serial-phase materialization.
+func (c *Core) releasePages(sh *Shard) {
+	q := &sh.relq
+	for i := q.stamped; i < len(q.refs); i++ {
+		q.refs[i].round = c.rounds
+	}
+	q.stamped = len(q.refs)
+	for q.head < len(q.refs) && q.refs[q.head].round+pageReleaseAge <= c.rounds {
+		ref := q.refs[q.head]
+		q.refs[q.head] = pageRef{}
+		q.head++
+		nd := c.Nodes[ref.tor]
+		switch ref.class {
+		case classDirect:
+			nd.Direct.ReleaseIfEmpty(int(ref.page), ref.ver, &c.pagePool)
+		case classLanes:
+			nd.Lanes.ReleaseIfEmpty(int(ref.page), ref.ver, &c.pagePool)
+		case classRelay:
+			nd.Relay.ReleaseIfEmpty(int(ref.page), ref.ver, &c.pagePool)
+		}
+	}
+	if q.head > 64 && q.head*2 >= len(q.refs) {
+		n := copy(q.refs, q.refs[q.head:])
+		q.refs = q.refs[:n]
+		q.stamped -= q.head
+		q.head = 0
 	}
 }
 
@@ -567,15 +617,21 @@ func (c *Core) PeakReceiverBuffer() int64 {
 func (c *Core) QueuedInNodes() int64 {
 	var total int64
 	for _, nd := range c.Nodes {
-		for j := range nd.Direct {
-			total += nd.Direct[j].Bytes()
-		}
-		for j := range nd.Lanes {
-			total += nd.Lanes[j].Bytes()
-		}
-		for j := range nd.Relay {
-			total += nd.Relay[j].Bytes()
-		}
+		nd.Direct.ForEachPage(func(_, _ int, qs []queue.DestQueue, _ int64) {
+			for j := range qs {
+				total += qs[j].Bytes()
+			}
+		})
+		nd.Lanes.ForEachPage(func(_, _ int, qs []queue.DestQueue, _ int64) {
+			for j := range qs {
+				total += qs[j].Bytes()
+			}
+		})
+		nd.Relay.ForEachPage(func(_, _ int, fs []queue.FIFO, _ int64) {
+			for j := range fs {
+				total += fs[j].Bytes()
+			}
+		})
 	}
 	return total
 }

@@ -276,7 +276,7 @@ func TestLazyNodesReportEmpty(t *testing.T) {
 	}
 	discard := func(fl *flows.Flow, n int64) {}
 	for i, nd := range c.Nodes {
-		if nd.Direct != nil || nd.Lanes != nil || nd.Relay != nil || nd.QueuedBytes != nil || nd.CumInjected != nil {
+		if nd.Direct.Materialized() || nd.Lanes.Materialized() || nd.Relay.Materialized() || nd.QueuedBytes != nil || nd.CumInjected != nil {
 			t.Fatalf("node %d owns slab memory before any push", i)
 		}
 		if nd.DirectBytes != 0 || nd.LanesBytes != 0 || nd.RelayBytes != 0 {
@@ -305,17 +305,17 @@ func TestLazyNodesReportEmpty(t *testing.T) {
 	// of node 2 only; lanes and relay stay nil until their first push.
 	f := &flows.Flow{ID: 1, Src: 2, Dst: 5, Size: 4096}
 	c.Nodes[2].PushDirect(5, f, 0)
-	if c.Nodes[2].Direct == nil || c.Nodes[2].QueuedBytes == nil || c.Nodes[2].CumInjected == nil {
+	if !c.Nodes[2].Direct.Materialized() || c.Nodes[2].QueuedBytes == nil || c.Nodes[2].CumInjected == nil {
 		t.Fatal("direct push did not materialize the direct class")
 	}
-	if c.Nodes[2].Lanes != nil || c.Nodes[2].Relay != nil {
+	if c.Nodes[2].Lanes.Materialized() || c.Nodes[2].Relay.Materialized() {
 		t.Fatal("direct push materialized unrelated classes")
 	}
-	if c.Nodes[3].Direct != nil {
+	if c.Nodes[3].Direct.Materialized() {
 		t.Fatal("push on node 2 materialized node 3")
 	}
 	c.Nodes[2].PushRelay(1, queue.Segment{Flow: f, Bytes: 100, Enqueued: 0})
-	if c.Nodes[2].Relay == nil || c.Nodes[2].Lanes != nil {
+	if !c.Nodes[2].Relay.Materialized() || c.Nodes[2].Lanes.Materialized() {
 		t.Fatal("relay push materialized the wrong classes")
 	}
 	c.CheckOccupancy()
@@ -325,7 +325,7 @@ func TestLazyNodesReportEmpty(t *testing.T) {
 	// predefined phase walks NextDirectOrRelay, and lazy == eager demands
 	// the relay entry is visited even with DirectOcc unmaterialized.
 	c.Nodes[4].PushRelay(5, queue.Segment{Flow: f, Bytes: 64, Enqueued: 0})
-	if c.Nodes[4].Direct != nil {
+	if c.Nodes[4].Direct.Materialized() {
 		t.Fatal("relay push materialized the direct class")
 	}
 	if got := c.Nodes[4].NextDirectOrRelay(-1); got != 5 {
@@ -338,7 +338,7 @@ func TestLazyNodesReportEmpty(t *testing.T) {
 	// MaterializeAll is the eager escape hatch tests compare against.
 	c.MaterializeAll()
 	for i, nd := range c.Nodes {
-		if nd.Direct == nil || nd.Lanes == nil || nd.Relay == nil {
+		if !nd.Direct.Materialized() || !nd.Lanes.Materialized() || !nd.Relay.Materialized() {
 			t.Fatalf("node %d not fully materialized by MaterializeAll", i)
 		}
 	}

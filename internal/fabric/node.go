@@ -13,37 +13,47 @@ import (
 // mailboxes, matches, relay plans) stays with the control plane, keyed by
 // the same ToR index.
 //
-// Queue sets are contiguous value slabs (one allocation per set, see
-// queue.NewSlab) shadowed by the dense QueuedBytes array and the
-// per-class occupancy indexes. Slabs materialize LAZILY: a fresh node
-// owns no queue memory at all, and each class (Direct with its shadow
-// and index, Lanes, Relay) allocates on the first push into it — so a
-// fabric's footprint scales with the nodes (and classes) traffic
-// actually occupies, not with topology size. Every push happens in a
-// serial phase (arrival admission, loss requeue, the engines' serial
-// merges), so materialization never races with the parallel phases'
-// reads, and an unmaterialized class reads as empty/zero everywhere
-// (nil slab, zero aggregate, empty occupancy index).
+// Queue sets are PAGED slabs (queue.DestSlab / queue.FIFOSlab) shadowed
+// by the dense QueuedBytes array and the per-class occupancy indexes.
+// They materialize lazily at two granularities: a fresh node owns no
+// queue memory at all and each class (Direct with its shadow and index,
+// Lanes, Relay) allocates its page table on the first push into it; the
+// pages themselves (fixed-width chunks of queue.PageSize destinations)
+// materialize from the core's page pool on the first push that touches
+// them. A node's footprint therefore scales with the destinations its
+// traffic actually reaches, not with topology width — the rung that
+// opens the 65,536-ToR tier. Every push happens in a serial phase
+// (arrival admission, loss requeue, the engines' serial merges), so
+// materialization never races with the parallel phases' reads, and an
+// unmaterialized class or page reads as empty/zero everywhere (nil
+// page, zero aggregate, empty occupancy index).
 //
-// Engines may READ materialized slabs freely
-// (Bytes/Empty/HeadDst/WeightedHoL/...) but must tolerate nil slabs on
-// nodes they merely probe (use the *QueuedBytes/HeadReady accessors
-// below, or check the slab). Every MUTATION must go through the
-// Push*/Take*/Drain* choke points, which keep the shadow, the aggregates
-// and the indexes exact — the occupancy invariant engines assert under
-// CheckInvariants (Core.CheckOccupancy).
+// Pages whose byte counter stays at zero long enough are recycled back
+// to the pool by the core's serial merge (see Core.mergeRound): the take
+// choke points record empty-page candidates with the page's touch
+// version, and the release honours a candidate only if the page has
+// stayed empty and untouched since — so churning pages are never
+// released and steady state stays allocation-free.
+//
+// Engines may READ materialized slabs freely but must tolerate nil pages
+// on nodes (and destinations) they merely probe — use the nil-page-safe
+// accessors below (RelayQueuedBytes, DirectQueuedBytes, RelayHeadReady,
+// LaneHeadDst, DirectWeightedHoL, ...). Every MUTATION must go through
+// the Push*/Take*/Drain* choke points, which keep the shadow, the
+// aggregates, the page counters and the indexes exact — the occupancy
+// invariant engines assert under CheckInvariants (Core.CheckOccupancy).
 type Node struct {
 	// Direct holds data per final destination: the NegotiaToR VOQs, the
 	// baseline's direct queues, the hybrid's elephant queues.
-	Direct []queue.DestQueue
+	Direct queue.DestSlab
 	// Lanes is the optional secondary VOQ set: per-intermediate VLB spray
 	// lanes for the baseline, per-destination mice queues for the hybrid.
-	Lanes []queue.DestQueue
+	Lanes queue.DestSlab
 	// Relay holds in-transit data per final destination (second-hop
 	// virtual output queues); RelayBytes is its single aggregate counter,
 	// maintained exclusively by PushRelay/DrainRelay below so no engine
 	// tallies it in two places.
-	Relay      []queue.FIFO
+	Relay      queue.FIFOSlab
 	RelayBytes int64
 	// DirectBytes and LanesBytes are the per-class aggregate byte
 	// counters (RelayBytes' counterparts), maintained by the choke
@@ -51,8 +61,9 @@ type Node struct {
 	// O(1) read instead of scanning its occupancy words.
 	DirectBytes int64
 	LanesBytes  int64
-	// QueuedBytes shadows Direct[j].Bytes() in a dense array, so matcher
-	// demand views read 8-byte-strided memory instead of queue structs.
+	// QueuedBytes shadows the direct queues' Bytes() in a dense array, so
+	// matcher demand views read 8-byte-strided memory instead of queue
+	// structs.
 	QueuedBytes []int64
 	// DirectOcc, LanesOcc and RelayOcc index the non-empty entries of the
 	// corresponding queue set; per-round sweeps iterate them in ascending
@@ -81,12 +92,22 @@ type Node struct {
 	actDirect, actLanes, actRelay *OccSet
 	actBit                        int
 
+	// id is the node's ToR index and relq its owning shard's
+	// pending-release queue: take choke points record empty-page
+	// candidates there (shard-local, so parallel phases never contend)
+	// and the core's serial merge ages and applies them.
+	id   int32
+	relq *pageRelq
+
 	// spec remembers the topology size and class configuration the lazy
 	// slabs materialize to (shared by every node of a core).
 	spec *nodeSpec
 	// pool recycles segment arrays fabric-wide (the core's; see
-	// queue.SegPool for why it may be unsynchronised).
-	pool *queue.SegPool
+	// queue.SegPool for why it may be unsynchronised). pages recycles
+	// released queue pages the same way (materialization happens only in
+	// serial phases, release only in the serial merge).
+	pool  *queue.SegPool
+	pages *queue.PagePool
 }
 
 // nodeSpec is the shared recipe lazy materialization follows: the
@@ -97,6 +118,33 @@ type nodeSpec struct {
 	lanes       bool
 	relay       bool
 	cumInjected bool
+}
+
+// Queue-class tags for page-release candidates.
+const (
+	classDirect uint8 = iota
+	classLanes
+	classRelay
+)
+
+// pageRef is one empty-page release candidate: which node/class/page went
+// empty, the page's touch version at that moment, and (stamped by the
+// serial merge) the round it was recorded.
+type pageRef struct {
+	tor   int32
+	page  int32
+	class uint8
+	ver   uint32
+	round int64
+}
+
+// pageRelq is a shard's pending-release queue: refs append during the
+// shard's own take phases (or the serial phases), and the core's serial
+// merge stamps, ages and applies them (see Core.mergeRound).
+type pageRelq struct {
+	refs    []pageRef
+	head    int
+	stamped int
 }
 
 // RequeueClass selects how Core.RequeueDetectedLosses returns a detected
@@ -132,16 +180,26 @@ type Loss struct {
 	Via   int32 // lane index for RequeueLane
 }
 
-func newNode(spec *nodeSpec, pool *queue.SegPool) *Node {
-	return &Node{spec: spec, pool: pool}
+func newNode(spec *nodeSpec, pool *queue.SegPool, pages *queue.PagePool) *Node {
+	return &Node{spec: spec, pool: pool, pages: pages}
 }
 
-// materializeDirect allocates the direct VOQ slab with its QueuedBytes
+// noteEmptyPage records a release candidate with the page's touch
+// version. Outside a core (bare-node tests) there is no queue and pages
+// simply stay materialized.
+func (nd *Node) noteEmptyPage(class uint8, page int, ver uint32) {
+	if nd.relq == nil {
+		return
+	}
+	nd.relq.refs = append(nd.relq.refs, pageRef{tor: nd.id, page: int32(page), class: class, ver: ver})
+}
+
+// materializeDirect allocates the direct page table with its QueuedBytes
 // shadow, occupancy index and (when configured) the cumulative-injected
 // table. Called from the push choke points on first use; pushes happen
 // only in serial phases, so growth never races with parallel reads.
 func (nd *Node) materializeDirect() {
-	nd.Direct = queue.NewSlab(nd.spec.n, nd.spec.priority)
+	nd.Direct = queue.NewDestSlab(nd.spec.n, nd.spec.priority)
 	nd.QueuedBytes = make([]int64, nd.spec.n)
 	nd.DirectOcc = newOccSet(nd.spec.n)
 	if nd.spec.cumInjected {
@@ -149,30 +207,38 @@ func (nd *Node) materializeDirect() {
 	}
 }
 
-// materializeLanes allocates the secondary VOQ slab and its index.
+// materializeLanes allocates the secondary page table and its index.
 func (nd *Node) materializeLanes() {
-	nd.Lanes = queue.NewSlab(nd.spec.n, nd.spec.priority)
+	nd.Lanes = queue.NewDestSlab(nd.spec.n, nd.spec.priority)
 	nd.LanesOcc = newOccSet(nd.spec.n)
 }
 
-// materializeRelay allocates the relay FIFO slab and its index.
+// materializeRelay allocates the relay page table and its index.
 func (nd *Node) materializeRelay() {
-	nd.Relay = make([]queue.FIFO, nd.spec.n)
+	nd.Relay = queue.NewFIFOSlab(nd.spec.n)
 	nd.RelayOcc = newOccSet(nd.spec.n)
 }
 
 // Materialize eagerly allocates every class the node's configuration
-// enables, as pre-PR-5 construction did. Tests use it to prove lazy and
-// eager fabrics produce byte-identical results.
+// enables — page tables AND every page — as pre-paging construction did.
+// Tests use it to prove lazy and eager fabrics produce byte-identical
+// results.
 func (nd *Node) Materialize() {
-	if nd.Direct == nil {
+	if !nd.Direct.Materialized() {
 		nd.materializeDirect()
 	}
-	if nd.spec.lanes && nd.Lanes == nil {
-		nd.materializeLanes()
+	nd.Direct.MaterializeAll(nd.pages)
+	if nd.spec.lanes {
+		if !nd.Lanes.Materialized() {
+			nd.materializeLanes()
+		}
+		nd.Lanes.MaterializeAll(nd.pages)
 	}
-	if nd.spec.relay && nd.Relay == nil {
-		nd.materializeRelay()
+	if nd.spec.relay {
+		if !nd.Relay.Materialized() {
+			nd.materializeRelay()
+		}
+		nd.Relay.MaterializeAll(nd.pages)
 	}
 }
 
@@ -186,15 +252,17 @@ func (nd *Node) PushDirect(dst int, f *flows.Flow, at sim.Time) {
 }
 
 // PushDirectBytes enqueues n bytes of f (first byte at flow offset off)
-// for dst, maintaining the QueuedBytes shadow and the occupancy index.
+// for dst, maintaining the QueuedBytes shadow, the page counter and the
+// occupancy index.
 func (nd *Node) PushDirectBytes(dst int, f *flows.Flow, n, off int64, at sim.Time) {
 	if n <= 0 {
 		return
 	}
-	if nd.Direct == nil {
+	if !nd.Direct.Materialized() {
 		nd.materializeDirect()
 	}
-	nd.Direct[dst].PushBytesPool(nd.pool, f, n, off, at)
+	nd.Direct.Queue(dst, nd.pages).PushBytesPool(nd.pool, f, n, off, at)
+	nd.Direct.Add(dst, n)
 	nd.QueuedBytes[dst] += n
 	if nd.DirectBytes == 0 && nd.actDirect != nil {
 		nd.actDirect.Set(nd.actBit)
@@ -207,18 +275,13 @@ func (nd *Node) PushDirectBytes(dst int, f *flows.Flow, n, off int64, at sim.Tim
 // TakeDirect removes up to max bytes from the dst VOQ (priorities in
 // order, FIFO within each), returning the bytes taken.
 func (nd *Node) TakeDirect(dst int, max int64, emit func(f *flows.Flow, n int64)) int64 {
-	if nd.Direct == nil {
+	q := nd.Direct.Probe(dst)
+	if q == nil {
 		return 0
 	}
-	taken := nd.Direct[dst].Take(max, emit)
+	taken := q.Take(max, emit)
 	if taken > 0 {
-		if nd.DirectBytes -= taken; nd.DirectBytes == 0 && nd.actDirect != nil {
-			nd.actDirect.Clear(nd.actBit)
-		}
-		if nd.QueuedBytes[dst] -= taken; nd.QueuedBytes[dst] == 0 {
-			nd.DirectOcc.Clear(dst)
-		}
-		nd.demandVer++
+		nd.afterTakeDirect(dst, taken)
 	}
 	return taken
 }
@@ -227,20 +290,31 @@ func (nd *Node) TakeDirect(dst int, max int64, emit func(f *flows.Flow, n int64)
 // lowest-priority (elephant) class only — the selective relay's first-hop
 // source drain.
 func (nd *Node) TakeDirectLowest(dst int, max int64, emit func(f *flows.Flow, n int64)) int64 {
-	if nd.Direct == nil {
+	q := nd.Direct.Probe(dst)
+	if q == nil {
 		return 0
 	}
-	taken := nd.Direct[dst].TakeLowestOnly(max, emit)
+	taken := q.TakeLowestOnly(max, emit)
 	if taken > 0 {
-		if nd.DirectBytes -= taken; nd.DirectBytes == 0 && nd.actDirect != nil {
-			nd.actDirect.Clear(nd.actBit)
-		}
-		if nd.QueuedBytes[dst] -= taken; nd.QueuedBytes[dst] == 0 {
-			nd.DirectOcc.Clear(dst)
-		}
-		nd.demandVer++
+		nd.afterTakeDirect(dst, taken)
 	}
 	return taken
+}
+
+// afterTakeDirect folds a direct take into the shadow, the aggregates,
+// the page counter, the occupancy indexes and the demand version, and
+// records an empty-page candidate when the page's counter hits zero.
+func (nd *Node) afterTakeDirect(dst int, taken int64) {
+	if pb, ver := nd.Direct.Add(dst, -taken); pb == 0 {
+		nd.noteEmptyPage(classDirect, queue.PageOf(dst), ver)
+	}
+	if nd.DirectBytes -= taken; nd.DirectBytes == 0 && nd.actDirect != nil {
+		nd.actDirect.Clear(nd.actBit)
+	}
+	if nd.QueuedBytes[dst] -= taken; nd.QueuedBytes[dst] == 0 {
+		nd.DirectOcc.Clear(dst)
+	}
+	nd.demandVer++
 }
 
 // PushLane enqueues all bytes of flow f into lane dst at time now.
@@ -253,10 +327,11 @@ func (nd *Node) PushLaneBytes(dst int, f *flows.Flow, n, off int64, at sim.Time)
 	if n <= 0 {
 		return
 	}
-	if nd.Lanes == nil {
+	if !nd.Lanes.Materialized() {
 		nd.materializeLanes()
 	}
-	nd.Lanes[dst].PushBytesPool(nd.pool, f, n, off, at)
+	nd.Lanes.Queue(dst, nd.pages).PushBytesPool(nd.pool, f, n, off, at)
+	nd.Lanes.Add(dst, n)
 	if nd.LanesBytes == 0 && nd.actLanes != nil {
 		nd.actLanes.Set(nd.actBit)
 	}
@@ -266,17 +341,13 @@ func (nd *Node) PushLaneBytes(dst int, f *flows.Flow, n, off int64, at sim.Time)
 
 // TakeLane removes up to max bytes from lane dst.
 func (nd *Node) TakeLane(dst int, max int64, emit func(f *flows.Flow, n int64)) int64 {
-	if nd.Lanes == nil {
+	q := nd.Lanes.Probe(dst)
+	if q == nil {
 		return 0
 	}
-	taken := nd.Lanes[dst].Take(max, emit)
+	taken := q.Take(max, emit)
 	if taken > 0 {
-		if nd.LanesBytes -= taken; nd.LanesBytes == 0 && nd.actLanes != nil {
-			nd.actLanes.Clear(nd.actBit)
-		}
-		if nd.Lanes[dst].Empty() {
-			nd.LanesOcc.Clear(dst)
-		}
+		nd.afterTakeLane(dst, taken, q.Empty())
 	}
 	return taken
 }
@@ -285,31 +356,43 @@ func (nd *Node) TakeLane(dst int, max int64, emit func(f *flows.Flow, n int64)) 
 // lane dst's head (see queue.DestQueue.TakeHeadCell), returning the
 // destination served and the bytes taken.
 func (nd *Node) TakeLaneHeadCell(dst int, max int64, emit func(f *flows.Flow, n int64)) (int, int64) {
-	if nd.Lanes == nil {
+	q := nd.Lanes.Probe(dst)
+	if q == nil {
 		return -1, 0
 	}
-	d, taken := nd.Lanes[dst].TakeHeadCell(max, emit)
+	d, taken := q.TakeHeadCell(max, emit)
 	if taken > 0 {
-		if nd.LanesBytes -= taken; nd.LanesBytes == 0 && nd.actLanes != nil {
-			nd.actLanes.Clear(nd.actBit)
-		}
-		if nd.Lanes[dst].Empty() {
-			nd.LanesOcc.Clear(dst)
-		}
+		nd.afterTakeLane(dst, taken, q.Empty())
 	}
 	return d, taken
 }
 
+// afterTakeLane folds a lane take into the aggregate, the page counter
+// and the occupancy index.
+func (nd *Node) afterTakeLane(dst int, taken int64, nowEmpty bool) {
+	if pb, ver := nd.Lanes.Add(dst, -taken); pb == 0 {
+		nd.noteEmptyPage(classLanes, queue.PageOf(dst), ver)
+	}
+	if nd.LanesBytes -= taken; nd.LanesBytes == 0 && nd.actLanes != nil {
+		nd.actLanes.Clear(nd.actBit)
+	}
+	if nowEmpty {
+		nd.LanesOcc.Clear(dst)
+	}
+}
+
 // PushRelay enqueues one in-transit segment for final destination dst and
-// maintains the aggregate relay counter and the occupancy index.
+// maintains the aggregate relay counter, the page counter and the
+// occupancy index.
 func (nd *Node) PushRelay(dst int, s queue.Segment) {
 	if s.Bytes <= 0 {
 		return
 	}
-	if nd.Relay == nil {
+	if !nd.Relay.Materialized() {
 		nd.materializeRelay()
 	}
-	nd.Relay[dst].PushPool(nd.pool, s)
+	nd.Relay.Get(dst, nd.pages).PushPool(nd.pool, s)
+	nd.Relay.Add(dst, s.Bytes)
 	if nd.RelayBytes == 0 && nd.actRelay != nil {
 		nd.actRelay.Set(nd.actBit)
 	}
@@ -321,15 +404,19 @@ func (nd *Node) PushRelay(dst int, s queue.Segment) {
 // arrived by now, maintaining the aggregate counter. It returns the bytes
 // taken.
 func (nd *Node) DrainRelay(dst int, max int64, now sim.Time, emit func(f *flows.Flow, n int64)) int64 {
-	if nd.Relay == nil {
+	q := nd.Relay.Probe(dst)
+	if q == nil {
 		return 0
 	}
-	taken := nd.Relay[dst].TakeReady(max, now, emit)
+	taken := q.TakeReady(max, now, emit)
 	if taken > 0 {
+		if pb, ver := nd.Relay.Add(dst, -taken); pb == 0 {
+			nd.noteEmptyPage(classRelay, queue.PageOf(dst), ver)
+		}
 		if nd.RelayBytes -= taken; nd.RelayBytes == 0 && nd.actRelay != nil {
 			nd.actRelay.Clear(nd.actBit)
 		}
-		if nd.Relay[dst].Empty() {
+		if q.Empty() {
 			nd.RelayOcc.Clear(dst)
 		}
 	}
@@ -340,7 +427,7 @@ func (nd *Node) DrainRelay(dst int, max int64, now sim.Time, emit func(f *flows.
 // than after with direct backlog or queued relay data, or -1 — the
 // ascending sweep order of the predefined transmission phase.
 func (nd *Node) NextDirectOrRelay(after int) int {
-	if nd.Relay == nil {
+	if !nd.Relay.Materialized() {
 		return nd.DirectOcc.Next(after)
 	}
 	return nextUnion(&nd.DirectOcc, &nd.RelayOcc, after)
@@ -351,13 +438,16 @@ func (nd *Node) NextDirectOrRelay(after int) int {
 func (nd *Node) RelayHeadroom(cap int64) int64 { return cap - nd.RelayBytes }
 
 // RelayQueuedBytes reports the relay backlog for dst, zero when the relay
-// slab has not materialized — the nil-safe read engines use to probe
-// OTHER nodes (a spray source checking an intermediate's VOQ headroom).
-func (nd *Node) RelayQueuedBytes(dst int) int64 {
-	if nd.Relay == nil {
-		return 0
-	}
-	return nd.Relay[dst].Bytes()
+// slab (or dst's page) has not materialized — the nil-page-safe read
+// engines use to probe OTHER nodes (a spray source checking an
+// intermediate's VOQ headroom).
+func (nd *Node) RelayQueuedBytes(dst int) int64 { return nd.Relay.Bytes(dst) }
+
+// RelayHeadReady reports whether the relay FIFO for dst has data that has
+// physically arrived by now (false for unmaterialized slabs or pages).
+func (nd *Node) RelayHeadReady(dst int, now sim.Time) bool {
+	q := nd.Relay.Probe(dst)
+	return q != nil && q.HeadReady(now)
 }
 
 // DirectQueuedBytes reports the direct backlog for dst, zero when the
@@ -369,6 +459,37 @@ func (nd *Node) DirectQueuedBytes(dst int) int64 {
 	return nd.QueuedBytes[dst]
 }
 
+// DirectLowestPriorityBytes reports the bytes queued at dst's lowest
+// (elephant) priority, zero for unmaterialized slabs or pages.
+func (nd *Node) DirectLowestPriorityBytes(dst int) int64 {
+	q := nd.Direct.Probe(dst)
+	if q == nil {
+		return 0
+	}
+	return q.LowestPriorityBytes()
+}
+
+// DirectWeightedHoL computes the weighted head-of-line delay for dst
+// (App. A.2.3), zero for unmaterialized slabs or pages (an absent page
+// is a set of empty queues, whose HoL waits are all zero).
+func (nd *Node) DirectWeightedHoL(dst int, now sim.Time, alpha float64) float64 {
+	q := nd.Direct.Probe(dst)
+	if q == nil {
+		return 0
+	}
+	return q.WeightedHoL(now, alpha)
+}
+
+// LaneHeadDst returns the destination of the next data lane dst would
+// serve, or -1 when the lane is empty (or its page absent).
+func (nd *Node) LaneHeadDst(dst int) int {
+	q := nd.Lanes.Probe(dst)
+	if q == nil {
+		return -1
+	}
+	return q.HeadDst()
+}
+
 // DemandVer returns the node's direct-demand mutation counter. Two equal
 // readings bracket a span with no push into and no take from the Direct
 // set — the condition under which a matcher's cached request emissions
@@ -378,71 +499,122 @@ func (nd *Node) DemandVer() int64 { return nd.demandVer }
 // CheckRelayCounter asserts the aggregate counter matches the FIFO
 // contents (per-round invariant of relay-carrying control planes).
 func (nd *Node) CheckRelayCounter() {
-	if nd.Relay == nil {
+	if !nd.Relay.Materialized() {
 		return
 	}
 	var sum int64
-	for j := range nd.Relay {
-		sum += nd.Relay[j].Bytes()
-	}
+	nd.Relay.ForEachPage(func(page, base int, fs []queue.FIFO, bytes int64) {
+		for j := range fs {
+			sum += fs[j].Bytes()
+		}
+	})
 	if sum != nd.RelayBytes {
 		panic(fmt.Sprintf("fabric: relay accounting drift: FIFOs hold %d, counter says %d", sum, nd.RelayBytes))
 	}
 }
 
-// checkOccupancy asserts the QueuedBytes shadow, the per-queue and
-// per-class aggregate counters and all three occupancy indexes exactly
-// mirror queue contents — including that unmaterialized classes report
-// empty/zero everywhere (nil slab, nil shadow, zero aggregate).
+// checkOccupancy asserts the QueuedBytes shadow, the per-queue, per-page
+// and per-class aggregate counters and all three occupancy indexes
+// exactly mirror queue contents — including that unmaterialized classes
+// report empty/zero everywhere (nil slab, nil shadow, zero aggregate)
+// and that unmaterialized PAGES carry no residue: an absent page must
+// have no occupancy bits, no shadow bytes and no page counter anywhere
+// in its destination range.
 func (nd *Node) checkOccupancy(tor int) {
-	if nd.Direct == nil {
+	if !nd.Direct.Materialized() {
 		if nd.DirectBytes != 0 || nd.QueuedBytes != nil || nd.DirectOcc.words != nil || nd.CumInjected != nil {
 			panic(fmt.Sprintf("fabric: tor %d unmaterialized direct slab with residue (bytes=%d)", tor, nd.DirectBytes))
 		}
 	}
-	if nd.Lanes == nil {
+	if !nd.Lanes.Materialized() {
 		if nd.LanesBytes != 0 || nd.LanesOcc.words != nil {
 			panic(fmt.Sprintf("fabric: tor %d unmaterialized lane slab with residue (bytes=%d)", tor, nd.LanesBytes))
 		}
 	}
-	if nd.Relay == nil {
+	if !nd.Relay.Materialized() {
 		if nd.RelayBytes != 0 || nd.RelayOcc.words != nil {
 			panic(fmt.Sprintf("fabric: tor %d unmaterialized relay slab with residue (bytes=%d)", tor, nd.RelayBytes))
 		}
 	}
-	var direct, lanes int64
-	for j := range nd.Direct {
-		b := nd.Direct[j].Bytes()
-		if r := nd.Direct[j].Recount(); r != b {
-			panic(fmt.Sprintf("fabric: tor %d direct[%d] aggregate %d != recount %d", tor, j, b, r))
+	if nd.Direct.Materialized() {
+		var direct int64
+		for j := 0; j < nd.spec.n; j++ {
+			q := nd.Direct.Probe(j)
+			var b int64
+			if q != nil {
+				b = q.Bytes()
+				if r := q.Recount(); r != b {
+					panic(fmt.Sprintf("fabric: tor %d direct[%d] aggregate %d != recount %d", tor, j, b, r))
+				}
+			} else if nd.QueuedBytes[j] != 0 {
+				panic(fmt.Sprintf("fabric: tor %d unmaterialized direct page %d with shadow residue at dst %d (%d bytes)", tor, queue.PageOf(j), j, nd.QueuedBytes[j]))
+			}
+			if nd.QueuedBytes[j] != b {
+				panic(fmt.Sprintf("fabric: tor %d QueuedBytes[%d] = %d, queue holds %d", tor, j, nd.QueuedBytes[j], b))
+			}
+			if nd.DirectOcc.Has(j) != (b > 0) {
+				panic(fmt.Sprintf("fabric: tor %d direct occupancy[%d] = %v, queue holds %d", tor, j, nd.DirectOcc.Has(j), b))
+			}
+			direct += b
 		}
-		if nd.QueuedBytes[j] != b {
-			panic(fmt.Sprintf("fabric: tor %d QueuedBytes[%d] = %d, queue holds %d", tor, j, nd.QueuedBytes[j], b))
+		nd.Direct.ForEachPage(func(page, base int, qs []queue.DestQueue, bytes int64) {
+			var sum int64
+			for k := range qs {
+				sum += qs[k].Bytes()
+			}
+			if sum != bytes {
+				panic(fmt.Sprintf("fabric: tor %d direct page %d counter %d, queues hold %d", tor, page, bytes, sum))
+			}
+		})
+		if direct != nd.DirectBytes {
+			panic(fmt.Sprintf("fabric: tor %d DirectBytes = %d, queues hold %d", tor, nd.DirectBytes, direct))
 		}
-		if nd.DirectOcc.Has(j) != (b > 0) {
-			panic(fmt.Sprintf("fabric: tor %d direct occupancy[%d] = %v, queue holds %d", tor, j, nd.DirectOcc.Has(j), b))
-		}
-		direct += b
 	}
-	for j := range nd.Lanes {
-		b := nd.Lanes[j].Bytes()
-		if r := nd.Lanes[j].Recount(); r != b {
-			panic(fmt.Sprintf("fabric: tor %d lane[%d] aggregate %d != recount %d", tor, j, b, r))
+	if nd.Lanes.Materialized() {
+		var lanes int64
+		for j := 0; j < nd.spec.n; j++ {
+			q := nd.Lanes.Probe(j)
+			var b int64
+			if q != nil {
+				b = q.Bytes()
+				if r := q.Recount(); r != b {
+					panic(fmt.Sprintf("fabric: tor %d lane[%d] aggregate %d != recount %d", tor, j, b, r))
+				}
+			}
+			if nd.LanesOcc.Has(j) != (b > 0) {
+				panic(fmt.Sprintf("fabric: tor %d lane occupancy[%d] = %v, queue holds %d", tor, j, nd.LanesOcc.Has(j), b))
+			}
+			lanes += b
 		}
-		if nd.LanesOcc.Has(j) != (b > 0) {
-			panic(fmt.Sprintf("fabric: tor %d lane occupancy[%d] = %v, queue holds %d", tor, j, nd.LanesOcc.Has(j), b))
+		nd.Lanes.ForEachPage(func(page, base int, qs []queue.DestQueue, bytes int64) {
+			var sum int64
+			for k := range qs {
+				sum += qs[k].Bytes()
+			}
+			if sum != bytes {
+				panic(fmt.Sprintf("fabric: tor %d lane page %d counter %d, queues hold %d", tor, page, bytes, sum))
+			}
+		})
+		if lanes != nd.LanesBytes {
+			panic(fmt.Sprintf("fabric: tor %d LanesBytes = %d, queues hold %d", tor, nd.LanesBytes, lanes))
 		}
-		lanes += b
 	}
-	for j := range nd.Relay {
-		if nd.RelayOcc.Has(j) != !nd.Relay[j].Empty() {
-			panic(fmt.Sprintf("fabric: tor %d relay occupancy[%d] = %v, queue holds %d", tor, j, nd.RelayOcc.Has(j), nd.Relay[j].Bytes()))
+	if nd.Relay.Materialized() {
+		for j := 0; j < nd.spec.n; j++ {
+			q := nd.Relay.Probe(j)
+			empty := q == nil || q.Empty()
+			if nd.RelayOcc.Has(j) != !empty {
+				panic(fmt.Sprintf("fabric: tor %d relay occupancy[%d] = %v, queue holds %d", tor, j, nd.RelayOcc.Has(j), nd.Relay.Bytes(j)))
+			}
 		}
-	}
-	if direct != nd.DirectBytes {
-		panic(fmt.Sprintf("fabric: tor %d DirectBytes = %d, queues hold %d", tor, nd.DirectBytes, direct))
-	}
-	if lanes != nd.LanesBytes {
-		panic(fmt.Sprintf("fabric: tor %d LanesBytes = %d, queues hold %d", tor, nd.LanesBytes, lanes))
+		nd.Relay.ForEachPage(func(page, base int, fs []queue.FIFO, bytes int64) {
+			var sum int64
+			for k := range fs {
+				sum += fs[k].Bytes()
+			}
+			if sum != bytes {
+				panic(fmt.Sprintf("fabric: tor %d relay page %d counter %d, FIFOs hold %d", tor, page, bytes, sum))
+			}
+		})
 	}
 }

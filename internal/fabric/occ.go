@@ -2,10 +2,14 @@ package fabric
 
 import "math/bits"
 
-// OccSet is a destination-occupancy index: a bitset over [0, n) with
-// deterministic ascending iteration by word-scan find-first-set (the same
-// structure as match.BitArbiter's candidate mask). Engines iterate it to
-// make per-round sweeps O(active destinations) instead of O(N):
+// OccSet is a destination-occupancy index: a two-level bitset over [0, n)
+// with deterministic ascending iteration by word-scan find-first-set. The
+// bottom level is the member bitmask; the summary level has one bit per
+// bottom word (bit w set iff words[w] != 0), so Next skips runs of empty
+// words 64 at a time — iteration and termination cost O(members + N/4096)
+// instead of the flat bitset's O(N/64), which at 65,536 destinations was
+// itself a width-proportional per-round term. Engines iterate it to make
+// per-round sweeps O(active destinations):
 //
 //	for j := occ.Next(-1); j >= 0; j = occ.Next(j) { ... }
 //
@@ -13,20 +17,64 @@ import "math/bits"
 // never need to read queue state twice.
 type OccSet struct {
 	words []uint64
+	sum   []uint64 // sum[w>>6] bit (w&63) set iff words[w] != 0
 }
 
 func newOccSet(n int) OccSet {
-	return OccSet{words: make([]uint64, (n+63)>>6)}
+	nw := (n + 63) >> 6
+	return OccSet{words: make([]uint64, nw), sum: make([]uint64, (nw+63)>>6)}
 }
 
+// NewOccSet returns an empty occupancy set over [0, n) for engine-side
+// indexes (mailbox-pending and matched sets) that follow the same
+// O(members) iteration discipline as the fabric's own shard sets.
+func NewOccSet(n int) OccSet { return newOccSet(n) }
+
 // Set marks destination i occupied.
-func (s *OccSet) Set(i int) { s.words[i>>6] |= 1 << (uint(i) & 63) }
+func (s *OccSet) Set(i int) {
+	w := i >> 6
+	s.words[w] |= 1 << (uint(i) & 63)
+	s.sum[w>>6] |= 1 << (uint(w) & 63)
+}
 
 // Clear marks destination i empty.
-func (s *OccSet) Clear(i int) { s.words[i>>6] &^= 1 << (uint(i) & 63) }
+func (s *OccSet) Clear(i int) {
+	w := i >> 6
+	s.words[w] &^= 1 << (uint(i) & 63)
+	if s.words[w] == 0 {
+		s.sum[w>>6] &^= 1 << (uint(w) & 63)
+	}
+}
 
 // Has reports whether destination i is marked occupied.
 func (s *OccSet) Has(i int) bool { return s.words[i>>6]&(1<<(uint(i)&63)) != 0 }
+
+// nextSumWord returns the smallest word index >= from whose summary bit is
+// set in sa (OR sb when non-nil), or -1.
+func nextSumWord(sa, sb []uint64, from int) int {
+	w := from >> 6
+	if w >= len(sa) {
+		return -1
+	}
+	m := sa[w]
+	if sb != nil {
+		m |= sb[w]
+	}
+	m &^= 1<<(uint(from)&63) - 1
+	for {
+		if m != 0 {
+			return w<<6 + bits.TrailingZeros64(m)
+		}
+		w++
+		if w >= len(sa) {
+			return -1
+		}
+		m = sa[w]
+		if sb != nil {
+			m |= sb[w]
+		}
+	}
+}
 
 // Next returns the smallest member strictly greater than after, or -1.
 // Next(-1) starts an ascending scan.
@@ -39,23 +87,26 @@ func (s *OccSet) Next(after int) int {
 	if w >= len(s.words) {
 		return -1
 	}
-	mask := s.words[w] &^ (1<<(uint(i)&63) - 1)
-	for {
-		if mask != 0 {
-			return w<<6 + bits.TrailingZeros64(mask)
-		}
-		w++
-		if w >= len(s.words) {
-			return -1
-		}
-		mask = s.words[w]
+	if mask := s.words[w] &^ (1<<(uint(i)&63) - 1); mask != 0 {
+		return w<<6 + bits.TrailingZeros64(mask)
 	}
+	w = nextSumWord(s.sum, nil, w+1)
+	if w < 0 {
+		return -1
+	}
+	return w<<6 + bits.TrailingZeros64(s.words[w])
 }
+
+// NextUnion returns the smallest index strictly greater than after that
+// is a member of s or b — ascending joint iteration of two sets of one
+// size, at the same O(members + N/4096) cost as Next.
+func (s *OccSet) NextUnion(b *OccSet, after int) int { return nextUnion(s, b, after) }
 
 // nextUnion returns the smallest index strictly greater than after that is
 // a member of a or b (either may be empty/unmaterialized), scanning the OR
-// of the two masks one word at a time. Materialized sets of one node share
-// one size, so a single bound covers the joint scan.
+// of the two summaries and then the OR of the two candidate words.
+// Materialized sets of one node share one size, so a single bound covers
+// the joint scan.
 func nextUnion(a, b *OccSet, after int) int {
 	if b == nil || b.words == nil {
 		return a.Next(after)
@@ -73,15 +124,12 @@ func nextUnion(a, b *OccSet, after int) int {
 	if w >= len(a.words) {
 		return -1
 	}
-	mask := (a.words[w] | b.words[w]) &^ (1<<(uint(i)&63) - 1)
-	for {
-		if mask != 0 {
-			return w<<6 + bits.TrailingZeros64(mask)
-		}
-		w++
-		if w >= len(a.words) {
-			return -1
-		}
-		mask = a.words[w] | b.words[w]
+	if mask := (a.words[w] | b.words[w]) &^ (1<<(uint(i)&63) - 1); mask != 0 {
+		return w<<6 + bits.TrailingZeros64(mask)
 	}
+	w = nextSumWord(a.sum, b.sum, w+1)
+	if w < 0 {
+		return -1
+	}
+	return w<<6 + bits.TrailingZeros64(a.words[w]|b.words[w])
 }

@@ -44,6 +44,11 @@ type Shard struct {
 	// their tag accounting). A completed flow has no live queue segments
 	// or loss records, so recycling is safe.
 	Freed []*flows.Flow
+
+	// relq queues the shard's empty-page release candidates (recorded by
+	// the node take choke points, applied by the core's serial merge —
+	// see Core.mergeRound).
+	relq pageRelq
 }
 
 // Deliver accounts one run of payload bytes arriving at dst: shard

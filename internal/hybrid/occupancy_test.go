@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"testing"
 
+	"negotiator/internal/queue"
 	"negotiator/internal/sim"
 	"negotiator/internal/topo"
 	"negotiator/internal/workload"
@@ -62,8 +63,42 @@ func TestOccupancyInvariant(t *testing.T) {
 			t.Fatal("sparse permutation did not drain")
 		}
 		for i := 16; i < 64; i++ {
-			if e.fab.Nodes[i].Direct != nil || e.fab.Nodes[i].Lanes != nil {
+			if e.fab.Nodes[i].Direct.Materialized() || e.fab.Nodes[i].Lanes.Materialized() {
 				t.Fatalf("idle node %d materialized", i)
+			}
+		}
+	})
+
+	// Page-granularity lazy contract: at 256 ToRs a permutation confined
+	// to the first 16 destinations keeps elephant VOQ and relay pages
+	// outside the active destination range unmaterialized (spray lanes are
+	// indexed by intermediate, so they legitimately span the full width).
+	t.Run("paged-sparse", func(t *testing.T) {
+		top, err := topo.NewParallel(2*queue.PageSize, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, err := New(Config{Topology: top, Seed: 1, CheckInvariants: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		perm, err := workload.NewPermutation(2*queue.PageSize, 16, 1<<18, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e.SetWorkload(perm)
+		e.RunEpochs(30)
+		e.SetWorkload(nil)
+		if !e.Drain(8000) {
+			t.Fatal("paged sparse permutation did not drain")
+		}
+		lastDst := 2*queue.PageSize - 1
+		for i, nd := range e.fab.Nodes {
+			if nd.Direct.PageMaterialized(lastDst) {
+				t.Fatalf("node %d materialized a direct page outside the active range", i)
+			}
+			if nd.Relay.PageMaterialized(lastDst) {
+				t.Fatalf("node %d materialized a relay page outside the active range", i)
 			}
 		}
 	})

@@ -1,6 +1,7 @@
 package hybrid
 
 import (
+	"runtime"
 	"testing"
 
 	"negotiator/internal/sim"
@@ -60,4 +61,27 @@ func BenchmarkEpochSparse4096(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		e.runEpoch()
 	}
+}
+
+// BenchmarkEpochSparse65536 is the paged-slab scale tier: 65,536 ToRs,
+// 256 active elephants. Mice spray lanes span the full width by design,
+// so the hybrid's footprint is dominated by the active sources' lane
+// page tables; the ceiling asserts the paged decoupling holds for the
+// mixed mice/elephant plane as well.
+func BenchmarkEpochSparse65536(b *testing.B) {
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	e := sparseEngine(b, 65536, 256)
+	runtime.ReadMemStats(&after)
+	total := after.TotalAlloc - before.TotalAlloc
+	if total > 2048<<20 {
+		b.Fatalf("65536-ToR sparse setup allocated %d MB, ceiling 2048 MB: per-destination state is width-coupled again", total>>20)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.runEpoch()
+	}
+	// After the loop: ResetTimer discards metrics reported before it.
+	b.ReportMetric(float64(total)/65536, "setup-bytes/ToR")
 }

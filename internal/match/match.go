@@ -122,8 +122,15 @@ type Negotiator struct {
 	grantable [][]int32 // grantable[port] = dsts granting that port (scratch)
 	// candMask is the identityDom candidate bitmask scratch; every use
 	// sets exactly the candidate bits and clears them again after
-	// arbitration, so the mask is all-zero between calls.
+	// arbitration, so the mask is all-zero between calls. candSum is its
+	// summary level (one bit per mask word), letting PickMaskSum skip
+	// empty words 64 at a time — without it the word-scan itself was an
+	// O(N/64) per-arbitration term at 65,536 ToRs. The base matcher's
+	// identity-domain paths maintain both; variants that arbitrate with
+	// plain PickMask may ignore candSum as long as they restore the mask
+	// to all-zero.
 	candMask []uint64
+	candSum  []uint64
 	// domMask is the non-identity counterpart: one candidate bitmask per
 	// port, in that port's DOMAIN-POSITION space (topo.DomainPos), so the
 	// thin-clos grant/accept rings arbitrate by the same Ring.PickMask
@@ -136,6 +143,10 @@ type Negotiator struct {
 	// sweeps into table lookups — no divisions, no interface calls — so
 	// the dense regime pays no more than the old stamp stores did.
 	grp, pos []int32
+	// domWords is the total word count across domMask — the wholesale
+	// zeroing cost, against which clearDomMasks weighs an exact-bits
+	// second request pass.
+	domWords int
 }
 
 // NewNegotiator returns the base matcher for the given topology. rng seeds
@@ -168,8 +179,12 @@ func NewNegotiator(t topo.Topology, rng *sim.RNG) *Negotiator {
 		m.grantable[p] = make([]int32, 0, 8)
 	}
 	m.candMask = make([]uint64, (n+63)>>6)
+	m.candSum = make([]uint64, (len(m.candMask)+63)>>6)
 	if !shared {
 		m.domMask = newDomMask(t)
+		for _, mask := range m.domMask {
+			m.domWords += len(mask)
+		}
 		if tc, ok := t.(*topo.ThinClos); ok {
 			w := tc.W()
 			m.grp = make([]int32, n)
@@ -250,11 +265,12 @@ func (m *Negotiator) Grants(dst int, reqs []Request, emit func(Grant)) {
 		// leaves them.
 		for _, r := range reqs {
 			m.candMask[r.Src>>6] |= 1 << (uint(r.Src) & 63)
+			m.candSum[r.Src>>12] |= 1 << (uint(r.Src>>6) & 63)
 		}
 		ring := m.grantRings[dst][0]
 		s := m.topo.Ports()
 		for port := 0; port < s; port++ {
-			pos := ring.PickMask(m.candMask)
+			pos := ring.PickMaskSum(m.candMask, m.candSum)
 			if pos < 0 {
 				break
 			}
@@ -263,6 +279,7 @@ func (m *Negotiator) Grants(dst int, reqs []Request, emit func(Grant)) {
 		}
 		for _, r := range reqs {
 			m.candMask[r.Src>>6] &^= 1 << (uint(r.Src) & 63)
+			m.candSum[r.Src>>12] &^= 1 << (uint(r.Src>>6) & 63)
 		}
 		return
 	}
@@ -293,7 +310,7 @@ func (m *Negotiator) Grants(dst int, reqs []Request, emit func(Grant)) {
 		ring.Advance(pos)
 		emit(Grant{Dst: dst, Port: port, Src: m.topo.PortDomain(dst, port)[pos]})
 	}
-	m.zeroDomMasks()
+	m.clearDomMasks(dst, reqs)
 }
 
 // zeroDomMasks restores the all-zero between-calls state of the per-port
@@ -302,6 +319,24 @@ func (m *Negotiator) zeroDomMasks() {
 	for _, mask := range m.domMask {
 		for i := range mask {
 			mask[i] = 0
+		}
+	}
+}
+
+// clearDomMasks restores the all-zero state after a Grants arbitration.
+// When the request set is sparse relative to the masks' footprint it
+// clears exactly the bits the request pass set (one more portAndPos
+// sweep); dense request sets keep the wholesale memclr, which is 64x
+// denser per touched bit. Without the sparse path the S·⌈W/64⌉ zeroing
+// was a width-proportional per-call term on wide thin-clos fabrics.
+func (m *Negotiator) clearDomMasks(dst int, reqs []Request) {
+	if 4*len(reqs) >= m.domWords {
+		m.zeroDomMasks()
+		return
+	}
+	for _, r := range reqs {
+		if p, pos := m.portAndPos(dst, r.Src); p >= 0 {
+			m.domMask[p][pos>>6] &^= 1 << (uint(pos) & 63)
 		}
 	}
 }
@@ -327,10 +362,12 @@ func (m *Negotiator) Accepts(src int, view QueueView, grants []Grant, matches []
 			// find-first-set from the per-port ring's pointer.
 			for _, c := range cand {
 				m.candMask[c>>6] |= 1 << (uint(c) & 63)
+				m.candSum[c>>12] |= 1 << (uint(c>>6) & 63)
 			}
-			pos := ring.PickMask(m.candMask)
+			pos := ring.PickMaskSum(m.candMask, m.candSum)
 			for _, c := range cand {
 				m.candMask[c>>6] &^= 1 << (uint(c) & 63)
+				m.candSum[c>>12] &^= 1 << (uint(c>>6) & 63)
 			}
 			if pos < 0 {
 				continue
@@ -358,8 +395,23 @@ func (m *Negotiator) Accepts(src int, view QueueView, grants []Grant, matches []
 			}
 		}
 		pos := ring.PickMask(mask)
-		for i := range mask {
-			mask[i] = 0
+		// Restore the all-zero mask: exact-bits clear for sparse grant
+		// sets, wholesale memclr when dense (see clearDomMasks).
+		if 4*len(cand) >= len(mask) {
+			for i := range mask {
+				mask[i] = 0
+			}
+		} else if m.pos != nil {
+			for _, c := range cand {
+				p := m.pos[c]
+				mask[p>>6] &^= 1 << (uint(p) & 63)
+			}
+		} else {
+			for _, c := range cand {
+				if p := m.topo.DomainPos(src, port, int(c)); p >= 0 {
+					mask[p>>6] &^= 1 << (uint(p) & 63)
+				}
+			}
 		}
 		if pos < 0 {
 			continue

@@ -92,6 +92,56 @@ func (r *Ring) PickMask(mask []uint64) int {
 	return -1
 }
 
+// PickMaskSum is PickMask with a summary level: sum holds one bit per
+// mask word (bit w set iff mask[w] != 0), so the scan skips runs of empty
+// words 64 at a time — O(candidates + words/4096) instead of O(words),
+// which kept wide-but-sparse arbitration width-proportional. Callers
+// maintain sum alongside mask; both must return to all-zero between
+// arbitration rounds.
+func (r *Ring) PickMaskSum(mask, sum []uint64) int {
+	if r.n == 0 {
+		return -1
+	}
+	w := r.ptr >> 6
+	// Upper segment: bits at or after the pointer. The pointer's own word
+	// first (partial), then the summary jumps straight to the next
+	// non-empty word.
+	if m := mask[w] &^ (1<<(uint(r.ptr)&63) - 1); m != 0 {
+		return w<<6 + bits.TrailingZeros64(m)
+	}
+	if i := nextMaskWord(sum, w+1); i >= 0 {
+		return i<<6 + bits.TrailingZeros64(mask[i])
+	}
+	// Wrap-around segment: bits before the pointer.
+	if i := nextMaskWord(sum, 0); i >= 0 && i < w {
+		return i<<6 + bits.TrailingZeros64(mask[i])
+	}
+	if m := mask[w] & (1<<(uint(r.ptr)&63) - 1); m != 0 {
+		return w<<6 + bits.TrailingZeros64(m)
+	}
+	return -1
+}
+
+// nextMaskWord returns the smallest word index >= from whose summary bit
+// is set, or -1.
+func nextMaskWord(sum []uint64, from int) int {
+	w := from >> 6
+	if w >= len(sum) {
+		return -1
+	}
+	m := sum[w] &^ (1<<(uint(from)&63) - 1)
+	for {
+		if m != 0 {
+			return w<<6 + bits.TrailingZeros64(m)
+		}
+		w++
+		if w >= len(sum) {
+			return -1
+		}
+		m = sum[w]
+	}
+}
+
 // Advance moves the pointer to the position after winner, giving winner the
 // lowest priority for the next arbitration.
 func (r *Ring) Advance(winner int) {

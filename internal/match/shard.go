@@ -47,11 +47,13 @@ func (m *Negotiator) scratchClone() *Negotiator {
 		grantable:   make([][]int32, s),
 		candMask:    make([]uint64, (n+63)>>6),
 	}
+	c.candSum = make([]uint64, (len(c.candMask)+63)>>6)
 	for p := range c.grantable {
 		c.grantable[p] = make([]int32, 0, 8)
 	}
 	if !m.identityDom {
 		c.domMask = newDomMask(m.topo)
+		c.domWords = m.domWords
 		c.grp, c.pos = m.grp, m.pos // read-only tables, shared
 	}
 	return c

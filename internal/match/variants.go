@@ -299,7 +299,10 @@ func (m *Stateful) Grants(dst int, reqs []Request, emit func(Grant)) {
 		}
 		emit(Grant{Dst: dst, Port: port, Src: src})
 	}
-	m.zeroDomMasks()
+	// Exact-bits clear for sparse request sets (clearing a never-set bit
+	// is a no-op, so requests whose matrix row stayed non-positive are
+	// harmless); wholesale when dense.
+	m.clearDomMasks(dst, reqs)
 }
 
 // Feedback reverts the temporary matrix decrement of rejected grants and

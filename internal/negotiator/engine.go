@@ -421,6 +421,13 @@ func (e *Engine) initHotPath() {
 			sh.reqOut[r] = make([]match.Request, 0, (fs.Hi-fs.Lo)+1)
 			sh.grantOut[r] = make([]match.Grant, 0, (fs.Hi-fs.Lo)+1)
 		}
+		sh.reqPend = make([]fabric.OccSet, e.stageLag)
+		sh.grantPend = make([]fabric.OccSet, e.stageLag)
+		for g := 0; g < e.stageLag; g++ {
+			sh.reqPend[g] = fabric.NewOccSet(fs.Hi - fs.Lo)
+			sh.grantPend[g] = fabric.NewOccSet(fs.Hi - fs.Lo)
+		}
+		sh.matched = fabric.NewOccSet(fs.Hi - fs.Lo)
 		sh.initEmitters()
 		e.shards[k] = sh
 	}
@@ -642,6 +649,26 @@ func (e *Engine) checkInvariants() {
 			rx[key] = int32(i)
 			if !e.top.CanReach(i, p, int(dj)) {
 				panic(fmt.Sprintf("negotiator: unreachable match %d-(%d)->%d", i, p, dj))
+			}
+		}
+	}
+	// The shard occupancy indexes must mirror their shadow state exactly:
+	// the phase walks trust them to visit every ToR with pending mail or
+	// a live match row, so a stale bit either repeats work or silently
+	// strands a mailbox.
+	for _, sh := range e.shards {
+		for i := sh.lo; i < sh.hi; i++ {
+			t := e.tors[i]
+			if sh.matched.Has(i-sh.lo) != t.hasMatches {
+				panic(fmt.Sprintf("negotiator: shard %d matched[%d] = %v, hasMatches = %v", sh.k, i, sh.matched.Has(i-sh.lo), t.hasMatches))
+			}
+			for g := 0; g < e.stageLag; g++ {
+				if sh.reqPend[g].Has(i-sh.lo) != (len(t.reqIn[g]) > 0) {
+					panic(fmt.Sprintf("negotiator: shard %d reqPend[%d][%d] = %v, mailbox holds %d", sh.k, g, i, sh.reqPend[g].Has(i-sh.lo), len(t.reqIn[g])))
+				}
+				if sh.grantPend[g].Has(i-sh.lo) != (len(t.grantIn[g]) > 0) {
+					panic(fmt.Sprintf("negotiator: shard %d grantPend[%d][%d] = %v, mailbox holds %d", sh.k, g, i, sh.grantPend[g].Has(i-sh.lo), len(t.grantIn[g])))
+				}
 			}
 		}
 	}

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"negotiator/internal/failure"
+	"negotiator/internal/queue"
 	"negotiator/internal/sim"
 	"negotiator/internal/topo"
 	"negotiator/internal/workload"
@@ -108,10 +109,50 @@ func TestOccupancyInvariant(t *testing.T) {
 				t.Fatal("sparse permutation did not drain")
 			}
 			for i := 16; i < 64; i++ {
-				if e.fab.Nodes[i].Direct != nil {
+				if e.fab.Nodes[i].Direct.Materialized() {
 					t.Fatalf("idle node %d materialized", i)
 				}
 			}
 		})
 	}
+
+	// Page-granularity lazy contract: at 256 ToRs the direct slab spans
+	// two pages, and a permutation confined to the first 16 destinations
+	// must materialize page 0 only. Every per-round CheckOccupancy pass
+	// also asserts page counters match queue contents and absent pages
+	// carry no shadow or occupancy residue.
+	t.Run("paged-sparse", func(t *testing.T) {
+		top, err := topo.NewParallel(2*queue.PageSize, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, err := New(Config{
+			Topology:        top,
+			Piggyback:       true,
+			PriorityQueues:  true,
+			Seed:            1,
+			CheckInvariants: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		perm, err := workload.NewPermutation(2*queue.PageSize, 16, 1<<20, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e.SetWorkload(perm)
+		e.RunEpochs(30)
+		e.SetWorkload(nil)
+		if !e.Drain(8000) {
+			t.Fatal("paged sparse permutation did not drain")
+		}
+		for i, nd := range e.fab.Nodes {
+			if i >= 16 && nd.Direct.Materialized() {
+				t.Fatalf("idle node %d materialized", i)
+			}
+			if nd.Direct.PageMaterialized(2*queue.PageSize - 1) {
+				t.Fatalf("node %d materialized a direct page outside the active range", i)
+			}
+		}
+	})
 }

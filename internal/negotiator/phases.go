@@ -48,10 +48,7 @@ func (v *torView) NextDemand(after int) int {
 
 func (v *torView) WeightedHoL(dst int, alpha float64) float64 {
 	nd := v.e.fab.Nodes[v.i]
-	if nd.Direct == nil {
-		return 0
-	}
-	return nd.Direct[dst].WeightedHoL(v.e.fab.Now(), alpha)
+	return nd.DirectWeightedHoL(dst, v.e.fab.Now(), alpha)
 }
 
 func (v *torView) CumInjected(dst int) int64 {

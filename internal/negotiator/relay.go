@@ -94,7 +94,7 @@ func (e *Engine) planRelay() {
 				continue
 			}
 			r.groupBuf[r.tc.PathPort(i, j)] += nd.QueuedBytes[j]
-			if nd.Direct[j].LowestPriorityBytes() > r.cfg.MinBytes {
+			if nd.DirectLowestPriorityBytes(j) > r.cfg.MinBytes {
 				heavy = true
 			}
 		}
@@ -104,7 +104,7 @@ func (e *Engine) planRelay() {
 		rot := r.rotate[i]
 		r.rotate[i]++
 		for j := nd.DirectOcc.Next(-1); j >= 0; j = nd.DirectOcc.Next(j) {
-			if j == i || nd.Direct[j].LowestPriorityBytes() <= r.cfg.MinBytes {
+			if j == i || nd.DirectLowestPriorityBytes(j) <= r.cfg.MinBytes {
 				continue
 			}
 			// Find an intermediate k for the elephant i -> j.

@@ -65,6 +65,17 @@ type engineShard struct {
 	reqOut   [][]match.Request
 	grantOut [][]match.Grant
 
+	// Occupancy indexes over this shard's ToR range (bit i-lo), the
+	// engine-side analogue of the fabric shard's active sets: reqPend[g]
+	// and grantPend[g] mark ToRs whose generation-g mailbox is non-empty
+	// (set by mergeStep, cleared when phases A/B consume the slot), and
+	// matched mirrors tor.hasMatches. Each phase walks only members, so a
+	// quiet epoch costs O(active + range/4096) instead of a dense O(range)
+	// sweep per phase — the last width-proportional per-round term.
+	reqPend   []fabric.OccSet
+	grantPend []fabric.OccSet
+	matched   fabric.OccSet
+
 	reqScratch []match.Request // batch path: this shard's request snapshot
 
 	// Transmission emitter state shared by the prebuilt closures below.
@@ -192,21 +203,25 @@ func (sh *engineShard) slotArrival() sim.Time {
 func (sh *engineShard) acceptStep() {
 	e := sh.e
 	prev := e.curGen
-	for i := sh.lo; i < sh.hi; i++ {
+	// Expire last epoch's matches first: the rows of ToRs with no grants
+	// this epoch must read all -1, and Accepts rewrites its row in full,
+	// so a ToR in both sets just pays one redundant O(S) clear. Expiry
+	// touches no matcher state, so hoisting it out of the grant walk
+	// cannot reorder anything the matcher observes.
+	for bit := sh.matched.Next(-1); bit >= 0; bit = sh.matched.Next(bit) {
+		t := e.tors[sh.lo+bit]
+		for p := range t.matches {
+			t.matches[p] = -1
+		}
+		t.hasMatches = false
+		sh.matched.Clear(bit)
+	}
+	pend := &sh.grantPend[prev]
+	for bit := pend.Next(-1); bit >= 0; bit = pend.Next(bit) {
+		pend.Clear(bit)
+		i := sh.lo + bit
 		t := e.tors[i]
 		in := t.grantIn[prev]
-		if len(in) == 0 {
-			// No grants this epoch: the match row must read all -1, but
-			// it already does unless last epoch matched — clear lazily on
-			// the flag, so an idle ToR costs O(1), not O(S).
-			if t.hasMatches {
-				for p := range t.matches {
-					t.matches[p] = -1
-				}
-				t.hasMatches = false
-			}
-			continue
-		}
 		sh.matcher.Accepts(i, &e.views[i], in, t.matches, sh.feedbackFn)
 		sh.inflight -= int64(len(in))
 		t.grantIn[prev] = in[:0]
@@ -218,14 +233,18 @@ func (sh *engineShard) acceptStep() {
 			}
 		}
 		t.hasMatches = any
+		if any {
+			sh.matched.Set(bit)
+		}
 	}
-	// Known failures exclude links from transmission at use time.
+	// Known failures exclude links from transmission at use time. The
+	// flag (and matched bit) stays up even when the filter empties a row
+	// — the scheduled phase's port walk just finds nothing, exactly as
+	// the dense sweep behaved.
 	if e.known != nil && e.known.Count > 0 {
-		for i := sh.lo; i < sh.hi; i++ {
+		for bit := sh.matched.Next(-1); bit >= 0; bit = sh.matched.Next(bit) {
+			i := sh.lo + bit
 			t := e.tors[i]
-			if !t.hasMatches {
-				continue
-			}
 			for p, dj := range t.matches {
 				if dj >= 0 && !e.known.PathOK(i, int(dj), p) {
 					t.matches[p] = -1
@@ -242,12 +261,12 @@ func (sh *engineShard) acceptStep() {
 func (sh *engineShard) emitStep() {
 	e := sh.e
 	prev := e.curGen
-	for j := sh.lo; j < sh.hi; j++ {
+	pend := &sh.reqPend[prev]
+	for bit := pend.Next(-1); bit >= 0; bit = pend.Next(bit) {
+		pend.Clear(bit)
+		j := sh.lo + bit
 		t := e.tors[j]
 		in := t.reqIn[prev]
-		if len(in) == 0 {
-			continue
-		}
 		sh.matcher.Grants(j, in, sh.grantEmit)
 		sh.inflight -= int64(len(in))
 		t.reqIn[prev] = in[:0]
@@ -379,6 +398,7 @@ func (sh *engineShard) mergeStep() {
 		for _, g := range gout {
 			t := e.tors[g.Src]
 			t.grantIn[cur] = append(t.grantIn[cur], g)
+			sh.grantPend[cur].Set(int(g.Src) - sh.lo)
 		}
 		sh.inflight += int64(len(gout))
 		src.grantOut[sh.k] = gout[:0]
@@ -386,6 +406,7 @@ func (sh *engineShard) mergeStep() {
 		for _, r := range rout {
 			t := e.tors[r.Dst]
 			t.reqIn[cur] = append(t.reqIn[cur], r)
+			sh.reqPend[cur].Set(int(r.Dst) - sh.lo)
 		}
 		sh.inflight += int64(len(rout))
 		src.reqOut[sh.k] = rout[:0]
@@ -410,45 +431,49 @@ func (sh *engineShard) mergeTransmitStep() {
 // Requests step runs on the shard handles).
 //
 // Only the slot's TOUCHED rows (the sources Match granted; everything
-// else is all -1) are copied and reset, merge-joining the sorted touched
-// list against this shard's ascending range — O(range + touched·S), with
-// the lazy hasMatches clear covering ToRs matched last epoch but not now.
+// else is all -1) are copied and reset — O((matched + touched)·S): last
+// epoch's matched rows are expired first (per-ToR state only, so the two
+// walks need no interleaving), then the slot's touched rows overwrite in
+// full. ToRs in both just pay one redundant O(S) clear; nothing visits
+// the idle remainder of the range.
 func (sh *engineShard) batchPrepStep() {
 	e := sh.e
 	depth := len(e.future)
 	slot := int(e.fab.Rounds()) % depth
+	for bit := sh.matched.Next(-1); bit >= 0; bit = sh.matched.Next(bit) {
+		t := e.tors[sh.lo+bit]
+		for p := range t.matches {
+			t.matches[p] = -1
+		}
+		t.hasMatches = false
+		sh.matched.Clear(bit)
+	}
 	touched := e.futureTouched[slot]
 	ti, _ := slices.BinarySearch(touched, int32(sh.lo))
-	for i := sh.lo; i < sh.hi; i++ {
+	for ; ti < len(touched) && int(touched[ti]) < sh.hi; ti++ {
+		i := int(touched[ti])
 		t := e.tors[i]
-		if ti < len(touched) && int(touched[ti]) == i {
-			ti++
-			row := e.future[slot][i]
-			copy(t.matches, row)
-			for p := range row {
-				row[p] = -1
+		row := e.future[slot][i]
+		copy(t.matches, row)
+		for p := range row {
+			row[p] = -1
+		}
+		any := false
+		for _, d := range t.matches {
+			if d >= 0 {
+				any = true
+				break
 			}
-			any := false
-			for _, d := range t.matches {
-				if d >= 0 {
-					any = true
-					break
-				}
-			}
-			t.hasMatches = any
-		} else if t.hasMatches {
-			for p := range t.matches {
-				t.matches[p] = -1
-			}
-			t.hasMatches = false
+		}
+		t.hasMatches = any
+		if any {
+			sh.matched.Set(i - sh.lo)
 		}
 	}
 	if e.known != nil && e.known.Count > 0 {
-		for i := sh.lo; i < sh.hi; i++ {
+		for bit := sh.matched.Next(-1); bit >= 0; bit = sh.matched.Next(bit) {
+			i := sh.lo + bit
 			t := e.tors[i]
-			if !t.hasMatches {
-				continue
-			}
 			for p, dj := range t.matches {
 				if dj >= 0 && !e.known.PathOK(i, int(dj), p) {
 					t.matches[p] = -1
@@ -472,14 +497,20 @@ func (sh *engineShard) predefinedPhase(epochStart sim.Time) {
 	}
 	rot := e.rotation(e.fab.Rounds())
 	slotDur := e.timing.PredefinedSlot
-	for i := sh.lo; i < sh.hi; i++ {
+	// A source transmits here only if it holds direct or relay bytes, so
+	// the walk follows the fabric shard's node-level active sets — the
+	// drains below clear a set bit only at the current position, which an
+	// ascending Next never revisits.
+	ad, ar := &sh.fs.ActiveDirect, &sh.fs.ActiveRelay
+	for bit := ad.NextUnion(ar, -1); bit >= 0; bit = ad.NextUnion(ar, bit) {
+		i := sh.lo + bit
 		nd := e.fab.Nodes[i]
 		for j := nd.NextDirectOrRelay(-1); j >= 0; j = nd.NextDirectOrRelay(j) {
 			if j == i {
 				continue
 			}
 			hasDirect := nd.DirectQueuedBytes(j) > 0
-			hasRelay := nd.Relay != nil && nd.Relay[j].HeadReady(epochStart)
+			hasRelay := nd.RelayHeadReady(j, epochStart)
 			if !hasDirect && !hasRelay {
 				continue
 			}
@@ -512,11 +543,11 @@ func (sh *engineShard) scheduledPhase(epochStart sim.Time) {
 	e := sh.e
 	phaseStart := epochStart.Add(e.timing.PredefinedLen(e.predefSlots))
 	capacity := e.payload * int64(e.timing.ScheduledSlots)
-	for i := sh.lo; i < sh.hi; i++ {
+	// matched mirrors tor.hasMatches, so only ToRs holding a live match
+	// row pay the O(S) port walk — the epoch's last dense range sweep.
+	for bit := sh.matched.Next(-1); bit >= 0; bit = sh.matched.Next(bit) {
+		i := sh.lo + bit
 		t := e.tors[i]
-		if !t.hasMatches {
-			continue // all ports unmatched: skip the O(S) port walk
-		}
 		nd := e.fab.Nodes[i]
 		for p, dj := range t.matches {
 			if dj < 0 {
@@ -528,7 +559,7 @@ func (sh *engineShard) scheduledPhase(epochStart sim.Time) {
 			sh.txPos = 0
 			sh.txPhaseStart = phaseStart
 			sent := nd.TakeDirect(j, capacity, sh.schedEmit)
-			if nd.Relay != nil && sent < capacity {
+			if nd.Relay.Materialized() && sent < capacity {
 				// Second hop: forward data relayed through us that has
 				// physically arrived by the start of this epoch.
 				sent += nd.DrainRelay(j, capacity-sent, epochStart, sh.schedEmit)

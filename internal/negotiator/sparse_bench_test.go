@@ -101,3 +101,28 @@ func BenchmarkEpochSparse8192(b *testing.B) {
 	// After the loop: ResetTimer discards metrics reported before it.
 	b.ReportMetric(float64(total)/8192, "setup-bytes/ToR")
 }
+
+// BenchmarkEpochSparse65536 is the scale tier paged destination slabs
+// open: 65,536 ToRs, 256 active. Before paging, each touched node's
+// N-wide queue slab put this size out of reach; paged, an active source
+// pays its dense shadow tables plus the two pages its contiguous active
+// set occupies. The ceiling is a hard assertion with the same role as
+// the 8192 tier's: fail fast if per-destination memory is width-coupled
+// again.
+func BenchmarkEpochSparse65536(b *testing.B) {
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	e := sparseEngine(b, 65536, 256, 1)
+	runtime.ReadMemStats(&after)
+	total := after.TotalAlloc - before.TotalAlloc
+	if total > 2048<<20 {
+		b.Fatalf("65536-ToR sparse setup allocated %d MB, ceiling 2048 MB: per-destination state is width-coupled again", total>>20)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.runEpoch()
+	}
+	// After the loop: ResetTimer discards metrics reported before it.
+	b.ReportMetric(float64(total)/65536, "setup-bytes/ToR")
+}

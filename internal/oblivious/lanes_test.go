@@ -22,9 +22,9 @@ func TestSprayUniformity(t *testing.T) {
 	e.inject(0)
 	var total int64
 	counts := make([]int64, e.n)
-	for k, lane := range src.Lanes {
-		counts[k] = lane.Bytes()
-		total += lane.Bytes()
+	for k := 0; k < e.n; k++ {
+		counts[k] = src.Lanes.Bytes(k)
+		total += counts[k]
 	}
 	if total != 4<<20 {
 		t.Fatalf("lanes hold %d of %d", total, 4<<20)
@@ -136,8 +136,8 @@ func TestChunkGranularityConfigurable(t *testing.T) {
 	e.SetWorkload(workload.NewSinglePair(2, 9, 10*615*4, 0))
 	e.inject(0)
 	lanes1 := 0
-	for _, lane := range e.fab.Nodes[2].Lanes {
-		if !lane.Empty() {
+	for k := 0; k < e.n; k++ {
+		if e.fab.Nodes[2].Lanes.Bytes(k) > 0 {
 			lanes1++
 		}
 	}

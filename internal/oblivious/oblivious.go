@@ -563,7 +563,7 @@ func (sh *obShard) drainStep() {
 			if e.known != nil && e.known.Count > 0 && !e.known.PathOK(i, j, s) {
 				continue
 			}
-			if !src.Relay[j].HeadReady(e.slotStart) {
+			if !src.RelayHeadReady(j, e.slotStart) {
 				continue
 			}
 			sh.txDst = j
@@ -608,7 +608,7 @@ func (sh *obShard) serveStep() {
 			}
 			sh.txNode = src
 			sh.txLost = e.actual != nil && e.actual.Count > 0 && !e.actual.PathOK(i, j, s)
-			if src.Lanes != nil {
+			if src.Lanes.Materialized() {
 				sh.serveLanes(src, i, j)
 			} else {
 				sh.serve(src, i, j)
@@ -626,7 +626,7 @@ func (sh *obShard) serveStep() {
 // caps the oblivious design's goodput under heavy load (paper §2).
 func (sh *obShard) serveLanes(src *fabric.Node, i, j int) {
 	e := sh.e
-	d := src.Lanes[j].HeadDst()
+	d := src.LaneHeadDst(j)
 	if d < 0 {
 		return // idle slot
 	}

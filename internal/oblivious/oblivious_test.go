@@ -148,9 +148,9 @@ func TestRelayCapBackpressure(t *testing.T) {
 	// by up to one cell per port.
 	slack := int64(e.s) * e.cell
 	for i, nd := range e.fab.Nodes {
-		for d, voq := range nd.Relay {
-			if voq.Bytes() > cfg.RelayCap+slack {
-				t.Fatalf("tor %d VOQ[%d] backlog %d exceeds cap %d", i, d, voq.Bytes(), cfg.RelayCap)
+		for d := 0; d < e.n; d++ {
+			if b := nd.Relay.Bytes(d); b > cfg.RelayCap+slack {
+				t.Fatalf("tor %d VOQ[%d] backlog %d exceeds cap %d", i, d, b, cfg.RelayCap)
 			}
 		}
 	}

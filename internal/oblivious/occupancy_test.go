@@ -4,7 +4,9 @@ import (
 	"fmt"
 	"testing"
 
+	"negotiator/internal/queue"
 	"negotiator/internal/sim"
+	"negotiator/internal/topo"
 	"negotiator/internal/workload"
 )
 
@@ -62,8 +64,52 @@ func TestOccupancyInvariant(t *testing.T) {
 			t.Fatal("sparse permutation did not drain")
 		}
 		for i := 4; i < 16; i++ {
-			if e.fab.Nodes[i].Direct != nil {
+			if e.fab.Nodes[i].Direct.Materialized() {
 				t.Fatalf("idle source %d materialized a direct slab", i)
+			}
+		}
+	})
+
+	// Page-granularity lazy contract: at 256 ToRs the slabs span two
+	// pages, and a permutation confined to the first 16 destinations must
+	// keep direct VOQ and relay pages outside the active range
+	// unmaterialized on every node — spray pushes relay data into all
+	// intermediates, but only for active destinations. Lanes are indexed
+	// by intermediate, so they legitimately span the full width.
+	t.Run("paged-sparse", func(t *testing.T) {
+		top, err := topo.NewParallel(2*queue.PageSize, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := Config{
+			Topology:            top,
+			HostRate:            sim.Gbps(200),
+			PriorityQueues:      true,
+			Seed:                1,
+			CheckInvariants:     true,
+			OpportunisticDirect: true,
+		}
+		perm, err := workload.NewPermutation(2*queue.PageSize, 16, 1<<18, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e.SetWorkload(perm)
+		e.Run(200 * sim.Microsecond)
+		e.SetWorkload(nil)
+		if !e.Drain(60000) {
+			t.Fatal("paged sparse permutation did not drain")
+		}
+		lastDst := 2*queue.PageSize - 1
+		for i, nd := range e.fab.Nodes {
+			if nd.Direct.PageMaterialized(lastDst) {
+				t.Fatalf("node %d materialized a direct page outside the active range", i)
+			}
+			if nd.Relay.PageMaterialized(lastDst) {
+				t.Fatalf("node %d materialized a relay page outside the active range", i)
 			}
 		}
 	})

@@ -96,3 +96,30 @@ func BenchmarkSlotSparse8192(b *testing.B) {
 	// After the loop: ResetTimer discards metrics reported before it.
 	b.ReportMetric(float64(total)/8192, "setup-bytes/ToR")
 }
+
+// BenchmarkSlotSparse65536 is the scale tier paged destination slabs
+// open: 65,536 ToRs, 256 active sources. Spray traffic still reaches
+// every intermediate, but each one now materializes a relay page table
+// (N/128 pointers) plus only the pages covering the ~256 active
+// destinations — ~20 KB instead of the ~350 KB an N-wide relay slab
+// would cost here (~22 GB fabric-wide, which made this tier
+// unreachable). The 4 GB ceiling is a hard assertion: it locks the
+// paged floor and fails fast if relay memory becomes width-proportional
+// again.
+func BenchmarkSlotSparse65536(b *testing.B) {
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	e := sparseEngine(b, 65536, 256)
+	runtime.ReadMemStats(&after)
+	total := after.TotalAlloc - before.TotalAlloc
+	if total > 4096<<20 {
+		b.Fatalf("65536-ToR sparse setup allocated %d MB, ceiling 4096 MB: relay memory is width-proportional again", total>>20)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.runSlot()
+	}
+	// After the loop: ResetTimer discards metrics reported before it.
+	b.ReportMetric(float64(total)/65536, "setup-bytes/ToR")
+}

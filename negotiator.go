@@ -369,6 +369,13 @@ func (s Spec) plane() ControlPlaneKind {
 
 // Build constructs the fabric described by the spec.
 func (s Spec) Build() (Fabric, error) {
+	if s.Workers > s.ToRs {
+		// Shards are contiguous ToR ranges and every worker must own at
+		// least one: reject the oversubscription here, where the caller
+		// chose both numbers, instead of silently clamping or letting an
+		// empty shard surface mid-run.
+		return nil, fmt.Errorf("negotiator: Spec.Workers (%d) exceeds ToRs (%d): each worker shards a non-empty contiguous ToR range; lower Workers (or pass 0 for sequential)", s.Workers, s.ToRs)
+	}
 	top, err := s.buildTopology()
 	if err != nil {
 		return nil, err

@@ -88,6 +88,18 @@ func TestBuildValidation(t *testing.T) {
 	if _, err := spec.Build(); err == nil {
 		t.Error("failure plan with both Fraction and Links accepted")
 	}
+	// Shards are contiguous ToR ranges: more workers than ToRs would leave
+	// empty shards, so Build rejects strictly; one worker per ToR is the
+	// accepted maximum.
+	spec = negotiator.SmallSpec()
+	spec.Workers = spec.ToRs + 1
+	if _, err := spec.Build(); err == nil {
+		t.Error("Workers > ToRs accepted")
+	}
+	spec.Workers = spec.ToRs
+	if _, err := spec.Build(); err != nil {
+		t.Errorf("Workers == ToRs rejected: %v", err)
+	}
 }
 
 func TestAllSchedulersBuildAndRun(t *testing.T) {
