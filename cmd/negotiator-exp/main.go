@@ -9,6 +9,18 @@
 //	negotiator-exp -exp table2 -duration 30ms   # the paper's full duration
 //	negotiator-exp -exp all -parallel 8         # 8 simulation cells at once
 //	negotiator-exp -exp scale-sweep -workers 8  # 8 ToR shards inside each run
+//	negotiator-exp -exp all -state-dir sweep.state          # durable: cells persist as they finish
+//	negotiator-exp -exp all -state-dir sweep.state -resume  # after a crash: only unfinished cells run
+//	negotiator-exp -exp all -cell-timeout 10m   # quarantine runaway cells instead of hanging
+//
+// With -state-dir each completed cell's output is persisted (with a
+// manifest recording its hash) the moment it finishes; killing the process
+// at any point loses at most the cells in flight. -resume verifies the
+// state dir belongs to the same sweep (experiment, duration, size, seed),
+// salvages the finished cells, runs the rest, and emits a byte-identical
+// stream to an uninterrupted run. Quarantined cells (panics or -cell-timeout
+// overruns) are marked in the output and summarized at exit (status 1)
+// instead of aborting the sweep; -resume retries exactly those.
 //
 // Two levels of parallelism compose: each experiment decomposes into
 // independent (system, load, seed) cells executed by a bounded worker
@@ -22,6 +34,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -42,8 +55,20 @@ func main() {
 		seed     = flag.Int64("seed", 0, "seed offset")
 		parallel = flag.Int("parallel", 0, "max concurrent simulation cells (0 = GOMAXPROCS, 1 = sequential)")
 		workers  = flag.Int("workers", 0, "ToR shards per simulation (intra-run parallelism; 0 = auto: sequential for paper experiments, GOMAXPROCS for scale-sweep). Results are identical at any value")
+		stateDir = flag.String("state-dir", "", "persist completed cells here so a crashed sweep can be resumed with -resume")
+		resume   = flag.Bool("resume", false, "skip cells already completed by a previous -state-dir run; output stays byte-identical to an uninterrupted run")
+		cellTime = flag.Duration("cell-timeout", 0, "wall-clock budget per simulation cell; a cell exceeding it is retried once, then quarantined (0 = no limit)")
 	)
 	flag.Parse()
+
+	if *resume && *stateDir == "" {
+		fmt.Fprintln(os.Stderr, "negotiator-exp: -resume requires -state-dir (there is nothing to resume from)")
+		os.Exit(2)
+	}
+	if *cellTime < 0 {
+		fmt.Fprintf(os.Stderr, "negotiator-exp: -cell-timeout must be >= 0, got %v\n", *cellTime)
+		os.Exit(2)
+	}
 
 	if *list {
 		for _, e := range exp.All() {
@@ -57,12 +82,15 @@ func main() {
 	}
 
 	o := exp.Options{
-		Duration: sim.Duration(duration.Nanoseconds()),
-		ToRs:     *tors,
-		Quick:    *quick,
-		Seed:     *seed,
-		Parallel: *parallel,
-		Workers:  *workers,
+		Duration:    sim.Duration(duration.Nanoseconds()),
+		ToRs:        *tors,
+		Quick:       *quick,
+		Seed:        *seed,
+		Parallel:    *parallel,
+		Workers:     *workers,
+		StateDir:    *stateDir,
+		Resume:      *resume,
+		CellTimeout: *cellTime,
 	}
 	if *quick && o.Duration == 0 {
 		o.Duration = 2 * sim.Millisecond
@@ -90,10 +118,23 @@ func main() {
 		}
 	}
 	total := time.Now()
+	var casualties []string
 	for _, e := range todo {
 		fmt.Printf("== %s: %s ==\n", e.ID, e.Title)
 		start := time.Now()
-		if err := e.Run(o, os.Stdout); err != nil {
+		eo := o
+		eo.StateID = e.ID // keep each experiment's cells apart in the state dir
+		err := e.Run(eo, os.Stdout)
+		var cas *exp.CasualtyError
+		switch {
+		case errors.As(err, &cas):
+			// Quarantined cells (panics, timeouts): the rest of the sweep
+			// completed and is on disk/stdout, so keep going and report the
+			// casualties at the end. A -resume run retries exactly these.
+			for _, c := range cas.Cells {
+				casualties = append(casualties, fmt.Sprintf("%s cell %d: %v", e.ID, c.Key, firstLine(c.Err)))
+			}
+		case err != nil:
 			fmt.Fprintf(os.Stderr, "negotiator-exp: %s: %v\n", e.ID, err)
 			os.Exit(1)
 		}
@@ -103,4 +144,23 @@ func main() {
 		fmt.Printf("== total: %d experiments in %s wall time (parallel=%d) ==\n",
 			len(todo), time.Since(total).Round(time.Millisecond), exp.EffectiveParallelism(*parallel))
 	}
+	if len(casualties) > 0 {
+		fmt.Fprintf(os.Stderr, "negotiator-exp: %d cell(s) quarantined:\n", len(casualties))
+		for _, c := range casualties {
+			fmt.Fprintf(os.Stderr, "  %s\n", c)
+		}
+		if *stateDir != "" {
+			fmt.Fprintln(os.Stderr, "rerun with -resume to retry only the failed cells")
+		}
+		os.Exit(1)
+	}
+}
+
+// firstLine trims a multi-line error (panic stacks) for the summary list.
+func firstLine(err error) string {
+	s := err.Error()
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		s = s[:i] + " ..."
+	}
+	return s
 }

@@ -13,6 +13,13 @@
 //	negotiator-sim -engine hybrid -fail-scenario tor-down -fail-tor 3 -fail-at 100us -fail-recover 400us
 //	negotiator-sim -runs 8 -parallel 4   # 8 seed replicates, 4 at a time
 //	negotiator-sim -tors 512 -workers 0  # one big run, sharded over all cores
+//	negotiator-sim -duration 30ms -checkpoint-every 500 -checkpoint-dir ck   # rolling checkpoint
+//	negotiator-sim -duration 30ms -restore ck/checkpoint.negosnap            # resume after a crash
+//
+// A checkpoint is a resume token, not an archive: -restore must be given
+// the same binary, the same configuration flags, and the same workload
+// parameters as the run that wrote it, and then reproduces the
+// uninterrupted run's output byte for byte.
 //
 // With -runs N the same configuration is executed for seeds seed..seed+N-1
 // as independent cells on a bounded worker pool (see -parallel); the
@@ -26,6 +33,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
@@ -62,44 +70,60 @@ var traceNames = []struct {
 
 func main() {
 	var (
-		tors       = flag.Int("tors", 128, "number of ToRs")
-		ports      = flag.Int("ports", 8, "uplink ports per ToR")
-		awgr       = flag.Int("awgr", 16, "thin-clos AWGR port count W (ToRs must equal ports*W)")
-		topology   = flag.String("topology", "parallel", "parallel | thin-clos")
-		engine     = flag.String("engine", "negotiator", "control plane: negotiator | oblivious | hybrid (see -list)")
-		oblivious  = flag.Bool("oblivious", false, "deprecated alias for -engine oblivious")
-		scheduler  = flag.String("scheduler", "matching", "NegotiaToR scheduling policy (see -list)")
-		trace      = flag.String("trace", "hadoop", "hadoop | websearch | google")
-		load       = flag.Float64("load", 0.5, "network load L = F/(R*N*tau)")
-		duration   = flag.Duration("duration", 6*time.Millisecond, "simulated duration")
-		linkGbps   = flag.Int64("link-gbps", 100, "per-port line rate (Gbps)")
-		hostGbps   = flag.Int64("host-gbps", 400, "per-ToR host aggregate (Gbps)")
-		reconfig   = flag.Duration("reconfig", 10*time.Nanosecond, "reconfiguration delay / guardband")
-		schedLen   = flag.Int("sched-slots", 30, "scheduled phase length in timeslots")
-		noPB       = flag.Bool("no-pb", false, "disable data piggybacking")
-		noPQ       = flag.Bool("no-pq", false, "disable priority queues")
-		relay      = flag.Bool("relay", false, "enable traffic-aware selective relay (thin-clos)")
-		failScen   = flag.String("fail-scenario", "", "failure scenario: random | flapping | port-group | tor-down (empty = no failures unless -fail-frac is set)")
-		failFrac   = flag.Float64("fail-frac", 0, "fraction of directed port-links to fail (random, flapping)")
-		failAt     = flag.Duration("fail-at", 0, "when links go down (flapping: first cycle start)")
-		failRec    = flag.Duration("fail-recover", 0, "when links come back (<= -fail-at means never)")
-		failDetect = flag.Duration("fail-detect", 0, "failure detection lag (0 = three epochs at default timing)")
-		failPeriod = flag.Duration("fail-period", 0, "flapping cycle period (required for -fail-scenario flapping)")
-		failDown   = flag.Duration("fail-down", 0, "flapping downtime per cycle (0 = half the period)")
-		failCycles = flag.Int("fail-cycles", 0, "flapping cycle count (0 = 8)")
-		failPort   = flag.Int("fail-port", 0, "AWGR port index to kill on every ToR (port-group)")
-		failToR    = flag.Int("fail-tor", 0, "ToR index to power down (tor-down)")
-		seed       = flag.Int64("seed", 1, "random seed")
-		runs       = flag.Int("runs", 1, "number of seed replicates (seeds seed..seed+runs-1)")
-		parallel   = flag.Int("parallel", 0, "max concurrent runs (0 = GOMAXPROCS, 1 = sequential)")
-		workers    = flag.Int("workers", 1, "ToR shards per run (intra-run parallelism; 0 = GOMAXPROCS, 1 = sequential). Results are identical at any value")
-		list       = flag.Bool("list", false, "list engines, schedulers, topologies and traces, then exit")
+		tors        = flag.Int("tors", 128, "number of ToRs")
+		ports       = flag.Int("ports", 8, "uplink ports per ToR")
+		awgr        = flag.Int("awgr", 16, "thin-clos AWGR port count W (ToRs must equal ports*W)")
+		topology    = flag.String("topology", "parallel", "parallel | thin-clos")
+		engine      = flag.String("engine", "negotiator", "control plane: negotiator | oblivious | hybrid (see -list)")
+		oblivious   = flag.Bool("oblivious", false, "deprecated alias for -engine oblivious")
+		scheduler   = flag.String("scheduler", "matching", "NegotiaToR scheduling policy (see -list)")
+		trace       = flag.String("trace", "hadoop", "hadoop | websearch | google")
+		load        = flag.Float64("load", 0.5, "network load L = F/(R*N*tau)")
+		duration    = flag.Duration("duration", 6*time.Millisecond, "simulated duration")
+		linkGbps    = flag.Int64("link-gbps", 100, "per-port line rate (Gbps)")
+		hostGbps    = flag.Int64("host-gbps", 400, "per-ToR host aggregate (Gbps)")
+		reconfig    = flag.Duration("reconfig", 10*time.Nanosecond, "reconfiguration delay / guardband")
+		schedLen    = flag.Int("sched-slots", 30, "scheduled phase length in timeslots")
+		noPB        = flag.Bool("no-pb", false, "disable data piggybacking")
+		noPQ        = flag.Bool("no-pq", false, "disable priority queues")
+		relay       = flag.Bool("relay", false, "enable traffic-aware selective relay (thin-clos)")
+		failScen    = flag.String("fail-scenario", "", "failure scenario: random | flapping | port-group | tor-down (empty = no failures unless -fail-frac is set)")
+		failFrac    = flag.Float64("fail-frac", 0, "fraction of directed port-links to fail (random, flapping)")
+		failAt      = flag.Duration("fail-at", 0, "when links go down (flapping: first cycle start)")
+		failRec     = flag.Duration("fail-recover", 0, "when links come back (<= -fail-at means never)")
+		failDetect  = flag.Duration("fail-detect", 0, "failure detection lag (0 = three epochs at default timing)")
+		failPeriod  = flag.Duration("fail-period", 0, "flapping cycle period (required for -fail-scenario flapping)")
+		failDown    = flag.Duration("fail-down", 0, "flapping downtime per cycle (0 = half the period)")
+		failCycles  = flag.Int("fail-cycles", 0, "flapping cycle count (0 = 8)")
+		failPort    = flag.Int("fail-port", 0, "AWGR port index to kill on every ToR (port-group)")
+		failToR     = flag.Int("fail-tor", 0, "ToR index to power down (tor-down)")
+		seed        = flag.Int64("seed", 1, "random seed")
+		ckptEvery   = flag.Int("checkpoint-every", 0, "write a checkpoint every N epochs (requires -checkpoint-dir; 0 = off)")
+		ckptDir     = flag.String("checkpoint-dir", "", "directory for the rolling checkpoint file (atomically replaced after every interval)")
+		restoreCkpt = flag.String("restore", "", "resume from a checkpoint file; the remaining flags must rebuild the checkpointed configuration")
+		runs        = flag.Int("runs", 1, "number of seed replicates (seeds seed..seed+runs-1)")
+		parallel    = flag.Int("parallel", 0, "max concurrent runs (0 = GOMAXPROCS, 1 = sequential)")
+		workers     = flag.Int("workers", 1, "ToR shards per run (intra-run parallelism; 0 = GOMAXPROCS, 1 = sequential). Results are identical at any value")
+		list        = flag.Bool("list", false, "list engines, schedulers, topologies and traces, then exit")
 	)
 	flag.Parse()
 
 	if *list {
 		printLists(os.Stdout)
 		return
+	}
+
+	if *ckptEvery < 0 {
+		fatalUsagef("-checkpoint-every must be >= 0, got %d", *ckptEvery)
+	}
+	if *ckptEvery > 0 && *ckptDir == "" {
+		fatalUsagef("-checkpoint-every requires -checkpoint-dir (nowhere to write checkpoints)")
+	}
+	if *ckptDir != "" && *ckptEvery <= 0 {
+		fatalUsagef("-checkpoint-dir requires -checkpoint-every > 0 (nothing would be written)")
+	}
+	if (*ckptEvery > 0 || *restoreCkpt != "") && *runs > 1 {
+		fatalUsagef("-runs %d cannot be combined with -checkpoint-every/-restore: a checkpoint captures a single run", *runs)
 	}
 
 	spec := negotiator.DefaultSpec()
@@ -231,7 +255,19 @@ func main() {
 		}
 		fab.SetWorkload(negotiator.PoissonWorkload(sp, tr, *load, runSeed+6))
 		start := time.Now()
-		fab.Run(sim.Duration(duration.Nanoseconds()))
+		if *restoreCkpt != "" {
+			if err := restoreCheckpoint(fab, *restoreCkpt); err != nil {
+				return err
+			}
+		}
+		total := sim.Duration(duration.Nanoseconds())
+		if *ckptEvery > 0 {
+			if err := runCheckpointed(fab, total, *ckptEvery, *ckptDir); err != nil {
+				return err
+			}
+		} else {
+			fab.Run(total)
+		}
 		sum := fab.Summary()
 
 		fmt.Fprintf(w, "%s on %s: %d ToRs x %d ports, trace=%s load=%.0f%%, %v simulated (%v wall)\n",
@@ -273,6 +309,68 @@ func main() {
 	}
 	fmt.Printf("-- %d runs in %s wall time (parallel=%d) --\n",
 		*runs, time.Since(total).Round(time.Millisecond), r.Parallelism())
+}
+
+// restoreCheckpoint applies a checkpoint file to a freshly built fabric
+// (workload already attached). Core.Restore validates the file end to end
+// before touching any state, so a bad file fails here without side effects.
+func restoreCheckpoint(fab negotiator.Fabric, path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := fab.Restore(f); err != nil {
+		return fmt.Errorf("restoring %s: %w", path, err)
+	}
+	return nil
+}
+
+// runCheckpointed advances the fabric to the target duration in
+// epoch-count intervals, atomically replacing the rolling checkpoint file
+// after each. A restored run resumes mid-schedule: the loop only ever runs
+// the epochs still missing, so the final state matches an uninterrupted
+// run exactly.
+func runCheckpointed(fab negotiator.Fabric, total sim.Duration, every int, dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	path := filepath.Join(dir, "checkpoint.negosnap")
+	for {
+		s := fab.Summary()
+		remaining := total - s.Duration
+		if remaining <= 0 {
+			return nil
+		}
+		epochs := int((remaining + s.EpochLen - 1) / s.EpochLen)
+		if epochs > every {
+			epochs = every
+		}
+		fab.RunEpochs(epochs)
+		if err := writeCheckpoint(fab, path); err != nil {
+			return err
+		}
+	}
+}
+
+// writeCheckpoint snapshots the fabric into path via temp + rename, so the
+// rolling file always holds a complete checkpoint even if the process dies
+// mid-write.
+func writeCheckpoint(fab negotiator.Fabric, path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := fab.Snapshot(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
 }
 
 func engineList() string {

@@ -13,7 +13,9 @@ package exp
 import (
 	"fmt"
 	"io"
+	"path/filepath"
 	"sort"
+	"time"
 
 	negotiator "negotiator"
 	"negotiator/internal/sim"
@@ -42,10 +44,50 @@ type Options struct {
 	// sharding and resolves 0 to GOMAXPROCS. Output is byte-identical at
 	// any setting.
 	Workers int
+	// StateDir, when non-empty, makes sweeps durable: each completed cell's
+	// output is persisted under StateDir/StateID as it finishes, so a
+	// crashed or killed sweep can be rerun with Resume and only the
+	// unfinished cells execute.
+	StateDir string
+	// StateID names the sweep inside StateDir (the CLI passes the
+	// experiment ID, keeping cell keys from different experiments apart).
+	StateID string
+	// Resume salvages a previous run's completed cells from StateDir
+	// instead of starting fresh. The stitched output is byte-identical to
+	// an uninterrupted run; a state dir recorded by a different sweep
+	// (other experiment, duration, size, quick mode, or seed) is refused.
+	Resume bool
+	// CellTimeout, when positive, bounds each cell's wall-clock time. A
+	// cell that exceeds it is retried once with a fresh buffer and
+	// quarantined as a casualty if it times out again; see Runner.Flush.
+	CellTimeout time.Duration
 }
 
-// runner returns the cell runner for these options.
-func (o Options) runner() *Runner { return NewRunner(o.Parallel) }
+// runner returns the cell runner for these options. Configuration problems
+// with the durability state (unwritable dir, signature mismatch) surface
+// from the first Flush rather than here, keeping cell registration
+// infallible for experiment code.
+func (o Options) runner() *Runner {
+	r := NewRunner(o.Parallel)
+	r.timeout = o.CellTimeout
+	if o.StateDir != "" {
+		st, err := OpenSweepState(filepath.Join(o.StateDir, o.StateID), o.signature(), o.Resume)
+		if err != nil {
+			r.initErr = err
+		} else {
+			r.state = st
+		}
+	}
+	return r
+}
+
+// signature is the durability manifest's identity line: the experiment
+// plus every option that shapes its output. Parallel and Workers are
+// deliberately absent — output is byte-identical at any parallelism, so a
+// sweep may be resumed at a different worker count.
+func (o Options) signature() string {
+	return fmt.Sprintf("%s duration=%d tors=%d quick=%v seed=%d", o.StateID, int64(o.duration()), o.ToRs, o.Quick, o.Seed)
+}
 
 func (o Options) duration() sim.Duration {
 	if o.Duration > 0 {

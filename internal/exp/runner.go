@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"fmt"
 	"io"
+	"runtime/debug"
+	"time"
 
 	"negotiator/internal/par"
 )
@@ -21,9 +23,22 @@ import (
 // during the stitch pass, after every cell has finished, so they may read
 // results a cell stored (e.g. a series written into its own slot of a
 // pre-sized slice).
+//
+// A runner may additionally be durable (state != nil): every completed
+// cell's output is persisted through a SweepState as it finishes, and
+// cells the manifest already records as done are not rerun — their
+// salvaged bytes are stitched in place, so a resumed sweep's output is
+// byte-identical to an uninterrupted one. Cell keys are assigned by a
+// monotonic registration counter that persists across Flush calls, which
+// is why resuming requires re-registering the exact same cell sequence
+// (enforced coarsely by the sweep signature, see SweepState).
 type Runner struct {
-	par   int
-	items []runItem
+	par     int
+	items   []runItem
+	nextKey int
+	timeout time.Duration
+	state   *SweepState
+	initErr error
 }
 
 // runItem is one unit of output: either a pooled cell or a serial text
@@ -33,11 +48,40 @@ type runItem struct {
 	text func(io.Writer) error
 }
 
-// cell is a pooled simulation with its private output buffer.
+// cell is a pooled simulation with its private output buffer. err holds a
+// regular failure returned by the closure (aborts the stitch, as a
+// sequential run would); casualty holds a quarantined failure — a panic or
+// a timeout — that is reported in place without sinking the sweep.
 type cell struct {
-	run func(io.Writer) error
-	buf bytes.Buffer
-	err error
+	key      int
+	run      func(io.Writer) error
+	out      *bytes.Buffer
+	err      error
+	casualty error
+}
+
+// CellFailure identifies one quarantined cell.
+type CellFailure struct {
+	Key int
+	Err error
+}
+
+// CasualtyError is returned by Flush when one or more cells were
+// quarantined (panicked or timed out) but the rest of the sweep completed
+// and every surviving item was written. The failed cells are marked in the
+// output stream and absent from the durability manifest, so a -resume run
+// retries exactly those.
+type CasualtyError struct {
+	Cells []CellFailure
+}
+
+func (e *CasualtyError) Error() string {
+	first := e.Cells[0]
+	msg := fmt.Sprint(first.Err)
+	if i := len(msg); i > 120 {
+		msg = msg[:120] + "..."
+	}
+	return fmt.Sprintf("%d cell(s) quarantined (first: cell %d: %s)", len(e.Cells), first.Key, msg)
 }
 
 // EffectiveParallelism resolves a requested parallelism level:
@@ -58,7 +102,8 @@ func (r *Runner) Parallelism() int { return r.par }
 // buffer as its writer; its output appears at this registration position
 // in the stitched stream.
 func (r *Runner) Cell(fn func(w io.Writer) error) {
-	r.items = append(r.items, runItem{cell: &cell{run: fn}})
+	r.items = append(r.items, runItem{cell: &cell{key: r.nextKey, run: fn}})
+	r.nextKey++
 }
 
 // Text registers a serial item executed in order during the stitch pass,
@@ -86,26 +131,48 @@ func (r *Runner) Header(format string, args ...interface{}) {
 }
 
 // Flush runs every registered cell on the worker pool, then writes all
-// items to w in registration order. It returns the first error in
+// items to w in registration order. It returns the first regular error in
 // registration order; output preceding the failed item has already been
-// written, matching what a sequential run would have produced.
+// written, matching what a sequential run would have produced. Quarantined
+// cells (panics, timeouts) do not abort: their position carries a failure
+// marker, the remaining items still run and print, and Flush returns a
+// *CasualtyError after everything is written.
 func (r *Runner) Flush(w io.Writer) error {
-	var cells []*cell
-	for _, it := range r.items {
-		if it.cell != nil {
-			cells = append(cells, it.cell)
-		}
+	if r.initErr != nil {
+		return r.initErr
 	}
-	par.Do(len(cells), r.par, func(i int) {
-		c := cells[i]
-		c.err = c.run(&c.buf)
+	var pending []*cell
+	for _, it := range r.items {
+		c := it.cell
+		if c == nil {
+			continue
+		}
+		if r.state != nil {
+			if out, ok := r.state.CachedOutput(c.key); ok {
+				c.out = bytes.NewBuffer(out)
+				continue
+			}
+		}
+		pending = append(pending, c)
+	}
+	par.Do(len(pending), r.par, func(i int) {
+		r.runCell(pending[i])
 	})
+	var casualties []CellFailure
 	for _, it := range r.items {
 		if it.cell != nil {
-			if it.cell.err != nil {
-				return it.cell.err
+			c := it.cell
+			if c.casualty != nil {
+				casualties = append(casualties, CellFailure{Key: c.key, Err: c.casualty})
+				if _, err := fmt.Fprintf(w, "!! cell %d failed: %v\n", c.key, c.casualty); err != nil {
+					return err
+				}
+				continue
 			}
-			if _, err := w.Write(it.cell.buf.Bytes()); err != nil {
+			if c.err != nil {
+				return c.err
+			}
+			if _, err := w.Write(c.out.Bytes()); err != nil {
 				return err
 			}
 			continue
@@ -115,5 +182,66 @@ func (r *Runner) Flush(w io.Writer) error {
 		}
 	}
 	r.items = r.items[:0]
+	if len(casualties) > 0 {
+		return &CasualtyError{Cells: casualties}
+	}
 	return nil
+}
+
+// runCell executes one cell with panic quarantine and, when a timeout is
+// configured, a bounded wall-clock budget with one retry. Each attempt
+// writes into its own fresh buffer: a timed-out attempt's worker goroutine
+// cannot be killed, so it is abandoned with its private buffer and its
+// eventual output (if any) is discarded rather than raced over.
+func (r *Runner) runCell(c *cell) {
+	attempts := 1
+	if r.timeout > 0 {
+		attempts = 2
+	}
+	for a := 1; a <= attempts; a++ {
+		buf := new(bytes.Buffer)
+		type result struct {
+			err      error
+			panicked error
+		}
+		done := make(chan result, 1)
+		go func() {
+			var res result
+			defer func() {
+				if p := recover(); p != nil {
+					res.panicked = fmt.Errorf("panic: %v\n%s", p, debug.Stack())
+				}
+				done <- res
+			}()
+			res.err = c.run(buf)
+		}()
+		if r.timeout <= 0 {
+			res := <-done
+			r.finishCell(c, buf, res.err, res.panicked)
+			return
+		}
+		timer := time.NewTimer(r.timeout)
+		select {
+		case res := <-done:
+			timer.Stop()
+			r.finishCell(c, buf, res.err, res.panicked)
+			return
+		case <-timer.C:
+			c.casualty = fmt.Errorf("timed out after %v (attempt %d/%d)", r.timeout, a, attempts)
+		}
+	}
+}
+
+// finishCell records an attempt's outcome: panics quarantine the cell,
+// regular errors keep abort semantics, and successes clear any earlier
+// timeout casualty and are persisted when the runner is durable.
+func (r *Runner) finishCell(c *cell, buf *bytes.Buffer, err, panicked error) {
+	c.out = buf
+	c.err = err
+	c.casualty = panicked
+	if c.err == nil && c.casualty == nil && r.state != nil {
+		if err := r.state.Record(c.key, buf.Bytes()); err != nil {
+			c.err = fmt.Errorf("persisting cell %d: %w", c.key, err)
+		}
+	}
 }

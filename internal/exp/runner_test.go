@@ -5,8 +5,12 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
 	"strings"
+	"sync/atomic"
 	"testing"
+	"time"
 )
 
 // TestRunnerStitchOrder checks that cells and text items appear in
@@ -112,5 +116,233 @@ func TestParallelDeterminism(t *testing.T) {
 				t.Errorf("output differs between parallel=1 and parallel=8:\n--- sequential ---\n%s\n--- parallel ---\n%s", outs[0], outs[1])
 			}
 		})
+	}
+}
+
+// TestRunnerPanicQuarantine checks that a panicking cell is quarantined
+// rather than sinking the sweep: its position carries a failure marker,
+// every other item still runs and prints, and Flush reports the casualty
+// only after all output is written.
+func TestRunnerPanicQuarantine(t *testing.T) {
+	r := NewRunner(4)
+	r.Cell(func(w io.Writer) error { fmt.Fprint(w, "a"); return nil })
+	r.Cell(func(io.Writer) error { panic("boom") })
+	r.Cell(func(w io.Writer) error { fmt.Fprint(w, "c"); return nil })
+	r.Textf("tail\n")
+	var out bytes.Buffer
+	err := r.Flush(&out)
+	var cas *CasualtyError
+	if !errors.As(err, &cas) {
+		t.Fatalf("Flush error = %v, want *CasualtyError", err)
+	}
+	if len(cas.Cells) != 1 || cas.Cells[0].Key != 1 {
+		t.Fatalf("casualties = %+v, want exactly cell 1", cas.Cells)
+	}
+	got := out.String()
+	for _, want := range []string{"a", "!! cell 1 failed", "panic: boom", "c", "tail\n"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+// TestRunnerCellTimeout checks the wall-clock budget: a cell that blows
+// the budget once is retried with a fresh buffer and may still succeed; a
+// cell that blows it twice is quarantined while the rest of the sweep
+// completes.
+func TestRunnerCellTimeout(t *testing.T) {
+	r := NewRunner(4)
+	r.timeout = 50 * time.Millisecond
+	var attempts atomic.Int32
+	r.Cell(func(w io.Writer) error { // succeeds on the retry
+		if attempts.Add(1) == 1 {
+			time.Sleep(400 * time.Millisecond)
+		}
+		fmt.Fprint(w, "late")
+		return nil
+	})
+	r.Cell(func(w io.Writer) error { // never fits the budget
+		time.Sleep(400 * time.Millisecond)
+		fmt.Fprint(w, "never")
+		return nil
+	})
+	r.Cell(func(w io.Writer) error { fmt.Fprint(w, "fast"); return nil })
+	var out bytes.Buffer
+	err := r.Flush(&out)
+	var cas *CasualtyError
+	if !errors.As(err, &cas) {
+		t.Fatalf("Flush error = %v, want *CasualtyError", err)
+	}
+	if len(cas.Cells) != 1 || cas.Cells[0].Key != 1 {
+		t.Fatalf("casualties = %+v, want exactly cell 1", cas.Cells)
+	}
+	got := out.String()
+	for _, want := range []string{"late", "timed out", "fast"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+	if strings.Contains(got, "never") {
+		t.Errorf("abandoned attempt's output leaked into the stream:\n%s", got)
+	}
+	if n := attempts.Load(); n != 2 {
+		t.Errorf("retried cell ran %d attempts, want 2", n)
+	}
+}
+
+// TestRunnerDurableResume is the crash-recovery contract at the unit
+// level: a durable sweep with one quarantined cell persists every finished
+// cell, and the resumed sweep reruns only the casualty while stitching a
+// byte stream identical to an uninterrupted run.
+func TestRunnerDurableResume(t *testing.T) {
+	o := Options{StateDir: t.TempDir(), StateID: "unit"}
+	var runs [4]atomic.Int32
+	register := func(r *Runner, failIdx int) {
+		for i := 0; i < 4; i++ {
+			r.Textf("[%d]", i)
+			r.Cell(func(w io.Writer) error {
+				runs[i].Add(1)
+				if i == failIdx {
+					panic("flaky")
+				}
+				fmt.Fprintf(w, "cell%d", i)
+				return nil
+			})
+		}
+	}
+
+	r := o.runner()
+	register(r, 2)
+	var out1 bytes.Buffer
+	err := r.Flush(&out1)
+	var cas *CasualtyError
+	if !errors.As(err, &cas) || len(cas.Cells) != 1 || cas.Cells[0].Key != 2 {
+		t.Fatalf("first pass error = %v, want casualty for cell 2", err)
+	}
+	for _, want := range []string{"cell0", "cell1", "!! cell 2 failed", "cell3"} {
+		if !strings.Contains(out1.String(), want) {
+			t.Errorf("first pass output missing %q:\n%s", want, out1.String())
+		}
+	}
+
+	o.Resume = true
+	r2 := o.runner()
+	register(r2, -1)
+	var out2 bytes.Buffer
+	if err := r2.Flush(&out2); err != nil {
+		t.Fatalf("resume flush: %v", err)
+	}
+	if want := "[0]cell0[1]cell1[2]cell2[3]cell3"; out2.String() != want {
+		t.Errorf("resumed output %q, want %q", out2.String(), want)
+	}
+	for i := range runs {
+		want := int32(1)
+		if i == 2 {
+			want = 2 // the casualty is the only cell that reran
+		}
+		if n := runs[i].Load(); n != want {
+			t.Errorf("cell %d ran %d times, want %d", i, n, want)
+		}
+	}
+}
+
+// TestResumeRefusesDifferentSweep: a state dir recorded under one set of
+// output-shaping options must not be salvaged by a sweep with different
+// ones — stitching cells from a different seed would silently corrupt the
+// results.
+func TestResumeRefusesDifferentSweep(t *testing.T) {
+	o := Options{StateDir: t.TempDir(), StateID: "sig", Seed: 1}
+	r := o.runner()
+	r.Cell(func(w io.Writer) error { fmt.Fprint(w, "x"); return nil })
+	if err := r.Flush(io.Discard); err != nil {
+		t.Fatal(err)
+	}
+
+	o2 := o
+	o2.Seed = 2
+	o2.Resume = true
+	r2 := o2.runner()
+	r2.Cell(func(w io.Writer) error { fmt.Fprint(w, "x"); return nil })
+	err := r2.Flush(io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "different sweep") {
+		t.Fatalf("resume with different seed: err = %v, want signature mismatch", err)
+	}
+}
+
+// TestSweepStateTornTail simulates a SIGKILL mid-manifest-append: the torn
+// final line is dropped (its cell reruns), complete lines before it stay
+// salvageable, and the truncated manifest accepts further appends cleanly.
+func TestSweepStateTornTail(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenSweepState(dir, "sig", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Record(0, []byte("out0")); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Record(1, []byte("out1")); err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+
+	mf := filepath.Join(dir, "manifest")
+	raw, err := os.ReadFile(mf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(mf, raw[:len(raw)-5], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := OpenSweepState(dir, "sig", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out, ok := st2.CachedOutput(0); !ok || string(out) != "out0" {
+		t.Errorf("cell 0 (complete line) not salvaged: %q %v", out, ok)
+	}
+	if _, ok := st2.CachedOutput(1); ok {
+		t.Error("cell 1 (torn line) reported as cached")
+	}
+	if err := st2.Record(1, []byte("out1b")); err != nil {
+		t.Fatal(err)
+	}
+	st2.Close()
+
+	st3, err := OpenSweepState(dir, "sig", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st3.Close()
+	if out, ok := st3.CachedOutput(1); !ok || string(out) != "out1b" {
+		t.Errorf("re-recorded cell 1 not salvaged after torn-tail truncation: %q %v", out, ok)
+	}
+}
+
+// TestSweepStateHashMismatch: a cell file that no longer matches its
+// manifest hash (torn write, tampering) reads as not-cached, so the cell
+// reruns instead of stitching corrupt bytes.
+func TestSweepStateHashMismatch(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenSweepState(dir, "sig", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Record(0, []byte("good")); err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+
+	if err := os.WriteFile(filepath.Join(dir, "cells", "000000.out"), []byte("evil"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := OpenSweepState(dir, "sig", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if _, ok := st2.CachedOutput(0); ok {
+		t.Error("tampered cell file reported as cached")
 	}
 }

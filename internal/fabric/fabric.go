@@ -162,7 +162,12 @@ type Core struct {
 	havePending bool
 	genDone     bool
 	flowSeq     int64
-	admit       func(f *flows.Flow, at sim.Time)
+	// nextCalls counts Generator.Next invocations since SetWorkload.
+	// Generators are deterministic from construction but opaque, so
+	// checkpoints store this count and restore replays exactly that many
+	// draws on an identically constructed generator (see snapshot.go).
+	nextCalls int64
+	admit     func(f *flows.Flow, at sim.Time)
 
 	// Failure subsystem: the plan, the two cursor-maintained snapshots
 	// (actual link state, and the detection-lagged state the fabric
@@ -328,6 +333,7 @@ func (c *Core) SetWorkload(g workload.Generator) {
 	c.work = g
 	c.genDone = false
 	c.havePending = false
+	c.nextCalls = 0
 }
 
 // Now returns the current simulated time (start of the next round).
@@ -507,6 +513,7 @@ func (c *Core) Inject(t sim.Time) {
 	}
 	for {
 		if !c.havePending {
+			c.nextCalls++
 			a, ok := c.work.Next()
 			if !ok {
 				c.genDone = true

@@ -1,0 +1,790 @@
+package fabric
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"negotiator/internal/failure"
+	"negotiator/internal/flows"
+	"negotiator/internal/queue"
+	"negotiator/internal/sim"
+	"negotiator/internal/snap"
+	"negotiator/internal/workload"
+)
+
+// StatefulPlane is the per-plane checkpoint hook: a control plane that
+// carries state across rounds (match rings, mailboxes, spray/relay
+// counters) serializes it here, and the core embeds the payload in its
+// snapshot stream. Planes without the hook cannot be checkpointed.
+type StatefulPlane interface {
+	ControlPlane
+	// PlaneState serializes the plane's persistent cross-round state.
+	// Called only at a round boundary. An error (e.g. a scheduler policy
+	// that does not support snapshots) aborts the checkpoint.
+	PlaneState() ([]byte, error)
+	// RestorePlaneState applies state captured by PlaneState to a freshly
+	// constructed plane of the same configuration.
+	RestorePlaneState(data []byte) error
+}
+
+// Section tags of the core snapshot stream (see internal/snap for the
+// container format and the versioning policy).
+const (
+	secCore  = "CORE" // identity, clock, counters, pump, ledger, RNG
+	secTags  = "TAGS" // tagged-event accounting
+	secMetr  = "METR" // merged FCT samples, goodput, receiver buffers
+	secFail  = "FAIL" // failure cursor positions (only with a plan)
+	secFlows = "FLOW" // live flow records
+	secNode  = "NODE" // one per node with queue/loss/spray state
+	secPlane = "PLNE" // the control plane's StatefulPlane payload
+)
+
+// Snapshot serializes the core's complete simulation state at a round
+// boundary: clock and counters, the workload pump position, ledger and
+// tag accounting, merged metrics, failure cursor positions, every live
+// flow, every node's queued segments verbatim, and the control plane's
+// own state. The stream is versioned and CRC-guarded (internal/snap).
+//
+// What is NOT captured: configuration. A snapshot is a resume token — the
+// restoring process must rebuild the identical spec (topology, scheduler,
+// failure plan, worker count is free to differ) and attach an identically
+// constructed workload generator before Restore.
+func (c *Core) Snapshot(w io.Writer) error {
+	sp, ok := c.plane.(StatefulPlane)
+	if !ok {
+		return fmt.Errorf("fabric: control plane %q does not support checkpoints", c.plane.Name())
+	}
+	sw := snap.NewWriter(w)
+
+	var e snap.Enc
+	e.Str(c.plane.Name())
+	e.Int(c.N)
+	e.Int(c.S)
+	e.I64(int64(c.roundLen))
+	e.I64(int64(c.now))
+	e.I64(c.rounds)
+	e.I64(c.skippedRounds)
+	e.I64(c.flowSeq)
+	e.I64(c.nextCalls)
+	e.Bool(c.genDone)
+	e.Bool(c.havePending)
+	if c.havePending {
+		encodeArrival(&e, c.pending)
+	}
+	e.I64(c.Ledger.Injected)
+	e.I64(c.Ledger.Delivered)
+	e.I64(c.Ledger.Lost)
+	e.I64(c.Lost)
+	e.I64(c.requeued)
+	e.I64(c.pendingLosses)
+	for _, word := range c.RNG.State() {
+		e.U64(word)
+	}
+	sw.Section(secCore, e.Bytes())
+
+	sw.Section(secTags, c.encodeTags())
+	sw.Section(secMetr, c.encodeMetrics())
+	if c.failPlan != nil {
+		var f snap.Enc
+		f.I64(int64(c.actualCur.Now()))
+		f.I64(int64(c.knownCur.Now()))
+		sw.Section(secFail, f.Bytes())
+	}
+	live := c.liveFlows()
+	sw.Section(secFlows, encodeFlows(live))
+	for i, nd := range c.Nodes {
+		if payload := nd.encodeState(i); payload != nil {
+			sw.Section(secNode, payload)
+		}
+	}
+	planeState, err := sp.PlaneState()
+	if err != nil {
+		return err
+	}
+	sw.Section(secPlane, planeState)
+	return sw.Close()
+}
+
+// Restore applies a snapshot to a freshly built core. The caller must
+// have Bound the same control plane configuration and attached an
+// identically constructed workload generator (SetWorkload) first; Restore
+// replays the generator to the checkpointed position. The stream is fully
+// validated before any state mutates, so a corrupt or truncated
+// checkpoint leaves the core untouched. After applying state, Restore
+// re-verifies the rebuilt derived indexes (CheckOccupancy, and
+// CheckConservation under a failure plan).
+func (c *Core) Restore(r io.Reader) error {
+	sp, ok := c.plane.(StatefulPlane)
+	if !ok {
+		return fmt.Errorf("fabric: control plane %q does not support checkpoints", c.plane.Name())
+	}
+	if c.now != 0 || c.rounds != 0 || c.Ledger.Injected != 0 {
+		return fmt.Errorf("fabric: restore target must be a freshly built core (now=%v rounds=%d injected=%d)",
+			c.now, c.rounds, c.Ledger.Injected)
+	}
+	s, err := snap.Load(r)
+	if err != nil {
+		return err
+	}
+
+	// Decode and validate everything read-only first; mutation starts only
+	// after the checkpoint has proven structurally sound and compatible.
+	core, err := c.decodeCore(s)
+	if err != nil {
+		return err
+	}
+	failSec, haveFail := s.Section(secFail)
+	if haveFail != (c.failPlan != nil) {
+		return fmt.Errorf("fabric: checkpoint failure-plan presence (%v) does not match core configuration (%v)",
+			haveFail, c.failPlan != nil)
+	}
+	flowSec, ok := s.Section(secFlows)
+	if !ok {
+		return fmt.Errorf("fabric: checkpoint missing %s section", secFlows)
+	}
+	byID, err := decodeFlows(flowSec, core.flowSeq)
+	if err != nil {
+		return err
+	}
+	planeSec, ok := s.Section(secPlane)
+	if !ok {
+		return fmt.Errorf("fabric: checkpoint missing %s section", secPlane)
+	}
+
+	// Replay the workload pump to the checkpointed position before touching
+	// anything else: a replay mismatch (wrong generator attached) must not
+	// leave a half-restored core.
+	if err := c.replayWorkload(core); err != nil {
+		return err
+	}
+
+	c.now = core.now
+	c.rounds = core.rounds
+	c.skippedRounds = core.skippedRounds
+	c.flowSeq = core.flowSeq
+	c.pending, c.havePending, c.genDone = core.pending, core.havePending, core.genDone
+	c.nextCalls = core.nextCalls
+	c.Ledger = core.ledger
+	c.Lost = core.lost
+	c.requeued = core.requeued
+	c.pendingLosses = core.pendingLosses
+	c.RNG.SetState(core.rng)
+
+	if tags, ok := s.Section(secTags); ok {
+		if err := c.decodeTags(tags); err != nil {
+			return err
+		}
+	}
+	if metr, ok := s.Section(secMetr); ok {
+		if err := c.decodeMetrics(metr); err != nil {
+			return err
+		}
+	}
+	for _, payload := range s.Sections(secNode) {
+		if err := c.decodeNode(payload, byID); err != nil {
+			return err
+		}
+	}
+	if haveFail {
+		d := snap.NewDec(failSec)
+		aNow, kNow := sim.Time(d.I64()), sim.Time(d.I64())
+		if err := d.Finish(); err != nil {
+			return err
+		}
+		// Cursors are pure functions of (plan, time): advancing the fresh
+		// cursors to the checkpointed positions replays the exact transition
+		// prefix, reproducing dense state, reference counts and the applied
+		// index — mid-cycle flapping state included.
+		if aNow != failure.NeverAdvanced {
+			c.actualCur.AdvanceTo(aNow)
+		}
+		if kNow != failure.NeverAdvanced {
+			c.knownCur.AdvanceTo(kNow)
+		}
+	}
+	if err := sp.RestorePlaneState(planeSec); err != nil {
+		return err
+	}
+
+	// The rebuilt derived state must satisfy the same invariants a live run
+	// maintains.
+	c.CheckOccupancy()
+	if c.failPlan != nil {
+		c.CheckConservation()
+	}
+	return nil
+}
+
+// coreState is the decoded CORE section.
+type coreState struct {
+	now           sim.Time
+	rounds        int64
+	skippedRounds int64
+	flowSeq       int64
+	nextCalls     int64
+	genDone       bool
+	havePending   bool
+	pending       workload.Arrival
+	ledger        flows.Ledger
+	lost          int64
+	requeued      int64
+	pendingLosses int64
+	rng           [4]uint64
+}
+
+func (c *Core) decodeCore(s *snap.Snapshot) (*coreState, error) {
+	payload, ok := s.Section(secCore)
+	if !ok {
+		return nil, fmt.Errorf("fabric: checkpoint missing %s section", secCore)
+	}
+	d := snap.NewDec(payload)
+	if name := d.Str(); name != c.plane.Name() {
+		return nil, fmt.Errorf("fabric: checkpoint was taken on control plane %q, core runs %q", name, c.plane.Name())
+	}
+	if n, ports := d.Int(), d.Int(); n != c.N || ports != c.S {
+		return nil, fmt.Errorf("fabric: checkpoint topology %dx%d does not match core %dx%d", n, ports, c.N, c.S)
+	}
+	if rl := sim.Duration(d.I64()); rl != c.roundLen {
+		return nil, fmt.Errorf("fabric: checkpoint round length %v does not match core %v", rl, c.roundLen)
+	}
+	st := &coreState{}
+	st.now = sim.Time(d.I64())
+	st.rounds = d.I64()
+	st.skippedRounds = d.I64()
+	st.flowSeq = d.I64()
+	st.nextCalls = d.I64()
+	st.genDone = d.Bool()
+	st.havePending = d.Bool()
+	if st.havePending {
+		st.pending = decodeArrival(d)
+	}
+	st.ledger.Injected = d.I64()
+	st.ledger.Delivered = d.I64()
+	st.ledger.Lost = d.I64()
+	st.lost = d.I64()
+	st.requeued = d.I64()
+	st.pendingLosses = d.I64()
+	for i := range st.rng {
+		st.rng[i] = d.U64()
+	}
+	if err := d.Finish(); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+// replayWorkload pulls the generator forward to the checkpointed pump
+// position and cross-checks the final draw against the serialized pending
+// arrival — catching a restore with the wrong (or wrongly seeded)
+// generator attached.
+func (c *Core) replayWorkload(st *coreState) error {
+	if st.nextCalls == 0 {
+		return nil
+	}
+	if c.work == nil {
+		return fmt.Errorf("fabric: restore requires the original workload attached via SetWorkload (checkpoint had drawn %d arrivals)", st.nextCalls)
+	}
+	var (
+		last   workload.Arrival
+		lastOK bool
+	)
+	for i := int64(0); i < st.nextCalls; i++ {
+		last, lastOK = c.work.Next()
+		if !lastOK && i != st.nextCalls-1 {
+			return fmt.Errorf("fabric: workload exhausted after %d of %d checkpointed draws: wrong generator attached", i+1, st.nextCalls)
+		}
+	}
+	switch {
+	case st.havePending:
+		if !lastOK || last != st.pending {
+			return fmt.Errorf("fabric: workload replay diverges from checkpoint (got %+v ok=%v, want buffered %+v): wrong generator attached",
+				last, lastOK, st.pending)
+		}
+	case st.genDone:
+		if lastOK {
+			return fmt.Errorf("fabric: workload replay yields arrivals past the checkpointed end: wrong generator attached")
+		}
+	}
+	return nil
+}
+
+func encodeArrival(e *snap.Enc, a workload.Arrival) {
+	e.I64(int64(a.Time))
+	e.Int(a.Src)
+	e.Int(a.Dst)
+	e.I64(a.Size)
+	e.Int(a.Tag)
+}
+
+func decodeArrival(d *snap.Dec) workload.Arrival {
+	return workload.Arrival{
+		Time: sim.Time(d.I64()),
+		Src:  d.Int(),
+		Dst:  d.Int(),
+		Size: d.I64(),
+		Tag:  d.Int(),
+	}
+}
+
+func (c *Core) encodeTags() []byte {
+	keys := make([]int, 0, len(c.Tags))
+	for k := range c.Tags {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	var e snap.Enc
+	e.U32(uint32(len(keys)))
+	for _, k := range keys {
+		ts := c.Tags[k]
+		e.Int(k)
+		e.I64(int64(ts.Start))
+		e.I64(int64(ts.End))
+		e.Int(ts.Flows)
+		e.Int(ts.Done)
+	}
+	return e.Bytes()
+}
+
+func (c *Core) decodeTags(payload []byte) error {
+	d := snap.NewDec(payload)
+	n := int(d.U32())
+	for i := 0; i < n; i++ {
+		k := d.Int()
+		ts := &TagStat{
+			Start: sim.Time(d.I64()),
+			End:   sim.Time(d.I64()),
+			Flows: d.Int(),
+			Done:  d.Int(),
+		}
+		if d.Err() == nil {
+			c.Tags[k] = ts
+		}
+	}
+	return d.Finish()
+}
+
+// encodeMetrics captures the MERGED per-shard accumulators. Restore
+// concentrates them into shard 0: shard merges are commutative sums and
+// every FCT query re-sorts, so queried results are identical at any
+// worker count on either side of the checkpoint.
+func (c *Core) encodeMetrics() []byte {
+	var e snap.Enc
+	all, mice := c.MergedFCT().Samples()
+	e.U32(uint32(len(all)))
+	for _, v := range all {
+		e.I64(int64(v))
+	}
+	e.U32(uint32(len(mice)))
+	for _, v := range mice {
+		e.I64(int64(v))
+	}
+	perToR := c.MergedGoodput().PerToR()
+	var cnt uint32
+	for _, b := range perToR {
+		if b != 0 {
+			cnt++
+		}
+	}
+	e.U32(cnt)
+	for dst, b := range perToR {
+		if b != 0 {
+			e.U32(uint32(dst))
+			e.I64(b)
+		}
+	}
+	e.Bool(c.RxBuffers != nil)
+	if c.RxBuffers != nil {
+		var rx uint32
+		for _, b := range c.RxBuffers {
+			if last, backlog, peak := b.State(); last != 0 || backlog != 0 || peak != 0 {
+				rx++
+			}
+		}
+		e.U32(rx)
+		for dst, b := range c.RxBuffers {
+			if last, backlog, peak := b.State(); last != 0 || backlog != 0 || peak != 0 {
+				e.U32(uint32(dst))
+				e.I64(int64(last))
+				e.I64(backlog)
+				e.I64(peak)
+			}
+		}
+	}
+	return e.Bytes()
+}
+
+func (c *Core) decodeMetrics(payload []byte) error {
+	d := snap.NewDec(payload)
+	all := make([]sim.Duration, int(d.U32()))
+	for i := range all {
+		all[i] = sim.Duration(d.I64())
+	}
+	mice := make([]sim.Duration, int(d.U32()))
+	for i := range mice {
+		mice[i] = sim.Duration(d.I64())
+	}
+	perToR := make([]int64, c.N)
+	gn := int(d.U32())
+	for i := 0; i < gn; i++ {
+		dst := int(d.U32())
+		v := d.I64()
+		if d.Err() != nil {
+			break
+		}
+		if dst < 0 || dst >= c.N {
+			return fmt.Errorf("fabric: checkpoint goodput destination %d out of range", dst)
+		}
+		perToR[dst] = v
+	}
+	haveRx := d.Bool()
+	if haveRx != (c.RxBuffers != nil) {
+		return fmt.Errorf("fabric: checkpoint receiver-buffer presence (%v) does not match core configuration (%v)",
+			haveRx, c.RxBuffers != nil)
+	}
+	if haveRx {
+		rn := int(d.U32())
+		for i := 0; i < rn; i++ {
+			dst := int(d.U32())
+			last, backlog, peak := sim.Time(d.I64()), d.I64(), d.I64()
+			if d.Err() != nil {
+				break
+			}
+			if dst < 0 || dst >= c.N {
+				return fmt.Errorf("fabric: checkpoint receiver buffer %d out of range", dst)
+			}
+			c.RxBuffers[dst].RestoreState(last, backlog, peak)
+		}
+	}
+	if err := d.Finish(); err != nil {
+		return err
+	}
+	c.Shards[0].FCT.RestoreSamples(all, mice)
+	c.Shards[0].Goodput.RestorePerToR(perToR)
+	return nil
+}
+
+// liveFlows collects every flow still referenced by the fabric — queued
+// segments of all three classes plus outstanding loss records. Completed
+// flows survive only as metric samples and are not serialized.
+func (c *Core) liveFlows() []*flows.Flow {
+	byID := make(map[int64]*flows.Flow)
+	note := func(f *flows.Flow) {
+		if f != nil {
+			byID[f.ID] = f
+		}
+	}
+	for _, nd := range c.Nodes {
+		nd.Direct.ForEachPage(func(_, _ int, qs []queue.DestQueue, _ int64) {
+			for j := range qs {
+				qs[j].ForEachSegment(func(_ int, s queue.Segment) { note(s.Flow) })
+			}
+		})
+		nd.Lanes.ForEachPage(func(_, _ int, qs []queue.DestQueue, _ int64) {
+			for j := range qs {
+				qs[j].ForEachSegment(func(_ int, s queue.Segment) { note(s.Flow) })
+			}
+		})
+		nd.Relay.ForEachPage(func(_, _ int, fs []queue.FIFO, _ int64) {
+			for j := range fs {
+				fs[j].ForEachSegment(func(s queue.Segment) { note(s.Flow) })
+			}
+		})
+		for _, l := range nd.Losses {
+			note(l.F)
+		}
+	}
+	out := make([]*flows.Flow, 0, len(byID))
+	for _, f := range byID {
+		out = append(out, f)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+func encodeFlows(live []*flows.Flow) []byte {
+	var e snap.Enc
+	e.U32(uint32(len(live)))
+	for _, f := range live {
+		e.I64(f.ID)
+		e.Int(f.Src)
+		e.Int(f.Dst)
+		e.I64(f.Size)
+		e.I64(int64(f.Arrival))
+		e.Int(f.Tag)
+		e.I64(f.Sent())
+		e.I64(f.Delivered())
+	}
+	return e.Bytes()
+}
+
+func decodeFlows(payload []byte, flowSeq int64) (map[int64]*flows.Flow, error) {
+	d := snap.NewDec(payload)
+	n := int(d.U32())
+	byID := make(map[int64]*flows.Flow, n)
+	for i := 0; i < n; i++ {
+		f := &flows.Flow{
+			ID:      d.I64(),
+			Src:     d.Int(),
+			Dst:     d.Int(),
+			Size:    d.I64(),
+			Arrival: sim.Time(d.I64()),
+			Tag:     d.Int(),
+		}
+		sent, delivered := d.I64(), d.I64()
+		if err := d.Err(); err != nil {
+			return nil, err
+		}
+		if f.ID <= 0 || f.ID > flowSeq {
+			return nil, fmt.Errorf("fabric: checkpoint flow ID %d outside issued range [1, %d]", f.ID, flowSeq)
+		}
+		if _, dup := byID[f.ID]; dup {
+			return nil, fmt.Errorf("fabric: checkpoint flow ID %d duplicated", f.ID)
+		}
+		if err := f.RestoreProgress(sent, delivered); err != nil {
+			return nil, err
+		}
+		byID[f.ID] = f
+	}
+	return byID, d.Finish()
+}
+
+// encodeState serializes one node's state, or nil when the node carries
+// none. Queued segments are recorded verbatim (class, destination,
+// priority level, flow, bytes, enqueue time) in service order; restore
+// re-pushes them through restore choke points that maintain the same
+// shadow/aggregate/index bookkeeping as the live push paths, which is how
+// the derived occupancy state is rebuilt rather than serialized.
+func (nd *Node) encodeState(idx int) []byte {
+	var cum uint32
+	for _, v := range nd.CumInjected {
+		if v != 0 {
+			cum++
+		}
+	}
+	hasSegs := nd.DirectBytes > 0 || nd.LanesBytes > 0 || nd.RelayBytes > 0
+	if nd.SprayPtr == 0 && len(nd.Losses) == 0 && cum == 0 && !hasSegs {
+		return nil
+	}
+	var e snap.Enc
+	e.Int(idx)
+	e.Int(nd.SprayPtr)
+	e.U32(cum)
+	for dst, v := range nd.CumInjected {
+		if v != 0 {
+			e.U32(uint32(dst))
+			e.I64(v)
+		}
+	}
+	e.U32(uint32(len(nd.Losses)))
+	for _, l := range nd.Losses {
+		e.I64(l.F.ID)
+		e.U32(uint32(l.Dst))
+		e.I64(l.Off)
+		e.I64(l.N)
+		e.I64(int64(l.At))
+		e.U8(uint8(l.Class))
+		e.U32(uint32(l.Via))
+	}
+	encodeDestSlab(&e, &nd.Direct)
+	encodeDestSlab(&e, &nd.Lanes)
+	var relayCnt uint32
+	nd.Relay.ForEachPage(func(_, base int, fs []queue.FIFO, _ int64) {
+		for j := range fs {
+			relayCnt += uint32(fs[j].Len())
+		}
+	})
+	e.U32(relayCnt)
+	nd.Relay.ForEachPage(func(_, base int, fs []queue.FIFO, _ int64) {
+		for j := range fs {
+			dst := base + j
+			fs[j].ForEachSegment(func(s queue.Segment) {
+				e.U32(uint32(dst))
+				e.I64(s.Flow.ID)
+				e.I64(s.Bytes)
+				e.I64(int64(s.Enqueued))
+			})
+		}
+	})
+	return e.Bytes()
+}
+
+func encodeDestSlab(e *snap.Enc, slab *queue.DestSlab) {
+	var cnt uint32
+	slab.ForEachPage(func(_, _ int, qs []queue.DestQueue, _ int64) {
+		for j := range qs {
+			qs[j].ForEachSegment(func(int, queue.Segment) { cnt++ })
+		}
+	})
+	e.U32(cnt)
+	slab.ForEachPage(func(_, base int, qs []queue.DestQueue, _ int64) {
+		for j := range qs {
+			dst := base + j
+			qs[j].ForEachSegment(func(prio int, s queue.Segment) {
+				e.U32(uint32(dst))
+				e.U8(uint8(prio))
+				e.I64(s.Flow.ID)
+				e.I64(s.Bytes)
+				e.I64(int64(s.Enqueued))
+			})
+		}
+	})
+}
+
+func (c *Core) decodeNode(payload []byte, byID map[int64]*flows.Flow) error {
+	d := snap.NewDec(payload)
+	idx := d.Int()
+	if err := d.Err(); err != nil {
+		return err
+	}
+	if idx < 0 || idx >= c.N {
+		return fmt.Errorf("fabric: checkpoint node index %d out of range", idx)
+	}
+	nd := c.Nodes[idx]
+	nd.SprayPtr = d.Int()
+	cum := int(d.U32())
+	for i := 0; i < cum; i++ {
+		dst := int(d.U32())
+		v := d.I64()
+		if d.Err() != nil {
+			break
+		}
+		if !nd.spec.cumInjected {
+			return fmt.Errorf("fabric: checkpoint node %d carries cumulative-injected state the core does not track", idx)
+		}
+		if dst < 0 || dst >= c.N {
+			return fmt.Errorf("fabric: checkpoint node %d cum-injected destination %d out of range", idx, dst)
+		}
+		if !nd.Direct.Materialized() {
+			nd.materializeDirect()
+		}
+		nd.CumInjected[dst] = v
+	}
+	losses := int(d.U32())
+	for i := 0; i < losses; i++ {
+		id := d.I64()
+		l := Loss{
+			Dst:   int(d.U32()),
+			Off:   d.I64(),
+			N:     d.I64(),
+			At:    sim.Time(d.I64()),
+			Class: RequeueClass(d.U8()),
+			Via:   int32(d.U32()),
+		}
+		if d.Err() != nil {
+			break
+		}
+		f, ok := byID[id]
+		if !ok {
+			return fmt.Errorf("fabric: checkpoint node %d loss references unknown flow %d", idx, id)
+		}
+		if l.Class > RequeueRelay {
+			return fmt.Errorf("fabric: checkpoint node %d loss has invalid requeue class %d", idx, l.Class)
+		}
+		l.F = f
+		nd.Losses = append(nd.Losses, l)
+	}
+	if err := c.decodeDestSlabSegs(d, nd, byID, idx, false); err != nil {
+		return err
+	}
+	if err := c.decodeDestSlabSegs(d, nd, byID, idx, true); err != nil {
+		return err
+	}
+	relays := int(d.U32())
+	for i := 0; i < relays; i++ {
+		dst := int(d.U32())
+		id := d.I64()
+		s := queue.Segment{Bytes: d.I64(), Enqueued: sim.Time(d.I64())}
+		if d.Err() != nil {
+			break
+		}
+		f, ok := byID[id]
+		if !ok {
+			return fmt.Errorf("fabric: checkpoint node %d relay segment references unknown flow %d", idx, id)
+		}
+		if dst < 0 || dst >= c.N || s.Bytes <= 0 {
+			return fmt.Errorf("fabric: checkpoint node %d relay segment invalid (dst=%d bytes=%d)", idx, dst, s.Bytes)
+		}
+		if !nd.spec.relay {
+			return fmt.Errorf("fabric: checkpoint node %d carries relay data the core does not configure", idx)
+		}
+		s.Flow = f
+		nd.PushRelay(dst, s)
+	}
+	return d.Finish()
+}
+
+func (c *Core) decodeDestSlabSegs(d *snap.Dec, nd *Node, byID map[int64]*flows.Flow, idx int, lanes bool) error {
+	n := int(d.U32())
+	for i := 0; i < n; i++ {
+		dst := int(d.U32())
+		prio := int(d.U8())
+		id := d.I64()
+		s := queue.Segment{Bytes: d.I64(), Enqueued: sim.Time(d.I64())}
+		if d.Err() != nil {
+			break
+		}
+		f, ok := byID[id]
+		if !ok {
+			return fmt.Errorf("fabric: checkpoint node %d segment references unknown flow %d", idx, id)
+		}
+		if dst < 0 || dst >= c.N {
+			return fmt.Errorf("fabric: checkpoint node %d segment destination %d out of range", idx, dst)
+		}
+		s.Flow = f
+		var err error
+		if lanes {
+			if !nd.spec.lanes {
+				return fmt.Errorf("fabric: checkpoint node %d carries lane data the core does not configure", idx)
+			}
+			err = nd.restoreLaneSegment(dst, prio, s)
+		} else {
+			err = nd.restoreDirectSegment(dst, prio, s)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return d.Err()
+}
+
+// restoreDirectSegment re-enqueues one checkpointed segment verbatim,
+// mirroring PushDirectBytes' bookkeeping exactly (shadow, aggregates,
+// page counter, occupancy index, shard active bit, demand version) but
+// bypassing the PIAS offset split — the segment's priority placement was
+// decided at original push time and must be reproduced, not recomputed.
+func (nd *Node) restoreDirectSegment(dst, prio int, s queue.Segment) error {
+	if !nd.Direct.Materialized() {
+		nd.materializeDirect()
+	}
+	if err := nd.Direct.Queue(dst, nd.pages).RestoreSegment(nd.pool, prio, s); err != nil {
+		return err
+	}
+	nd.Direct.Add(dst, s.Bytes)
+	nd.QueuedBytes[dst] += s.Bytes
+	if nd.DirectBytes == 0 && nd.actDirect != nil {
+		nd.actDirect.Set(nd.actBit)
+	}
+	nd.DirectBytes += s.Bytes
+	nd.DirectOcc.Set(dst)
+	nd.demandVer++
+	return nil
+}
+
+// restoreLaneSegment is restoreDirectSegment for the secondary VOQ set,
+// mirroring PushLaneBytes.
+func (nd *Node) restoreLaneSegment(dst, prio int, s queue.Segment) error {
+	if !nd.Lanes.Materialized() {
+		nd.materializeLanes()
+	}
+	if err := nd.Lanes.Queue(dst, nd.pages).RestoreSegment(nd.pool, prio, s); err != nil {
+		return err
+	}
+	nd.Lanes.Add(dst, s.Bytes)
+	if nd.LanesBytes == 0 && nd.actLanes != nil {
+		nd.actLanes.Set(nd.actBit)
+	}
+	nd.LanesBytes += s.Bytes
+	nd.LanesOcc.Set(dst)
+	return nil
+}

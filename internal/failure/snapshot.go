@@ -1,0 +1,18 @@
+package failure
+
+import (
+	"math"
+
+	"negotiator/internal/sim"
+)
+
+// NeverAdvanced is Now's value on a cursor that has not seen its first
+// AdvanceTo call.
+const NeverAdvanced = sim.Time(math.MinInt64)
+
+// Now reports the time the cursor last advanced to (NeverAdvanced before
+// the first AdvanceTo). A cursor is a pure function of (plan, time) — its
+// dense state, applied-transition index and reference counts are all
+// reproduced by advancing a fresh cursor over the same plan to Now — so
+// checkpoints store only this one value and restore by replay.
+func (c *Cursor) Now() sim.Time { return c.now }

@@ -1,0 +1,20 @@
+package flows
+
+import "fmt"
+
+// RestoreProgress sets a flow's transmission cursors from a checkpoint.
+// Only live (incomplete) flows are checkpointed — completed flows survive
+// solely as metric samples — so the flow must still be short of full
+// delivery. Note sent may equal Size while delivered lags: a relay-class
+// loss requeues bytes without unsending them (paper §3.6.1).
+func (f *Flow) RestoreProgress(sent, delivered int64) error {
+	if f.done {
+		return fmt.Errorf("flows: restore into completed flow %d", f.ID)
+	}
+	if delivered < 0 || sent < delivered || sent > f.Size || delivered >= f.Size {
+		return fmt.Errorf("flows: flow %d: invalid restored progress sent=%d delivered=%d size=%d",
+			f.ID, sent, delivered, f.Size)
+	}
+	f.sent, f.delivered = sent, delivered
+	return nil
+}

@@ -1,0 +1,35 @@
+package oblivious
+
+import (
+	"io"
+
+	"negotiator/internal/snap"
+)
+
+// Snapshot serializes the engine's complete state (fabric core plus this
+// control plane's PlaneState payload) at a timeslot boundary.
+func (e *Engine) Snapshot(w io.Writer) error { return e.fab.Snapshot(w) }
+
+// Restore applies a snapshot to a freshly constructed engine of the same
+// configuration. SetWorkload (with an identically constructed generator)
+// must be called first; see fabric.Core.Restore.
+func (e *Engine) Restore(r io.Reader) error { return e.fab.Restore(r) }
+
+// PlaneState implements fabric.StatefulPlane. The round-robin schedule
+// keeps almost no cross-slot control state outside the node queues: the
+// slot index and rotation derive from the core's round counter, spray
+// pointers and the spray RNG live in the core snapshot, and the per-slot
+// used-connection stamps compare against the current slot number only.
+// The transit-volume counter is the plane's sole persistent scalar.
+func (e *Engine) PlaneState() ([]byte, error) {
+	var enc snap.Enc
+	enc.I64(e.relayed)
+	return enc.Bytes(), nil
+}
+
+// RestorePlaneState implements fabric.StatefulPlane.
+func (e *Engine) RestorePlaneState(data []byte) error {
+	d := snap.NewDec(data)
+	e.relayed = d.I64()
+	return d.Finish()
+}

@@ -1,0 +1,9 @@
+package sim
+
+// State exposes the generator's internal xoshiro256** state for
+// checkpointing. Restoring it with SetState resumes the stream at exactly
+// the next draw.
+func (r *RNG) State() [4]uint64 { return r.s }
+
+// SetState overwrites the generator state with one captured by State.
+func (r *RNG) SetState(s [4]uint64) { r.s = s }

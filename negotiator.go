@@ -26,6 +26,7 @@ package negotiator
 
 import (
 	"fmt"
+	"io"
 
 	"negotiator/internal/failure"
 	"negotiator/internal/hybrid"
@@ -673,6 +674,18 @@ type Fabric interface {
 	MatchRatioSeries() []float64
 	// Spec returns the spec the fabric was built from.
 	Spec() Spec
+	// Snapshot serializes the fabric's complete simulation state at a
+	// round boundary into a versioned, CRC-guarded checkpoint stream. A
+	// checkpoint is a resume token, not an archive: it captures state, not
+	// configuration, and is only valid for a fabric rebuilt from the same
+	// Spec by the same binary.
+	Snapshot(w io.Writer) error
+	// Restore applies a checkpoint to a freshly built fabric of the same
+	// Spec. SetWorkload (with the identically constructed generator) must
+	// be called first; the run then continues byte-identically to the
+	// uninterrupted one, at any worker count. A corrupt or mismatched
+	// checkpoint returns an error leaving the fabric untouched.
+	Restore(r io.Reader) error
 }
 
 // Workload is an arrival stream (re-exported).
@@ -683,11 +696,13 @@ type negotiatorFabric struct {
 	spec Spec
 }
 
-func (f *negotiatorFabric) SetWorkload(w Workload) { f.e.SetWorkload(w) }
-func (f *negotiatorFabric) Run(d Duration)         { f.e.Run(d) }
-func (f *negotiatorFabric) RunEpochs(k int)        { f.e.RunEpochs(k) }
-func (f *negotiatorFabric) Drain(budget int) bool  { return f.e.Drain(budget) }
-func (f *negotiatorFabric) Spec() Spec             { return f.spec }
+func (f *negotiatorFabric) SetWorkload(w Workload)     { f.e.SetWorkload(w) }
+func (f *negotiatorFabric) Run(d Duration)             { f.e.Run(d) }
+func (f *negotiatorFabric) RunEpochs(k int)            { f.e.RunEpochs(k) }
+func (f *negotiatorFabric) Drain(budget int) bool      { return f.e.Drain(budget) }
+func (f *negotiatorFabric) Spec() Spec                 { return f.spec }
+func (f *negotiatorFabric) Snapshot(w io.Writer) error { return f.e.Snapshot(w) }
+func (f *negotiatorFabric) Restore(r io.Reader) error  { return f.e.Restore(r) }
 
 func (f *negotiatorFabric) Summary() Summary {
 	r := f.e.Results()
@@ -730,11 +745,13 @@ type obliviousFabric struct {
 	spec Spec
 }
 
-func (f *obliviousFabric) SetWorkload(w Workload) { f.e.SetWorkload(w) }
-func (f *obliviousFabric) Run(d Duration)         { f.e.Run(d) }
-func (f *obliviousFabric) RunEpochs(k int)        { f.e.RunCycles(k) }
-func (f *obliviousFabric) Drain(budget int) bool  { return f.e.Drain(budget) }
-func (f *obliviousFabric) Spec() Spec             { return f.spec }
+func (f *obliviousFabric) SetWorkload(w Workload)     { f.e.SetWorkload(w) }
+func (f *obliviousFabric) Run(d Duration)             { f.e.Run(d) }
+func (f *obliviousFabric) RunEpochs(k int)            { f.e.RunCycles(k) }
+func (f *obliviousFabric) Drain(budget int) bool      { return f.e.Drain(budget) }
+func (f *obliviousFabric) Spec() Spec                 { return f.spec }
+func (f *obliviousFabric) Snapshot(w io.Writer) error { return f.e.Snapshot(w) }
+func (f *obliviousFabric) Restore(r io.Reader) error  { return f.e.Restore(r) }
 
 func (f *obliviousFabric) Summary() Summary {
 	r := f.e.Results()
@@ -773,11 +790,13 @@ type hybridFabric struct {
 	spec Spec
 }
 
-func (f *hybridFabric) SetWorkload(w Workload) { f.e.SetWorkload(w) }
-func (f *hybridFabric) Run(d Duration)         { f.e.Run(d) }
-func (f *hybridFabric) RunEpochs(k int)        { f.e.RunEpochs(k) }
-func (f *hybridFabric) Drain(budget int) bool  { return f.e.Drain(budget) }
-func (f *hybridFabric) Spec() Spec             { return f.spec }
+func (f *hybridFabric) SetWorkload(w Workload)     { f.e.SetWorkload(w) }
+func (f *hybridFabric) Run(d Duration)             { f.e.Run(d) }
+func (f *hybridFabric) RunEpochs(k int)            { f.e.RunEpochs(k) }
+func (f *hybridFabric) Drain(budget int) bool      { return f.e.Drain(budget) }
+func (f *hybridFabric) Spec() Spec                 { return f.spec }
+func (f *hybridFabric) Snapshot(w io.Writer) error { return f.e.Snapshot(w) }
+func (f *hybridFabric) Restore(r io.Reader) error  { return f.e.Restore(r) }
 
 func (f *hybridFabric) Summary() Summary {
 	r := f.e.Results()
