@@ -254,6 +254,7 @@ func New(cfg Config) (*Core, error) {
 			nd.actBit = i - lo
 			nd.id = int32(i)
 			nd.relq = &sh.relq
+			nd.relDst = &sh.relDst
 		}
 	}
 	c.skipOff = cfg.DisableEventSkip
@@ -434,7 +435,7 @@ func (c *Core) mergeRound() {
 		sh.LossRecs = 0
 		for _, f := range sh.Tagged {
 			ts := c.Tags[f.Tag]
-			ts.Done++
+			ts.Done += int(f.Members())
 			if f.Completed() > ts.End {
 				ts.End = f.Completed()
 			}
@@ -528,16 +529,16 @@ func (c *Core) Inject(t sim.Time) {
 		c.havePending = false
 		c.flowSeq++
 		f := c.newFlow()
-		*f = flows.Flow{ID: c.flowSeq, Src: a.Src, Dst: a.Dst, Size: a.Size, Arrival: a.Time, Tag: a.Tag}
+		*f = flows.Flow{ID: c.flowSeq, Src: a.Src, Dst: a.Dst, Size: a.Size, Arrival: a.Time, Tag: a.Tag, Count: a.Count}
 		c.admit(f, t)
-		c.Ledger.Injected += a.Size
+		c.Ledger.Injected += f.Total()
 		if a.Tag != 0 {
 			ts := c.Tags[a.Tag]
 			if ts == nil {
 				ts = &TagStat{Start: a.Time}
 				c.Tags[a.Tag] = ts
 			}
-			ts.Flows++
+			ts.Flows += int(f.Members())
 			if a.Time < ts.Start {
 				ts.Start = a.Time
 			}
@@ -643,8 +644,8 @@ func (c *Core) QueuedInNodes() int64 {
 	return total
 }
 
-// CheckOccupancy asserts every node's occupancy indexes, QueuedBytes
-// shadow and per-queue aggregate counters exactly mirror the queue
+// CheckOccupancy asserts every node's occupancy indexes and per-queue
+// and per-page aggregate counters exactly mirror the queue
 // contents — the invariant the choke points maintain — and that
 // unmaterialized slabs report empty/zero everywhere. Engines run it per
 // round under CheckInvariants; it costs O(N²), like the ledger check.
@@ -665,6 +666,32 @@ func (c *Core) CheckOccupancy() {
 			}
 			if sh.ActiveRelay.Has(i-sh.Lo) != (nd.RelayBytes > 0) {
 				panic(fmt.Sprintf("fabric: shard %d active-relay[%d] = %v, node holds %d", sh.K, i, sh.ActiveRelay.Has(i-sh.Lo), nd.RelayBytes))
+			}
+		}
+		// The relay-destination index must refcount exactly the per-node
+		// relay occupancy bits of the shard's nodes.
+		if sh.relDst.refs != nil {
+			var members int
+			for d := 0; d < c.N; d++ {
+				var cnt int32
+				for i := sh.Lo; i < sh.Hi; i++ {
+					nd := c.Nodes[i]
+					if nd.Relay.Materialized() && nd.RelayOcc.Has(d) {
+						cnt++
+					}
+				}
+				if sh.relDst.refs[d] != cnt {
+					panic(fmt.Sprintf("fabric: shard %d relay-dst refs[%d] = %d, %d nodes hold backlog", sh.K, d, sh.relDst.refs[d], cnt))
+				}
+				if sh.relDst.occ.Has(d) != (cnt > 0) {
+					panic(fmt.Sprintf("fabric: shard %d relay-dst occ[%d] = %v, refs %d", sh.K, d, sh.relDst.occ.Has(d), cnt))
+				}
+				if cnt > 0 {
+					members++
+				}
+			}
+			if members != sh.relDst.count {
+				panic(fmt.Sprintf("fabric: shard %d relay-dst count %d, index holds %d members", sh.K, sh.relDst.count, members))
 			}
 		}
 	}

@@ -117,7 +117,7 @@ func TestOutstandingLossCounter(t *testing.T) {
 	if c.pendingLosses != 0 || len(nd.Losses) != 0 {
 		t.Fatalf("pendingLosses = %d, records = %d after requeue", c.pendingLosses, len(nd.Losses))
 	}
-	if got := nd.QueuedBytes[1]; got != 1000 {
+	if got := nd.DirectQueuedBytes(1); got != 1000 {
 		t.Fatalf("source VOQ holds %d bytes after requeue, want 1000", got)
 	}
 	c.CheckOccupancy()
@@ -276,7 +276,7 @@ func TestLazyNodesReportEmpty(t *testing.T) {
 	}
 	discard := func(fl *flows.Flow, n int64) {}
 	for i, nd := range c.Nodes {
-		if nd.Direct.Materialized() || nd.Lanes.Materialized() || nd.Relay.Materialized() || nd.QueuedBytes != nil || nd.CumInjected != nil {
+		if nd.Direct.Materialized() || nd.Lanes.Materialized() || nd.Relay.Materialized() || nd.CumInjected != nil {
 			t.Fatalf("node %d owns slab memory before any push", i)
 		}
 		if nd.DirectBytes != 0 || nd.LanesBytes != 0 || nd.RelayBytes != 0 {
@@ -301,11 +301,11 @@ func TestLazyNodesReportEmpty(t *testing.T) {
 	}
 	c.CheckOccupancy()
 
-	// First direct push materializes Direct (+shadow, index, CumInjected)
-	// of node 2 only; lanes and relay stay nil until their first push.
+	// First direct push materializes Direct (+index, CumInjected) of node
+	// 2 only; lanes and relay stay nil until their first push.
 	f := &flows.Flow{ID: 1, Src: 2, Dst: 5, Size: 4096}
 	c.Nodes[2].PushDirect(5, f, 0)
-	if !c.Nodes[2].Direct.Materialized() || c.Nodes[2].QueuedBytes == nil || c.Nodes[2].CumInjected == nil {
+	if !c.Nodes[2].Direct.Materialized() || c.Nodes[2].CumInjected == nil {
 		t.Fatal("direct push did not materialize the direct class")
 	}
 	if c.Nodes[2].Lanes.Materialized() || c.Nodes[2].Relay.Materialized() {

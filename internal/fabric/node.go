@@ -13,11 +13,11 @@ import (
 // mailboxes, matches, relay plans) stays with the control plane, keyed by
 // the same ToR index.
 //
-// Queue sets are PAGED slabs (queue.DestSlab / queue.FIFOSlab) shadowed
-// by the dense QueuedBytes array and the per-class occupancy indexes.
-// They materialize lazily at two granularities: a fresh node owns no
-// queue memory at all and each class (Direct with its shadow and index,
-// Lanes, Relay) allocates its page table on the first push into it; the
+// Queue sets are PAGED slabs (queue.DestSlab / queue.FIFOSlab) indexed
+// by the per-class occupancy sets. They materialize lazily at two
+// granularities: a fresh node owns no queue memory at all and each class
+// (Direct with its index, Lanes, Relay) allocates its page table on the
+// first push into it; the
 // pages themselves (fixed-width chunks of queue.PageSize destinations)
 // materialize from the core's page pool on the first push that touches
 // them. A node's footprint therefore scales with the destinations its
@@ -39,7 +39,7 @@ import (
 // on nodes (and destinations) they merely probe — use the nil-page-safe
 // accessors below (RelayQueuedBytes, DirectQueuedBytes, RelayHeadReady,
 // LaneHeadDst, DirectWeightedHoL, ...). Every MUTATION must go through
-// the Push*/Take*/Drain* choke points, which keep the shadow, the
+// the Push*/Take*/Drain* choke points, which keep the
 // aggregates, the page counters and the indexes exact — the occupancy
 // invariant engines assert under CheckInvariants (Core.CheckOccupancy).
 type Node struct {
@@ -61,10 +61,6 @@ type Node struct {
 	// O(1) read instead of scanning its occupancy words.
 	DirectBytes int64
 	LanesBytes  int64
-	// QueuedBytes shadows the direct queues' Bytes() in a dense array, so
-	// matcher demand views read 8-byte-strided memory instead of queue
-	// structs.
-	QueuedBytes []int64
 	// DirectOcc, LanesOcc and RelayOcc index the non-empty entries of the
 	// corresponding queue set; per-round sweeps iterate them in ascending
 	// destination order, making round cost O(active), not O(N).
@@ -98,6 +94,14 @@ type Node struct {
 	// and the core's serial merge ages and applies them.
 	id   int32
 	relq *pageRelq
+	// relDst points at the owning shard's relay-destination index: the
+	// set of destinations ANY of the shard's nodes holds relay backlog
+	// for, refcounted so the last node to drain a destination clears its
+	// bit. PushRelay/DrainRelay maintain it on the same 0<->nonzero queue
+	// transitions that flip RelayOcc; pushes are serial-phase-only and
+	// drains happen in the owning shard's own parallel step, so the index
+	// never races.
+	relDst *relayDstIndex
 
 	// spec remembers the topology size and class configuration the lazy
 	// slabs materialize to (shared by every node of a core).
@@ -194,13 +198,15 @@ func (nd *Node) noteEmptyPage(class uint8, page int, ver uint32) {
 	nd.relq.refs = append(nd.relq.refs, pageRef{tor: nd.id, page: int32(page), class: class, ver: ver})
 }
 
-// materializeDirect allocates the direct page table with its QueuedBytes
-// shadow, occupancy index and (when configured) the cumulative-injected
-// table. Called from the push choke points on first use; pushes happen
-// only in serial phases, so growth never races with parallel reads.
+// materializeDirect allocates the direct page table with its occupancy
+// index and (when configured) the cumulative-injected table. Called from
+// the push choke points on first use; pushes happen only in serial
+// phases, so growth never races with parallel reads. Per-destination
+// queued bytes live in the pages themselves (DestSlab.Bytes), so a
+// touched node's footprint stays proportional to the destinations its
+// traffic reaches, never to the fabric width.
 func (nd *Node) materializeDirect() {
 	nd.Direct = queue.NewDestSlab(nd.spec.n, nd.spec.priority)
-	nd.QueuedBytes = make([]int64, nd.spec.n)
 	nd.DirectOcc = newOccSet(nd.spec.n)
 	if nd.spec.cumInjected {
 		nd.CumInjected = make([]int64, nd.spec.n)
@@ -246,14 +252,14 @@ func (nd *Node) Materialize() {
 // FIFOs (whether or not they have materialized yet).
 func (nd *Node) RelayEnabled() bool { return nd.spec.relay }
 
-// PushDirect enqueues all bytes of flow f for destination dst at time now.
+// PushDirect enqueues all bytes of flow f (all members, for a group) for
+// destination dst at time now.
 func (nd *Node) PushDirect(dst int, f *flows.Flow, at sim.Time) {
-	nd.PushDirectBytes(dst, f, f.Size, 0, at)
+	nd.PushDirectBytes(dst, f, f.Total(), 0, at)
 }
 
 // PushDirectBytes enqueues n bytes of f (first byte at flow offset off)
-// for dst, maintaining the QueuedBytes shadow, the page counter and the
-// occupancy index.
+// for dst, maintaining the page counter and the occupancy index.
 func (nd *Node) PushDirectBytes(dst int, f *flows.Flow, n, off int64, at sim.Time) {
 	if n <= 0 {
 		return
@@ -263,7 +269,6 @@ func (nd *Node) PushDirectBytes(dst int, f *flows.Flow, n, off int64, at sim.Tim
 	}
 	nd.Direct.Queue(dst, nd.pages).PushBytesPool(nd.pool, f, n, off, at)
 	nd.Direct.Add(dst, n)
-	nd.QueuedBytes[dst] += n
 	if nd.DirectBytes == 0 && nd.actDirect != nil {
 		nd.actDirect.Set(nd.actBit)
 	}
@@ -301,9 +306,9 @@ func (nd *Node) TakeDirectLowest(dst int, max int64, emit func(f *flows.Flow, n 
 	return taken
 }
 
-// afterTakeDirect folds a direct take into the shadow, the aggregates,
-// the page counter, the occupancy indexes and the demand version, and
-// records an empty-page candidate when the page's counter hits zero.
+// afterTakeDirect folds a direct take into the aggregates, the page
+// counter, the occupancy indexes and the demand version, and records an
+// empty-page candidate when the page's counter hits zero.
 func (nd *Node) afterTakeDirect(dst int, taken int64) {
 	if pb, ver := nd.Direct.Add(dst, -taken); pb == 0 {
 		nd.noteEmptyPage(classDirect, queue.PageOf(dst), ver)
@@ -311,15 +316,16 @@ func (nd *Node) afterTakeDirect(dst int, taken int64) {
 	if nd.DirectBytes -= taken; nd.DirectBytes == 0 && nd.actDirect != nil {
 		nd.actDirect.Clear(nd.actBit)
 	}
-	if nd.QueuedBytes[dst] -= taken; nd.QueuedBytes[dst] == 0 {
+	if nd.Direct.Bytes(dst) == 0 {
 		nd.DirectOcc.Clear(dst)
 	}
 	nd.demandVer++
 }
 
-// PushLane enqueues all bytes of flow f into lane dst at time now.
+// PushLane enqueues all bytes of flow f (all members, for a group) into
+// lane dst at time now.
 func (nd *Node) PushLane(dst int, f *flows.Flow, at sim.Time) {
-	nd.PushLaneBytes(dst, f, f.Size, 0, at)
+	nd.PushLaneBytes(dst, f, f.Total(), 0, at)
 }
 
 // PushLaneBytes enqueues n bytes of f (offset off) into lane dst.
@@ -397,7 +403,12 @@ func (nd *Node) PushRelay(dst int, s queue.Segment) {
 		nd.actRelay.Set(nd.actBit)
 	}
 	nd.RelayBytes += s.Bytes
-	nd.RelayOcc.Set(dst)
+	if !nd.RelayOcc.Has(dst) {
+		nd.RelayOcc.Set(dst)
+		if nd.relDst != nil {
+			nd.relDst.inc(nd.spec.n, dst)
+		}
+	}
 }
 
 // DrainRelay forwards up to max relay bytes for dst that have physically
@@ -418,6 +429,9 @@ func (nd *Node) DrainRelay(dst int, max int64, now sim.Time, emit func(f *flows.
 		}
 		if q.Empty() {
 			nd.RelayOcc.Clear(dst)
+			if nd.relDst != nil {
+				nd.relDst.dec(dst)
+			}
 		}
 	}
 	return taken
@@ -451,13 +465,9 @@ func (nd *Node) RelayHeadReady(dst int, now sim.Time) bool {
 }
 
 // DirectQueuedBytes reports the direct backlog for dst, zero when the
-// direct slab has not materialized.
-func (nd *Node) DirectQueuedBytes(dst int) int64 {
-	if nd.QueuedBytes == nil {
-		return 0
-	}
-	return nd.QueuedBytes[dst]
-}
+// direct slab (or dst's page) has not materialized — the nil-page-safe
+// read matcher demand views and spray scans use.
+func (nd *Node) DirectQueuedBytes(dst int) int64 { return nd.Direct.Bytes(dst) }
 
 // DirectLowestPriorityBytes reports the bytes queued at dst's lowest
 // (elephant) priority, zero for unmaterialized slabs or pages.
@@ -513,16 +523,15 @@ func (nd *Node) CheckRelayCounter() {
 	}
 }
 
-// checkOccupancy asserts the QueuedBytes shadow, the per-queue, per-page
-// and per-class aggregate counters and all three occupancy indexes
-// exactly mirror queue contents — including that unmaterialized classes
-// report empty/zero everywhere (nil slab, nil shadow, zero aggregate)
-// and that unmaterialized PAGES carry no residue: an absent page must
-// have no occupancy bits, no shadow bytes and no page counter anywhere
-// in its destination range.
+// checkOccupancy asserts the per-queue, per-page and per-class aggregate
+// counters and all three occupancy indexes exactly mirror queue contents
+// — including that unmaterialized classes report empty/zero everywhere
+// (nil slab, zero aggregate) and that unmaterialized PAGES carry no
+// residue: an absent page must have no occupancy bits and no page
+// counter anywhere in its destination range.
 func (nd *Node) checkOccupancy(tor int) {
 	if !nd.Direct.Materialized() {
-		if nd.DirectBytes != 0 || nd.QueuedBytes != nil || nd.DirectOcc.words != nil || nd.CumInjected != nil {
+		if nd.DirectBytes != 0 || nd.DirectOcc.words != nil || nd.CumInjected != nil {
 			panic(fmt.Sprintf("fabric: tor %d unmaterialized direct slab with residue (bytes=%d)", tor, nd.DirectBytes))
 		}
 	}
@@ -546,11 +555,8 @@ func (nd *Node) checkOccupancy(tor int) {
 				if r := q.Recount(); r != b {
 					panic(fmt.Sprintf("fabric: tor %d direct[%d] aggregate %d != recount %d", tor, j, b, r))
 				}
-			} else if nd.QueuedBytes[j] != 0 {
-				panic(fmt.Sprintf("fabric: tor %d unmaterialized direct page %d with shadow residue at dst %d (%d bytes)", tor, queue.PageOf(j), j, nd.QueuedBytes[j]))
-			}
-			if nd.QueuedBytes[j] != b {
-				panic(fmt.Sprintf("fabric: tor %d QueuedBytes[%d] = %d, queue holds %d", tor, j, nd.QueuedBytes[j], b))
+			} else if nd.DirectOcc.Has(j) {
+				panic(fmt.Sprintf("fabric: tor %d unmaterialized direct page %d with occupancy residue at dst %d", tor, queue.PageOf(j), j))
 			}
 			if nd.DirectOcc.Has(j) != (b > 0) {
 				panic(fmt.Sprintf("fabric: tor %d direct occupancy[%d] = %v, queue holds %d", tor, j, nd.DirectOcc.Has(j), b))

@@ -102,6 +102,56 @@ func (s *OccSet) Next(after int) int {
 // size, at the same O(members + N/4096) cost as Next.
 func (s *OccSet) NextUnion(b *OccSet, after int) int { return nextUnion(s, b, after) }
 
+// Count returns the number of members: a popcount over the member words,
+// O(n/64). Slot loops use it to pick between a dense active-node walk and
+// an inverted backlogged-destination walk; the answer only steers that
+// cost heuristic, never the results (both walks are byte-identical).
+func (s *OccSet) Count() int {
+	var c int
+	for _, w := range s.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// relayDstIndex is a shard-level relay-DESTINATION index: which
+// destinations ANY of the shard's nodes holds relay backlog for,
+// refcounted per destination so the last node to drain one clears its
+// bit. The node choke points (PushRelay/DrainRelay) maintain it on the
+// same queue-empty transitions that flip the per-node RelayOcc sets.
+//
+// It exists to invert the relay-drain walk: under VLB spray every
+// intermediate holds relay bytes, so iterating relay-ACTIVE NODES is
+// O(N·S) per slot no matter how sparse the traffic — but the backlogged
+// destinations are only the active flows' targets, and the predefined
+// schedules are per-(port, slot) permutations, so each (destination,
+// port) pair maps back to exactly one candidate source via
+// topo.PredefinedSource. Allocation is lazy on the first relay push, so
+// relay-free planes never pay for it.
+type relayDstIndex struct {
+	refs  []int32 // per destination: shard nodes holding relay backlog for it
+	occ   OccSet  // destinations with refs > 0
+	count int     // members of occ
+}
+
+func (ix *relayDstIndex) inc(n, dst int) {
+	if ix.refs == nil {
+		ix.refs = make([]int32, n)
+		ix.occ = newOccSet(n)
+	}
+	if ix.refs[dst]++; ix.refs[dst] == 1 {
+		ix.occ.Set(dst)
+		ix.count++
+	}
+}
+
+func (ix *relayDstIndex) dec(dst int) {
+	if ix.refs[dst]--; ix.refs[dst] == 0 {
+		ix.occ.Clear(dst)
+		ix.count--
+	}
+}
+
 // nextUnion returns the smallest index strictly greater than after that is
 // a member of a or b (either may be empty/unmaterialized), scanning the OR
 // of the two summaries and then the OR of the two candidate words.

@@ -35,8 +35,8 @@ func TestDeferredPageRelease(t *testing.T) {
 	if got := nd.Direct.Bytes(1); got != 0 {
 		t.Fatalf("released page reports %d bytes", got)
 	}
-	if nd.QueuedBytes[1] != 0 || nd.DirectOcc.Has(1) {
-		t.Fatal("release left shadow or occupancy residue")
+	if nd.DirectQueuedBytes(1) != 0 || nd.DirectOcc.Has(1) {
+		t.Fatal("release left byte or occupancy residue")
 	}
 	c.CheckOccupancy()
 
@@ -82,9 +82,9 @@ func TestChurningPageStaysMaterialized(t *testing.T) {
 	c.CheckOccupancy()
 }
 
-// TestUnmaterializedPageResiduePanics: shadow bytes pointing into an
-// absent page are state the queues cannot hold — CheckOccupancy must
-// panic naming the page.
+// TestUnmaterializedPageResiduePanics: an occupancy bit pointing into an
+// absent page claims backlog the queues cannot hold — CheckOccupancy
+// must panic naming the page.
 func TestUnmaterializedPageResiduePanics(t *testing.T) {
 	top, err := topo.NewParallel(2*queue.PageSize, 2)
 	if err != nil {
@@ -99,11 +99,11 @@ func TestUnmaterializedPageResiduePanics(t *testing.T) {
 	nd.PushDirect(1, f, 0) // materializes the slab and page 0 only
 	c.CheckOccupancy()
 
-	nd.QueuedBytes[queue.PageSize+5] = 64 // residue in absent page 1
+	nd.DirectOcc.Set(queue.PageSize + 5) // residue in absent page 1
 	defer func() {
 		r := recover()
 		if r == nil {
-			t.Fatal("CheckOccupancy accepted shadow residue in an unmaterialized page")
+			t.Fatal("CheckOccupancy accepted occupancy residue in an unmaterialized page")
 		}
 		if msg, ok := r.(string); !ok || !strings.Contains(msg, "unmaterialized direct page 1") {
 			t.Fatalf("panic %q does not name the absent page", r)

@@ -49,6 +49,21 @@ type Shard struct {
 	// the node take choke points, applied by the core's serial merge —
 	// see Core.mergeRound).
 	relq pageRelq
+
+	// relDst is the shard's relay-destination index (see relayDstIndex):
+	// maintained by the node choke points, consumed by slot planes that
+	// invert the relay-drain walk from sources to backlogged destinations.
+	relDst relayDstIndex
+}
+
+// RelayDsts exposes the shard's relay-destination index: the set of
+// destinations any of the shard's nodes holds relay backlog for, plus its
+// member count. The set is empty (nil-safe to iterate) until the shard's
+// first relay push. Callers may iterate it only from the shard's own
+// parallel step or a serial phase, and must finish iterating before
+// draining (drains mutate the index).
+func (sh *Shard) RelayDsts() (*OccSet, int) {
+	return &sh.relDst.occ, sh.relDst.count
 }
 
 // Deliver accounts one run of payload bytes arriving at dst: shard
@@ -58,12 +73,20 @@ type Shard struct {
 func (sh *Shard) Deliver(f *flows.Flow, dst int, n int64, at sim.Time) {
 	sh.Delivered += n
 	sh.Goodput.Deliver(dst, n)
-	if f.Deliver(n, at) {
-		sh.FCT.Record(f.Size, f.FCT())
-		if f.Tag != 0 {
-			sh.Tagged = append(sh.Tagged, f)
-		} else {
-			sh.Freed = append(sh.Freed, f)
+	if m := f.Deliver(n, at); m > 0 {
+		// One FCT sample per completed member: group delivery is FIFO, so
+		// the m members whose (i+1)·Size boundary this run crossed all
+		// finish now, exactly as m separate flows would.
+		fct := at.Sub(f.Arrival)
+		for i := 0; i < m; i++ {
+			sh.FCT.Record(f.Size, fct)
+		}
+		if f.Done() {
+			if f.Tag != 0 {
+				sh.Tagged = append(sh.Tagged, f)
+			} else {
+				sh.Freed = append(sh.Freed, f)
+			}
 		}
 	}
 	if sh.c.RxBuffers != nil {

@@ -36,6 +36,7 @@ const (
 	secMetr  = "METR" // merged FCT samples, goodput, receiver buffers
 	secFail  = "FAIL" // failure cursor positions (only with a plan)
 	secFlows = "FLOW" // live flow records
+	secGrps  = "GRPS" // flow-group member counts (only when grouping is live)
 	secNode  = "NODE" // one per node with queue/loss/spray state
 	secPlane = "PLNE" // the control plane's StatefulPlane payload
 )
@@ -93,6 +94,9 @@ func (c *Core) Snapshot(w io.Writer) error {
 	}
 	live := c.liveFlows()
 	sw.Section(secFlows, encodeFlows(live))
+	if payload := encodeGroups(live, c.pending, c.havePending); payload != nil {
+		sw.Section(secGrps, payload)
+	}
 	for i, nd := range c.Nodes {
 		if payload := nd.encodeState(i); payload != nil {
 			sw.Section(secNode, payload)
@@ -139,11 +143,30 @@ func (c *Core) Restore(r io.Reader) error {
 		return fmt.Errorf("fabric: checkpoint failure-plan presence (%v) does not match core configuration (%v)",
 			haveFail, c.failPlan != nil)
 	}
+	// Flow-group counts must be in hand before flow records decode (the
+	// progress bounds check is against the group's TOTAL bytes) and before
+	// the workload replays (the buffered pending arrival is compared
+	// including its count). An absent section means an ungrouped run — every
+	// pre-group checkpoint restores as all-singles.
+	var groups map[int64]int32
+	if grpSec, ok := s.Section(secGrps); ok {
+		var pendCount int32
+		groups, pendCount, err = decodeGroups(grpSec)
+		if err != nil {
+			return err
+		}
+		if pendCount > 1 {
+			if !core.havePending {
+				return fmt.Errorf("fabric: checkpoint carries a pending-arrival group count without a pending arrival")
+			}
+			core.pending.Count = pendCount
+		}
+	}
 	flowSec, ok := s.Section(secFlows)
 	if !ok {
 		return fmt.Errorf("fabric: checkpoint missing %s section", secFlows)
 	}
-	byID, err := decodeFlows(flowSec, core.flowSeq)
+	byID, err := decodeFlows(flowSec, core.flowSeq, groups)
 	if err != nil {
 		return err
 	}
@@ -518,7 +541,7 @@ func encodeFlows(live []*flows.Flow) []byte {
 	return e.Bytes()
 }
 
-func decodeFlows(payload []byte, flowSeq int64) (map[int64]*flows.Flow, error) {
+func decodeFlows(payload []byte, flowSeq int64, groups map[int64]int32) (map[int64]*flows.Flow, error) {
 	d := snap.NewDec(payload)
 	n := int(d.U32())
 	byID := make(map[int64]*flows.Flow, n)
@@ -541,12 +564,76 @@ func decodeFlows(payload []byte, flowSeq int64) (map[int64]*flows.Flow, error) {
 		if _, dup := byID[f.ID]; dup {
 			return nil, fmt.Errorf("fabric: checkpoint flow ID %d duplicated", f.ID)
 		}
+		// The member count must be applied before progress restores: the
+		// bounds check is against the group's total bytes, not one member's.
+		if k, ok := groups[f.ID]; ok {
+			f.Count = k
+		}
 		if err := f.RestoreProgress(sent, delivered); err != nil {
 			return nil, err
 		}
 		byID[f.ID] = f
 	}
+	for id := range groups {
+		if _, ok := byID[id]; !ok {
+			return nil, fmt.Errorf("fabric: checkpoint flow-group count references unknown flow %d", id)
+		}
+	}
 	return byID, d.Finish()
+}
+
+// encodeGroups captures flow-group member counts — the one piece of live
+// flow state encodeFlows predates — plus the buffered pending arrival's
+// count. The section is written only when grouping is actually live (some
+// count above 1), so ungrouped runs produce snapshot streams byte-identical
+// to pre-group builds, and checkpoints from those builds restore here as
+// all-singles.
+func encodeGroups(live []*flows.Flow, pending workload.Arrival, havePending bool) []byte {
+	var pendCount int32
+	if havePending && pending.Count > 1 {
+		pendCount = pending.Count
+	}
+	var grouped uint32
+	for _, f := range live {
+		if f.Count > 1 {
+			grouped++
+		}
+	}
+	if pendCount == 0 && grouped == 0 {
+		return nil
+	}
+	var e snap.Enc
+	e.U32(uint32(pendCount))
+	e.U32(grouped)
+	for _, f := range live {
+		if f.Count > 1 {
+			e.I64(f.ID)
+			e.U32(uint32(f.Count))
+		}
+	}
+	return e.Bytes()
+}
+
+func decodeGroups(payload []byte) (map[int64]int32, int32, error) {
+	d := snap.NewDec(payload)
+	pendCount := int32(d.U32())
+	n := int(d.U32())
+	counts := make(map[int64]int32, n)
+	for i := 0; i < n; i++ {
+		id := d.I64()
+		k := int32(d.U32())
+		if d.Err() != nil {
+			break
+		}
+		if k < 2 {
+			return nil, 0, fmt.Errorf("fabric: checkpoint flow-group count %d for flow %d below 2", k, id)
+		}
+		if _, dup := counts[id]; dup {
+			return nil, 0, fmt.Errorf("fabric: checkpoint flow-group count for flow %d duplicated", id)
+		}
+		counts[id] = k
+	}
+	return counts, pendCount, d.Finish()
 }
 
 // encodeState serializes one node's state, or nil when the node carries
@@ -749,8 +836,8 @@ func (c *Core) decodeDestSlabSegs(d *snap.Dec, nd *Node, byID map[int64]*flows.F
 }
 
 // restoreDirectSegment re-enqueues one checkpointed segment verbatim,
-// mirroring PushDirectBytes' bookkeeping exactly (shadow, aggregates,
-// page counter, occupancy index, shard active bit, demand version) but
+// mirroring PushDirectBytes' bookkeeping exactly (aggregates, page
+// counter, occupancy index, shard active bit, demand version) but
 // bypassing the PIAS offset split — the segment's priority placement was
 // decided at original push time and must be reproduced, not recomputed.
 func (nd *Node) restoreDirectSegment(dst, prio int, s queue.Segment) error {
@@ -761,7 +848,6 @@ func (nd *Node) restoreDirectSegment(dst, prio int, s queue.Segment) error {
 		return err
 	}
 	nd.Direct.Add(dst, s.Bytes)
-	nd.QueuedBytes[dst] += s.Bytes
 	if nd.DirectBytes == 0 && nd.actDirect != nil {
 		nd.actDirect.Set(nd.actBit)
 	}

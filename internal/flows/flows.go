@@ -13,19 +13,41 @@ import (
 	"negotiator/internal/sim"
 )
 
-// Flow is one ToR-to-ToR transfer.
+// Flow is one ToR-to-ToR transfer — or, when Count > 1, a flow group: one
+// record standing for Count identical host flows (same src, dst, size,
+// arrival and tag). A group's bytes are delivered FIFO, so member i
+// completes exactly when the cumulative delivered bytes cross (i+1)·Size;
+// the FCT sample stream is identical to Count separate flows. Size is
+// always the per-member size; Total() is the record's byte footprint.
 type Flow struct {
 	ID      int64
 	Src     int      // source ToR
 	Dst     int      // destination ToR
-	Size    int64    // bytes
+	Size    int64    // bytes per member host flow
 	Arrival sim.Time // enqueue time at the source ToR
 	Tag     int      // application event tag (0 = untagged); set at injection
+	Count   int32    // member host flows behind this record (0 and 1 both mean a single flow)
 
 	sent      int64    // bytes that have left the source
 	delivered int64    // bytes that have arrived at the destination
 	completed sim.Time // delivery time of the last byte (valid once Done)
 	done      bool
+}
+
+// Members reports how many host flows this record stands for (≥ 1).
+func (f *Flow) Members() int64 {
+	if f.Count > 1 {
+		return int64(f.Count)
+	}
+	return 1
+}
+
+// Total reports the record's total byte size: Size per member.
+func (f *Flow) Total() int64 {
+	if f.Count > 1 {
+		return f.Size * int64(f.Count)
+	}
+	return f.Size
 }
 
 // Sent reports how many bytes have left the source ToR.
@@ -52,8 +74,8 @@ func (f *Flow) Completed() sim.Time { return f.completed }
 // which would indicate a queue-accounting bug.
 func (f *Flow) NoteSent(n int64) {
 	f.sent += n
-	if f.sent > f.Size {
-		panic(fmt.Sprintf("flows: flow %d sent %d of %d bytes", f.ID, f.sent, f.Size))
+	if f.sent > f.Total() {
+		panic(fmt.Sprintf("flows: flow %d sent %d of %d bytes", f.ID, f.sent, f.Total()))
 	}
 }
 
@@ -68,18 +90,21 @@ func (f *Flow) Unsend(n int64) {
 }
 
 // Deliver records n bytes arriving at the destination at time t and returns
-// true when this delivery completes the flow.
-func (f *Flow) Deliver(n int64, t sim.Time) bool {
+// how many member host flows this delivery completed. Delivery within a
+// group is FIFO, so member i completes when the cumulative delivered bytes
+// reach (i+1)·Size; a single cell can complete several small members at
+// once. For a single flow the return value is 0 or 1.
+func (f *Flow) Deliver(n int64, t sim.Time) int {
+	before := f.delivered
 	f.delivered += n
-	if f.delivered > f.Size {
-		panic(fmt.Sprintf("flows: flow %d delivered %d of %d bytes", f.ID, f.delivered, f.Size))
+	if f.delivered > f.Total() {
+		panic(fmt.Sprintf("flows: flow %d delivered %d of %d bytes", f.ID, f.delivered, f.Total()))
 	}
-	if f.delivered == f.Size && !f.done {
+	if f.delivered == f.Total() && !f.done {
 		f.done = true
 		f.completed = t
-		return true
 	}
-	return false
+	return int(f.delivered/f.Size - before/f.Size)
 }
 
 // Ledger tracks byte conservation across an entire fabric: every injected

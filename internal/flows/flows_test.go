@@ -16,12 +16,12 @@ func TestFlowLifecycle(t *testing.T) {
 	if f.Sent() != 600 {
 		t.Errorf("Sent = %d, want 600", f.Sent())
 	}
-	if f.Deliver(600, 2100) {
-		t.Error("partial delivery should not complete flow")
+	if m := f.Deliver(600, 2100); m != 0 {
+		t.Errorf("partial delivery completed %d members, want 0", m)
 	}
 	f.NoteSent(400)
-	if !f.Deliver(400, 3100) {
-		t.Error("final delivery should complete flow")
+	if m := f.Deliver(400, 3100); m != 1 {
+		t.Errorf("final delivery completed %d members, want 1", m)
 	}
 	if !f.Done() || f.Completed() != 3100 {
 		t.Errorf("completed at %v, want 3100", f.Completed())
@@ -104,6 +104,81 @@ func TestLedgerProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Error(err)
+	}
+}
+
+func TestGroupMembersTotal(t *testing.T) {
+	for _, tc := range []struct {
+		count   int32
+		members int64
+		total   int64
+	}{
+		{0, 1, 1000}, // zero value: a single flow
+		{1, 1, 1000},
+		{7, 7, 7000},
+	} {
+		f := &Flow{ID: 1, Size: 1000, Count: tc.count}
+		if got := f.Members(); got != tc.members {
+			t.Errorf("Count=%d: Members = %d, want %d", tc.count, got, tc.members)
+		}
+		if got := f.Total(); got != tc.total {
+			t.Errorf("Count=%d: Total = %d, want %d", tc.count, got, tc.total)
+		}
+	}
+}
+
+// TestGroupDeliverBoundaries pins the FIFO member-completion rule: member i
+// of a k-group completes exactly when delivered bytes cross (i+1)·Size, so
+// the completion counts Deliver returns across any partition of the byte
+// stream sum to k, with each boundary crossed once.
+func TestGroupDeliverBoundaries(t *testing.T) {
+	f := &Flow{ID: 1, Size: 1000, Count: 3}
+	f.NoteSent(3000)
+	steps := []struct {
+		n    int64
+		want int
+	}{
+		{999, 0},  // just below the first boundary
+		{1, 1},    // crosses member 0's boundary exactly
+		{1500, 1}, // crosses member 1 (2000), lands mid-member-2
+		{499, 0},  // still mid-member-2
+		{1, 1},    // final byte completes member 2 and the group
+	}
+	var done int
+	for i, s := range steps {
+		got := f.Deliver(s.n, sim.Time(1000*(i+1)))
+		if got != s.want {
+			t.Errorf("step %d (+%d bytes): %d members completed, want %d", i, s.n, got, s.want)
+		}
+		done += got
+	}
+	if done != 3 {
+		t.Errorf("total members completed = %d, want 3", done)
+	}
+	if !f.Done() {
+		t.Error("group should be done after Total() bytes")
+	}
+}
+
+func TestGroupDeliverOvershootPanics(t *testing.T) {
+	f := &Flow{ID: 1, Size: 100, Count: 2}
+	f.NoteSent(200) // Total() bytes: fine for a 2-group
+	defer func() {
+		if recover() == nil {
+			t.Error("delivery past the group total should panic")
+		}
+	}()
+	f.Deliver(201, 0)
+}
+
+func TestGroupRestoreProgressBounds(t *testing.T) {
+	f := &Flow{ID: 1, Size: 100, Count: 3}
+	if err := f.RestoreProgress(250, 150); err != nil {
+		t.Errorf("mid-group progress rejected: %v", err)
+	}
+	g := &Flow{ID: 2, Size: 100, Count: 3}
+	if err := g.RestoreProgress(301, 0); err == nil {
+		t.Error("sent past group total not rejected")
 	}
 }
 

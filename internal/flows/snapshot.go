@@ -11,9 +11,9 @@ func (f *Flow) RestoreProgress(sent, delivered int64) error {
 	if f.done {
 		return fmt.Errorf("flows: restore into completed flow %d", f.ID)
 	}
-	if delivered < 0 || sent < delivered || sent > f.Size || delivered >= f.Size {
+	if delivered < 0 || sent < delivered || sent > f.Total() || delivered >= f.Total() {
 		return fmt.Errorf("flows: flow %d: invalid restored progress sent=%d delivered=%d size=%d",
-			f.ID, sent, delivered, f.Size)
+			f.ID, sent, delivered, f.Total())
 	}
 	f.sent, f.delivered = sent, delivered
 	return nil

@@ -421,16 +421,28 @@ func (sh *hyShard) initEmitters() {
 	// With the connection's link down but undetected, the bytes are
 	// destroyed in flight and booked for requeue into the elephant VOQ.
 	sh.schedEmit = func(f *flows.Flow, n int64) {
-		off := f.Sent()
-		f.NoteSent(n)
-		sh.txPos += n
-		endSlot := (sh.txPos + e.payload - 1) / e.payload
-		at := sh.txAt.Add(sim.Duration(endSlot) * e.timing.ScheduledSlot).Add(e.timing.PropDelay)
-		if sh.txLost {
-			sh.fs.RecordLossClass(sh.txNode, f, sh.txDst, off, n, at, fabric.RequeueDirect, -1)
-			return
+		// Flow-group runs split at member boundaries so each member's last
+		// byte carries its own slot's arrival time (see the negotiator
+		// plane's schedEmit); single flows take one pass.
+		for n > 0 {
+			take := n
+			if f.Count > 1 {
+				if rem := f.Size - f.Sent()%f.Size; rem < take {
+					take = rem
+				}
+			}
+			off := f.Sent()
+			f.NoteSent(take)
+			sh.txPos += take
+			endSlot := (sh.txPos + e.payload - 1) / e.payload
+			at := sh.txAt.Add(sim.Duration(endSlot) * e.timing.ScheduledSlot).Add(e.timing.PropDelay)
+			if sh.txLost {
+				sh.fs.RecordLossClass(sh.txNode, f, sh.txDst, off, take, at, fabric.RequeueDirect, -1)
+			} else {
+				sh.fs.Deliver(f, sh.txDst, take, at)
+			}
+			n -= take
 		}
-		sh.fs.Deliver(f, sh.txDst, n, at)
 	}
 	// Predefined-phase (mice) delivery: fixed slot arrival time; losses
 	// requeue into the mice queue (lane) they were taken from.

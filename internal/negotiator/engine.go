@@ -354,7 +354,7 @@ func New(cfg Config) (*Engine, error) {
 func (e *Engine) admit(f *flows.Flow, at sim.Time) {
 	nd := e.fab.Nodes[f.Src]
 	nd.PushDirect(f.Dst, f, at)
-	nd.CumInjected[f.Dst] += f.Size
+	nd.CumInjected[f.Dst] += f.Total()
 }
 
 // resolveWorkers clamps the configured shard parallelism: never more

@@ -13,7 +13,7 @@ import (
 
 // TestOccupancyInvariant runs the engine with per-round invariant
 // checking on (which asserts, after every epoch's merge, that the
-// occupancy indexes and the QueuedBytes shadow exactly match queue
+// occupancy indexes and the per-page byte counters exactly match queue
 // contents — fabric.Core.CheckOccupancy) across the features that stress
 // the choke points: priority queues, failures with loss requeue, and the
 // selective relay's cross-ToR pushes. Run in CI under -race at

@@ -93,7 +93,7 @@ func (e *Engine) planRelay() {
 			if j == i {
 				continue
 			}
-			r.groupBuf[r.tc.PathPort(i, j)] += nd.QueuedBytes[j]
+			r.groupBuf[r.tc.PathPort(i, j)] += nd.DirectQueuedBytes(j)
 			if nd.DirectLowestPriorityBytes(j) > r.cfg.MinBytes {
 				heavy = true
 			}

@@ -150,15 +150,28 @@ func (sh *engineShard) initEmitters() {
 	// Scheduled-phase delivery: bytes land slot by slot after the
 	// predefined phase.
 	sh.schedEmit = func(f *flows.Flow, n int64) {
-		off := f.Sent()
-		f.NoteSent(n)
-		sh.txPos += n
-		at := sh.slotArrival()
-		if sh.txLost {
-			sh.fs.RecordLoss(sh.txNode, f, sh.txDst, off, n, at)
-			return
+		// A flow group's contiguous run is split at member boundaries so
+		// each member's last byte carries the arrival time of the slot it
+		// actually lands in — the boundary-crossing FCT is then exactly
+		// what n separate flows would record. Single flows take one pass.
+		for n > 0 {
+			take := n
+			if f.Count > 1 {
+				if rem := f.Size - f.Sent()%f.Size; rem < take {
+					take = rem
+				}
+			}
+			off := f.Sent()
+			f.NoteSent(take)
+			sh.txPos += take
+			at := sh.slotArrival()
+			if sh.txLost {
+				sh.fs.RecordLoss(sh.txNode, f, sh.txDst, off, take, at)
+			} else {
+				sh.fs.Deliver(f, sh.txDst, take, at)
+			}
+			n -= take
 		}
-		sh.fs.Deliver(f, sh.txDst, n, at)
 	}
 	// Predefined-phase (piggyback) delivery: fixed slot arrival time.
 	sh.pbEmit = func(f *flows.Flow, n int64) {

@@ -27,6 +27,7 @@ package oblivious
 
 import (
 	"fmt"
+	"slices"
 
 	"negotiator/internal/fabric"
 	"negotiator/internal/failure"
@@ -237,6 +238,12 @@ type obShard struct {
 	pushes      []obPush
 	transits    []obTransit
 
+	// drainCands is drainSparse's reusable candidate scratch: packed
+	// (source<<40 | port<<20 | dst) triples, sorted to restore the dense
+	// walk's service order. Kept on the shard so steady-state slots stay
+	// allocation-free.
+	drainCands []uint64
+
 	// Emitter context + prebuilt closures (no per-take closure allocs).
 	// txLost marks the current connection's actual link state down
 	// (undetected): the emitters then book the bytes as destroyed instead
@@ -340,8 +347,9 @@ func (e *Engine) admit(f *flows.Flow, at sim.Time) {
 	nd := e.fab.Nodes[f.Src]
 	if e.lanes {
 		chunk := int64(e.cfg.SprayChunkCells) * e.cell
-		for off := int64(0); off < f.Size; off += chunk {
-			n := f.Size - off
+		total := f.Total()
+		for off := int64(0); off < total; off += chunk {
+			n := total - off
 			if n > chunk {
 				n = chunk
 			}
@@ -548,7 +556,18 @@ func (sh *obShard) drainStep() {
 	// relay backlog, so the drain phase is O(relay-active nodes · S) with
 	// no dense scan at all; draining a node empty clears its own bit,
 	// which is safe mid-iteration (Next only looks ahead).
+	//
+	// VLB spraying makes nearly every node a relay HOLDER even when only a
+	// handful of flows are live — 256 flows sprayed across 65,536
+	// intermediates leave backlog everywhere — so the holder walk is still
+	// O(width) in exactly the sparse regime that must not pay it. The
+	// number of relay DESTINATIONS tracks live flows, not width; when it is
+	// the smaller side, invert the walk over destinations instead.
 	occ := &sh.fs.ActiveRelay
+	if dsts, nd := sh.fs.RelayDsts(); nd > 0 && nd < occ.Count() {
+		sh.drainSparse(dsts, slotNo)
+		return
+	}
 	for bit := occ.Next(-1); bit >= 0; bit = occ.Next(bit) {
 		i := sh.lo + bit
 		src := e.fab.Nodes[i]
@@ -572,6 +591,51 @@ func (sh *obShard) drainStep() {
 			src.DrainRelay(j, e.cell, e.slotStart, sh.drainEmit)
 			sh.usedStamp[(i-sh.lo)*e.s+s] = slotNo + 1
 		}
+	}
+}
+
+// drainSparse is drainStep's destination-inverted walk. Within one slot the
+// predefined schedule is a permutation per port, so for every backlogged
+// destination j and port s there is at most one source i with
+// PredefinedPeer(i, s) == j — PredefinedSource names it directly. Collecting
+// this shard's (i, s, j) candidates and sorting the packed triples restores
+// the dense walk's (i ascending, s ascending) service order, so the drains,
+// the deferred records and the usedStamp marks are byte-identical to the
+// dense path; a candidate whose source holds no ready backlog for j fails
+// the same RelayHeadReady gate that skips it there. Candidates are fixed
+// before any drain runs, so destination bits clearing as VOQs empty cannot
+// perturb the walk. Cost: O(relay-destinations · S) per shard plus the sort,
+// independent of fabric width.
+func (sh *obShard) drainSparse(dsts *fabric.OccSet, slotNo int64) {
+	e := sh.e
+	cands := sh.drainCands[:0]
+	for j := dsts.Next(-1); j >= 0; j = dsts.Next(j) {
+		for s := 0; s < e.s; s++ {
+			i := e.top.PredefinedSource(j, s, e.slotT, e.slotRot)
+			if i < sh.lo || i >= sh.hi {
+				continue
+			}
+			cands = append(cands, uint64(i)<<40|uint64(s)<<20|uint64(j))
+		}
+	}
+	slices.Sort(cands)
+	sh.drainCands = cands
+	for _, c := range cands {
+		i := int(c >> 40)
+		s := int(c>>20) & (1<<20 - 1)
+		j := int(c & (1<<20 - 1))
+		src := e.fab.Nodes[i]
+		if e.known != nil && e.known.Count > 0 && !e.known.PathOK(i, j, s) {
+			continue
+		}
+		if !src.RelayHeadReady(j, e.slotStart) {
+			continue
+		}
+		sh.txDst = j
+		sh.txNode = src
+		sh.txLost = e.actual != nil && e.actual.Count > 0 && !e.actual.PathOK(i, j, s)
+		src.DrainRelay(j, e.cell, e.slotStart, sh.drainEmit)
+		sh.usedStamp[(i-sh.lo)*e.s+s] = slotNo + 1
 	}
 }
 
@@ -662,7 +726,7 @@ func (sh *obShard) serve(src *fabric.Node, i, j int) {
 	e := sh.e
 	if e.cfg.OpportunisticDirect || e.cfg.DirectOnly {
 		// Direct traffic to j (source-side priority queues apply).
-		if src.QueuedBytes[j] > 0 {
+		if src.DirectQueuedBytes(j) > 0 {
 			sh.txDst = j
 			src.TakeDirect(j, e.cell, sh.sentEmit)
 			return

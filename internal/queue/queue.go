@@ -273,10 +273,11 @@ func NewSlab(n int, priority bool) []DestQueue {
 	return qs
 }
 
-// Push enqueues all bytes of flow f at time now, splitting across priority
-// levels by the PIAS thresholds when enabled.
+// Push enqueues all bytes of flow f (all members, for a group) at time
+// now, splitting across priority levels by the PIAS thresholds when
+// enabled.
 func (d *DestQueue) Push(f *flows.Flow, now sim.Time) {
-	d.PushBytes(f, f.Size, 0, now)
+	d.PushBytes(f, f.Total(), 0, now)
 }
 
 // PushBytes enqueues n bytes of flow f whose first byte is at offset off
@@ -298,6 +299,29 @@ func (d *DestQueue) PushBytesPool(pool *SegPool, f *flows.Flow, n, off int64, no
 		d.prios[0].PushPool(pool, Segment{Flow: f, Bytes: n, Enqueued: now})
 		return
 	}
+	// PIAS demotion is per HOST flow. For a flow group, off is a position
+	// in the concatenated member stream, so split the run at member
+	// boundaries and demote each piece by its member-relative offset —
+	// byte-for-byte the placement Count separate flows would get.
+	if f.Count > 1 {
+		for n > 0 {
+			mOff := off % f.Size
+			take := f.Size - mOff
+			if take > n {
+				take = n
+			}
+			d.pushPrios(pool, f, take, mOff, now)
+			off += take
+			n -= take
+		}
+		return
+	}
+	d.pushPrios(pool, f, n, off, now)
+}
+
+// pushPrios splits one member-contained byte run across the PIAS priority
+// levels. The caller has already added n to the aggregate byte counter.
+func (d *DestQueue) pushPrios(pool *SegPool, f *flows.Flow, n, off int64, now sim.Time) {
 	bounds := [...]int64{DefaultPrio0Bytes, DefaultPrio1Bytes, 1 << 62}
 	for p := 0; p < NumPriorities && n > 0; p++ {
 		if off >= bounds[p] {

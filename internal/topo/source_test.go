@@ -1,0 +1,50 @@
+package topo
+
+import "testing"
+
+// TestPredefinedSourceInverse pins the inverse contract the oblivious
+// plane's destination-inverted drain walk relies on: for every (s, t, r),
+// PredefinedPeer(·, s, t, r) is a partial permutation and PredefinedSource
+// is its exact inverse — PredefinedSource(j, s, t, r) == i if and only if
+// PredefinedPeer(i, s, t, r) == j, with -1 exactly where no source exists.
+func TestPredefinedSourceInverse(t *testing.T) {
+	par, err := NewParallel(24, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc, err := NewThinClos(24, 6, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, top := range map[string]Topology{"parallel": par, "thin-clos": tc} {
+		n, s := top.N(), top.Ports()
+		for r := 0; r < 3; r++ {
+			for tt := 0; tt < top.PredefinedSlots(); tt++ {
+				for port := 0; port < s; port++ {
+					// src[j] = the unique i with PredefinedPeer(i) == j.
+					src := make([]int, n)
+					for j := range src {
+						src[j] = -1
+					}
+					for i := 0; i < n; i++ {
+						j := top.PredefinedPeer(i, port, tt, r)
+						if j < 0 {
+							continue
+						}
+						if src[j] != -1 {
+							t.Fatalf("%s: (s=%d t=%d r=%d) peers %d and %d both hit %d",
+								name, port, tt, r, src[j], i, j)
+						}
+						src[j] = i
+					}
+					for j := 0; j < n; j++ {
+						if got := top.PredefinedSource(j, port, tt, r); got != src[j] {
+							t.Errorf("%s: PredefinedSource(%d, s=%d, t=%d, r=%d) = %d, want %d",
+								name, j, port, tt, r, got, src[j])
+						}
+					}
+				}
+			}
+		}
+	}
+}

@@ -73,6 +73,16 @@ type Topology interface {
 	// rotation r. It returns (-1, -1) if i == j.
 	PredefinedSlotPort(i, j, r int) (slot, port int)
 
+	// PredefinedSource is the per-slot inverse of PredefinedPeer: the
+	// source i whose port s connects to destination j during timeslot t
+	// with rotation r, or -1 if no source reaches j on that port this
+	// slot (schedule padding or the self-connection). The predefined
+	// schedules are per-(s, t, r) permutations, so
+	// PredefinedPeer(i, s, t, r) == j iff PredefinedSource(j, s, t, r) == i.
+	// Slot loops that iterate backlogged DESTINATIONS instead of all
+	// sources use this to find the one node a destination can drain from.
+	PredefinedSource(j, s, t, r int) int
+
 	// AWGRs returns the number of optical switches the physical build
 	// requires and the port count of each.
 	AWGRs() (count, ports int)
@@ -140,6 +150,17 @@ func (p *Parallel) PredefinedPeer(i, s, t, r int) int {
 		return -1
 	}
 	return j
+}
+
+// PredefinedSource inverts the rotating schedule within one slot: the
+// same offset k that takes i forward to j takes j back to i.
+func (p *Parallel) PredefinedSource(j, s, t, r int) int {
+	span := p.PredefinedSlots() * p.s
+	k := (t*p.s + s + r) % span
+	if k >= p.n-1 {
+		return -1 // schedule padding: no source transmits on this offset
+	}
+	return ((j-1-k)%p.n + p.n) % p.n
 }
 
 func (p *Parallel) PathPort(src, dst int) int {
@@ -261,6 +282,21 @@ func (t *ThinClos) PredefinedPeer(i, s, tt, r int) int {
 		return -1
 	}
 	return j
+}
+
+// PredefinedSource inverts the thin-clos schedule within one slot:
+// destination j (group gj, local index lj) hears port s only from group
+// (s - gj) mod G, and slot tt picks the member with local index
+// (lj - tt) mod W.
+func (t *ThinClos) PredefinedSource(j, s, tt, r int) int {
+	gj := t.group(j)
+	gi := (s - gj + t.s) % t.s
+	li := (j%t.w - tt%t.w + t.w) % t.w
+	i := gi*t.w + li
+	if i == j {
+		return -1
+	}
+	return i
 }
 
 func (t *ThinClos) PathPort(src, dst int) int {

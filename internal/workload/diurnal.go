@@ -28,6 +28,16 @@ type Diurnal struct {
 	floor  float64 // trough rate as a fraction of peak
 	rng    *sim.RNG
 	clock  float64
+	group  int32
+}
+
+// SetGroup implements Grouper: each arrival event stands for k identical
+// host flows; the thinned arrival process itself is untouched.
+func (g *Diurnal) SetGroup(k int) {
+	g.group = 0
+	if k > 1 {
+		g.group = int32(k)
+	}
 }
 
 // NewDiurnal returns a diurnal generator: peakLoad is the network load
@@ -80,7 +90,7 @@ func (g *Diurnal) Next() (Arrival, bool) {
 	if dst >= src {
 		dst++
 	}
-	a := Arrival{Time: sim.Time(g.clock), Src: src, Dst: dst, Size: g.dist.Sample(g.rng)}
+	a := Arrival{Time: sim.Time(g.clock), Src: src, Dst: dst, Size: g.dist.Sample(g.rng), Count: g.group}
 	g.advance()
 	return a, true
 }

@@ -1,0 +1,137 @@
+package workload
+
+import (
+	"testing"
+
+	"negotiator/internal/sim"
+)
+
+// sliceGen replays a fixed arrival sequence.
+type sliceGen struct {
+	as  []Arrival
+	pos int
+}
+
+func (g *sliceGen) Next() (Arrival, bool) {
+	if g.pos >= len(g.as) {
+		return Arrival{}, false
+	}
+	a := g.as[g.pos]
+	g.pos++
+	return a, true
+}
+
+func TestGroupByRejectsBadFactor(t *testing.T) {
+	if _, err := NewGroupBy(&sliceGen{}, 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := NewGroupBy(&sliceGen{}, -3); err == nil {
+		t.Error("k=-3 accepted")
+	}
+}
+
+// TestGroupByIdentityPassthrough pins the golden-compatibility property:
+// with k == 1 and a stream with no identical neighbours, the wrapped output
+// is byte-identical to the input (Count stays 0 — not normalized to 1).
+func TestGroupByIdentityPassthrough(t *testing.T) {
+	in := []Arrival{
+		{Time: 10, Src: 0, Dst: 1, Size: 100},
+		{Time: 10, Src: 0, Dst: 1, Size: 200}, // differs in size: no coalesce
+		{Time: 20, Src: 2, Dst: 3, Size: 200, Tag: 5},
+	}
+	g, err := NewGroupBy(&sliceGen{as: in}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range in {
+		got, ok := g.Next()
+		if !ok {
+			t.Fatalf("stream ended at %d", i)
+		}
+		if got != want {
+			t.Errorf("arrival %d = %+v, want %+v", i, got, want)
+		}
+	}
+	if _, ok := g.Next(); ok {
+		t.Error("stream should be exhausted")
+	}
+}
+
+// TestGroupByCoalesces checks that consecutive identical arrivals merge
+// into one group whose member count is the combined count times k, and
+// that a differing neighbour breaks the run.
+func TestGroupByCoalesces(t *testing.T) {
+	in := []Arrival{
+		{Time: 10, Src: 0, Dst: 1, Size: 100},
+		{Time: 10, Src: 0, Dst: 1, Size: 100},
+		{Time: 10, Src: 0, Dst: 1, Size: 100},
+		{Time: 20, Src: 0, Dst: 1, Size: 100},           // later time: new record
+		{Time: 30, Src: 4, Dst: 5, Size: 100, Count: 6}, // already a group
+	}
+	g, err := NewGroupBy(&sliceGen{as: in}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Arrival{
+		{Time: 10, Src: 0, Dst: 1, Size: 100, Count: 6},
+		{Time: 20, Src: 0, Dst: 1, Size: 100, Count: 2},
+		{Time: 30, Src: 4, Dst: 5, Size: 100, Count: 12},
+	}
+	for i, w := range want {
+		got, ok := g.Next()
+		if !ok {
+			t.Fatalf("stream ended at %d", i)
+		}
+		if got != w {
+			t.Errorf("group %d = %+v, want %+v", i, got, w)
+		}
+	}
+	if _, ok := g.Next(); ok {
+		t.Error("stream should be exhausted")
+	}
+}
+
+// TestSetGroupNative checks the native Grouper path on the three
+// generators that implement it: the RNG draws and arrival process are
+// untouched — only Count is stamped — and SetGroup(1) restores the exact
+// ungrouped stream.
+func TestSetGroupNative(t *testing.T) {
+	perm := func() Generator { g, _ := NewPermutation(64, 16, 1000, 5); return g }
+	hot := func() Generator {
+		g, _ := NewHotspot(Fixed(1000), 64, 0.5, sim.Gbps(400), 4, 0.5, 7)
+		return g
+	}
+	diur := func() Generator {
+		g, _ := NewDiurnal(Fixed(1000), 64, 0.5, sim.Gbps(400), sim.Millisecond, 0.1, 7)
+		return g
+	}
+	for name, mk := range map[string]func() Generator{"permutation": perm, "hotspot": hot, "diurnal": diur} {
+		base, grouped := mk(), mk()
+		grouped.(Grouper).SetGroup(8)
+		for i := 0; i < 50; i++ {
+			b, okB := base.Next()
+			g, okG := grouped.Next()
+			if okB != okG {
+				t.Fatalf("%s: stream lengths diverge at %d", name, i)
+			}
+			if !okB {
+				break
+			}
+			if g.Count != 8 {
+				t.Fatalf("%s: arrival %d Count = %d, want 8", name, i, g.Count)
+			}
+			g.Count = 0
+			if g != b {
+				t.Errorf("%s: arrival %d = %+v, want %+v modulo Count", name, i, g, b)
+			}
+		}
+		reset := mk()
+		reset.(Grouper).SetGroup(8)
+		reset.(Grouper).SetGroup(1)
+		b, _ := mk().Next()
+		r, _ := reset.Next()
+		if r != b {
+			t.Errorf("%s: SetGroup(1) not a strict no-op: %+v vs %+v", name, r, b)
+		}
+	}
+}

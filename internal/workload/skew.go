@@ -19,6 +19,17 @@ type Permutation struct {
 	n, active, i int
 	size         int64
 	t            sim.Time
+	group        int32
+}
+
+// SetGroup implements Grouper: each (src, dst) pair's arrival becomes a
+// group of k identical host flows — the knob that puts a million host
+// flows behind a few thousand records.
+func (g *Permutation) SetGroup(k int) {
+	g.group = 0
+	if k > 1 {
+		g.group = int32(k)
+	}
 }
 
 // NewPermutation returns the generator. active == 0 means all n ToRs.
@@ -37,7 +48,7 @@ func (g *Permutation) Next() (Arrival, bool) {
 	if g.i >= g.active {
 		return Arrival{}, false
 	}
-	a := Arrival{Time: g.t, Src: g.i, Dst: (g.i + 1) % g.active, Size: g.size}
+	a := Arrival{Time: g.t, Src: g.i, Dst: (g.i + 1) % g.active, Size: g.size, Count: g.group}
 	g.i++
 	return a, true
 }
@@ -57,6 +68,17 @@ type Hotspot struct {
 	meanNs  float64
 	rng     *sim.RNG
 	clock   float64
+	group   int32
+}
+
+// SetGroup implements Grouper: each arrival event stands for k identical
+// host flows (k users behind the same ToR pair making the same request) —
+// the RNG stream and arrival times are untouched, only Count changes.
+func (g *Hotspot) SetGroup(k int) {
+	g.group = 0
+	if k > 1 {
+		g.group = int32(k)
+	}
 }
 
 // NewHotspot returns a skewed Poisson generator. hotTors must be in
@@ -109,7 +131,7 @@ func (g *Hotspot) Next() (Arrival, bool) {
 			dst++
 		}
 	}
-	a := Arrival{Time: sim.Time(g.clock), Src: src, Dst: dst, Size: g.dist.Sample(g.rng)}
+	a := Arrival{Time: sim.Time(g.clock), Src: src, Dst: dst, Size: g.dist.Sample(g.rng), Count: g.group}
 	g.advance()
 	return a, true
 }

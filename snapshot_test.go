@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	negotiator "negotiator"
+	"negotiator/internal/workload"
 )
 
 // snapshotRun runs a spec for snapAt epochs at snapWorkers, checkpoints,
@@ -244,6 +245,128 @@ func TestRestoreRejectsMismatch(t *testing.T) {
 		fab2.RunEpochs(1)
 		if err := fab2.Restore(bytes.NewReader(good)); err == nil {
 			t.Error("checkpoint restored onto a fabric that already ran")
+		}
+	})
+}
+
+// groupedSlice replays a fixed arrival slice — the grouped-checkpoint
+// workload: group records in flight at the snapshot point plus one
+// grouped arrival still in the future, so the checkpoint must carry both
+// live member progress and the pump's pending group intact.
+func groupedSlice() negotiator.Workload {
+	arrivals := make([]workload.Arrival, 0, 9)
+	for i := 0; i < 8; i++ {
+		arrivals = append(arrivals, workload.Arrival{
+			Time: 0, Src: i, Dst: (i + 8) % 16, Size: 2_000_000, Count: 4,
+		})
+	}
+	// The 8 MB per pair take ~100 of the ~2.9us epochs to deliver, so the
+	// groups are mid-flight at the epoch-10 checkpoint; the late group is
+	// still pending in the pump there (100us ~ epoch 34) and injects well
+	// before epoch 150 (~440us).
+	arrivals = append(arrivals, workload.Arrival{
+		Time: negotiator.Time(100 * negotiator.Microsecond),
+		Src:  5, Dst: 2, Size: 2000, Count: 3,
+	})
+	return &sliceWorkload{arrivals: arrivals}
+}
+
+type sliceWorkload struct {
+	arrivals []workload.Arrival
+	next     int
+}
+
+func (s *sliceWorkload) Next() (workload.Arrival, bool) {
+	if s.next >= len(s.arrivals) {
+		return workload.Arrival{}, false
+	}
+	a := s.arrivals[s.next]
+	s.next++
+	return a, true
+}
+
+// groupedSnapshotRun is snapshotRun over the grouped slice workload.
+func groupedSnapshotRun(t *testing.T, spec negotiator.Spec, snapWorkers, restoreWorkers, snapAt, epochs int) string {
+	t.Helper()
+	spec.Workers = snapWorkers
+	fab, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fab.SetWorkload(groupedSlice())
+	fab.RunEpochs(snapAt)
+	var buf bytes.Buffer
+	if err := fab.Snapshot(&buf); err != nil {
+		t.Fatalf("snapshot at epoch %d: %v", snapAt, err)
+	}
+
+	spec.Workers = restoreWorkers
+	fab2, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fab2.SetWorkload(groupedSlice())
+	if err := fab2.Restore(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatalf("restore at epoch %d: %v", snapAt, err)
+	}
+	fab2.RunEpochs(epochs - snapAt)
+	return fmt.Sprintf("%+v | cdf=%v", fab2.Summary(), fab2.MiceCDF(24))
+}
+
+// TestSnapshotGroupedFlows round-trips flow-group state. round-trip: with
+// 4-member groups mid-delivery and a 3-member group still pending in the
+// pump, checkpointing at epoch 10 and restoring — at the same worker
+// count and across 16 -> 1 — must continue byte-identically to the
+// uninterrupted run: member FCT boundaries, the group counts and the
+// pending group's count all survive the GRPS section. identity-bytes: a
+// run whose workload passed through the identity GroupWorkload(w, 1)
+// yields a checkpoint stream byte-identical to the plain run's — no GRPS
+// section is written when no group has formed, so pre-group checkpoints
+// and k=1 checkpoints stay interchangeable.
+func TestSnapshotGroupedFlows(t *testing.T) {
+	t.Run("round-trip", func(t *testing.T) {
+		spec := negotiator.SmallSpec()
+		fab, err := spec.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		fab.SetWorkload(groupedSlice())
+		fab.RunEpochs(150)
+		want := fmt.Sprintf("%+v | cdf=%v", fab.Summary(), fab.MiceCDF(24))
+		if s := fab.Summary(); s.Flows != 35 {
+			t.Fatalf("uninterrupted run completed %d member flows, want 35 (8 groups of 4 + 1 of 3)", s.Flows)
+		}
+		if got := groupedSnapshotRun(t, spec, 1, 1, 10, 150); got != want {
+			t.Errorf("restored grouped run diverges\n got: %.400s\nwant: %.400s", got, want)
+		}
+		if got := groupedSnapshotRun(t, spec, 16, 1, 10, 150); got != want {
+			t.Errorf("16->1 grouped restore diverges\n got: %.400s\nwant: %.400s", got, want)
+		}
+	})
+
+	t.Run("identity-bytes", func(t *testing.T) {
+		spec := negotiator.SmallSpec()
+		snap := func(group bool) []byte {
+			fab, err := spec.Build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			w := negotiator.PoissonWorkload(spec, negotiator.Hadoop, 0.7, spec.Seed+6)
+			if group {
+				if w, err = negotiator.GroupWorkload(w, 1); err != nil {
+					t.Fatal(err)
+				}
+			}
+			fab.SetWorkload(w)
+			fab.RunEpochs(60)
+			var buf bytes.Buffer
+			if err := fab.Snapshot(&buf); err != nil {
+				t.Fatal(err)
+			}
+			return buf.Bytes()
+		}
+		if !bytes.Equal(snap(true), snap(false)) {
+			t.Error("identity GroupWorkload changes the checkpoint stream")
 		}
 	})
 }

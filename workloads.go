@@ -1,6 +1,8 @@
 package negotiator
 
 import (
+	"fmt"
+
 	"negotiator/internal/workload"
 )
 
@@ -109,6 +111,30 @@ func HotspotWorkload(spec Spec, trace Trace, load float64, hotTors int, hotFrac 
 // run loop's quiet-time savings visible end to end.
 func DiurnalWorkload(spec Spec, trace Trace, peakLoad float64, period Duration, floor float64, seed int64) (Workload, error) {
 	return workload.NewDiurnal(trace.dist(), spec.ToRs, peakLoad, spec.HostRate, period, floor, seed)
+}
+
+// GroupWorkload applies the flow-group knob: every arrival of w stands
+// for k identical host flows behind one flow record — the aggregation
+// that fits millions of host flows in a flow table sized by records.
+// Generators that support native group emission (Permutation, Hotspot,
+// Diurnal) have their count stamped directly; any other generator is
+// wrapped in the coalescing GroupBy adapter, which merges consecutive
+// identical arrivals and multiplies their member count by k. k == 1 is a
+// strict no-op on the arrival stream (and is what the golden-equivalence
+// tests run). k < 1 is rejected.
+//
+// Per-member FCT emission is exact under FIFO delivery; see the README's
+// "Flow groups" subsection for when the grouped FCT stream equals the
+// ungrouped one byte for byte.
+func GroupWorkload(w Workload, k int) (Workload, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("negotiator: flow-group factor must be >= 1, got %d", k)
+	}
+	if g, ok := w.(workload.Grouper); ok {
+		g.SetGroup(k)
+		return w, nil
+	}
+	return workload.NewGroupBy(w, k)
 }
 
 // MergeWorkloads combines arrival streams in time order.
